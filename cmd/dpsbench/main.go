@@ -1,0 +1,75 @@
+// Command dpsbench regenerates the paper's tables and figures on the
+// simulated evaluation machine. Each experiment id matches DESIGN.md's
+// per-experiment index (fig2, fig3, fig6a..b, fig7a..d, fig8a..d, table2,
+// fig9a..b, fig10a..d, fig11a..d, fig12a..d, fig13a..d, lat13, plus
+// ablation-* studies).
+//
+// Usage:
+//
+//	dpsbench -list
+//	dpsbench -exp fig6a [-csv]
+//	dpsbench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dps/internal/bench"
+	"dps/internal/topology"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		expID = flag.String("exp", "", "experiment id to run (see -list)")
+		list  = flag.Bool("list", false, "list experiment ids")
+		all   = flag.Bool("all", false, "run every experiment")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned columns")
+	)
+	flag.Parse()
+	bench.Init()
+	mach := topology.PaperMachine()
+
+	switch {
+	case *list:
+		for _, id := range bench.IDs() {
+			e, _ := bench.Get(id)
+			fmt.Printf("%-20s %s\n", id, e.Title)
+		}
+		return 0
+	case *all:
+		for _, id := range bench.IDs() {
+			e, _ := bench.Get(id)
+			tbl := e.Run(mach)
+			if *csv {
+				fmt.Printf("# %s\n", id)
+				tbl.PrintCSV(os.Stdout)
+			} else {
+				tbl.Print(os.Stdout)
+			}
+			fmt.Println()
+		}
+		return 0
+	case *expID != "":
+		e, ok := bench.Get(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dpsbench: unknown experiment %q (try -list)\n", *expID)
+			return 1
+		}
+		tbl := e.Run(mach)
+		if *csv {
+			tbl.PrintCSV(os.Stdout)
+		} else {
+			tbl.Print(os.Stdout)
+		}
+		return 0
+	default:
+		flag.Usage()
+		return 2
+	}
+}

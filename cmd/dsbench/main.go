@@ -1,0 +1,160 @@
+// Command dsbench measures the repository's real Go data-structure
+// implementations on the host machine: a configurable version of the §5.2
+// benchmark (key range, update ratio, distribution, duration, goroutines)
+// over any implementation, including its DPS-wrapped form.
+//
+// Unlike dpsbench — which regenerates the paper's figures on the simulated
+// 80-thread machine — dsbench exercises the actual implementations, so its
+// absolute numbers reflect the host.
+//
+// Usage:
+//
+//	dsbench -impl lf-m -threads 8 -size 4096 -update 0.5 -dist zipf -dur 2s
+//	dsbench -impl bst-tk -dps -partitions 4 -threads 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dps/internal/bst"
+	"dps/internal/dpsds"
+	"dps/internal/list"
+	"dps/internal/skiplist"
+	"dps/internal/workload"
+)
+
+// set is the operation surface shared by the shared-memory sets and the
+// DPS handles.
+type set interface {
+	Lookup(key uint64) (uint64, bool)
+	Insert(key, val uint64) bool
+	Remove(key uint64) bool
+}
+
+func newImpl(name string) (func() dpsds.Inner, error) {
+	switch name {
+	case "gl-m":
+		return func() dpsds.Inner { return list.NewGlobalLock() }, nil
+	case "lb-l":
+		return func() dpsds.Inner { return list.NewLazy() }, nil
+	case "lf-m":
+		return func() dpsds.Inner { return list.NewMichael() }, nil
+	case "optik":
+		return func() dpsds.Inner { return list.NewOPTIK() }, nil
+	case "parsec":
+		return func() dpsds.Inner { return list.NewParSec() }, nil
+	case "bst-tk":
+		return func() dpsds.Inner { return bst.NewTK() }, nil
+	case "lf-n":
+		return func() dpsds.Inner { return bst.NewNatarajan() }, nil
+	case "lb-h":
+		return func() dpsds.Inner { return skiplist.NewLockBased() }, nil
+	case "lf-f":
+		return func() dpsds.Inner { return skiplist.NewLockFree() }, nil
+	default:
+		return nil, fmt.Errorf("unknown implementation %q", name)
+	}
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		implName   = flag.String("impl", "lf-m", "implementation: gl-m, lb-l, lf-m, optik, parsec, bst-tk, lf-n, lb-h, lf-f")
+		threads    = flag.Int("threads", 4, "worker goroutines")
+		size       = flag.Int("size", 4096, "initial elements (key range is 2x)")
+		update     = flag.Float64("update", 0.2, "update fraction (half inserts, half removes)")
+		dist       = flag.String("dist", "uniform", "key distribution: uniform or zipf")
+		dur        = flag.Duration("dur", 2*time.Second, "measurement duration")
+		useDPS     = flag.Bool("dps", false, "wrap the implementation in DPS")
+		partitions = flag.Int("partitions", 4, "DPS partitions (with -dps)")
+	)
+	flag.Parse()
+
+	mk, err := newImpl(*implName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsbench: %v\n", err)
+		return 1
+	}
+
+	keyRange := uint64(*size * 2)
+	var target func(tid int) (set, func())
+	if *useDPS {
+		s, err := dpsds.NewSet(dpsds.Config{Partitions: *partitions, NewShard: mk, MaxThreads: *threads + 1})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: %v\n", err)
+			return 1
+		}
+		target = func(int) (set, func()) {
+			h, err := s.Register()
+			if err != nil {
+				panic(err)
+			}
+			return h, h.Unregister
+		}
+		// Pre-populate through a transient handle.
+		pre := workload.NewUniform(keyRange, 1)
+		for s.Size() < *size {
+			s.Insert(pre.Next(), 1)
+		}
+	} else {
+		shared := mk()
+		pre := workload.NewUniform(keyRange, 1)
+		for shared.Size() < *size {
+			shared.Insert(pre.Next(), 1)
+		}
+		target = func(int) (set, func()) { return shared, func() {} }
+	}
+
+	var ops atomic.Uint64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for tid := 0; tid < *threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			st, done := target(tid)
+			defer done()
+			var keys workload.KeyDist
+			if *dist == "zipf" {
+				keys = workload.NewZipf(keyRange, workload.DefaultTheta, int64(tid+1))
+			} else {
+				keys = workload.NewUniform(keyRange, int64(tid+1))
+			}
+			mix, err := workload.NewMix(*update, int64(tid+100))
+			if err != nil {
+				panic(err)
+			}
+			n := uint64(0)
+			for !stop.Load() {
+				key := keys.Next()
+				switch mix.Next() {
+				case workload.OpLookup:
+					st.Lookup(key)
+				case workload.OpInsert:
+					st.Insert(key, key)
+				case workload.OpRemove:
+					st.Remove(key)
+				}
+				n++
+			}
+			ops.Add(n)
+		}(tid)
+	}
+	time.Sleep(*dur)
+	stop.Store(true)
+	wg.Wait()
+
+	secs := dur.Seconds()
+	fmt.Printf("impl=%s dps=%v threads=%d size=%d update=%.2f dist=%s\n",
+		*implName, *useDPS, *threads, *size, *update, *dist)
+	fmt.Printf("ops=%d throughput=%.3f Mops/s\n", ops.Load(), float64(ops.Load())/secs/1e6)
+	return 0
+}

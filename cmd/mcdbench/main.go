@@ -1,0 +1,209 @@
+// Command mcdbench replays YCSB-style Zipfian traces (§5.3) against the
+// repository's real memcached variants on the host machine and reports
+// throughput and tail latency.
+//
+// Usage:
+//
+//	mcdbench -variant stock -threads 4 -items 100000 -set 0.01 -value 128
+//	mcdbench -variant dps -partitions 4 -threads 8
+//	mcdbench -variant dps-parsec -threads 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dps/internal/mcd"
+	"dps/internal/workload"
+)
+
+// client is the per-worker operation surface of any variant.
+type client interface {
+	Get(key uint64) ([]byte, bool)
+	Set(key uint64, val []byte) error
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		variant    = flag.String("variant", "stock", "stock, parsec, ffwd, dps, dps-parsec")
+		threads    = flag.Int("threads", 4, "worker goroutines")
+		items      = flag.Int("items", 100000, "pre-populated items")
+		reqs       = flag.Int("reqs", 400000, "total requests in the trace")
+		setRatio   = flag.Float64("set", 0.01, "set fraction")
+		valueBytes = flag.Int("value", 128, "value size in bytes")
+		partitions = flag.Int("partitions", 4, "DPS partitions")
+	)
+	flag.Parse()
+
+	val := make([]byte, *valueBytes)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	memLimit := int64(*items) * int64(*valueBytes+256) * 2
+
+	// mkClient returns a per-worker client plus its cleanup; populate
+	// seeds the cache through one client.
+	var mkClient func() (client, func())
+	var cleanup func()
+	switch *variant {
+	case "stock":
+		c, err := mcd.NewStock(mcd.StockConfig{MemLimit: memLimit, Buckets: *items})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcdbench:", err)
+			return 1
+		}
+		mkClient = func() (client, func()) { return stockClient{c}, func() {} }
+		cleanup = func() {}
+	case "parsec":
+		c, err := mcd.NewParSec(mcd.ParSecConfig{MemLimit: memLimit, Buckets: *items})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcdbench:", err)
+			return 1
+		}
+		mkClient = func() (client, func()) { return parsecClient{c}, func() {} }
+		cleanup = func() {}
+	case "ffwd":
+		shard, err := mcd.NewStock(mcd.StockConfig{MemLimit: memLimit, Buckets: *items})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcdbench:", err)
+			return 1
+		}
+		f, err := mcd.NewFFWD(shard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcdbench:", err)
+			return 1
+		}
+		mkClient = func() (client, func()) {
+			h, err := f.Register()
+			if err != nil {
+				panic(err)
+			}
+			return ffwdClient{h}, h.Unregister
+		}
+		cleanup = f.Close
+	case "dps", "dps-parsec":
+		cfg := mcd.DPSConfig{Partitions: *partitions, MaxThreads: *threads + 2}
+		if *variant == "dps-parsec" {
+			cfg.LocalGets = true
+			cfg.NewShard = func() (mcd.Cache, error) {
+				return mcd.NewParSec(mcd.ParSecConfig{MemLimit: memLimit / int64(*partitions), Buckets: *items / *partitions})
+			}
+		} else {
+			cfg.NewShard = func() (mcd.Cache, error) {
+				return mcd.NewStock(mcd.StockConfig{MemLimit: memLimit / int64(*partitions), Buckets: *items / *partitions})
+			}
+		}
+		d, err := mcd.NewDPS(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcdbench:", err)
+			return 1
+		}
+		mkClient = func() (client, func()) {
+			h, err := d.Register()
+			if err != nil {
+				panic(err)
+			}
+			return dpsClient{h}, h.Unregister
+		}
+		cleanup = func() {}
+	default:
+		fmt.Fprintf(os.Stderr, "mcdbench: unknown variant %q\n", *variant)
+		return 1
+	}
+	defer cleanup()
+
+	// Pre-populate (Zipf traces assume the working set exists, §5.3).
+	{
+		c, done := mkClient()
+		for k := 1; k <= *items; k++ {
+			if err := c.Set(uint64(k), val); err != nil {
+				fmt.Fprintln(os.Stderr, "mcdbench: populate:", err)
+				return 1
+			}
+		}
+		done()
+	}
+
+	tr, err := workload.NewTrace(*reqs, workload.NewZipf(uint64(*items), workload.DefaultTheta, 42), *setRatio, 43)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcdbench:", err)
+		return 1
+	}
+
+	lat := make([][]time.Duration, *threads)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for tid := 0; tid < *threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			c, done := mkClient()
+			defer done()
+			lo, hi := tr.Slice(tid, *threads)
+			sample := make([]time.Duration, 0, (hi-lo)/16+1)
+			for i := lo; i < hi; i++ {
+				t0 := time.Now()
+				if tr.Sets[i] {
+					if err := c.Set(tr.Keys[i], val); err != nil {
+						panic(err)
+					}
+				} else {
+					c.Get(tr.Keys[i])
+				}
+				if i%16 == 0 {
+					sample = append(sample, time.Since(t0))
+				}
+			}
+			lat[tid] = sample
+		}(tid)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, s := range lat {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p := func(q float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(all)-1))
+		return all[i]
+	}
+	fmt.Printf("variant=%s threads=%d items=%d set=%.2f value=%dB\n",
+		*variant, *threads, *items, *setRatio, *valueBytes)
+	fmt.Printf("requests=%d elapsed=%v throughput=%.3f Mops/s\n",
+		*reqs, elapsed.Round(time.Millisecond), float64(*reqs)/elapsed.Seconds()/1e6)
+	fmt.Printf("latency p50=%v p99=%v p999=%v\n", p(0.50), p(0.99), p(0.999))
+	return 0
+}
+
+type stockClient struct{ c *mcd.Stock }
+
+func (s stockClient) Get(k uint64) ([]byte, bool)  { return s.c.Get(k) }
+func (s stockClient) Set(k uint64, v []byte) error { return s.c.Set(k, v) }
+
+type parsecClient struct{ c *mcd.ParSec }
+
+func (s parsecClient) Get(k uint64) ([]byte, bool)  { return s.c.Get(k) }
+func (s parsecClient) Set(k uint64, v []byte) error { return s.c.Set(k, v) }
+
+type ffwdClient struct{ h *mcd.FFWDHandle }
+
+func (s ffwdClient) Get(k uint64) ([]byte, bool)  { return s.h.Get(k) }
+func (s ffwdClient) Set(k uint64, v []byte) error { return s.h.Set(k, v) }
+
+type dpsClient struct{ h *mcd.DPSHandle }
+
+func (s dpsClient) Get(k uint64) ([]byte, bool)  { return s.h.Get(k) }
+func (s dpsClient) Set(k uint64, v []byte) error { return s.h.SetSync(k, v) }

@@ -1,0 +1,111 @@
+// Package dps is the public API of the Distributed, Delegated Parallel
+// Sections runtime — a Go reproduction of "Scalable Data-structures with
+// Hierarchical, Distributed Delegation" (Ren & Parmer, Middleware '19).
+//
+// DPS partitions a data-structure's key namespace across memory localities.
+// Operations on locally-owned keys run as plain function calls against the
+// locality's shard; operations on remote keys are delegated over per-thread
+// message rings to the owning locality, where a peer thread executes them.
+// While a thread waits for its own delegations it serves requests delegated
+// to its locality, so every thread contributes to data-structure processing
+// and no core is reserved as a server.
+//
+// # Quick start
+//
+//	rt, err := dps.New(dps.Config{
+//		Partitions: 4,
+//		Init: func(p *dps.Partition) any {
+//			return newMyShard() // one shard per locality
+//		},
+//	})
+//	...
+//	th, err := rt.Register()       // per-goroutine handle
+//	defer th.Unregister()
+//	res := th.ExecuteSync(key, myOp, dps.Args{U: [4]uint64{value}})
+//
+// Operations (type Op) receive the owning partition, the key, and the
+// arguments; DPS guarantees they run on a thread of the owning locality (or
+// on the caller for local keys), but provides no synchronization: shards
+// accessed by a multi-threaded locality must themselves be concurrent.
+//
+// See Thread for the full operation API: Execute/Ready (asynchronous
+// completion records), ExecuteSync, ExecuteAsync (fire-and-forget with
+// Drain barriers), ExecuteLocal (run read-only ops on the caller), and
+// ExecuteAll (broadcast/range operations with user aggregation).
+package dps
+
+import "dps/internal/core"
+
+// Re-exported core types. The implementation lives in internal/core; these
+// aliases are the supported public surface.
+type (
+	// Config parameterizes a Runtime; see core.Config for field docs.
+	Config = core.Config
+	// Runtime is a DPS instance managing one partitioned data-structure.
+	Runtime = core.Runtime
+	// Thread is a registered participant; all operations go through it.
+	Thread = core.Thread
+	// Partition is one namespace partition bound to a locality.
+	Partition = core.Partition
+	// Completion is the completion record returned by Thread.Execute.
+	Completion = core.Completion
+	// Op is a data-structure operation executed by DPS.
+	Op = core.Op
+	// Args carries an operation's arguments (four words + one reference).
+	Args = core.Args
+	// Result is an operation's return value.
+	Result = core.Result
+	// Metrics is a snapshot of runtime activity counters.
+	Metrics = core.Metrics
+)
+
+// Sentinel errors.
+var (
+	// ErrClosed is returned by operations on a closed runtime.
+	ErrClosed = core.ErrClosed
+	// ErrTooManyThreads is returned by Register past Config.MaxThreads.
+	ErrTooManyThreads = core.ErrTooManyThreads
+)
+
+// New creates a DPS runtime, the analogue of the paper's create call
+// (§3.1): partition count, namespace size and hash function come from cfg,
+// and cfg.Init plays the role of ds_init_fn/ds_args.
+func New(cfg Config) (*Runtime, error) { return core.New(cfg) }
+
+// Mix64 is the default key hash (a SplitMix64 finalizer); it spreads
+// adjacent keys uniformly across partitions.
+func Mix64(x uint64) uint64 { return core.Mix64(x) }
+
+// IdentityHash preserves key adjacency so related keys share a partition,
+// the "consistent hash" placement choice from §4.1 of the paper.
+func IdentityHash(x uint64) uint64 { return core.IdentityHash(x) }
+
+// HashBytes maps an arbitrary byte-string key into the key space using
+// 64-bit FNV-1a, for applications whose natural keys are strings (§4.1:
+// "DPS first hashes the key into an integer").
+func HashBytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// HashString is HashBytes for strings, without allocating.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,100 @@
+package dps_test
+
+import (
+	"sync"
+	"testing"
+
+	"dps"
+)
+
+// shard is a mutex-guarded map used as the per-partition structure.
+type shard struct {
+	mu sync.Mutex
+	m  map[uint64]string
+}
+
+func TestPublicAPISmoke(t *testing.T) {
+	t.Parallel()
+	rt, err := dps.New(dps.Config{
+		Partitions: 2,
+		Init:       func(p *dps.Partition) any { return &shard{m: make(map[uint64]string)} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(p *dps.Partition, key uint64, args *dps.Args) dps.Result {
+		s := p.Data().(*shard)
+		s.mu.Lock()
+		s.m[key] = args.P.(string)
+		s.mu.Unlock()
+		return dps.Result{}
+	}
+	get := func(p *dps.Partition, key uint64, args *dps.Args) dps.Result {
+		s := p.Data().(*shard)
+		s.mu.Lock()
+		v, ok := s.m[key]
+		s.mu.Unlock()
+		return dps.Result{P: v, U: boolToU(ok)}
+	}
+
+	var wg sync.WaitGroup
+	ths := make([]*dps.Thread, 2)
+	for loc := range ths {
+		th, err := rt.RegisterAt(loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ths[loc] = th
+	}
+	for loc, th := range ths {
+		wg.Add(1)
+		go func(loc int, th *dps.Thread) {
+			defer wg.Done()
+			defer th.Unregister()
+			base := uint64(loc * 1000)
+			for k := base; k < base+100; k++ {
+				th.ExecuteSync(k, put, dps.Args{P: "v"})
+				res := th.ExecuteSync(k, get, dps.Args{})
+				if res.U != 1 || res.P.(string) != "v" {
+					t.Errorf("key %d: got (%v,%v)", k, res.U, res.P)
+					return
+				}
+			}
+		}(loc, th)
+	}
+	wg.Wait()
+	m := rt.Metrics()
+	if m.LocalExecs+m.RemoteSends == 0 {
+		t.Fatal("no operations recorded")
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func boolToU(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestHashHelpers(t *testing.T) {
+	t.Parallel()
+	if dps.HashBytes([]byte("hello")) != dps.HashString("hello") {
+		t.Error("HashBytes and HashString disagree")
+	}
+	if dps.HashString("a") == dps.HashString("b") {
+		t.Error("trivial FNV collision")
+	}
+	if dps.Mix64(1) == dps.Mix64(2) {
+		t.Error("Mix64 collision on adjacent inputs")
+	}
+	if dps.IdentityHash(42) != 42 {
+		t.Error("IdentityHash not identity")
+	}
+	// FNV-1a known-answer test.
+	if got := dps.HashString(""); got != 14695981039346656037 {
+		t.Errorf("FNV offset basis = %d", got)
+	}
+}

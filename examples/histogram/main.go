@@ -1,0 +1,115 @@
+// histogram: streaming analytics with asynchronous delegation (§4.4).
+// Ingest goroutines classify events and fire-and-forget counter updates to
+// the owning locality; because the per-(thread, partition) rings are FIFO,
+// each thread's Drain is a cheap barrier before reading its own updates.
+// A final broadcast (ExecuteAll) merges the per-partition histograms.
+//
+// Run with:
+//
+//	go run ./examples/histogram
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"dps"
+)
+
+const buckets = 64
+
+// histShard is one partition's slice of the histogram.
+type histShard struct {
+	mu     sync.Mutex
+	counts [buckets]uint64
+}
+
+func opAdd(p *dps.Partition, key uint64, args *dps.Args) dps.Result {
+	s := p.Data().(*histShard)
+	s.mu.Lock()
+	s.counts[key%buckets] += args.U[0]
+	s.mu.Unlock()
+	return dps.Result{}
+}
+
+func opSnapshot(p *dps.Partition, _ uint64, _ *dps.Args) dps.Result {
+	s := p.Data().(*histShard)
+	s.mu.Lock()
+	out := s.counts
+	s.mu.Unlock()
+	return dps.Result{P: out}
+}
+
+func main() {
+	rt, err := dps.New(dps.Config{
+		Partitions: 4,
+		// A namespace of exactly `buckets` ids under the identity hash:
+		// bucket b always lands in the partition owning b's range, so
+		// per-bucket updates are single-partition (the §3.3 consistency
+		// sweet spot), and adjacent buckets share localities.
+		NamespaceSize: buckets,
+		Hash:          dps.IdentityHash,
+		Init:          func(*dps.Partition) any { return &histShard{} },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const ingesters, events = 4, 50000
+	var wg sync.WaitGroup
+	threads := make([]*dps.Thread, ingesters)
+	for i := range threads {
+		th, err := rt.RegisterAt(i % rt.Partitions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		threads[i] = th
+	}
+	for i, th := range threads {
+		wg.Add(1)
+		go func(i int, th *dps.Thread) {
+			defer wg.Done()
+			defer th.Unregister()
+			rng := rand.New(rand.NewSource(int64(i)))
+			for e := 0; e < events; e++ {
+				// Classify the event into a bucket (normal-ish mix).
+				b := uint64(rng.Intn(buckets/2) + rng.Intn(buckets/2))
+				th.ExecuteAsync(b, opAdd, dps.Args{U: [4]uint64{1}})
+			}
+			th.Drain() // barrier: all my updates applied
+		}(i, th)
+	}
+	wg.Wait()
+
+	// Merge per-partition histograms with a broadcast.
+	th, err := rt.Register()
+	if err != nil {
+		log.Fatal(err)
+	}
+	merged := th.ExecuteAll(opSnapshot, dps.Args{}, func(rs []dps.Result) dps.Result {
+		var total [buckets]uint64
+		for _, r := range rs {
+			c := r.P.([buckets]uint64)
+			for i, v := range c {
+				total[i] += v
+			}
+		}
+		return dps.Result{P: total}
+	})
+	th.Unregister()
+
+	hist := merged.P.([buckets]uint64)
+	var sum uint64
+	peak := 0
+	for i, v := range hist {
+		sum += v
+		if v > hist[peak] {
+			peak = i
+		}
+	}
+	fmt.Printf("events counted: %d (want %d), modal bucket: %d\n", sum, ingesters*events, peak)
+	m := rt.Metrics()
+	fmt.Printf("async updates: %d, ring back-pressure events: %d\n", m.AsyncSends, m.RingFullWaits)
+}

@@ -1,0 +1,163 @@
+// kvstore: a memcached-style partitioned KV cache (the paper's §5.3
+// pattern) — synchronous gets, asynchronous sets, string keys hashed into
+// the namespace, and per-partition LRU-capped storage via internal-style
+// shard logic reimplemented on the public API.
+//
+// Run with:
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"container/list"
+	"fmt"
+	"log"
+	"sync"
+
+	"dps"
+)
+
+// lruShard is one partition's store: map + LRU eviction, mutex-guarded.
+type lruShard struct {
+	mu    sync.Mutex
+	m     map[uint64]*list.Element
+	order *list.List // front = most recent
+	cap   int
+}
+
+type kv struct {
+	key uint64
+	val string
+}
+
+func newShard(capacity int) *lruShard {
+	return &lruShard{m: map[uint64]*list.Element{}, order: list.New(), cap: capacity}
+}
+
+func opSet(p *dps.Partition, key uint64, args *dps.Args) dps.Result {
+	s := p.Data().(*lruShard)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[key]; ok {
+		e.Value.(*kv).val = args.P.(string)
+		s.order.MoveToFront(e)
+		return dps.Result{}
+	}
+	s.m[key] = s.order.PushFront(&kv{key: key, val: args.P.(string)})
+	if s.order.Len() > s.cap {
+		victim := s.order.Back()
+		s.order.Remove(victim)
+		delete(s.m, victim.Value.(*kv).key)
+	}
+	return dps.Result{}
+}
+
+func opGet(p *dps.Partition, key uint64, _ *dps.Args) dps.Result {
+	s := p.Data().(*lruShard)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok {
+		return dps.Result{U: 0}
+	}
+	s.order.MoveToFront(e)
+	return dps.Result{U: 1, P: e.Value.(*kv).val}
+}
+
+// Store is the public face: string keys, partitioned storage.
+type Store struct {
+	rt *dps.Runtime
+}
+
+// Session is a registered accessor (one goroutine at a time).
+type Session struct {
+	th *dps.Thread
+}
+
+func (s *Store) Session() (*Session, error) {
+	th, err := s.rt.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{th: th}, nil
+}
+
+func (c *Session) Close() { c.th.Unregister() }
+
+// Set stores asynchronously: the write is queued to the owning locality
+// and this session's later operations on the same key stay ordered after
+// it (read-your-writes).
+func (c *Session) Set(key, val string) {
+	c.th.ExecuteAsync(dps.HashString(key), opSet, dps.Args{P: val})
+}
+
+// Get fetches synchronously.
+func (c *Session) Get(key string) (string, bool) {
+	res := c.th.ExecuteSync(dps.HashString(key), opGet, dps.Args{})
+	if res.U == 0 {
+		return "", false
+	}
+	return res.P.(string), true
+}
+
+// Flush waits for this session's queued sets.
+func (c *Session) Flush() { c.th.Drain() }
+
+func main() {
+	rt, err := dps.New(dps.Config{
+		Partitions: 4,
+		Init:       func(*dps.Partition) any { return newShard(1024) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := &Store{rt: rt}
+
+	const workers = 4
+	var wg sync.WaitGroup
+	// Register every session before any worker issues operations, so each
+	// locality has a peer to serve its delegations from the first op.
+	sessions := make([]*Session, workers)
+	for w := range sessions {
+		sess, err := store.Session()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sessions[w] = sess
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := sessions[w]
+			defer sess.Close()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("user:%d:%d", w, i%500)
+				sess.Set(key, fmt.Sprintf("profile-%d-%d", w, i))
+				if v, ok := sess.Get(key); !ok || v == "" {
+					log.Printf("read-your-writes violated for %s", key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	sess, err := store.Session()
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits := 0
+	for w := 0; w < workers; w++ {
+		for i := 0; i < 500; i++ {
+			if _, ok := sess.Get(fmt.Sprintf("user:%d:%d", w, i)); ok {
+				hits++
+			}
+		}
+	}
+	sess.Close()
+	m := rt.Metrics()
+	fmt.Printf("cache hits: %d/%d\n", hits, workers*500)
+	fmt.Printf("async sets: %d, sync delegations: %d, peer-served: %d\n",
+		m.AsyncSends, m.RemoteSends, m.Served)
+}

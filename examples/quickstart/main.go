@@ -1,0 +1,96 @@
+// Quickstart: a partitioned counter map on the DPS public API.
+//
+// Two worker goroutines register with a 2-partition runtime and increment
+// counters; keys owned by the other locality are delegated there, and each
+// worker serves its own locality's requests while waiting (the peer
+// delegation at DPS's core). Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"dps"
+)
+
+// shard is one partition's data: a plain map plus a mutex, because several
+// threads of the same locality may execute operations concurrently (DPS
+// provides placement, not synchronization).
+type shard struct {
+	mu sync.Mutex
+	m  map[uint64]uint64
+}
+
+func incr(p *dps.Partition, key uint64, args *dps.Args) dps.Result {
+	s := p.Data().(*shard)
+	s.mu.Lock()
+	s.m[key] += args.U[0]
+	v := s.m[key]
+	s.mu.Unlock()
+	return dps.Result{U: v}
+}
+
+func get(p *dps.Partition, key uint64, _ *dps.Args) dps.Result {
+	s := p.Data().(*shard)
+	s.mu.Lock()
+	v := s.m[key]
+	s.mu.Unlock()
+	return dps.Result{U: v}
+}
+
+func main() {
+	rt, err := dps.New(dps.Config{
+		Partitions: 2,
+		Init:       func(*dps.Partition) any { return &shard{m: map[uint64]uint64{}} },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const workers, keys, perWorker = 2, 16, 10000
+	var wg sync.WaitGroup
+	threads := make([]*dps.Thread, workers)
+	for w := range threads {
+		th, err := rt.RegisterAt(w % rt.Partitions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		threads[w] = th
+	}
+	for w, th := range threads {
+		wg.Add(1)
+		go func(w int, th *dps.Thread) {
+			defer wg.Done()
+			defer th.Unregister()
+			for i := 0; i < perWorker; i++ {
+				key := uint64((w + i) % keys)
+				// ExecuteSync delegates remote keys and serves peers
+				// while waiting; local keys run as a function call.
+				th.ExecuteSync(key, incr, dps.Args{U: [4]uint64{1}})
+			}
+		}(w, th)
+	}
+	wg.Wait()
+
+	// Read back the totals from a fresh thread.
+	th, err := rt.Register()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var total uint64
+	for k := uint64(0); k < keys; k++ {
+		total += th.ExecuteSync(k, get, dps.Args{}).U
+	}
+	th.Unregister()
+
+	m := rt.Metrics()
+	fmt.Printf("total increments: %d (want %d)\n", total, workers*perWorker)
+	fmt.Printf("local execs: %d, delegations: %d, served for peers: %d\n",
+		m.LocalExecs, m.RemoteSends, m.Served)
+	if err := rt.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module dps
+
+go 1.22

@@ -1,0 +1,132 @@
+// Package bench is the experiment harness: one registered runner per table
+// and figure of the paper's evaluation (§2 and §5), each emitting the same
+// rows/series the paper plots. Runners drive the simulator (internal/sim)
+// configured with the paper's machine; cmd/dpsbench exposes them on the
+// command line and EXPERIMENTS.md records their output against the paper.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dps/internal/sim"
+	"dps/internal/topology"
+)
+
+// Table is one experiment's printable result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Experiment is a registered, runnable reproduction of one table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(mach topology.Machine) *Table
+}
+
+// registry holds every experiment keyed by id.
+var registry = map[string]Experiment{}
+
+func register(id, title string, run func(mach topology.Machine) *Table) {
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs returns all experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Print writes the table in aligned-column form.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// PrintCSV writes the table as CSV.
+func (t *Table) PrintCSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Header, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// coreCounts is the x-axis of the paper's per-core plots.
+var coreCounts = []int{1, 10, 20, 30, 40, 50, 60, 70, 80}
+
+func mustDeleg(mach topology.Machine, cfg sim.DelegationConfig) sim.DelegationResult {
+	cfg.Mach = mach
+	r, err := sim.SimulateDelegation(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: delegation sim: %v", err))
+	}
+	return r
+}
+
+func mustRW(mach topology.Machine, cfg sim.RWObjConfig) sim.RWObjResult {
+	cfg.Mach = mach
+	r, err := sim.SimulateRWObj(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: rwobj sim: %v", err))
+	}
+	return r
+}
+
+func mustDS(mach topology.Machine, cfg sim.DSConfig) sim.DSResult {
+	cfg.Mach = mach
+	r, err := sim.ModelDS(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: ds model: %v", err))
+	}
+	return r
+}
+
+func mustMC(mach topology.Machine, cfg sim.MCConfig) sim.MCResult {
+	cfg.Mach = mach
+	r, err := sim.ModelMemcached(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: memcached model: %v", err))
+	}
+	return r
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dps/internal/topology"
+)
+
+func TestEveryExperimentRuns(t *testing.T) {
+	Init()
+	mach := topology.PaperMachine()
+	ids := IDs()
+	if len(ids) < 25 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	// Every figure/table from DESIGN.md's index must be present.
+	for _, want := range []string{
+		"fig2", "fig3", "fig6a", "fig6b",
+		"fig7a", "fig7b", "fig7c", "fig7d",
+		"fig8a", "fig8b", "fig8c", "fig8d", "table2",
+		"fig9a", "fig9b",
+		"fig10a", "fig10b", "fig10c", "fig10d",
+		"fig11a", "fig11b", "fig11c", "fig11d",
+		"fig12a", "fig12b", "fig12c", "fig12d",
+		"fig13a", "fig13b", "fig13c", "fig13d", "lat13",
+		"ablation-ring", "ablation-async", "ablation-localexec", "ablation-locality",
+	} {
+		e, ok := Get(want)
+		if !ok {
+			t.Errorf("experiment %q not registered", want)
+			continue
+		}
+		tbl := e.Run(mach)
+		if tbl == nil || len(tbl.Rows) == 0 || len(tbl.Header) == 0 {
+			t.Errorf("experiment %q produced no data", want)
+			continue
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != len(tbl.Header) {
+				t.Errorf("%s: row width %d != header width %d", want, len(row), len(tbl.Header))
+				break
+			}
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	Init()
+	if _, ok := Get("nope"); ok {
+		t.Error("unknown experiment found")
+	}
+}
+
+func TestPrintFormats(t *testing.T) {
+	Init()
+	e, ok := Get("table2")
+	if !ok {
+		t.Fatal("table2 missing")
+	}
+	tbl := e.Run(topology.PaperMachine())
+	var buf bytes.Buffer
+	tbl.Print(&buf)
+	if !strings.Contains(buf.String(), "table2") {
+		t.Error("Print missing id header")
+	}
+	buf.Reset()
+	tbl.PrintCSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(tbl.Rows)+1 {
+		t.Errorf("CSV has %d lines, want %d", len(lines), len(tbl.Rows)+1)
+	}
+	if !strings.Contains(lines[0], ",") {
+		t.Error("CSV header not comma-separated")
+	}
+}

@@ -1,0 +1,479 @@
+package bench
+
+import (
+	"fmt"
+
+	"dps/internal/sim"
+	"dps/internal/topology"
+)
+
+// registerAll wires every reproduced table and figure into the registry.
+// It is invoked once from Init (avoiding init() per style guidance).
+func registerAll() {
+	registerMotivation()
+	registerDelegation()
+	registerRWObj()
+	registerDataStructures()
+	registerMemcached()
+	registerAblations()
+}
+
+var initialized = false
+
+// Init populates the experiment registry (idempotent).
+func Init() {
+	if !initialized {
+		initialized = true
+		registerAll()
+	}
+}
+
+// --- §2 motivation ----------------------------------------------------------
+
+func registerMotivation() {
+	register("fig2", "shared-memory bst/skiplist: throughput & misses vs update ratio (256KB skewed) and size (5% update uniform), 80 threads", func(mach topology.Machine) *Table {
+		t := &Table{ID: "fig2", Title: "motivation: limits of shared-memory structures",
+			Header: []string{"panel", "x", "lb-bst", "lf-bst", "lb-sl", "lf-sl", "lb-bst-miss", "lf-bst-miss", "lb-sl-miss", "lf-sl-miss"}}
+		// Left panels: 256 KB structure (2K nodes at 128 B), skewed,
+		// update ratio swept.
+		const smallNodes = 2048
+		for _, u := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+			row := []string{"update%", fmt.Sprintf("%.0f", u*100)}
+			var misses []string
+			for _, impl := range []sim.DS{sim.DSBSTBronson, sim.DSBSTNatarajan, sim.DSSkipHerlihy, sim.DSSkipFraser} {
+				r := mustDS(mach, sim.DSConfig{Impl: impl, Threads: 80, Size: smallNodes, UpdateRatio: u, Skewed: true})
+				row = append(row, f1(r.Mops))
+				misses = append(misses, f1(r.MissesPerOp))
+			}
+			t.Rows = append(t.Rows, append(row, misses...))
+		}
+		// Right panels: 5% update, uniform, size swept 2MB..2GB
+		// (nodes = bytes / 128).
+		for _, mb := range []int{2, 8, 32, 128, 512, 2048} {
+			nodes := mb << 20 / 128
+			row := []string{"sizeMB", fmt.Sprintf("%d", mb)}
+			var misses []string
+			for _, impl := range []sim.DS{sim.DSBSTBronson, sim.DSBSTNatarajan, sim.DSSkipHerlihy, sim.DSSkipFraser} {
+				r := mustDS(mach, sim.DSConfig{Impl: impl, Threads: 80, Size: nodes, UpdateRatio: 0.05})
+				row = append(row, f1(r.Mops))
+				misses = append(misses, f1(r.MissesPerOp))
+			}
+			t.Rows = append(t.Rows, append(row, misses...))
+		}
+		return t
+	})
+}
+
+// --- §5.1 delegation micro-benchmarks ---------------------------------------
+
+func registerDelegation() {
+	register("fig3", "ffwd s1/s4 vs DPS throughput vs operation length, 80 threads", func(mach topology.Machine) *Table {
+		t := &Table{ID: "fig3", Title: "delegation throughput vs data-structure operation length (cycles)",
+			Header: []string{"op_cycles", "DPS", "ffwd-s1", "ffwd-s4"}}
+		for _, op := range []float64{0, 200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000} {
+			d := mustDeleg(mach, sim.DelegationConfig{System: sim.SysDPS, Threads: 80, OpCycles: op})
+			s1 := mustDeleg(mach, sim.DelegationConfig{System: sim.SysFFWD, Servers: 1, Threads: 80, OpCycles: op})
+			s4 := mustDeleg(mach, sim.DelegationConfig{System: sim.SysFFWD, Servers: 4, Threads: 80, OpCycles: op})
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%.0f", op), f1(d.Mops), f1(s1.Mops), f1(s4.Mops)})
+		}
+		return t
+	})
+
+	register("fig6a", "delegation throughput vs cores, empty and 500-cycle ops", func(mach topology.Machine) *Table {
+		t := &Table{ID: "fig6a", Title: "delegation performance vs cores",
+			Header: []string{"cores", "DPS", "ffwd-s1", "ffwd-s4", "DPS-500", "ffwd-s1-500", "ffwd-s4-500"}}
+		for _, n := range coreCounts {
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, op := range []float64{0, 500} {
+				d := mustDeleg(mach, sim.DelegationConfig{System: sim.SysDPS, Threads: n, OpCycles: op})
+				s1 := mustDeleg(mach, sim.DelegationConfig{System: sim.SysFFWD, Servers: 1, Threads: n, OpCycles: op})
+				s4 := mustDeleg(mach, sim.DelegationConfig{System: sim.SysFFWD, Servers: 4, Threads: n, OpCycles: op})
+				row = append(row, f1(d.Mops), f1(s1.Mops), f1(s4.Mops))
+			}
+			// Reorder: empty triplet then 500-cycle triplet.
+			t.Rows = append(t.Rows, []string{row[0], row[1], row[2], row[3], row[4], row[5], row[6]})
+		}
+		return t
+	})
+
+	register("fig6b", "responsiveness: throughput vs inter-operation delay (empty ops, 80 threads)", func(mach topology.Machine) *Table {
+		t := &Table{ID: "fig6b", Title: "delegation responsiveness vs delay",
+			Header: []string{"delay_cycles", "DPS", "DPS-async", "ffwd-s4"}}
+		for _, d100 := range []float64{0, 10, 20, 40, 60, 80, 100} {
+			delay := d100 * 100
+			d := mustDeleg(mach, sim.DelegationConfig{System: sim.SysDPS, Threads: 80, Delay: delay})
+			da := mustDeleg(mach, sim.DelegationConfig{System: sim.SysDPSAsync, Threads: 80, Delay: delay})
+			f := mustDeleg(mach, sim.DelegationConfig{System: sim.SysFFWD, Servers: 4, Threads: 80, Delay: delay})
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%.0f", delay), f1(d.Mops), f1(da.Mops), f1(f.Mops)})
+		}
+		return t
+	})
+}
+
+// --- §5.1 atomic read-write object ------------------------------------------
+
+func registerRWObj() {
+	panels := []struct {
+		id            string
+		objects, line int
+	}{
+		{"fig7a", 64, 4},
+		{"fig7b", 64, 64},
+		{"fig7c", 512, 64},
+		{"fig7d", 512, 4},
+	}
+	for _, p := range panels {
+		p := p
+		register(p.id, fmt.Sprintf("atomic rw object: %d objects x %d lines, throughput vs cores", p.objects, p.line), func(mach topology.Machine) *Table {
+			t := &Table{ID: p.id, Title: "atomic read-write object throughput",
+				Header: []string{"cores", "mcs", "ffwd-s4", "DPS"}}
+			for _, n := range coreCounts[1:] {
+				m := mustRW(mach, sim.RWObjConfig{System: sim.SysMCS, Threads: n, Objects: p.objects, Lines: p.line})
+				f := mustRW(mach, sim.RWObjConfig{System: sim.SysFFWD4, Threads: n, Objects: p.objects, Lines: p.line})
+				d := mustRW(mach, sim.RWObjConfig{System: sim.SysDPSObj, Threads: n, Objects: p.objects, Lines: p.line})
+				t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), f2(m.Mops), f2(f.Mops), f2(d.Mops)})
+			}
+			return t
+		})
+	}
+
+	register("fig8a", "80 cores, 32-line objects: throughput vs #objects", func(mach topology.Machine) *Table {
+		t := &Table{ID: "fig8a", Title: "throughput vs object count (32 cache lines)",
+			Header: []string{"objects", "mcs", "ffwd-s4", "DPS"}}
+		for _, objs := range []int{16, 64, 256, 1024, 2048} {
+			m := mustRW(mach, sim.RWObjConfig{System: sim.SysMCS, Threads: 80, Objects: objs, Lines: 32})
+			f := mustRW(mach, sim.RWObjConfig{System: sim.SysFFWD4, Threads: 80, Objects: objs, Lines: 32})
+			d := mustRW(mach, sim.RWObjConfig{System: sim.SysDPSObj, Threads: 80, Objects: objs, Lines: 32})
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", objs), f2(m.Mops), f2(f.Mops), f2(d.Mops)})
+		}
+		return t
+	})
+	register("fig8b", "80 cores, 128 objects: throughput vs modified cache lines", func(mach topology.Machine) *Table {
+		t := &Table{ID: "fig8b", Title: "throughput vs modified lines (128 objects)",
+			Header: []string{"lines", "mcs", "ffwd-s4", "DPS"}}
+		for _, lines := range []int{4, 14, 24, 34, 44, 54, 64} {
+			m := mustRW(mach, sim.RWObjConfig{System: sim.SysMCS, Threads: 80, Objects: 128, Lines: lines})
+			f := mustRW(mach, sim.RWObjConfig{System: sim.SysFFWD4, Threads: 80, Objects: 128, Lines: lines})
+			d := mustRW(mach, sim.RWObjConfig{System: sim.SysDPSObj, Threads: 80, Objects: 128, Lines: lines})
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", lines), f2(m.Mops), f2(f.Mops), f2(d.Mops)})
+		}
+		return t
+	})
+	register("fig8c", "80 cores, 32-line objects: LLC misses/op vs #objects", func(mach topology.Machine) *Table {
+		t := &Table{ID: "fig8c", Title: "misses per op vs object count (32 cache lines)",
+			Header: []string{"objects", "mcs", "ffwd-s4", "DPS"}}
+		for _, objs := range []int{16, 64, 256, 1024, 2048} {
+			m := mustRW(mach, sim.RWObjConfig{System: sim.SysMCS, Threads: 80, Objects: objs, Lines: 32})
+			f := mustRW(mach, sim.RWObjConfig{System: sim.SysFFWD4, Threads: 80, Objects: objs, Lines: 32})
+			d := mustRW(mach, sim.RWObjConfig{System: sim.SysDPSObj, Threads: 80, Objects: objs, Lines: 32})
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", objs), f1(m.MissesPerOp), f1(f.MissesPerOp), f1(d.MissesPerOp)})
+		}
+		return t
+	})
+	register("fig8d", "80 cores, 128 objects: LLC misses/op vs modified cache lines", func(mach topology.Machine) *Table {
+		t := &Table{ID: "fig8d", Title: "misses per op vs modified lines (128 objects)",
+			Header: []string{"lines", "mcs", "ffwd-s4", "DPS"}}
+		for _, lines := range []int{4, 14, 24, 34, 44, 54, 64} {
+			m := mustRW(mach, sim.RWObjConfig{System: sim.SysMCS, Threads: 80, Objects: 128, Lines: lines})
+			f := mustRW(mach, sim.RWObjConfig{System: sim.SysFFWD4, Threads: 80, Objects: 128, Lines: lines})
+			d := mustRW(mach, sim.RWObjConfig{System: sim.SysDPSObj, Threads: 80, Objects: 128, Lines: lines})
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", lines), f1(m.MissesPerOp), f1(f.MissesPerOp), f1(d.MissesPerOp)})
+		}
+		return t
+	})
+	register("table2", "5 GB working set (512 x 10 MB objects), 80 cores, ops/s", func(mach topology.Machine) *Table {
+		t := &Table{ID: "table2", Title: "throughput with a 5 GB working set",
+			Header: []string{"MCS(local)", "MCS(interleave)", "ffwd-s4", "DPS"}}
+		const horizon = 4e8
+		rate := func(r sim.RWObjResult) string {
+			return fmt.Sprintf("%.0f", float64(r.Ops)*mach.CyclesPerSec/horizon)
+		}
+		local := mustRW(mach, sim.RWObjConfig{System: sim.SysMCS, Threads: 80, Objects: 512, Lines: 64, ObjBytes: 10 << 20, Horizon: horizon})
+		inter := mustRW(mach, sim.RWObjConfig{System: sim.SysMCS, Threads: 80, Objects: 512, Lines: 64, ObjBytes: 10 << 20, Interleave: true, Horizon: horizon})
+		ff := mustRW(mach, sim.RWObjConfig{System: sim.SysFFWD4, Threads: 80, Objects: 512, Lines: 64, ObjBytes: 10 << 20, Horizon: horizon})
+		dp := mustRW(mach, sim.RWObjConfig{System: sim.SysDPSObj, Threads: 80, Objects: 512, Lines: 64, ObjBytes: 10 << 20, Horizon: horizon})
+		t.Rows = append(t.Rows, []string{rate(local), rate(inter), rate(ff), rate(dp)})
+		return t
+	})
+}
+
+// --- §5.2 data structures ---------------------------------------------------
+
+// fig9 bar sets: every shared implementation and its DPS wrapping.
+var fig9Impls = []struct {
+	group string
+	impl  sim.DS
+}{
+	{"ll", sim.DSListGlobalMCS}, {"ll", sim.DSListLazy}, {"ll", sim.DSListMichael},
+	{"bst", sim.DSBSTBronson}, {"bst", sim.DSBSTNatarajan}, {"bst", sim.DSBSTHowley},
+	{"sl", sim.DSSkipHerlihy}, {"sl", sim.DSSkipFraser},
+	{"pq", sim.DSPQShavitLotan},
+}
+
+func registerDataStructures() {
+	register("fig9a", "DPS improvement over existing structures: skewed 4K nodes, 50% update, 80 threads", func(mach topology.Machine) *Table {
+		return fig9(mach, "fig9a", 4096, 0.5, true)
+	})
+	register("fig9b", "DPS improvement over existing structures: uniform 32K (ll) / 2M nodes, 5% update, 80 threads", func(mach topology.Machine) *Table {
+		return fig9(mach, "fig9b", 2<<20, 0.05, false)
+	})
+
+	lists := []struct {
+		name string
+		impl sim.DS
+	}{
+		{"gl-m", sim.DSListGlobalMCS}, {"lb-l", sim.DSListLazy}, {"lf-m", sim.DSListMichael},
+		{"optik", sim.DSListOPTIK}, {"rlu", sim.DSListRLU},
+	}
+	register("fig10a", "sorted linked list: skewed 4K nodes, 50% update, vs cores", func(mach topology.Machine) *Table {
+		return dsSweepCores(mach, "fig10a", lists, sim.DSListOPTIK, 1, 4096, 0.5, true)
+	})
+	register("fig10b", "sorted linked list: uniform 32K nodes, 5% update, vs cores", func(mach topology.Machine) *Table {
+		return dsSweepCores(mach, "fig10b", lists, sim.DSListOPTIK, 1, 32<<10, 0.05, false)
+	})
+	register("fig10c", "sorted linked list: skewed 4K nodes, 80 threads, vs update ratio", func(mach topology.Machine) *Table {
+		return dsSweepUpdate(mach, "fig10c", lists, sim.DSListOPTIK, 1, 4096, true)
+	})
+	register("fig10d", "sorted linked list: uniform 5% update, 80 threads, vs size", func(mach topology.Machine) *Table {
+		return dsSweepSize(mach, "fig10d", lists, sim.DSListOPTIK, 1,
+			[]int{2 << 10, 8 << 10, 32 << 10, 128 << 10, 512 << 10})
+	})
+
+	bsts := []struct {
+		name string
+		impl sim.DS
+	}{
+		{"lb-b", sim.DSBSTBronson}, {"lf-n", sim.DSBSTNatarajan}, {"lf-h", sim.DSBSTHowley},
+		{"optik", sim.DSBSTTK}, {"rlu", sim.DSListRLU},
+	}
+	register("fig11a", "binary search tree: skewed 4K nodes, 50% update, vs cores", func(mach topology.Machine) *Table {
+		return dsSweepCores(mach, "fig11a", bsts, sim.DSBSTTK, 4, 4096, 0.5, true)
+	})
+	register("fig11b", "binary search tree: uniform 2M nodes, 5% update, vs cores", func(mach topology.Machine) *Table {
+		return dsSweepCores(mach, "fig11b", bsts, sim.DSBSTTK, 4, 2<<20, 0.05, false)
+	})
+	register("fig11c", "binary search tree: skewed 4K nodes, 80 threads, vs update ratio", func(mach topology.Machine) *Table {
+		return dsSweepUpdate(mach, "fig11c", bsts, sim.DSBSTTK, 4, 4096, true)
+	})
+	register("fig11d", "binary search tree: uniform 5% update, 80 threads, vs size", func(mach topology.Machine) *Table {
+		return dsSweepSize(mach, "fig11d", bsts, sim.DSBSTTK, 4,
+			[]int{32 << 10, 128 << 10, 512 << 10, 2 << 20, 8 << 20, 32 << 20})
+	})
+
+	sls := []struct {
+		name string
+		impl sim.DS
+	}{
+		{"lb-h", sim.DSSkipHerlihy}, {"lf-f", sim.DSSkipFraser},
+	}
+	register("fig12a", "skip list: skewed 4K nodes, 50% update, vs cores", func(mach topology.Machine) *Table {
+		return dsSweepCores(mach, "fig12a", sls, sim.DSSkipFraser, 1, 4096, 0.5, true)
+	})
+	register("fig12b", "skip list: uniform 2M nodes, 5% update, vs cores", func(mach topology.Machine) *Table {
+		return dsSweepCores(mach, "fig12b", sls, sim.DSSkipFraser, 1, 2<<20, 0.05, false)
+	})
+	register("fig12c", "skip list: skewed 4K nodes, 80 threads, vs update ratio", func(mach topology.Machine) *Table {
+		return dsSweepUpdate(mach, "fig12c", sls, sim.DSSkipFraser, 1, 4096, true)
+	})
+	register("fig12d", "skip list: uniform 5% update, 80 threads, vs size", func(mach topology.Machine) *Table {
+		return dsSweepSize(mach, "fig12d", sls, sim.DSSkipFraser, 1,
+			[]int{32 << 10, 128 << 10, 512 << 10, 2 << 20, 8 << 20, 32 << 20})
+	})
+}
+
+func fig9(mach topology.Machine, id string, size int, u float64, skew bool) *Table {
+	t := &Table{ID: id, Title: "throughput of DPS-wrapped vs original (80 threads)",
+		Header: []string{"group", "impl", "orig_Mops", "DPS_Mops", "improvement"}}
+	for _, e := range fig9Impls {
+		sz := size
+		if e.group == "ll" && !skew {
+			sz = 32 << 10 // lists use 32K in the uniform panel
+		}
+		if e.group == "ll" && skew {
+			sz = 4096
+		}
+		orig := mustDS(mach, sim.DSConfig{Impl: e.impl, Threads: 80, Size: sz, UpdateRatio: u, Skewed: skew})
+		dps := mustDS(mach, sim.DSConfig{Impl: e.impl, Threads: 80, Size: sz, UpdateRatio: u, Skewed: skew, DPS: true})
+		t.Rows = append(t.Rows, []string{e.group, e.impl.String(), f2(orig.Mops), f2(dps.Mops),
+			fmt.Sprintf("%.1fx", dps.Mops/orig.Mops)})
+	}
+	return t
+}
+
+type namedImpl = struct {
+	name string
+	impl sim.DS
+}
+
+func dsSweepCores(mach topology.Machine, id string, impls []namedImpl, dpsImpl sim.DS, ffwdServers, size int, u float64, skew bool) *Table {
+	t := &Table{ID: id, Title: "throughput (Mops/s) vs cores",
+		Header: []string{"cores", "DPS", "ffwd"}}
+	for _, e := range impls {
+		t.Header = append(t.Header, e.name)
+	}
+	for _, n := range coreCounts[1:] {
+		dps := mustDS(mach, sim.DSConfig{Impl: dpsImpl, Threads: n, Size: size, UpdateRatio: u, Skewed: skew, DPS: true})
+		ff := mustDS(mach, sim.DSConfig{Impl: impls[0].impl, Threads: n, Size: size, UpdateRatio: u, Skewed: skew, FFWDServers: ffwdServers})
+		row := []string{fmt.Sprintf("%d", n), f3(dps.Mops), f3(ff.Mops)}
+		for _, e := range impls {
+			r := mustDS(mach, sim.DSConfig{Impl: e.impl, Threads: n, Size: size, UpdateRatio: u, Skewed: skew})
+			row = append(row, f3(r.Mops))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func dsSweepUpdate(mach topology.Machine, id string, impls []namedImpl, dpsImpl sim.DS, ffwdServers, size int, skew bool) *Table {
+	t := &Table{ID: id, Title: "throughput (Mops/s) vs update ratio, 80 threads",
+		Header: []string{"update%", "DPS", "ffwd"}}
+	for _, e := range impls {
+		t.Header = append(t.Header, e.name)
+	}
+	for _, u := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		dps := mustDS(mach, sim.DSConfig{Impl: dpsImpl, Threads: 80, Size: size, UpdateRatio: u, Skewed: skew, DPS: true})
+		ff := mustDS(mach, sim.DSConfig{Impl: impls[0].impl, Threads: 80, Size: size, UpdateRatio: u, Skewed: skew, FFWDServers: ffwdServers})
+		row := []string{fmt.Sprintf("%.0f", u*100), f3(dps.Mops), f3(ff.Mops)}
+		for _, e := range impls {
+			r := mustDS(mach, sim.DSConfig{Impl: e.impl, Threads: 80, Size: size, UpdateRatio: u, Skewed: skew})
+			row = append(row, f3(r.Mops))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func dsSweepSize(mach topology.Machine, id string, impls []namedImpl, dpsImpl sim.DS, ffwdServers int, sizes []int) *Table {
+	t := &Table{ID: id, Title: "throughput (Mops/s) vs structure size, 5% update, 80 threads",
+		Header: []string{"nodes", "DPS", "ffwd"}}
+	for _, e := range impls {
+		t.Header = append(t.Header, e.name)
+	}
+	for _, size := range sizes {
+		dps := mustDS(mach, sim.DSConfig{Impl: dpsImpl, Threads: 80, Size: size, UpdateRatio: 0.05, DPS: true})
+		ff := mustDS(mach, sim.DSConfig{Impl: impls[0].impl, Threads: 80, Size: size, UpdateRatio: 0.05, FFWDServers: ffwdServers})
+		row := []string{fmt.Sprintf("%d", size), f3(dps.Mops), f3(ff.Mops)}
+		for _, e := range impls {
+			r := mustDS(mach, sim.DSConfig{Impl: e.impl, Threads: 80, Size: size, UpdateRatio: 0.05})
+			row = append(row, f3(r.Mops))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// --- §5.3 memcached ---------------------------------------------------------
+
+var mcVariants = []sim.MCVariant{sim.MCStock, sim.MCFFWD, sim.MCParSec, sim.MCDPS, sim.MCDPSParSec}
+
+func registerMemcached() {
+	header := []string{"x"}
+	for _, v := range mcVariants {
+		header = append(header, v.String())
+	}
+	register("fig13a", "memcached: 128B values, 1% set, throughput vs cores", func(mach topology.Machine) *Table {
+		t := &Table{ID: "fig13a", Title: "memcached throughput vs cores (typical workload)", Header: append([]string{"cores"}, header[1:]...)}
+		for _, n := range coreCounts[1:] {
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, v := range mcVariants {
+				row = append(row, f1(mustMC(mach, sim.MCConfig{Variant: v, Threads: n, SetRatio: 0.01, ValueBytes: 128}).Mops))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t
+	})
+	register("fig13b", "memcached: 1024B values, 20% set, throughput vs cores", func(mach topology.Machine) *Table {
+		t := &Table{ID: "fig13b", Title: "memcached throughput vs cores (severe workload)", Header: append([]string{"cores"}, header[1:]...)}
+		for _, n := range coreCounts[1:] {
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, v := range mcVariants {
+				row = append(row, f1(mustMC(mach, sim.MCConfig{Variant: v, Threads: n, SetRatio: 0.2, ValueBytes: 1024}).Mops))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t
+	})
+	register("fig13c", "memcached: 128B values, 80 threads, throughput vs set ratio", func(mach topology.Machine) *Table {
+		t := &Table{ID: "fig13c", Title: "memcached throughput vs set ratio", Header: append([]string{"set%"}, header[1:]...)}
+		for _, sr := range []float64{0, 0.2, 0.4, 0.6, 0.8, 0.99} {
+			row := []string{fmt.Sprintf("%.0f", sr*100)}
+			for _, v := range mcVariants {
+				row = append(row, f1(mustMC(mach, sim.MCConfig{Variant: v, Threads: 80, SetRatio: sr, ValueBytes: 128}).Mops))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t
+	})
+	register("fig13d", "memcached: 1% set, 80 threads, throughput vs value size", func(mach topology.Machine) *Table {
+		t := &Table{ID: "fig13d", Title: "memcached throughput vs value size", Header: append([]string{"value_B"}, header[1:]...)}
+		for _, vb := range []int{8, 32, 128, 512, 2048} {
+			row := []string{fmt.Sprintf("%d", vb)}
+			for _, v := range mcVariants {
+				row = append(row, f1(mustMC(mach, sim.MCConfig{Variant: v, Threads: 80, SetRatio: 0.01, ValueBytes: vb}).Mops))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t
+	})
+	register("lat13", "memcached tail latency (p99, cycles), 128B values, 1% set, 80 threads", func(mach topology.Machine) *Table {
+		t := &Table{ID: "lat13", Title: "memcached tail latency (headline: DPS 23x below stock)",
+			Header: []string{"variant", "p99_cycles", "vs_DPS-stock"}}
+		dps := mustMC(mach, sim.MCConfig{Variant: sim.MCDPS, Threads: 80, SetRatio: 0.01, ValueBytes: 128})
+		for _, v := range mcVariants {
+			r := mustMC(mach, sim.MCConfig{Variant: v, Threads: 80, SetRatio: 0.01, ValueBytes: 128})
+			t.Rows = append(t.Rows, []string{v.String(), fmt.Sprintf("%.0f", r.P99Cycles),
+				fmt.Sprintf("%.1fx", r.P99Cycles/dps.P99Cycles)})
+		}
+		return t
+	})
+}
+
+// --- ablations (DESIGN.md §5) -----------------------------------------------
+
+func registerAblations() {
+	register("ablation-ring", "async in-flight window (ring depth) sweep, empty ops, 80 threads", func(mach topology.Machine) *Table {
+		t := &Table{ID: "ablation-ring", Title: "ring depth vs async throughput",
+			Header: []string{"window", "DPS-async_Mops", "avg_latency_cycles"}}
+		for _, w := range []int{1, 2, 4, 8, 16, 32, 64} {
+			r := mustDeleg(mach, sim.DelegationConfig{System: sim.SysDPSAsync, Threads: 80, Window: w})
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", w), f1(r.Mops), fmt.Sprintf("%.0f", r.AvgLatency)})
+		}
+		return t
+	})
+	register("ablation-async", "sync vs async DPS across operation lengths, 80 threads", func(mach topology.Machine) *Table {
+		t := &Table{ID: "ablation-async", Title: "asynchronous execution ablation",
+			Header: []string{"op_cycles", "DPS", "DPS-async", "speedup"}}
+		for _, op := range []float64{0, 250, 500, 1000, 2000} {
+			s := mustDeleg(mach, sim.DelegationConfig{System: sim.SysDPS, Threads: 80, OpCycles: op})
+			a := mustDeleg(mach, sim.DelegationConfig{System: sim.SysDPSAsync, Threads: 80, OpCycles: op})
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%.0f", op), f1(s.Mops), f1(a.Mops),
+				fmt.Sprintf("%.2fx", a.Mops/s.Mops)})
+		}
+		return t
+	})
+	register("ablation-localexec", "local execution of gets (DPS-ParSec) vs delegated gets (DPS-stock shape), by value size", func(mach topology.Machine) *Table {
+		t := &Table{ID: "ablation-localexec", Title: "local-execution optimization ablation (memcached gets)",
+			Header: []string{"value_B", "delegated_gets", "local_gets", "ratio"}}
+		for _, vb := range []int{8, 128, 512, 2048} {
+			d := mustMC(mach, sim.MCConfig{Variant: sim.MCDPS, Threads: 80, SetRatio: 0.01, ValueBytes: vb})
+			l := mustMC(mach, sim.MCConfig{Variant: sim.MCDPSParSec, Threads: 80, SetRatio: 0.01, ValueBytes: vb})
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", vb), f1(d.Mops), f1(l.Mops),
+				fmt.Sprintf("%.2fx", l.Mops/d.Mops)})
+		}
+		return t
+	})
+	register("ablation-locality", "locality size: partitions per machine sweep (list, skewed 4K, 50% update, 80 threads)", func(mach topology.Machine) *Table {
+		t := &Table{ID: "ablation-locality", Title: "partition count vs DPS throughput (locality-size ablation)",
+			Header: []string{"partitions", "DPS_Mops"}}
+		for _, parts := range []int{1, 2, 4, 8} {
+			// Model partition count by scaling the machine's socket
+			// grouping: more partitions = smaller localities.
+			m2 := mach
+			m2.Sockets = parts
+			m2.CoresPerSocket = mach.Sockets * mach.CoresPerSocket / parts
+			r := mustDS(m2, sim.DSConfig{Impl: sim.DSListOPTIK, Threads: 80, Size: 4096, UpdateRatio: 0.5, Skewed: true, DPS: true})
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", parts), f3(r.Mops)})
+		}
+		return t
+	})
+}

@@ -1,0 +1,51 @@
+package bst
+
+import (
+	"testing"
+
+	"dps/internal/dstest"
+)
+
+func TestTK(t *testing.T) {
+	dstest.RunSuite(t, "TK", func() dstest.Set { return NewTK() })
+}
+
+func TestNatarajan(t *testing.T) {
+	dstest.RunSuite(t, "Natarajan", func() dstest.Set { return NewNatarajan() })
+}
+
+func BenchmarkBSTs(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func() dstest.Set
+	}{
+		{"TK", func() dstest.Set { return NewTK() }},
+		{"Natarajan", func() dstest.Set { return NewNatarajan() }},
+	}
+	for _, impl := range impls {
+		b.Run(impl.name+"/Lookup", func(b *testing.B) {
+			s := impl.mk()
+			const n = 1 << 14
+			for i := uint64(1); i <= n; i++ {
+				s.Insert(i*2, i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Lookup(uint64(i%n)*2 + 1)
+			}
+		})
+		b.Run(impl.name+"/InsertRemove", func(b *testing.B) {
+			s := impl.mk()
+			const n = 1 << 14
+			for i := uint64(1); i <= n; i++ {
+				s.Insert(i*2, i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := uint64(i%n)*2 + 1
+				s.Insert(k, k)
+				s.Remove(k)
+			}
+		})
+	}
+}

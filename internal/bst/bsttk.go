@@ -1,0 +1,231 @@
+// Package bst implements the binary-search-tree set variants the paper
+// evaluates (§5.2, Figure 9 and Figure 11):
+//
+//   - TK ("bst-tk"): the external tree with per-node version locks from
+//     ASCY (David, Guerraoui & Trigonakis, ASPLOS '15) — "the internal
+//     data-structure used by DPS" and the OPTIK-pattern representative.
+//   - Natarajan ("lf-n"): the lock-free external BST of Natarajan & Mittal
+//     (PPoPP '14), with flagged/tagged edges realized as atomically
+//     replaced edge descriptors.
+//
+// The remaining baselines from the paper's Figure 11 — the Bronson et al.
+// relaxed-balance AVL ("lb-b") and the Howley & Jones internal lock-free
+// tree ("lf-h") — are represented by their cost models in internal/sim
+// (traversal geometry, lock/CAS behaviour), which is what regenerates the
+// figures; native Go ports are left as future work.
+//
+// Both trees store uint64 keys in (0, ^uint64(0)) with uint64 values.
+// Sentinel nodes use infinity ranks rather than reserved key values, so the
+// full key range is available to callers.
+package bst
+
+import (
+	"sync/atomic"
+
+	"dps/internal/locks"
+)
+
+// tkNode is a node of the external (leaf-oriented) BST-TK tree. Internal
+// nodes route: keys < key descend left, keys >= key descend right. Leaves
+// carry the elements. inf ranks order sentinel routing nodes above every
+// real key.
+type tkNode struct {
+	key     uint64
+	val     uint64
+	inf     uint8 // 0 = real key; 1,2 = +infinity ranks for sentinels
+	leaf    bool
+	lock    locks.OPTIK
+	deleted atomic.Bool
+	left    atomic.Pointer[tkNode]
+	right   atomic.Pointer[tkNode]
+}
+
+// tkLess reports whether search key k routes left of node n.
+func tkLess(k uint64, n *tkNode) bool {
+	if n.inf > 0 {
+		return true
+	}
+	return k < n.key
+}
+
+// TK is the BST-TK external tree ("bst-tk"/OPTIK in the paper's Figure 11,
+// and the per-locality tree DPS wraps).
+type TK struct {
+	root *tkNode // sentinel internal node (inf2); left subtree is the tree
+}
+
+// NewTK creates an empty tree: root(inf2) with left = leaf(inf1) and
+// right = leaf(inf2), so every real key routes into root.left.
+func NewTK() *TK {
+	root := &tkNode{inf: 2}
+	root.left.Store(&tkNode{inf: 1, leaf: true})
+	root.right.Store(&tkNode{inf: 2, leaf: true})
+	return &TK{root: root}
+}
+
+// child returns the child of n on key k's side.
+func (n *tkNode) child(k uint64) *tkNode {
+	if tkLess(k, n) {
+		return n.left.Load()
+	}
+	return n.right.Load()
+}
+
+// Lookup reports whether key is present and returns its value.
+func (t *TK) Lookup(key uint64) (uint64, bool) {
+	cur := t.root
+	for !cur.leaf {
+		cur = cur.child(key)
+	}
+	if cur.inf == 0 && cur.key == key {
+		return cur.val, true
+	}
+	return 0, false
+}
+
+// search descends to the leaf for key, returning (grandparent, parent,
+// leaf) with the versions of grandparent and parent observed before reading
+// the child pointers.
+func (t *TK) search(key uint64) (g, p, l *tkNode, gv, pv uint64) {
+	g = nil
+	gv = 0
+	p = t.root
+	pv = p.lock.Version()
+	l = p.child(key)
+	for !l.leaf {
+		g, gv = p, pv
+		p = l
+		pv = p.lock.Version()
+		l = p.child(key)
+	}
+	return g, p, l, gv, pv
+}
+
+// Insert adds key->val if absent: replace the reached leaf with a routing
+// node over {old leaf, new leaf}, under the parent's version lock.
+func (t *TK) Insert(key, val uint64) bool {
+	for {
+		_, p, l, _, pv := t.search(key)
+		if l.inf == 0 && l.key == key {
+			// Present. Validate p so we did not race with a removal of l.
+			if p.lock.Validate(pv) && !p.deleted.Load() {
+				return false
+			}
+			continue
+		}
+		if !p.lock.TryLockVersion(pv) {
+			continue
+		}
+		if p.deleted.Load() || p.child(key) != l {
+			p.lock.Unlock()
+			continue
+		}
+		newLeaf := &tkNode{key: key, val: val, leaf: true}
+		var route *tkNode
+		if l.inf > 0 || key < l.key {
+			// New leaf sits left of the old leaf; route on the old key.
+			route = &tkNode{key: l.key, inf: l.inf}
+			route.left.Store(newLeaf)
+			route.right.Store(l)
+		} else {
+			route = &tkNode{key: key}
+			route.left.Store(l)
+			route.right.Store(newLeaf)
+		}
+		if tkLess(key, p) {
+			p.left.Store(route)
+		} else {
+			p.right.Store(route)
+		}
+		p.lock.Unlock()
+		return true
+	}
+}
+
+// Remove deletes key if present: splice the leaf's parent out, pointing the
+// grandparent at the leaf's sibling, under both nodes' version locks.
+func (t *TK) Remove(key uint64) bool {
+	for {
+		g, p, l, gv, pv := t.search(key)
+		if l.inf != 0 || l.key != key {
+			if p.lock.Validate(pv) && !p.deleted.Load() {
+				return false
+			}
+			continue
+		}
+		if g == nil {
+			// l hangs directly off the root sentinel; impossible given
+			// the two-sentinel construction (root's left is always an
+			// inf1 leaf or a routing node). Retry defensively.
+			continue
+		}
+		if !g.lock.TryLockVersion(gv) {
+			continue
+		}
+		if !p.lock.TryLockVersion(pv) {
+			g.lock.Unlock()
+			continue
+		}
+		var sibling *tkNode
+		if tkLess(key, p) {
+			sibling = p.right.Load()
+		} else {
+			sibling = p.left.Load()
+		}
+		valid := !g.deleted.Load() && !p.deleted.Load() &&
+			g.child(key) == p && p.child(key) == l
+		if !valid {
+			p.lock.Unlock()
+			g.lock.Unlock()
+			continue
+		}
+		p.deleted.Store(true)
+		if tkLess(key, g) {
+			g.left.Store(sibling)
+		} else {
+			g.right.Store(sibling)
+		}
+		p.lock.Unlock()
+		g.lock.Unlock()
+		return true
+	}
+}
+
+// Size counts leaves with real keys.
+func (t *TK) Size() int {
+	return tkCount(t.root)
+}
+
+func tkCount(n *tkNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf {
+		if n.inf == 0 {
+			return 1
+		}
+		return 0
+	}
+	return tkCount(n.left.Load()) + tkCount(n.right.Load())
+}
+
+// Keys returns keys in ascending order.
+func (t *TK) Keys() []uint64 {
+	var out []uint64
+	tkWalk(t.root, &out)
+	return out
+}
+
+func tkWalk(n *tkNode, out *[]uint64) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		if n.inf == 0 {
+			*out = append(*out, n.key)
+		}
+		return
+	}
+	tkWalk(n.left.Load(), out)
+	tkWalk(n.right.Load(), out)
+}

@@ -1,0 +1,253 @@
+package bst
+
+import "sync/atomic"
+
+// nEdge is one parent->child edge of the Natarajan-Mittal tree with its
+// flag (child leaf is being deleted) and tag (edge must not change during a
+// deletion's cleanup). The C algorithm packs these bits into pointer low
+// bits and CASes the word; boxing the triple and CASing the box pointer is
+// the Go equivalent with identical atomicity.
+type nEdge struct {
+	node *nNode
+	flag bool
+	tag  bool
+}
+
+// nNode is a Natarajan-Mittal node: internal nodes have both child edges
+// set; leaves never store children (their edge pointers stay nil).
+type nNode struct {
+	key   uint64
+	val   uint64
+	inf   uint8 // sentinel rank; 0 = real key
+	left  atomic.Pointer[nEdge]
+	right atomic.Pointer[nEdge]
+}
+
+func (n *nNode) isLeaf() bool { return n.left.Load() == nil }
+
+// nLess reports whether key routes left of n.
+func nLess(key uint64, n *nNode) bool {
+	if n.inf > 0 {
+		return true
+	}
+	return key < n.key
+}
+
+// childAddr returns the edge slot key routes through.
+func (n *nNode) childAddr(key uint64) *atomic.Pointer[nEdge] {
+	if nLess(key, n) {
+		return &n.left
+	}
+	return &n.right
+}
+
+// siblingAddr returns the other edge slot.
+func (n *nNode) siblingAddr(key uint64) *atomic.Pointer[nEdge] {
+	if nLess(key, n) {
+		return &n.right
+	}
+	return &n.left
+}
+
+// Natarajan is the lock-free external BST of Natarajan & Mittal
+// (PPoPP '14) — "lf-n" in the paper's Figures 9 and 11. Lookups are
+// wait-free; updates are lock-free, with deletions split into an injection
+// step (flag the leaf's edge) and a cleanup step (splice the leaf's parent
+// out) that any interfering operation helps complete.
+type Natarajan struct {
+	r *nNode // sentinel root, rank 2
+	s *nNode // sentinel child, rank 1
+}
+
+// seekRec mirrors the algorithm's seek record: the last untagged edge on
+// the access path runs ancestor->successor; parent->leaf is the final edge.
+type seekRec struct {
+	ancestor, successor, parent, leaf *nNode
+}
+
+// NewNatarajan creates an empty tree.
+func NewNatarajan() *Natarajan {
+	r := &nNode{inf: 2}
+	s := &nNode{inf: 1}
+	r.left.Store(&nEdge{node: s})
+	r.right.Store(&nEdge{node: &nNode{inf: 2}})
+	s.left.Store(&nEdge{node: &nNode{inf: 1}})
+	s.right.Store(&nEdge{node: &nNode{inf: 1}})
+	return &Natarajan{r: r, s: s}
+}
+
+// seek descends to the leaf for key.
+func (t *Natarajan) seek(key uint64) seekRec {
+	rec := seekRec{ancestor: t.r, successor: t.s, parent: t.s}
+	parentEdge := t.s.left.Load()
+	rec.leaf = parentEdge.node
+	cur := rec.leaf
+	for !cur.isLeaf() {
+		curEdge := cur.childAddr(key).Load()
+		if !parentEdge.tag {
+			rec.ancestor = rec.parent
+			rec.successor = cur
+		}
+		rec.parent = cur
+		rec.leaf = curEdge.node
+		parentEdge = curEdge
+		cur = curEdge.node
+	}
+	return rec
+}
+
+// Lookup reports whether key is present and returns its value (wait-free).
+func (t *Natarajan) Lookup(key uint64) (uint64, bool) {
+	cur := t.s.left.Load().node
+	for !cur.isLeaf() {
+		cur = cur.childAddr(key).Load().node
+	}
+	if cur.inf == 0 && cur.key == key {
+		return cur.val, true
+	}
+	return 0, false
+}
+
+// Insert adds key->val if absent.
+func (t *Natarajan) Insert(key, val uint64) bool {
+	for {
+		rec := t.seek(key)
+		l := rec.leaf
+		if l.inf == 0 && l.key == key {
+			return false
+		}
+		addr := rec.parent.childAddr(key)
+		e := addr.Load()
+		if e.node != l {
+			continue
+		}
+		if e.flag || e.tag {
+			// The edge participates in a pending deletion: help it
+			// finish, then retry.
+			t.cleanup(key, rec)
+			continue
+		}
+		newLeaf := &nNode{key: key, val: val}
+		route := &nNode{}
+		if l.inf > 0 || key < l.key {
+			route.key, route.inf = l.key, l.inf
+			route.left.Store(&nEdge{node: newLeaf})
+			route.right.Store(&nEdge{node: l})
+		} else {
+			route.key = key
+			route.left.Store(&nEdge{node: l})
+			route.right.Store(&nEdge{node: newLeaf})
+		}
+		if addr.CompareAndSwap(e, &nEdge{node: route}) {
+			return true
+		}
+	}
+}
+
+// Remove deletes key if present. Injection flags the parent->leaf edge (the
+// linearization point); cleanup splices the parent out by swinging the
+// ancestor->successor edge to the leaf's sibling.
+func (t *Natarajan) Remove(key uint64) bool {
+	injected := false
+	var victim *nNode
+	for {
+		rec := t.seek(key)
+		l := rec.leaf
+		if !injected {
+			if l.inf != 0 || l.key != key {
+				return false
+			}
+			addr := rec.parent.childAddr(key)
+			e := addr.Load()
+			if e.node != l {
+				continue
+			}
+			if e.flag || e.tag {
+				t.cleanup(key, rec)
+				continue
+			}
+			if !addr.CompareAndSwap(e, &nEdge{node: l, flag: true}) {
+				continue
+			}
+			injected = true
+			victim = l
+			if t.cleanup(key, rec) {
+				return true
+			}
+		} else {
+			if l != victim {
+				return true // someone else completed our cleanup
+			}
+			if t.cleanup(key, rec) {
+				return true
+			}
+		}
+	}
+}
+
+// cleanup completes a pending deletion around rec's leaf: tag the sibling
+// edge so it cannot change, then swing ancestor's successor edge to the
+// sibling (preserving the sibling's flag). Returns whether the splice CAS
+// succeeded.
+func (t *Natarajan) cleanup(key uint64, rec seekRec) bool {
+	ancestor, successor, parent := rec.ancestor, rec.successor, rec.parent
+	successorAddr := ancestor.childAddr(key)
+	childAddr := parent.childAddr(key)
+	siblingAddr := parent.siblingAddr(key)
+
+	e := childAddr.Load()
+	if !e.flag {
+		// The deletion in progress is on the sibling branch: the flagged
+		// edge is the other one.
+		siblingAddr = childAddr
+	}
+	// Tag the sibling edge.
+	for {
+		se := siblingAddr.Load()
+		if se.tag {
+			break
+		}
+		if siblingAddr.CompareAndSwap(se, &nEdge{node: se.node, flag: se.flag, tag: true}) {
+			break
+		}
+	}
+	se := siblingAddr.Load()
+	cur := successorAddr.Load()
+	if cur.node != successor || cur.flag || cur.tag {
+		return false
+	}
+	return successorAddr.CompareAndSwap(cur, &nEdge{node: se.node, flag: se.flag})
+}
+
+// Size counts real-key leaves.
+func (t *Natarajan) Size() int {
+	return nCount(t.s.left.Load().node)
+}
+
+func nCount(n *nNode) int {
+	if n.isLeaf() {
+		if n.inf == 0 {
+			return 1
+		}
+		return 0
+	}
+	return nCount(n.left.Load().node) + nCount(n.right.Load().node)
+}
+
+// Keys returns keys in ascending order.
+func (t *Natarajan) Keys() []uint64 {
+	var out []uint64
+	nWalk(t.s.left.Load().node, &out)
+	return out
+}
+
+func nWalk(n *nNode, out *[]uint64) {
+	if n.isLeaf() {
+		if n.inf == 0 {
+			*out = append(*out, n.key)
+		}
+		return
+	}
+	nWalk(n.left.Load().node, out)
+	nWalk(n.right.Load().node, out)
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Args carries an operation's arguments. The C implementation packs up to
+// four word-sized arguments into the one-cache-line delegation message
+// (§4.2); U mirrors that. P is a Go convenience: a single reference argument
+// for operations that need to pass structured data (values, byte slices)
+// without the unsafe pointer-in-word games the C original plays.
+type Args struct {
+	// U holds up to four word arguments, as in the paper's message format.
+	U [4]uint64
+	// P is an optional reference argument.
+	P any
+}
+
+// Result is an operation's return value: one word (mirroring the message's
+// return-value slot), an optional reference result, and an optional error.
+type Result struct {
+	// U is the word-sized return value.
+	U uint64
+	// P is an optional reference result.
+	P any
+	// Err reports an operation-level failure (e.g. key not found, if the
+	// wrapped data-structure chooses to express it that way).
+	Err error
+}
+
+// Op is a data-structure operation executed by DPS. It runs on some thread
+// belonging to the locality that owns key — the calling thread if the key is
+// local, otherwise a peer thread in the remote locality. DPS provides no
+// synchronization (§3.1): if several threads of a locality execute ops
+// concurrently, the partition's data-structure must itself be concurrent.
+type Op func(p *Partition, key uint64, args *Args) Result
+
+// message is one delegation request/completion record. As in §4.2, a single
+// structure carries both the request (op, key, args) and the completion
+// record (result), and a toggle flag carries ownership: the sender sets it
+// after populating the request; the serving thread clears it after storing
+// the result. toggle==1 therefore means "owned by the server side" and
+// toggle==0 means "owned by the sender side".
+type message struct {
+	op       Op
+	key      uint64
+	args     Args
+	res      Result
+	panicVal any        // recovered panic from op, re-raised at the awaiting side
+	part     *Partition // destination partition, for the abandoned-locality rescue path
+	consumed bool       // sender-private: result has been read, slot reusable
+	toggle   atomic.Uint32
+	_        [4]byte
+}
+
+// pending reports whether the server side still owns the message.
+func (m *message) pending() bool { return m.toggle.Load() == 1 }
+
+// ring is the fixed-size buffer of messages for one (sending thread,
+// destination partition) pair. The toggle bit in each slot substitutes for
+// head/tail comparison on the send side (§4.2): a sender finding its next
+// slot toggled knows the ring is full. cursor is the receive-side scan
+// position, advanced only while mu is held.
+//
+// mu is the per-ring lock from §4.4: normally each ring is served by one
+// worker, so the lock is rarely contended; it exists so that the designated
+// poller (Thread.Serve from another worker) and worker-set changes are safe.
+// Serving threads only ever TryLock it and skip the ring on contention.
+type ring struct {
+	slots  []message
+	cursor int
+	// sendIdx is the sender's next-slot cursor. It lives in the ring (not
+	// the Thread) so that when a thread id — and therefore its rings — is
+	// reused by a later Register, the new sender resumes where the
+	// previous one stopped and stays aligned with the receive cursor.
+	sendIdx int
+	mu      sync.Mutex
+}
+
+func newRing(depth int) *ring {
+	r := &ring{slots: make([]message, depth)}
+	for i := range r.slots {
+		// consumed==true marks a slot free for the sender; fresh slots
+		// hold no result anyone will read.
+		r.slots[i].consumed = true
+	}
+	return r
+}

@@ -1,0 +1,326 @@
+// Package core implements the DPS runtime — Distributed, Delegated Parallel
+// Sections (Ren & Parmer, Middleware '19). DPS partitions a data-structure's
+// key namespace across memory localities. An operation on a key owned by the
+// calling thread's locality executes as a plain function call; otherwise it
+// is delegated over a per-(thread, partition) message ring to the owning
+// locality, where whichever peer thread next polls its rings executes it.
+// While a thread waits for its own delegations it serves requests delegated
+// to its locality (§4.3), so every core contributes to data-structure
+// processing and no core is reserved as a server.
+//
+// The package follows the paper's implementation (§4): a message is a
+// combined request/completion record with a toggle bit; rings are dedicated
+// per (sending thread, destination partition) so the serving side needs no
+// synchronization in the common case; asynchronous execution, local
+// execution of read-mostly operations, and broadcast/range operations are
+// provided as extensions (§4.4).
+//
+// The public entry point for applications is the root dps package, which
+// re-exports this one.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dps/internal/parsec"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultNamespaceSize = 1 << 16
+	DefaultRingDepth     = 16
+	DefaultMaxThreads    = 128
+	DefaultCheckRatio    = 1
+)
+
+// ErrClosed is returned by operations on a closed runtime.
+var ErrClosed = errors.New("dps: runtime closed")
+
+// ErrTooManyThreads is returned by Register when MaxThreads thread handles
+// are already live.
+var ErrTooManyThreads = errors.New("dps: too many registered threads")
+
+// Config parameterizes a Runtime. It mirrors the arguments of the paper's
+// create call: partition count, namespace size and hash function (§3.1),
+// plus the implementation knobs from §4 (ring depth, check ratio).
+type Config struct {
+	// Partitions is the number of namespace partitions, each bound to one
+	// locality. The paper uses one partition per NUMA socket, with a
+	// locality size of 10 hardware threads (§5). Required, >= 1.
+	Partitions int
+
+	// NamespaceSize is the size of the flat key namespace ids are hashed
+	// into. Defaults to DefaultNamespaceSize.
+	NamespaceSize uint64
+
+	// Hash maps an application key to a namespace id (§4.1). The choice
+	// controls the key→locality mapping: a mixing hash spreads hot keys,
+	// an identity or consistent hash preserves application locality.
+	// Defaults to Mix64.
+	Hash func(key uint64) uint64
+
+	// RingDepth is the number of message slots per (thread, partition)
+	// ring. Defaults to DefaultRingDepth.
+	RingDepth int
+
+	// MaxThreads bounds the number of concurrently registered threads.
+	// Defaults to DefaultMaxThreads.
+	MaxThreads int
+
+	// CheckRatio is how many polls of the thread's own completion happen
+	// per pass of serving other threads' requests (§4.3: "the number of
+	// checks performed on the ring buffer for each of its own requests").
+	// Higher values favour the latency of this thread's remote operations
+	// over the latency of requests delegated to its locality. Defaults to
+	// DefaultCheckRatio.
+	CheckRatio int
+
+	// Init constructs partition-local data (e.g. the partition's shard of
+	// the wrapped data-structure). It is called once per partition at
+	// Create time; the returned value is available via Partition.Data.
+	// Optional.
+	Init func(p *Partition) any
+}
+
+func (c *Config) setDefaults() error {
+	if c.Partitions < 1 {
+		return fmt.Errorf("dps: Partitions must be >= 1, got %d", c.Partitions)
+	}
+	if c.NamespaceSize == 0 {
+		c.NamespaceSize = DefaultNamespaceSize
+	}
+	if uint64(c.Partitions) > c.NamespaceSize {
+		return fmt.Errorf("dps: Partitions (%d) exceeds NamespaceSize (%d)", c.Partitions, c.NamespaceSize)
+	}
+	if c.Hash == nil {
+		c.Hash = Mix64
+	}
+	if c.RingDepth == 0 {
+		c.RingDepth = DefaultRingDepth
+	}
+	if c.RingDepth < 1 {
+		return fmt.Errorf("dps: RingDepth must be >= 1, got %d", c.RingDepth)
+	}
+	if c.MaxThreads == 0 {
+		c.MaxThreads = DefaultMaxThreads
+	}
+	if c.MaxThreads < 1 {
+		return fmt.Errorf("dps: MaxThreads must be >= 1, got %d", c.MaxThreads)
+	}
+	if c.CheckRatio == 0 {
+		c.CheckRatio = DefaultCheckRatio
+	}
+	if c.CheckRatio < 1 {
+		return fmt.Errorf("dps: CheckRatio must be >= 1, got %d", c.CheckRatio)
+	}
+	return nil
+}
+
+// Partition is one namespace partition and its binding to a locality: the
+// partition-local data-structure shard plus the receive side of every
+// thread's message ring targeting this partition.
+type Partition struct {
+	id   int
+	lo   uint64 // namespace id range [lo, hi)
+	hi   uint64
+	rt   *Runtime
+	data any
+
+	// rings[tid] is thread tid's ring targeting this partition, created
+	// lazily when the thread registers.
+	rings []atomic.Pointer[ring]
+
+	// workers counts threads currently registered to this locality. When
+	// it is zero, Execute falls back to inline execution (there is nobody
+	// to serve the ring — see Thread.Execute).
+	workers atomic.Int32
+}
+
+// ID returns the partition's index in [0, Partitions).
+func (p *Partition) ID() int { return p.id }
+
+// Range returns the namespace id range [lo, hi) owned by the partition.
+func (p *Partition) Range() (lo, hi uint64) { return p.lo, p.hi }
+
+// Data returns the partition-local value built by Config.Init.
+func (p *Partition) Data() any { return p.data }
+
+// Workers returns the number of threads currently registered to this
+// partition's locality.
+func (p *Partition) Workers() int { return int(p.workers.Load()) }
+
+// Runtime is a DPS instance managing one partitioned data-structure.
+type Runtime struct {
+	cfg   Config
+	ns    *parsec.Namespace
+	parts []*Partition
+	smr   *parsec.Domain
+
+	mu      sync.Mutex
+	nextTID int
+	freeTID []int
+	nlive   int
+	closed  bool
+
+	metrics metrics
+}
+
+// New creates a DPS runtime. It is the analogue of the paper's
+// dps_t create(ds_init_fn, ds_args, partition_cnt, ns_sz, hash_fn).
+func New(cfg Config) (*Runtime, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	ns, err := parsec.NewNamespace(cfg.NamespaceSize, cfg.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		cfg:     cfg,
+		ns:      ns,
+		parts:   make([]*Partition, cfg.Partitions),
+		smr:     parsec.NewDomain(),
+		metrics: newMetrics(cfg.MaxThreads),
+	}
+	for i := range rt.parts {
+		lo, hi := ns.Range(i)
+		p := &Partition{
+			id:    i,
+			lo:    lo,
+			hi:    hi,
+			rt:    rt,
+			rings: make([]atomic.Pointer[ring], cfg.MaxThreads),
+		}
+		rt.parts[i] = p
+	}
+	// Init runs after all partitions exist so initializers may inspect
+	// sibling partitions (e.g. to share configuration).
+	if cfg.Init != nil {
+		for _, p := range rt.parts {
+			p.data = cfg.Init(p)
+		}
+	}
+	return rt, nil
+}
+
+// Partitions returns the partition count.
+func (rt *Runtime) Partitions() int { return len(rt.parts) }
+
+// Partition returns partition i.
+func (rt *Runtime) Partition(i int) *Partition { return rt.parts[i] }
+
+// PartitionForKey returns the partition owning key under the configured
+// hash, i.e. the locality an Execute on key would run in.
+func (rt *Runtime) PartitionForKey(key uint64) *Partition {
+	return rt.parts[rt.ns.Lookup(rt.cfg.Hash(key))]
+}
+
+// SMR returns the runtime's quiescence domain. Wrapped data-structures can
+// use it to retire removed nodes safely (ParSec provides DPS's memory
+// reclamation, §4).
+func (rt *Runtime) SMR() *parsec.Domain { return rt.smr }
+
+// Close marks the runtime closed. Registered threads must be unregistered
+// first; Close fails otherwise, because live threads may still be serving
+// partitions.
+func (rt *Runtime) Close() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return ErrClosed
+	}
+	if rt.nlive > 0 {
+		return fmt.Errorf("dps: cannot close runtime with %d registered threads", rt.nlive)
+	}
+	rt.closed = true
+	return nil
+}
+
+// Register adds the calling goroutine as a DPS thread, assigning it to the
+// locality with the fewest threads so registration alone balances workers
+// across partitions. The returned Thread must be used by one goroutine at a
+// time and unregistered when done.
+func (rt *Runtime) Register() (*Thread, error) {
+	best, min := 0, int(^uint(0)>>1)
+	for i, p := range rt.parts {
+		if w := int(p.workers.Load()); w < min {
+			best, min = i, w
+		}
+	}
+	return rt.RegisterAt(best)
+}
+
+// RegisterAt adds the calling goroutine as a DPS thread bound to locality
+// loc. This is the analogue of pinning a thread to a socket: the thread
+// executes operations on partition loc directly and serves requests
+// delegated to loc while it waits.
+func (rt *Runtime) RegisterAt(loc int) (*Thread, error) {
+	if loc < 0 || loc >= len(rt.parts) {
+		return nil, fmt.Errorf("dps: locality %d out of range [0,%d)", loc, len(rt.parts))
+	}
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil, ErrClosed
+	}
+	var tid int
+	if n := len(rt.freeTID); n > 0 {
+		tid = rt.freeTID[n-1]
+		rt.freeTID = rt.freeTID[:n-1]
+	} else {
+		if rt.nextTID >= rt.cfg.MaxThreads {
+			rt.mu.Unlock()
+			return nil, ErrTooManyThreads
+		}
+		tid = rt.nextTID
+		rt.nextTID++
+	}
+	rt.nlive++
+	rt.mu.Unlock()
+
+	t := &Thread{
+		rt:       rt,
+		id:       tid,
+		locality: loc,
+		smr:      rt.smr.Register(),
+	}
+	// Create this thread's rings (one per remote partition), allocated on
+	// first registration of the thread id and reused across re-register.
+	for _, p := range rt.parts {
+		if p.rings[tid].Load() == nil {
+			p.rings[tid].Store(newRing(rt.cfg.RingDepth))
+		}
+	}
+	rt.parts[loc].workers.Add(1)
+	return t, nil
+}
+
+// unregister returns t's resources. Called via Thread.Unregister.
+func (rt *Runtime) unregister(t *Thread) {
+	rt.parts[t.locality].workers.Add(-1)
+	t.smr.Unregister()
+	rt.mu.Lock()
+	rt.freeTID = append(rt.freeTID, t.id)
+	rt.nlive--
+	rt.mu.Unlock()
+}
+
+// Mix64 is the default key hash: a Stafford/SplitMix64 finalizer, spreading
+// adjacent keys across the namespace (and therefore partitions) uniformly.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// IdentityHash preserves key order: adjacent keys land in the same
+// partition, implementing the "consistent hash to preserve locality" choice
+// from §4.1. Applications use it when multi-key operations should be
+// single-partition (§3.3).
+func IdentityHash(x uint64) uint64 { return x }

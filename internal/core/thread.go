@@ -1,0 +1,413 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"dps/internal/parsec"
+)
+
+// Thread is a registered DPS participant. All data-structure operations go
+// through a Thread; its methods must be called from one goroutine at a time.
+//
+// A Thread plays both roles of the peer-delegation protocol: it delegates
+// operations on remote keys, and — whenever it waits (Await, ring full) — it
+// serves operations other threads delegated to its locality.
+type Thread struct {
+	rt       *Runtime
+	id       int
+	locality int
+
+	// outstanding tracks fire-and-forget async messages so Drain and
+	// Unregister can wait for them.
+	outstanding []*message
+
+	// serveCursor rotates the starting ring so a locality's threads tend
+	// to scan different senders first.
+	serveCursor int
+
+	smr *parsec.Thread
+
+	unregistered bool
+}
+
+// Completion is the completion record returned by Execute (§3.1). Ready
+// reports (and Result returns) the operation's outcome once the owning
+// locality has executed it.
+type Completion struct {
+	// slot is the in-ring message, nil if the operation completed inline
+	// (local execution), in which case res already holds the result.
+	slot *message
+	t    *Thread
+	res  Result
+	done bool
+}
+
+// ID returns the thread's runtime-unique id.
+func (t *Thread) ID() int { return t.id }
+
+// Locality returns the partition/locality index the thread is bound to.
+func (t *Thread) Locality() int { return t.locality }
+
+// Runtime returns the owning runtime.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// Unregister waits for the thread's outstanding asynchronous operations to
+// complete, then removes the thread from the runtime. The Thread must not be
+// used afterwards.
+func (t *Thread) Unregister() {
+	if t.unregistered {
+		return
+	}
+	t.Drain()
+	t.unregistered = true
+	t.rt.unregister(t)
+}
+
+// partitionFor maps a key to its owning partition.
+func (t *Thread) partitionFor(key uint64) *Partition {
+	return t.rt.parts[t.rt.ns.Lookup(t.rt.cfg.Hash(key))]
+}
+
+// runLocal executes op inline on the calling thread, inside a quiescence
+// read-side section so the op may safely traverse nodes being retired by
+// other threads' ops.
+func (t *Thread) runLocal(p *Partition, key uint64, op Op, args *Args) Result {
+	t.smr.Enter()
+	defer t.smr.Exit()
+	return op(p, key, args)
+}
+
+// Execute performs op on the data associated with key (§3.1's
+// completion_rec_t execute(dps, key, op, args...)). If key belongs to the
+// calling thread's locality the operation runs immediately as a function
+// call and the returned completion is already done. Otherwise the request is
+// delegated to the owning locality and the completion becomes ready once a
+// peer thread there executes it; the caller should poll it with Ready (or
+// block with Result), both of which serve requests delegated to this
+// thread's locality in the meantime.
+func (t *Thread) Execute(key uint64, op Op, args Args) *Completion {
+	p := t.partitionFor(key)
+	if p.id == t.locality || p.workers.Load() == 0 {
+		// Local key — or a locality with no threads to serve it, where
+		// inline execution (a remote-memory access in the paper's
+		// terms) is the only way to make progress.
+		t.rt.metrics.add(t.id, ctrLocalExec, 1)
+		return &Completion{t: t, res: t.runLocal(p, key, op, &args), done: true}
+	}
+	slot := t.send(p, key, op, args, true)
+	t.rt.metrics.add(t.id, ctrRemoteSend, 1)
+	return &Completion{slot: slot, t: t}
+}
+
+// ExecuteSync is Execute followed by completion (§3.1 notes the synchronous
+// API "directly following execute with a loop on await_completion").
+func (t *Thread) ExecuteSync(key uint64, op Op, args Args) Result {
+	return t.Execute(key, op, args).Result()
+}
+
+// ExecuteAsync delegates op without a completion record (§4.4): it returns
+// as soon as the request is in the destination ring. Results are discarded;
+// ordering to the same partition is preserved (the ring is FIFO), so
+// read-your-writes and monotonic-writes hold for subsequent operations from
+// this thread. Use Drain as the barrier before depending on completion.
+func (t *Thread) ExecuteAsync(key uint64, op Op, args Args) {
+	p := t.partitionFor(key)
+	if p.id == t.locality || p.workers.Load() == 0 {
+		t.rt.metrics.add(t.id, ctrLocalExec, 1)
+		t.runLocal(p, key, op, &args)
+		return
+	}
+	slot := t.send(p, key, op, args, false)
+	t.rt.metrics.add(t.id, ctrAsyncSend, 1)
+	t.outstanding = append(t.outstanding, slot)
+	if len(t.outstanding) >= cap(t.outstanding) && len(t.outstanding) >= 32 {
+		t.compactOutstanding()
+	}
+}
+
+// ExecuteLocal runs op on the calling thread regardless of which locality
+// owns key — the local-execution optimization (§4.4), intended for read-only
+// operations on data-structures whose concurrent implementation already
+// tolerates cross-locality readers. The operation still sees the owning
+// partition's shard.
+func (t *Thread) ExecuteLocal(key uint64, op Op, args Args) Result {
+	t.rt.metrics.add(t.id, ctrLocalExec, 1)
+	return t.runLocal(t.partitionFor(key), key, op, &args)
+}
+
+// ExecutePartition performs op on an explicit partition instead of routing
+// by key hash. It is used by operations that target a partition as a whole
+// — e.g. the priority-queue dequeue that follows a broadcast findMin
+// (§3.4) — and blocks until the result is available, serving the caller's
+// locality meanwhile. The key is passed through to op uninterpreted.
+func (t *Thread) ExecutePartition(part int, key uint64, op Op, args Args) Result {
+	p := t.rt.parts[part]
+	if p.id == t.locality || p.workers.Load() == 0 {
+		t.rt.metrics.add(t.id, ctrLocalExec, 1)
+		return t.runLocal(p, key, op, &args)
+	}
+	slot := t.send(p, key, op, args, true)
+	t.rt.metrics.add(t.id, ctrRemoteSend, 1)
+	c := Completion{slot: slot, t: t}
+	return c.Result()
+}
+
+// ExecuteAll broadcasts op to every partition — the range-operation API
+// (§4.4) — and merges the per-partition results with agg, which receives
+// them indexed by partition id. ExecuteAll is not linearizable with respect
+// to concurrent single-key operations: each partition executes its share at
+// an independent point in time.
+func (t *Thread) ExecuteAll(op Op, args Args, agg func(results []Result) Result) Result {
+	n := len(t.rt.parts)
+	completions := make([]*Completion, n)
+	// Delegate to remote partitions first so they proceed in parallel
+	// with our local share.
+	for i, p := range t.rt.parts {
+		if p.id == t.locality || p.workers.Load() == 0 {
+			continue
+		}
+		slot := t.send(p, p.lo, op, args, true)
+		t.rt.metrics.add(t.id, ctrRemoteSend, 1)
+		completions[i] = &Completion{slot: slot, t: t}
+	}
+	results := make([]Result, n)
+	for i, p := range t.rt.parts {
+		if completions[i] == nil {
+			t.rt.metrics.add(t.id, ctrLocalExec, 1)
+			results[i] = t.runLocal(p, p.lo, op, &args)
+		}
+	}
+	for i, c := range completions {
+		if c != nil {
+			results[i] = c.Result()
+		}
+	}
+	if agg == nil {
+		return Result{}
+	}
+	return agg(results)
+}
+
+// Drain blocks until every fire-and-forget asynchronous operation issued by
+// this thread has been executed, serving delegated requests while it waits.
+// It is the completion barrier §4.4 requires between dependent asynchronous
+// operations.
+func (t *Thread) Drain() {
+	for _, m := range t.outstanding {
+		for m.pending() {
+			if t.serve() == 0 {
+				t.rescue(m)
+				runtime.Gosched()
+			}
+		}
+		m.consumed = true
+	}
+	t.outstanding = t.outstanding[:0]
+}
+
+// compactOutstanding drops already-completed async messages.
+func (t *Thread) compactOutstanding() {
+	kept := t.outstanding[:0]
+	for _, m := range t.outstanding {
+		if m.pending() {
+			kept = append(kept, m)
+		} else {
+			m.consumed = true
+		}
+	}
+	for i := len(kept); i < len(t.outstanding); i++ {
+		t.outstanding[i] = nil
+	}
+	t.outstanding = kept
+}
+
+// send places a request in this thread's ring to partition p, serving its
+// own locality while the ring is full. Setting the toggle publishes the
+// request (all message writes happen-before it).
+func (t *Thread) send(p *Partition, key uint64, op Op, args Args, sync bool) *message {
+	r := p.rings[t.id].Load()
+	for {
+		m := &r.slots[r.sendIdx]
+		// A slot is free once the server side has finished with it
+		// (toggle clear) and its previous result, if any, has been
+		// consumed by its completion record.
+		if !m.pending() && m.consumed {
+			r.sendIdx++
+			if r.sendIdx == len(r.slots) {
+				r.sendIdx = 0
+			}
+			m.op = op
+			m.key = key
+			m.args = args
+			m.res = Result{}
+			m.panicVal = nil
+			m.part = p
+			m.consumed = !sync
+			m.toggle.Store(1)
+			return m
+		}
+		// Ring full (next slot still owned by the server side, or its
+		// result unconsumed): serve our own locality instead of
+		// spinning (§4.4: "the thread waits for an available request
+		// slot, while performing operations delegated to it").
+		t.rt.metrics.add(t.id, ctrRingFull, 1)
+		if t.serve() == 0 {
+			if p.workers.Load() == 0 {
+				t.rescue(&r.slots[r.sendIdx])
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// serve scans the rings of this thread's locality and executes pending
+// requests. It returns the number of requests executed. Rings are guarded by
+// a try-lock so concurrent serving threads (or the designated poller, §4.4)
+// skip rather than contend; within a ring, requests are executed in FIFO
+// order, which preserves per-sender ordering (read-your-writes, §3.3).
+func (t *Thread) serve() int {
+	p := t.rt.parts[t.locality]
+	n := len(p.rings)
+	served := 0
+	t.serveCursor++
+	start := t.serveCursor
+	for i := 0; i < n; i++ {
+		r := p.rings[(start+i)%n].Load()
+		if r == nil {
+			continue
+		}
+		served += t.serveRing(p, r)
+	}
+	t.rt.metrics.add(t.id, ctrServed, uint64(served))
+	return served
+}
+
+// serveRing drains pending requests from one ring in FIFO order.
+func (t *Thread) serveRing(p *Partition, r *ring) int {
+	if !r.mu.TryLock() {
+		return 0
+	}
+	defer r.mu.Unlock()
+	served := 0
+	for {
+		m := &r.slots[r.cursor]
+		if !m.pending() {
+			return served
+		}
+		t.executeMessage(p, m)
+		served++
+		r.cursor++
+		if r.cursor == len(r.slots) {
+			r.cursor = 0
+		}
+	}
+}
+
+// rescue handles the abandoned-locality case: if every thread of m's
+// destination locality has unregistered while m is still pending, nobody
+// will ever serve it. The sender then executes its own ring to that
+// partition inline (a remote-memory access in the paper's terms, but the
+// only way to preserve liveness). The blocking lock is safe: ring locks are
+// only held for the duration of already-running operations.
+func (t *Thread) rescue(m *message) {
+	p := m.part
+	if p == nil || p.workers.Load() != 0 || !m.pending() {
+		return
+	}
+	r := p.rings[t.id].Load()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for m.pending() {
+		s := &r.slots[r.cursor]
+		if !s.pending() {
+			// Our message is pending but the cursor found a gap: a
+			// reviving server must have taken over; let it finish.
+			return
+		}
+		t.executeMessage(p, s)
+		t.rt.metrics.add(t.id, ctrRescued, 1)
+		r.cursor++
+		if r.cursor == len(r.slots) {
+			r.cursor = 0
+		}
+	}
+}
+
+// executeMessage runs a delegated request and publishes its completion.
+// Panics inside the operation are captured and re-raised on the awaiting
+// thread (for fire-and-forget requests they are re-raised here, on the
+// serving thread, since no one will ever observe the completion).
+func (t *Thread) executeMessage(p *Partition, m *message) {
+	fireAndForget := m.consumed
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				m.panicVal = rec
+			}
+		}()
+		m.res = t.runLocal(p, m.key, m.op, &m.args)
+	}()
+	pv := m.panicVal
+	m.op = nil
+	m.args.P = nil
+	m.toggle.Store(0)
+	if fireAndForget && pv != nil {
+		panic(fmt.Sprintf("dps: panic in asynchronous delegated operation: %v", pv))
+	}
+}
+
+// Serve processes requests pending on the calling thread's locality and
+// returns how many were executed. It implements the liveness interface from
+// §4.4: an application can devote a thread (or a periodic callback) to
+// Serve so delegations complete even when all other locality threads are
+// blocked outside DPS.
+func (t *Thread) Serve() int { return t.serve() }
+
+// Ready polls the completion (§3.1's await_completion): it returns the
+// result and true if the operation has executed. While the operation is
+// still pending, Ready serves CheckRatio passes' worth of requests delegated
+// to the calling thread's locality — the overlap that lets all cores make
+// progress on data-structure work (§4.3) — and returns false.
+func (c *Completion) Ready() (Result, bool) {
+	if c.done {
+		return c.res, true
+	}
+	for i := 0; i < c.t.rt.cfg.CheckRatio; i++ {
+		if !c.slot.pending() {
+			c.finish()
+			return c.res, true
+		}
+		c.t.serve()
+	}
+	c.t.rescue(c.slot)
+	if !c.slot.pending() {
+		c.finish()
+		return c.res, true
+	}
+	return Result{}, false
+}
+
+// Result blocks until the operation has executed and returns its result,
+// serving the calling thread's locality while it waits.
+func (c *Completion) Result() Result {
+	for {
+		if res, ok := c.Ready(); ok {
+			return res
+		}
+		runtime.Gosched()
+	}
+}
+
+// finish copies the result out of the ring slot, releases the slot, and
+// re-raises any panic captured from the operation.
+func (c *Completion) finish() {
+	c.res = c.slot.res
+	pv := c.slot.panicVal
+	c.slot.consumed = true
+	c.done = true
+	c.slot = nil
+	if pv != nil {
+		panic(pv)
+	}
+}

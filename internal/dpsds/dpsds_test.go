@@ -1,0 +1,320 @@
+package dpsds
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"dps/internal/bst"
+	"dps/internal/dstest"
+	"dps/internal/list"
+	"dps/internal/pqueue"
+	"dps/internal/skiplist"
+)
+
+// newDPSSet builds a DPS-wrapped set over the given shard factory. The
+// whole dstest battery then runs against the facade — every operation
+// passing through delegation, peer serving and (for concurrent subtests)
+// cross-locality rings.
+func newDPSSet(t testing.TB, parts int, localReads bool, shard func() Inner) *Set {
+	t.Helper()
+	s, err := NewSet(Config{
+		Partitions: parts,
+		NewShard:   shard,
+		LocalReads: localReads,
+		MaxThreads: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDPSGlobalLockList(t *testing.T) {
+	dstest.RunSuite(t, "DPS-gl-m", func() dstest.Set {
+		return newDPSSet(t, 4, false, func() Inner { return list.NewGlobalLock() })
+	})
+}
+
+func TestDPSMichaelList(t *testing.T) {
+	dstest.RunSuite(t, "DPS-lf-m", func() dstest.Set {
+		return newDPSSet(t, 4, false, func() Inner { return list.NewMichael() })
+	})
+}
+
+func TestDPSLazyListLocalReads(t *testing.T) {
+	dstest.RunSuite(t, "DPS-lb-l-localreads", func() dstest.Set {
+		return newDPSSet(t, 4, true, func() Inner { return list.NewLazy() })
+	})
+}
+
+func TestDPSBSTTK(t *testing.T) {
+	dstest.RunSuite(t, "DPS-bst-tk", func() dstest.Set {
+		return newDPSSet(t, 4, false, func() Inner { return bst.NewTK() })
+	})
+}
+
+func TestDPSNatarajanLocalReads(t *testing.T) {
+	dstest.RunSuite(t, "DPS-lf-n-localreads", func() dstest.Set {
+		return newDPSSet(t, 2, true, func() Inner { return bst.NewNatarajan() })
+	})
+}
+
+func TestDPSSkipListLockFree(t *testing.T) {
+	dstest.RunSuite(t, "DPS-lf-f", func() dstest.Set {
+		return newDPSSet(t, 4, false, func() Inner { return skiplist.NewLockFree() })
+	})
+}
+
+func TestSetConfigValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewSet(Config{Partitions: 2}); err == nil {
+		t.Error("NewSet without NewShard succeeded")
+	}
+	if _, err := NewSet(Config{Partitions: 0, NewShard: func() Inner { return list.NewLazy() }}); err == nil {
+		t.Error("NewSet with 0 partitions succeeded")
+	}
+}
+
+func TestRegisteredHandleWorkflow(t *testing.T) {
+	t.Parallel()
+	s := newDPSSet(t, 2, false, func() Inner { return list.NewLazy() })
+	const workers, keysEach = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h, err := s.Register()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer h.Unregister()
+			base := uint64(w*keysEach) + 1
+			for k := base; k < base+keysEach; k++ {
+				if !h.Insert(k, k*3) {
+					t.Errorf("Insert(%d) failed", k)
+					return
+				}
+			}
+			for k := base; k < base+keysEach; k++ {
+				if v, ok := h.Lookup(k); !ok || v != k*3 {
+					t.Errorf("Lookup(%d) = (%d,%v)", k, v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Size(); got != workers*keysEach {
+		t.Fatalf("Size() = %d, want %d", got, workers*keysEach)
+	}
+	keys := s.Keys()
+	if len(keys) != workers*keysEach {
+		t.Fatalf("Keys() returned %d, want %d", len(keys), workers*keysEach)
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("Keys() not sorted")
+	}
+}
+
+func TestAsyncInsertVisibleAfterDrain(t *testing.T) {
+	t.Parallel()
+	s := newDPSSet(t, 4, false, func() Inner { return skiplist.NewLockFree() })
+	h, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unregister()
+	// A peer in another locality keeps serving so asyncs complete.
+	h2, err := s.RegisterAt((h.t.Locality() + 1) % 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if h2.Serve() == 0 {
+					runtime.Gosched()
+				}
+			}
+		}
+	}()
+	const n = 300
+	for k := uint64(1); k <= n; k++ {
+		h.InsertAsync(k, k)
+	}
+	h.Drain()
+	for k := uint64(1); k <= n; k++ {
+		if _, ok := h.Lookup(k); !ok {
+			t.Fatalf("key %d missing after Drain", k)
+		}
+	}
+	close(stop)
+	<-done
+	h2.Unregister()
+}
+
+func TestDPSMetricsShowDelegation(t *testing.T) {
+	t.Parallel()
+	s := newDPSSet(t, 4, false, func() Inner { return list.NewMichael() })
+	// Register all handles before any worker issues operations, so no
+	// worker ever observes an empty locality (inline fallback).
+	handles := make([]*Handle, 4)
+	for w := range handles {
+		h, err := s.RegisterAt(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[w] = h
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := handles[w]
+			defer h.Unregister()
+			for k := uint64(1); k <= 500; k++ {
+				h.Insert(k*uint64(w+1), k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	m := s.Runtime().Metrics()
+	if m.RemoteSends == 0 {
+		t.Error("no remote delegations recorded across 4 localities")
+	}
+	if m.Served+m.Rescued < m.RemoteSends {
+		t.Errorf("served %d + rescued %d < sent %d", m.Served, m.Rescued, m.RemoteSends)
+	}
+}
+
+// --- priority queue ---------------------------------------------------------
+
+func TestPQBasic(t *testing.T) {
+	t.Parallel()
+	q, err := NewPQ(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unregister()
+
+	if _, _, ok := h.Min(); ok {
+		t.Fatal("Min on empty PQ succeeded")
+	}
+	if _, _, ok := h.RemoveMin(); ok {
+		t.Fatal("RemoveMin on empty PQ succeeded")
+	}
+	keys := []uint64{90, 20, 70, 10, 50, 30}
+	for _, k := range keys {
+		if !h.Insert(k, k+1) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+	}
+	if h.Size() != len(keys) {
+		t.Fatalf("Size() = %d, want %d", h.Size(), len(keys))
+	}
+	if k, v, ok := h.Min(); !ok || k != 10 || v != 11 {
+		t.Fatalf("Min = (%d,%d,%v), want (10,11,true)", k, v, ok)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, want := range keys {
+		k, v, ok := h.RemoveMin()
+		if !ok || k != want || v != want+1 {
+			t.Fatalf("RemoveMin = (%d,%d,%v), want (%d,%d,true)", k, v, ok, want, want+1)
+		}
+	}
+	if _, _, ok := h.RemoveMin(); ok {
+		t.Fatal("RemoveMin after drain succeeded")
+	}
+}
+
+func TestPQLookupAndRemove(t *testing.T) {
+	t.Parallel()
+	q, err := NewPQ(2, func() pqueue.PQ { return pqueue.NewShavitLotan() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unregister()
+	h.Insert(5, 50)
+	h.Insert(9, 90)
+	if v, ok := h.Lookup(5); !ok || v != 50 {
+		t.Fatalf("Lookup(5) = (%d,%v)", v, ok)
+	}
+	if !h.Remove(5) || h.Remove(5) {
+		t.Fatal("Remove semantics wrong")
+	}
+	if k, _, ok := h.Min(); !ok || k != 9 {
+		t.Fatalf("Min = (%d,%v), want 9", k, ok)
+	}
+}
+
+func TestPQConcurrentDequeueConservation(t *testing.T) {
+	t.Parallel()
+	q, err := NewPQ(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	{
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(1); k <= n; k++ {
+			h.Insert(k, k)
+		}
+		h.Unregister()
+	}
+	const workers = 4
+	var mu sync.Mutex
+	seen := make(map[uint64]int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := q.Register()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer h.Unregister()
+			for {
+				k, _, ok := h.RemoveMin()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[k]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != n {
+		t.Fatalf("dequeued %d distinct keys, want %d", len(seen), n)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("key %d dequeued %d times", k, c)
+		}
+	}
+}

@@ -1,0 +1,471 @@
+// Package dstest provides a common test battery for the concurrent sorted
+// sets in this repository (linked lists, BSTs, skip lists). Each
+// implementation package runs the battery from its own tests, so every set
+// variant is checked for sequential set semantics, property-based agreement
+// with a reference model, sortedness/size invariants, and lost-update
+// freedom under concurrency.
+package dstest
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// Set is the sorted integer set interface exercised by the paper's
+// data-structure benchmarks (§5.2): lookup, insert, remove keyed by uint64,
+// each key carrying a word value. Keys must be strictly between 0 and
+// ^uint64(0), which implementations may use as head/tail sentinels.
+type Set interface {
+	// Lookup reports whether key is present and returns its value.
+	Lookup(key uint64) (uint64, bool)
+	// Insert adds key->val; it returns false (without updating) if key is
+	// already present.
+	Insert(key, val uint64) bool
+	// Remove deletes key, reporting whether it was present.
+	Remove(key uint64) bool
+	// Size counts the elements; it need not be linearizable under
+	// concurrency and is used quiescently in tests.
+	Size() int
+}
+
+// Ranger is implemented by sets that can enumerate keys in sorted order.
+type Ranger interface {
+	// Keys appends all keys in ascending order.
+	Keys() []uint64
+}
+
+// Factory builds an empty set instance.
+type Factory func() Set
+
+// RunSuite runs the complete battery against the implementation.
+func RunSuite(t *testing.T, name string, f Factory) {
+	t.Helper()
+	t.Run(name+"/Empty", func(t *testing.T) { t.Parallel(); testEmpty(t, f) })
+	t.Run(name+"/InsertLookupRemove", func(t *testing.T) { t.Parallel(); testInsertLookupRemove(t, f) })
+	t.Run(name+"/DuplicateInsert", func(t *testing.T) { t.Parallel(); testDuplicateInsert(t, f) })
+	t.Run(name+"/RemoveMissing", func(t *testing.T) { t.Parallel(); testRemoveMissing(t, f) })
+	t.Run(name+"/ReinsertAfterRemove", func(t *testing.T) { t.Parallel(); testReinsertAfterRemove(t, f) })
+	t.Run(name+"/AscendingDescending", func(t *testing.T) { t.Parallel(); testOrderedBulk(t, f) })
+	t.Run(name+"/BoundaryKeys", func(t *testing.T) { t.Parallel(); testBoundaryKeys(t, f) })
+	t.Run(name+"/ModelCheck", func(t *testing.T) { t.Parallel(); testAgainstModel(t, f) })
+	t.Run(name+"/QuickCheck", func(t *testing.T) { t.Parallel(); testQuick(t, f) })
+	t.Run(name+"/SortedKeys", func(t *testing.T) { t.Parallel(); testSortedKeys(t, f) })
+	t.Run(name+"/ConcurrentDisjoint", func(t *testing.T) { t.Parallel(); testConcurrentDisjoint(t, f) })
+	t.Run(name+"/ConcurrentContended", func(t *testing.T) { t.Parallel(); testConcurrentContended(t, f) })
+	t.Run(name+"/ConcurrentMixedReaders", func(t *testing.T) { t.Parallel(); testConcurrentMixedReaders(t, f) })
+}
+
+func testEmpty(t *testing.T, f Factory) {
+	s := f()
+	if _, ok := s.Lookup(5); ok {
+		t.Error("Lookup on empty set found key")
+	}
+	if s.Remove(5) {
+		t.Error("Remove on empty set succeeded")
+	}
+	if n := s.Size(); n != 0 {
+		t.Errorf("Size() = %d, want 0", n)
+	}
+}
+
+func testInsertLookupRemove(t *testing.T, f Factory) {
+	s := f()
+	if !s.Insert(10, 100) {
+		t.Fatal("Insert(10) failed")
+	}
+	if v, ok := s.Lookup(10); !ok || v != 100 {
+		t.Fatalf("Lookup(10) = (%d,%v), want (100,true)", v, ok)
+	}
+	if _, ok := s.Lookup(11); ok {
+		t.Fatal("Lookup(11) found missing key")
+	}
+	if !s.Remove(10) {
+		t.Fatal("Remove(10) failed")
+	}
+	if _, ok := s.Lookup(10); ok {
+		t.Fatal("Lookup(10) found removed key")
+	}
+	if s.Size() != 0 {
+		t.Fatalf("Size() = %d after remove", s.Size())
+	}
+}
+
+func testDuplicateInsert(t *testing.T, f Factory) {
+	s := f()
+	if !s.Insert(7, 1) {
+		t.Fatal("first Insert failed")
+	}
+	if s.Insert(7, 2) {
+		t.Fatal("duplicate Insert succeeded")
+	}
+	if v, _ := s.Lookup(7); v != 1 {
+		t.Fatalf("duplicate insert overwrote value: %d", v)
+	}
+	if s.Size() != 1 {
+		t.Fatalf("Size() = %d, want 1", s.Size())
+	}
+}
+
+func testRemoveMissing(t *testing.T, f Factory) {
+	s := f()
+	s.Insert(5, 50)
+	if s.Remove(6) {
+		t.Error("Remove of absent key succeeded")
+	}
+	if s.Remove(4) {
+		t.Error("Remove of absent key succeeded")
+	}
+	if !s.Remove(5) || s.Remove(5) {
+		t.Error("double Remove misbehaved")
+	}
+}
+
+func testReinsertAfterRemove(t *testing.T, f Factory) {
+	s := f()
+	for i := 0; i < 10; i++ {
+		if !s.Insert(3, uint64(i)) {
+			t.Fatalf("round %d: Insert failed", i)
+		}
+		if v, ok := s.Lookup(3); !ok || v != uint64(i) {
+			t.Fatalf("round %d: Lookup = (%d,%v)", i, v, ok)
+		}
+		if !s.Remove(3) {
+			t.Fatalf("round %d: Remove failed", i)
+		}
+	}
+}
+
+func testOrderedBulk(t *testing.T, f Factory) {
+	const n = 200
+	// Ascending insertion.
+	s := f()
+	for i := uint64(1); i <= n; i++ {
+		if !s.Insert(i, i*2) {
+			t.Fatalf("ascending Insert(%d) failed", i)
+		}
+	}
+	if s.Size() != n {
+		t.Fatalf("Size() = %d, want %d", s.Size(), n)
+	}
+	for i := uint64(1); i <= n; i++ {
+		if v, ok := s.Lookup(i); !ok || v != i*2 {
+			t.Fatalf("ascending Lookup(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	// Descending insertion into a fresh set.
+	s = f()
+	for i := uint64(n); i >= 1; i-- {
+		if !s.Insert(i, i) {
+			t.Fatalf("descending Insert(%d) failed", i)
+		}
+	}
+	// Remove evens, verify odds.
+	for i := uint64(2); i <= n; i += 2 {
+		if !s.Remove(i) {
+			t.Fatalf("Remove(%d) failed", i)
+		}
+	}
+	for i := uint64(1); i <= n; i++ {
+		_, ok := s.Lookup(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Lookup(%d) = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+func testBoundaryKeys(t *testing.T, f Factory) {
+	s := f()
+	// Smallest and largest permitted keys.
+	lo, hi := uint64(1), ^uint64(0)-1
+	if !s.Insert(lo, 1) || !s.Insert(hi, 2) {
+		t.Fatal("boundary inserts failed")
+	}
+	if v, ok := s.Lookup(lo); !ok || v != 1 {
+		t.Fatal("Lookup(min) failed")
+	}
+	if v, ok := s.Lookup(hi); !ok || v != 2 {
+		t.Fatal("Lookup(max) failed")
+	}
+	if !s.Remove(lo) || !s.Remove(hi) {
+		t.Fatal("boundary removes failed")
+	}
+}
+
+// testAgainstModel drives the set with a deterministic pseudo-random op
+// stream and compares every response against a map-based model.
+func testAgainstModel(t *testing.T, f Factory) {
+	s := f()
+	model := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(42))
+	const ops, keyRange = 20000, 512
+	for i := 0; i < ops; i++ {
+		key := uint64(rng.Intn(keyRange) + 1)
+		switch rng.Intn(3) {
+		case 0:
+			val := rng.Uint64()
+			_, exists := model[key]
+			got := s.Insert(key, val)
+			if got == exists {
+				t.Fatalf("op %d: Insert(%d) = %v, model says exists=%v", i, key, got, exists)
+			}
+			if !exists {
+				model[key] = val
+			}
+		case 1:
+			_, exists := model[key]
+			if got := s.Remove(key); got != exists {
+				t.Fatalf("op %d: Remove(%d) = %v, model says %v", i, key, got, exists)
+			}
+			delete(model, key)
+		default:
+			want, exists := model[key]
+			v, ok := s.Lookup(key)
+			if ok != exists || (ok && v != want) {
+				t.Fatalf("op %d: Lookup(%d) = (%d,%v), model (%d,%v)", i, key, v, ok, want, exists)
+			}
+		}
+	}
+	if s.Size() != len(model) {
+		t.Fatalf("final Size() = %d, model %d", s.Size(), len(model))
+	}
+}
+
+// testQuick is a property-based check: applying any random op sequence
+// leaves the set agreeing with the model on membership of every touched key.
+func testQuick(t *testing.T, f Factory) {
+	prop := func(opsRaw []uint16) bool {
+		s := f()
+		model := make(map[uint64]uint64)
+		for i, raw := range opsRaw {
+			key := uint64(raw%64) + 1
+			val := uint64(i)
+			switch (raw / 64) % 3 {
+			case 0:
+				if _, exists := model[key]; !exists {
+					model[key] = val
+				}
+				s.Insert(key, val)
+			case 1:
+				delete(model, key)
+				s.Remove(key)
+			}
+		}
+		for key := uint64(1); key <= 64; key++ {
+			want, exists := model[key]
+			v, ok := s.Lookup(key)
+			if ok != exists || (ok && v != want) {
+				return false
+			}
+		}
+		return s.Size() == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func testSortedKeys(t *testing.T, f Factory) {
+	s := f()
+	r, ok := s.(Ranger)
+	if !ok {
+		t.Skip("implementation does not enumerate keys")
+	}
+	rng := rand.New(rand.NewSource(7))
+	inserted := make(map[uint64]bool)
+	for i := 0; i < 500; i++ {
+		k := uint64(rng.Intn(10000) + 1)
+		if s.Insert(k, k) {
+			inserted[k] = true
+		}
+	}
+	keys := r.Keys()
+	if len(keys) != len(inserted) {
+		t.Fatalf("Keys() returned %d keys, want %d", len(keys), len(inserted))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys out of order at %d: %d >= %d", i, keys[i-1], keys[i])
+		}
+	}
+	for _, k := range keys {
+		if !inserted[k] {
+			t.Fatalf("Keys() returned uninserted key %d", k)
+		}
+	}
+}
+
+// testConcurrentDisjoint gives each goroutine a private key range; the final
+// state of each range must match that goroutine's sequential model. Any
+// cross-thread interference (lost updates, broken links) shows up as a
+// mismatch.
+func testConcurrentDisjoint(t *testing.T, f Factory) {
+	s := f()
+	const goroutines, span, ops = 8, 1000, 3000
+	models := make([]map[uint64]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g*span) + 1
+			model := make(map[uint64]uint64)
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < ops; i++ {
+				key := base + uint64(rng.Intn(span/2))
+				switch rng.Intn(3) {
+				case 0:
+					val := rng.Uint64()
+					_, exists := model[key]
+					if got := s.Insert(key, val); got == exists {
+						t.Errorf("g%d: Insert(%d) = %v with exists=%v", g, key, got, exists)
+						return
+					}
+					if !exists {
+						model[key] = val
+					}
+				case 1:
+					_, exists := model[key]
+					if got := s.Remove(key); got != exists {
+						t.Errorf("g%d: Remove(%d) = %v, want %v", g, key, got, exists)
+						return
+					}
+					delete(model, key)
+				default:
+					want, exists := model[key]
+					v, ok := s.Lookup(key)
+					if ok != exists || (ok && v != want) {
+						t.Errorf("g%d: Lookup(%d) = (%d,%v), want (%d,%v)", g, key, v, ok, want, exists)
+						return
+					}
+				}
+			}
+			models[g] = model
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for g, model := range models {
+		if model == nil {
+			return // goroutine already reported failure
+		}
+		total += len(model)
+		for key, want := range model {
+			if v, ok := s.Lookup(key); !ok || v != want {
+				t.Fatalf("g%d: final Lookup(%d) = (%d,%v), want (%d,true)", g, key, v, ok, want)
+			}
+		}
+	}
+	if s.Size() != total {
+		t.Fatalf("final Size() = %d, want %d", s.Size(), total)
+	}
+}
+
+// testConcurrentContended hammers a tiny key range from many goroutines and
+// checks conservation: each successful Insert is balanced by at most one
+// successful Remove, so finalCount = inserts - removes.
+func testConcurrentContended(t *testing.T, f Factory) {
+	s := f()
+	const goroutines, ops, keys = 8, 4000, 8
+	var inserts, removes [goroutines]int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; i < ops; i++ {
+				key := uint64(rng.Intn(keys) + 1)
+				if rng.Intn(2) == 0 {
+					if s.Insert(key, key) {
+						inserts[g]++
+					}
+				} else {
+					if s.Remove(key) {
+						removes[g]++
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var ins, rem int64
+	for g := 0; g < goroutines; g++ {
+		ins += inserts[g]
+		rem += removes[g]
+	}
+	want := ins - rem
+	if got := int64(s.Size()); got != want {
+		t.Fatalf("Size() = %d, want inserts-removes = %d-%d = %d", got, ins, rem, want)
+	}
+	// Every remaining key in range must be one of the contended keys.
+	for key := uint64(1); key <= keys; key++ {
+		s.Remove(key)
+	}
+	if s.Size() != 0 {
+		t.Fatalf("keys outside contended range remain: Size() = %d", s.Size())
+	}
+}
+
+// testConcurrentMixedReaders runs heavy readers against writers; it checks
+// that readers only ever observe values actually written for the key.
+func testConcurrentMixedReaders(t *testing.T, f Factory) {
+	s := f()
+	const keys = 16
+	// Pre-populate: key -> key*1000.
+	for k := uint64(1); k <= keys; k++ {
+		s.Insert(k, k*1000)
+	}
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	// Writers toggle keys between present (with value key*1000) and absent.
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.Intn(keys) + 1)
+				if rng.Intn(2) == 0 {
+					s.Remove(k)
+				} else {
+					s.Insert(k, k*1000)
+				}
+			}
+		}(w)
+	}
+	// Readers verify value integrity.
+	readErr := make(chan string, 1)
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(50 + r)))
+			for i := 0; i < 20000; i++ {
+				k := uint64(rng.Intn(keys) + 1)
+				if v, ok := s.Lookup(k); ok && v != k*1000 {
+					select {
+					case readErr <- "corrupt value":
+					default:
+					}
+					return
+				}
+			}
+		}(r)
+	}
+	// Readers have bounded work; once they finish, stop the writers.
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	select {
+	case msg := <-readErr:
+		t.Fatal(msg)
+	default:
+	}
+}

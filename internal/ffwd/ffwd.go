@@ -1,0 +1,265 @@
+// Package ffwd reimplements the ffwd delegation system (Roghanchi, Eriksson
+// & Basu — SOSP '17), the baseline the paper's evaluation compares DPS
+// against. ffwd splits cores into clients and a small number of dedicated
+// servers (the published implementation supports at most four). Each client
+// owns a private request line to each server; the server sweeps client lines
+// round-robin, executes requests serially against its shard, and publishes
+// responses in batches (up to 15 responses share one response line write in
+// the C implementation — here the batch size bounds how many requests are
+// executed between response publications, preserving the latency/throughput
+// trade-off the paper discusses).
+//
+// Unlike DPS, ffwd servers are reserved: they run nothing but delegation
+// processing, and clients spin while awaiting replies. Both properties are
+// what Figures 3 and 6 of the paper measure the cost of.
+package ffwd
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxServers is the most servers the published ffwd implementation
+// supports (§5.1: "four servers (s4), the maximal number of servers it
+// currently supports").
+const MaxServers = 4
+
+// DefaultBatch is the response batch size from the paper's analysis (§5.1:
+// "one cache coherency operation for sending a batch of (up to 15)
+// responses").
+const DefaultBatch = 15
+
+// ErrClosed is returned when using a closed ffwd instance.
+var ErrClosed = errors.New("ffwd: closed")
+
+// Args carries a request's arguments: up to four words (the C message
+// format) plus one reference for Go ergonomics.
+type Args struct {
+	U [4]uint64
+	P any
+}
+
+// Result is a request's return value.
+type Result struct {
+	U   uint64
+	P   any
+	Err error
+}
+
+// Op is an operation executed by a server against its shard. Servers are
+// single threads, so ops need no synchronization — the core simplification
+// delegation buys (Table 1: complexity "easy", coherence "none").
+type Op func(shard any, key uint64, args *Args) Result
+
+// reqLine is one client's private request line to one server, padded so
+// that distinct clients' lines never share a cache line.
+type reqLine struct {
+	op     Op
+	key    uint64
+	args   Args
+	res    Result
+	toggle atomic.Uint32
+	_      [60]byte
+}
+
+// System is an ffwd instance: dedicated server goroutines, each owning one
+// shard of the protected data.
+type System struct {
+	servers int
+	batch   int
+	shards  []any
+	// lines[s][c] is client c's request line to server s.
+	lines [][]reqLine
+
+	maxClients int
+	mu         sync.Mutex
+	nextClient int
+	freeIDs    []int
+	closed     atomic.Bool
+	wg         sync.WaitGroup
+}
+
+// Config parameterizes an ffwd System.
+type Config struct {
+	// Servers is the number of dedicated server threads (1..MaxServers).
+	Servers int
+	// MaxClients bounds concurrently registered clients. Defaults to 64.
+	MaxClients int
+	// Batch is the response batch size. Defaults to DefaultBatch.
+	Batch int
+	// ShardInit builds server s's shard. The data-structure is statically
+	// partitioned across servers (§5.1: "ffwd deploys four servers and
+	// statically partitions the data-structure across servers").
+	ShardInit func(s int) any
+}
+
+// New creates the system and starts its server goroutines.
+func New(cfg Config) (*System, error) {
+	if cfg.Servers < 1 || cfg.Servers > MaxServers {
+		return nil, fmt.Errorf("ffwd: servers must be in [1,%d], got %d", MaxServers, cfg.Servers)
+	}
+	if cfg.MaxClients == 0 {
+		cfg.MaxClients = 64
+	}
+	if cfg.MaxClients < 1 {
+		return nil, fmt.Errorf("ffwd: MaxClients must be >= 1, got %d", cfg.MaxClients)
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = DefaultBatch
+	}
+	if cfg.Batch < 1 {
+		return nil, fmt.Errorf("ffwd: Batch must be >= 1, got %d", cfg.Batch)
+	}
+	sys := &System{
+		servers:    cfg.Servers,
+		batch:      cfg.Batch,
+		shards:     make([]any, cfg.Servers),
+		lines:      make([][]reqLine, cfg.Servers),
+		maxClients: cfg.MaxClients,
+	}
+	for s := 0; s < cfg.Servers; s++ {
+		if cfg.ShardInit != nil {
+			sys.shards[s] = cfg.ShardInit(s)
+		}
+		sys.lines[s] = make([]reqLine, cfg.MaxClients)
+	}
+	for s := 0; s < cfg.Servers; s++ {
+		sys.wg.Add(1)
+		go sys.serverLoop(s)
+	}
+	return sys, nil
+}
+
+// Servers returns the server count.
+func (sys *System) Servers() int { return sys.servers }
+
+// Shard returns server s's shard.
+func (sys *System) Shard(s int) any { return sys.shards[s] }
+
+// ServerFor returns the server owning key (static partitioning by modulo).
+func (sys *System) ServerFor(key uint64) int {
+	return int(key % uint64(sys.servers))
+}
+
+// Close stops the servers and waits for them to exit. Outstanding client
+// calls complete first (servers drain their lines before exiting).
+func (sys *System) Close() {
+	if sys.closed.Swap(true) {
+		return
+	}
+	sys.wg.Wait()
+}
+
+// serverLoop is one dedicated server: sweep all client request lines,
+// execute pending requests serially, and publish responses in batches.
+func (sys *System) serverLoop(s int) {
+	defer sys.wg.Done()
+	lines := sys.lines[s]
+	shard := sys.shards[s]
+	// pendingResp collects executed lines whose toggles are not yet
+	// cleared — the response batch.
+	pendingResp := make([]*reqLine, 0, sys.batch)
+	flush := func() {
+		for _, l := range pendingResp {
+			l.toggle.Store(0)
+		}
+		pendingResp = pendingResp[:0]
+	}
+	for {
+		served := 0
+		for c := range lines {
+			l := &lines[c]
+			if l.toggle.Load() != 1 {
+				continue
+			}
+			l.res = runOp(shard, l)
+			pendingResp = append(pendingResp, l)
+			served++
+			if len(pendingResp) >= sys.batch {
+				flush()
+			}
+		}
+		// End of a sweep: publish whatever is batched.
+		flush()
+		if served == 0 {
+			if sys.closed.Load() {
+				return
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// runOp executes a request, converting a panic into an error result rather
+// than killing the server thread.
+func runOp(shard any, l *reqLine) (res Result) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res = Result{Err: fmt.Errorf("ffwd: panic in delegated op: %v", rec)}
+		}
+	}()
+	return l.op(shard, l.key, &l.args)
+}
+
+// Client is a registered client handle. Methods must be called from a
+// single goroutine at a time.
+type Client struct {
+	sys *System
+	id  int
+}
+
+// Register adds a client.
+func (sys *System) Register() (*Client, error) {
+	if sys.closed.Load() {
+		return nil, ErrClosed
+	}
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	var id int
+	if n := len(sys.freeIDs); n > 0 {
+		id = sys.freeIDs[n-1]
+		sys.freeIDs = sys.freeIDs[:n-1]
+	} else {
+		if sys.nextClient >= sys.maxClients {
+			return nil, fmt.Errorf("ffwd: too many clients (max %d)", sys.maxClients)
+		}
+		id = sys.nextClient
+		sys.nextClient++
+	}
+	return &Client{sys: sys, id: id}, nil
+}
+
+// Unregister releases the client's id.
+func (c *Client) Unregister() {
+	c.sys.mu.Lock()
+	c.sys.freeIDs = append(c.sys.freeIDs, c.id)
+	c.sys.mu.Unlock()
+}
+
+// Call delegates op on key to the owning server and spins until the
+// response arrives (ffwd clients busy-wait; §3.2 of the paper contrasts
+// this with DPS's overlapped waiting).
+func (c *Client) Call(key uint64, op Op, args Args) Result {
+	return c.CallServer(c.sys.ServerFor(key), key, op, args)
+}
+
+// CallServer delegates to a specific server, for callers that shard keys
+// themselves (e.g. one-server deployments where clients pre-traverse, as in
+// the paper's linked-list setup).
+func (c *Client) CallServer(s int, key uint64, op Op, args Args) Result {
+	l := &c.sys.lines[s][c.id]
+	l.op = op
+	l.key = key
+	l.args = args
+	l.toggle.Store(1)
+	for l.toggle.Load() != 0 {
+		runtime.Gosched()
+	}
+	res := l.res
+	l.res = Result{}
+	l.args.P = nil
+	return res
+}

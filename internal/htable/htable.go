@@ -1,0 +1,109 @@
+// Package htable implements the per-bucket-lock hash table that backs
+// memcached (§5.3: "The underlying data-structure of memcached is a hash
+// table protected by per-bucket locks"). It is also usable standalone as a
+// concurrent map shard inside DPS partitions.
+package htable
+
+import (
+	"fmt"
+	"sync"
+)
+
+// entry is one chained key/value pair.
+type entry struct {
+	key  uint64
+	val  []byte
+	next *entry
+}
+
+// Table is a fixed-size chained hash table with one lock per bucket.
+type Table struct {
+	buckets []bucket
+	mask    uint64
+}
+
+type bucket struct {
+	mu   sync.Mutex
+	head *entry
+	n    int
+}
+
+// New creates a table with at least minBuckets buckets (rounded up to a
+// power of two).
+func New(minBuckets int) (*Table, error) {
+	if minBuckets <= 0 {
+		return nil, fmt.Errorf("htable: bucket count must be positive, got %d", minBuckets)
+	}
+	n := 1
+	for n < minBuckets {
+		n <<= 1
+	}
+	return &Table{buckets: make([]bucket, n), mask: uint64(n - 1)}, nil
+}
+
+// Buckets returns the bucket count.
+func (t *Table) Buckets() int { return len(t.buckets) }
+
+func (t *Table) bucketFor(key uint64) *bucket {
+	// Multiplicative mixing so adjacent keys spread across buckets.
+	h := key * 0x9e3779b97f4a7c15
+	return &t.buckets[(h>>32)&t.mask]
+}
+
+// Get returns the value stored for key. The returned slice is the stored
+// value; callers must not mutate it.
+func (t *Table) Get(key uint64) ([]byte, bool) {
+	b := t.bucketFor(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for e := b.head; e != nil; e = e.next {
+		if e.key == key {
+			return e.val, true
+		}
+	}
+	return nil, false
+}
+
+// Set stores key->val, replacing any existing value. It reports whether the
+// key was newly inserted.
+func (t *Table) Set(key uint64, val []byte) bool {
+	b := t.bucketFor(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for e := b.head; e != nil; e = e.next {
+		if e.key == key {
+			e.val = val
+			return false
+		}
+	}
+	b.head = &entry{key: key, val: val, next: b.head}
+	b.n++
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Table) Delete(key uint64) bool {
+	b := t.bucketFor(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for pp := &b.head; *pp != nil; pp = &(*pp).next {
+		if (*pp).key == key {
+			*pp = (*pp).next
+			b.n--
+			return true
+		}
+	}
+	return false
+}
+
+// Len counts stored keys (not linearizable under concurrency).
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		b.mu.Lock()
+		n += b.n
+		b.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,151 @@
+package htable
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := New(0); err == nil {
+		t.Error("New(0) succeeded")
+	}
+	if _, err := New(-5); err == nil {
+		t.Error("New(-5) succeeded")
+	}
+	tb, err := New(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Buckets() != 128 {
+		t.Errorf("Buckets() = %d, want 128 (rounded up)", tb.Buckets())
+	}
+}
+
+func TestSetGetDelete(t *testing.T) {
+	t.Parallel()
+	tb, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Set(1, []byte("a")) {
+		t.Fatal("first Set reported update")
+	}
+	if tb.Set(1, []byte("b")) {
+		t.Fatal("second Set reported insert")
+	}
+	if v, ok := tb.Get(1); !ok || !bytes.Equal(v, []byte("b")) {
+		t.Fatalf("Get(1) = (%q,%v)", v, ok)
+	}
+	if _, ok := tb.Get(2); ok {
+		t.Fatal("Get(2) found missing key")
+	}
+	if !tb.Delete(1) || tb.Delete(1) {
+		t.Fatal("Delete semantics wrong")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", tb.Len())
+	}
+}
+
+func TestChainCollisions(t *testing.T) {
+	t.Parallel()
+	// One bucket: everything chains.
+	tb, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := uint64(1); i <= n; i++ {
+		tb.Set(i, []byte{byte(i)})
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len() = %d, want %d", tb.Len(), n)
+	}
+	for i := uint64(1); i <= n; i++ {
+		if v, ok := tb.Get(i); !ok || v[0] != byte(i) {
+			t.Fatalf("Get(%d) = (%v,%v)", i, v, ok)
+		}
+	}
+	// Delete middle-of-chain entries.
+	for i := uint64(2); i <= n; i += 2 {
+		if !tb.Delete(i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	for i := uint64(1); i <= n; i++ {
+		_, ok := tb.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestQuickAgainstMap(t *testing.T) {
+	t.Parallel()
+	prop := func(ops []uint16) bool {
+		tb, err := New(8)
+		if err != nil {
+			return false
+		}
+		model := map[uint64][]byte{}
+		for i, raw := range ops {
+			key := uint64(raw % 32)
+			switch (raw / 32) % 3 {
+			case 0:
+				val := []byte(fmt.Sprint(i))
+				tb.Set(key, val)
+				model[key] = val
+			case 1:
+				tb.Delete(key)
+				delete(model, key)
+			default:
+				v, ok := tb.Get(key)
+				mv, mok := model[key]
+				if ok != mok || (ok && !bytes.Equal(v, mv)) {
+					return false
+				}
+			}
+		}
+		return tb.Len() == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	t.Parallel()
+	tb, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, keysEach = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w * keysEach)
+			for i := uint64(0); i < keysEach; i++ {
+				tb.Set(base+i, []byte{byte(w)})
+			}
+			for i := uint64(0); i < keysEach; i++ {
+				if v, ok := tb.Get(base + i); !ok || v[0] != byte(w) {
+					t.Errorf("w%d: Get(%d) = (%v,%v)", w, base+i, v, ok)
+					return
+				}
+			}
+			for i := uint64(0); i < keysEach; i += 2 {
+				tb.Delete(base + i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := tb.Len(), workers*keysEach/2; got != want {
+		t.Fatalf("Len() = %d, want %d", got, want)
+	}
+}

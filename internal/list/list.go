@@ -1,0 +1,245 @@
+// Package list implements the sorted singly-linked-list set variants the
+// paper evaluates (§5.2, Figure 9 and Figure 10):
+//
+//   - GlobalLock ("gl-m"): a sequential list serialized by one MCS lock.
+//   - Lazy ("lb-l"): the lazy lock-based list of Heller et al. (OPODIS '05)
+//     with per-node locks, logical deletion marks and wait-free lookups.
+//   - Michael ("lf-m"): the Michael lock-free list (SPAA '02), realized with
+//     atomically-replaced (successor, marked) references in the style of
+//     Java's AtomicMarkableReference, preserving the algorithm's marking
+//     protocol under Go's memory model.
+//   - OPTIK ("optik"): a fine-grained list using OPTIK version locks with
+//     optimistic traversal and validate-and-lock in one step (Guerraoui &
+//     Trigonakis, PPoPP '16).
+//   - ParSec ("parsec"): the list DPS integrates with in §5.2 — quiescence
+//     (epoch)-protected lock-free reads, writers serialized by an MCS lock,
+//     removed nodes retired through the quiescence domain.
+//
+// All variants implement the dstest.Set shape: Lookup / Insert / Remove /
+// Size over uint64 keys in (0, ^uint64(0)) with uint64 values.
+package list
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dps/internal/locks"
+)
+
+// ---------------------------------------------------------------------------
+// GlobalLock (gl-m)
+
+// glNode is a plain singly-linked node.
+type glNode struct {
+	key  uint64
+	val  uint64
+	next *glNode
+}
+
+// GlobalLock is a sorted list protected by a single global MCS lock — the
+// naive baseline ("gl-m") whose gap to the sophisticated lists DPS closes
+// (§5.2: "with DPS the naive gl-m list is on par with the complicated
+// Michael list").
+type GlobalLock struct {
+	lock locks.MCS
+	head *glNode // sentinel
+}
+
+// NewGlobalLock creates an empty list.
+func NewGlobalLock() *GlobalLock {
+	// Head sentinel (key 0) linked to tail sentinel (max key).
+	tail := &glNode{key: ^uint64(0)}
+	return &GlobalLock{head: &glNode{next: tail}}
+}
+
+// Lookup reports whether key is present and returns its value.
+func (l *GlobalLock) Lookup(key uint64) (uint64, bool) {
+	g := l.lock.Lock()
+	defer l.lock.Unlock(g)
+	cur := l.head.next
+	for cur.key < key {
+		cur = cur.next
+	}
+	if cur.key == key {
+		return cur.val, true
+	}
+	return 0, false
+}
+
+// Insert adds key->val if absent.
+func (l *GlobalLock) Insert(key, val uint64) bool {
+	g := l.lock.Lock()
+	defer l.lock.Unlock(g)
+	pred := l.head
+	cur := pred.next
+	for cur.key < key {
+		pred, cur = cur, cur.next
+	}
+	if cur.key == key {
+		return false
+	}
+	pred.next = &glNode{key: key, val: val, next: cur}
+	return true
+}
+
+// Remove deletes key if present.
+func (l *GlobalLock) Remove(key uint64) bool {
+	g := l.lock.Lock()
+	defer l.lock.Unlock(g)
+	pred := l.head
+	cur := pred.next
+	for cur.key < key {
+		pred, cur = cur, cur.next
+	}
+	if cur.key != key {
+		return false
+	}
+	pred.next = cur.next
+	return true
+}
+
+// Size counts elements.
+func (l *GlobalLock) Size() int {
+	g := l.lock.Lock()
+	defer l.lock.Unlock(g)
+	n := 0
+	for cur := l.head.next; cur.key != ^uint64(0); cur = cur.next {
+		n++
+	}
+	return n
+}
+
+// Keys returns all keys in ascending order.
+func (l *GlobalLock) Keys() []uint64 {
+	g := l.lock.Lock()
+	defer l.lock.Unlock(g)
+	var out []uint64
+	for cur := l.head.next; cur.key != ^uint64(0); cur = cur.next {
+		out = append(out, cur.key)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Lazy (lb-l)
+
+// lazyNode carries a per-node mutex and a "marked" flag for logical
+// deletion. Lookups are wait-free: they traverse without locking and decide
+// membership from the mark.
+type lazyNode struct {
+	key    uint64
+	val    uint64
+	marked atomic.Bool
+	next   atomic.Pointer[lazyNode]
+	mu     sync.Mutex
+}
+
+// Lazy is the Heller et al. lazy list ("lb-l").
+type Lazy struct {
+	head *lazyNode
+}
+
+// NewLazy creates an empty list.
+func NewLazy() *Lazy {
+	tail := &lazyNode{key: ^uint64(0)}
+	head := &lazyNode{}
+	head.next.Store(tail)
+	return &Lazy{head: head}
+}
+
+// Lookup is wait-free: one traversal, no locks, membership decided by the
+// logical-deletion mark.
+func (l *Lazy) Lookup(key uint64) (uint64, bool) {
+	cur := l.head.next.Load()
+	for cur.key < key {
+		cur = cur.next.Load()
+	}
+	if cur.key == key && !cur.marked.Load() {
+		return cur.val, true
+	}
+	return 0, false
+}
+
+// validate checks pred and cur are unmarked and adjacent — the lazy list's
+// post-lock validation.
+func lazyValidate(pred, cur *lazyNode) bool {
+	return !pred.marked.Load() && !cur.marked.Load() && pred.next.Load() == cur
+}
+
+// Insert adds key->val if absent.
+func (l *Lazy) Insert(key, val uint64) bool {
+	for {
+		pred := l.head
+		cur := pred.next.Load()
+		for cur.key < key {
+			pred, cur = cur, cur.next.Load()
+		}
+		pred.mu.Lock()
+		cur.mu.Lock()
+		if lazyValidate(pred, cur) {
+			if cur.key == key {
+				cur.mu.Unlock()
+				pred.mu.Unlock()
+				return false
+			}
+			n := &lazyNode{key: key, val: val}
+			n.next.Store(cur)
+			pred.next.Store(n)
+			cur.mu.Unlock()
+			pred.mu.Unlock()
+			return true
+		}
+		cur.mu.Unlock()
+		pred.mu.Unlock()
+	}
+}
+
+// Remove deletes key if present: logical mark under locks, then physical
+// unlink.
+func (l *Lazy) Remove(key uint64) bool {
+	for {
+		pred := l.head
+		cur := pred.next.Load()
+		for cur.key < key {
+			pred, cur = cur, cur.next.Load()
+		}
+		pred.mu.Lock()
+		cur.mu.Lock()
+		if lazyValidate(pred, cur) {
+			if cur.key != key {
+				cur.mu.Unlock()
+				pred.mu.Unlock()
+				return false
+			}
+			cur.marked.Store(true)           // logical delete
+			pred.next.Store(cur.next.Load()) // physical unlink
+			cur.mu.Unlock()
+			pred.mu.Unlock()
+			return true
+		}
+		cur.mu.Unlock()
+		pred.mu.Unlock()
+	}
+}
+
+// Size counts unmarked elements.
+func (l *Lazy) Size() int {
+	n := 0
+	for cur := l.head.next.Load(); cur.key != ^uint64(0); cur = cur.next.Load() {
+		if !cur.marked.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Keys returns unmarked keys in ascending order.
+func (l *Lazy) Keys() []uint64 {
+	var out []uint64
+	for cur := l.head.next.Load(); cur.key != ^uint64(0); cur = cur.next.Load() {
+		if !cur.marked.Load() {
+			out = append(out, cur.key)
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package list
+
+import (
+	"testing"
+
+	"dps/internal/dstest"
+	"dps/internal/parsec"
+)
+
+func TestGlobalLock(t *testing.T) {
+	dstest.RunSuite(t, "GlobalLock", func() dstest.Set { return NewGlobalLock() })
+}
+
+func TestLazy(t *testing.T) {
+	dstest.RunSuite(t, "Lazy", func() dstest.Set { return NewLazy() })
+}
+
+func TestMichael(t *testing.T) {
+	dstest.RunSuite(t, "Michael", func() dstest.Set { return NewMichael() })
+}
+
+func TestOPTIK(t *testing.T) {
+	dstest.RunSuite(t, "OPTIK", func() dstest.Set { return NewOPTIK() })
+}
+
+func TestParSec(t *testing.T) {
+	dstest.RunSuite(t, "ParSec", func() dstest.Set { return NewParSec() })
+}
+
+func TestParSecReclamation(t *testing.T) {
+	t.Parallel()
+	l := NewParSec()
+	for i := uint64(1); i <= 100; i++ {
+		l.Insert(i, i)
+	}
+	for i := uint64(1); i <= 100; i++ {
+		l.Remove(i)
+	}
+	// No readers registered: synchronize should reclaim all 100 nodes.
+	l.Domain().Synchronize()
+	if got := l.Domain().Reclaimed(); got != 100 {
+		t.Fatalf("Reclaimed() = %d, want 100", got)
+	}
+	if l.Domain().Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", l.Domain().Pending())
+	}
+}
+
+func TestParSecReaderBlocksReclamation(t *testing.T) {
+	t.Parallel()
+	dom := parsec.NewDomain()
+	l := NewParSecIn(dom)
+	l.Insert(1, 10)
+	l.Insert(2, 20)
+
+	reader := dom.Register()
+	defer reader.Unregister()
+	reader.Enter()
+	l.Remove(1)
+	if dom.Reclaimed() != 0 {
+		t.Fatal("node reclaimed while reader active")
+	}
+	reader.Exit()
+	dom.Synchronize()
+	if dom.Reclaimed() != 1 {
+		t.Fatalf("Reclaimed() = %d, want 1", dom.Reclaimed())
+	}
+}
+
+func BenchmarkLists(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func() dstest.Set
+	}{
+		{"GlobalLock", func() dstest.Set { return NewGlobalLock() }},
+		{"Lazy", func() dstest.Set { return NewLazy() }},
+		{"Michael", func() dstest.Set { return NewMichael() }},
+		{"OPTIK", func() dstest.Set { return NewOPTIK() }},
+		{"ParSec", func() dstest.Set { return NewParSec() }},
+	}
+	for _, impl := range impls {
+		b.Run(impl.name+"/Lookup", func(b *testing.B) {
+			s := impl.mk()
+			const n = 512
+			for i := uint64(1); i <= n; i++ {
+				s.Insert(i*2, i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Lookup(uint64(i%n)*2 + 1) // miss path: full-precision traversal
+			}
+		})
+		b.Run(impl.name+"/InsertRemove", func(b *testing.B) {
+			s := impl.mk()
+			const n = 512
+			for i := uint64(1); i <= n; i++ {
+				s.Insert(i*2, i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := uint64(i%n)*2 + 1
+				s.Insert(k, k)
+				s.Remove(k)
+			}
+		})
+	}
+}

@@ -1,0 +1,149 @@
+package list
+
+import "sync/atomic"
+
+// mRef is an atomically-replaceable (successor, marked) pair: the Go
+// realization of the single-word CAS the Michael/Harris list performs on a
+// mark-tagged next pointer. Replacing the whole mRef box with one CAS makes
+// "mark the next pointer" and "swing the next pointer" atomic, which is
+// what excludes the lost-insert/lost-delete races of naive mark-as-field
+// designs.
+type mRef struct {
+	next   *mNode
+	marked bool
+}
+
+// mNode is a Michael-list node.
+type mNode struct {
+	key uint64
+	val uint64
+	ref atomic.Pointer[mRef]
+}
+
+func (n *mNode) load() *mRef { return n.ref.Load() }
+
+// Michael is the Michael lock-free sorted list ("lf-m", SPAA '02). Lookups
+// are wait-free modulo helping; inserts and removes are lock-free.
+type Michael struct {
+	head *mNode
+}
+
+// NewMichael creates an empty list.
+func NewMichael() *Michael {
+	tail := &mNode{key: ^uint64(0)}
+	tail.ref.Store(&mRef{})
+	head := &mNode{}
+	head.ref.Store(&mRef{next: tail})
+	return &Michael{head: head}
+}
+
+// search returns (pred, cur) with pred.key < key <= cur.key, physically
+// unlinking marked nodes it passes (the helping step).
+func (l *Michael) search(key uint64) (*mNode, *mNode) {
+retry:
+	for {
+		pred := l.head
+		predRef := pred.load()
+		cur := predRef.next
+		for {
+			curRef := cur.load()
+			for curRef.marked {
+				// cur is logically deleted: help unlink it.
+				unlinked := &mRef{next: curRef.next}
+				if !pred.ref.CompareAndSwap(predRef, unlinked) {
+					continue retry
+				}
+				predRef = unlinked
+				cur = curRef.next
+				curRef = cur.load()
+			}
+			if cur.key >= key {
+				return pred, cur
+			}
+			pred, predRef = cur, curRef
+			cur = curRef.next
+		}
+	}
+}
+
+// Lookup reports whether key is present and returns its value. It traverses
+// without helping (wait-free), deciding membership from the mark.
+func (l *Michael) Lookup(key uint64) (uint64, bool) {
+	cur := l.head.load().next
+	for cur.key < key {
+		cur = cur.load().next
+	}
+	if cur.key == key && !cur.load().marked {
+		return cur.val, true
+	}
+	return 0, false
+}
+
+// Insert adds key->val if absent.
+func (l *Michael) Insert(key, val uint64) bool {
+	for {
+		pred, cur := l.search(key)
+		if cur.key == key {
+			return false
+		}
+		n := &mNode{key: key, val: val}
+		n.ref.Store(&mRef{next: cur})
+		predRef := pred.load()
+		if predRef.marked || predRef.next != cur {
+			continue
+		}
+		if pred.ref.CompareAndSwap(predRef, &mRef{next: n}) {
+			return true
+		}
+	}
+}
+
+// Remove deletes key if present: CAS the victim's ref to marked (logical
+// delete — the linearization point), then attempt the physical unlink.
+func (l *Michael) Remove(key uint64) bool {
+	for {
+		pred, cur := l.search(key)
+		if cur.key != key {
+			return false
+		}
+		curRef := cur.load()
+		if curRef.marked {
+			return false
+		}
+		if !cur.ref.CompareAndSwap(curRef, &mRef{next: curRef.next, marked: true}) {
+			continue
+		}
+		// Physical unlink; on failure a later search will help.
+		predRef := pred.load()
+		if !predRef.marked && predRef.next == cur {
+			pred.ref.CompareAndSwap(predRef, &mRef{next: curRef.next})
+		}
+		return true
+	}
+}
+
+// Size counts unmarked elements.
+func (l *Michael) Size() int {
+	n := 0
+	for cur := l.head.load().next; cur.key != ^uint64(0); {
+		ref := cur.load()
+		if !ref.marked {
+			n++
+		}
+		cur = ref.next
+	}
+	return n
+}
+
+// Keys returns unmarked keys in ascending order.
+func (l *Michael) Keys() []uint64 {
+	var out []uint64
+	for cur := l.head.load().next; cur.key != ^uint64(0); {
+		ref := cur.load()
+		if !ref.marked {
+			out = append(out, cur.key)
+		}
+		cur = ref.next
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package list
+
+import (
+	"sync/atomic"
+
+	"dps/internal/locks"
+)
+
+// optikNode is a list node protected by a per-node OPTIK version lock. The
+// node's version covers its next pointer and deletion state: any writer
+// bumps it, so an optimistic traverser can detect interference with a
+// single version comparison instead of re-traversing.
+type optikNode struct {
+	key     uint64
+	val     uint64
+	lock    locks.OPTIK
+	next    atomic.Pointer[optikNode]
+	deleted atomic.Bool
+}
+
+// OPTIK is a sorted list built on the OPTIK design pattern (Guerraoui &
+// Trigonakis, PPoPP '16): traverse optimistically recording the
+// predecessor's version, then validate-and-lock with a single
+// TryLockVersion — failure means a concurrent writer touched the
+// predecessor and the operation restarts.
+type OPTIK struct {
+	head *optikNode
+}
+
+// NewOPTIK creates an empty list.
+func NewOPTIK() *OPTIK {
+	tail := &optikNode{key: ^uint64(0)}
+	head := &optikNode{}
+	head.next.Store(tail)
+	return &OPTIK{head: head}
+}
+
+// search returns (pred, predVersion, cur) where pred.key < key <= cur.key
+// and predVersion is pred's lock version observed during traversal.
+func (l *OPTIK) search(key uint64) (*optikNode, uint64, *optikNode) {
+	pred := l.head
+	predV := pred.lock.Version()
+	cur := pred.next.Load()
+	for cur.key < key {
+		curV := cur.lock.Version()
+		pred, predV = cur, curV
+		cur = cur.next.Load()
+	}
+	return pred, predV, cur
+}
+
+// Lookup reports whether key is present and returns its value. As in the
+// OPTIK list, lookups are simple optimistic traversals.
+func (l *OPTIK) Lookup(key uint64) (uint64, bool) {
+	cur := l.head.next.Load()
+	for cur.key < key {
+		cur = cur.next.Load()
+	}
+	if cur.key == key && !cur.deleted.Load() {
+		return cur.val, true
+	}
+	return 0, false
+}
+
+// Insert adds key->val if absent: optimistic traversal, then
+// validate-and-lock the predecessor in one step.
+func (l *OPTIK) Insert(key, val uint64) bool {
+	for {
+		pred, predV, cur := l.search(key)
+		if cur.key == key && !cur.deleted.Load() {
+			// Present; still validate pred so a racing removal of cur
+			// does not hide behind a stale traversal.
+			if pred.lock.Validate(predV) {
+				return false
+			}
+			continue
+		}
+		if !pred.lock.TryLockVersion(predV) {
+			continue // version moved: concurrent writer, restart
+		}
+		if pred.next.Load() != cur || pred.deleted.Load() {
+			pred.lock.Unlock()
+			continue
+		}
+		if cur.key == key {
+			// cur was logically deleted but not yet unlinked (it cannot
+			// be: unlinking bumps pred's version). Unlink it and insert
+			// the fresh node.
+			n := &optikNode{key: key, val: val}
+			n.next.Store(cur.next.Load())
+			pred.next.Store(n)
+			pred.lock.Unlock()
+			return true
+		}
+		n := &optikNode{key: key, val: val}
+		n.next.Store(cur)
+		pred.next.Store(n)
+		pred.lock.Unlock()
+		return true
+	}
+}
+
+// Remove deletes key if present: lock the predecessor by version, then lock
+// the victim, mark it deleted and unlink.
+func (l *OPTIK) Remove(key uint64) bool {
+	for {
+		pred, predV, cur := l.search(key)
+		if cur.key != key || cur.deleted.Load() {
+			if pred.lock.Validate(predV) {
+				return false
+			}
+			continue
+		}
+		if !pred.lock.TryLockVersion(predV) {
+			continue
+		}
+		if pred.next.Load() != cur || pred.deleted.Load() {
+			pred.lock.Unlock()
+			continue
+		}
+		cur.lock.Lock()
+		if cur.deleted.Load() {
+			cur.lock.Unlock()
+			pred.lock.Unlock()
+			return false
+		}
+		cur.deleted.Store(true)
+		pred.next.Store(cur.next.Load())
+		cur.lock.Unlock()
+		pred.lock.Unlock()
+		return true
+	}
+}
+
+// Size counts live elements.
+func (l *OPTIK) Size() int {
+	n := 0
+	for cur := l.head.next.Load(); cur.key != ^uint64(0); cur = cur.next.Load() {
+		if !cur.deleted.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Keys returns live keys in ascending order.
+func (l *OPTIK) Keys() []uint64 {
+	var out []uint64
+	for cur := l.head.next.Load(); cur.key != ^uint64(0); cur = cur.next.Load() {
+		if !cur.deleted.Load() {
+			out = append(out, cur.key)
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package list
+
+import (
+	"sync/atomic"
+
+	"dps/internal/locks"
+	"dps/internal/parsec"
+)
+
+// psNode is a ParSec-list node. Readers traverse next pointers without
+// locks inside a quiescence read-side section; writers serialize on the
+// list's MCS lock and retire unlinked nodes to the quiescence domain.
+type psNode struct {
+	key  uint64
+	val  uint64
+	next atomic.Pointer[psNode]
+	// freed is set when the node's retirement callback runs; readers that
+	// still see the node afterwards indicate a quiescence bug, which the
+	// tests assert against.
+	freed atomic.Bool
+}
+
+// ParSec is the list DPS integrates with in the paper's §5.2 linked-list
+// evaluation: "the ParSec linked list, which uses ParSec quiescence for
+// memory reclamation and an MCS lock to serialize writers". Reads are
+// synchronization-free; the single writer lock is what makes its update
+// path degrade at high update ratios (the Figure 10(c) discussion).
+type ParSec struct {
+	dom    *parsec.Domain
+	writer locks.MCS
+	head   *psNode
+}
+
+// NewParSec creates an empty list with its own quiescence domain.
+func NewParSec() *ParSec {
+	return NewParSecIn(parsec.NewDomain())
+}
+
+// NewParSecIn creates an empty list that retires nodes into dom, for
+// embedding into runtimes (like DPS) that manage a shared domain.
+func NewParSecIn(dom *parsec.Domain) *ParSec {
+	tail := &psNode{key: ^uint64(0)}
+	head := &psNode{}
+	head.next.Store(tail)
+	return &ParSec{dom: dom, head: head}
+}
+
+// Domain returns the quiescence domain nodes are retired into.
+func (l *ParSec) Domain() *parsec.Domain { return l.dom }
+
+// LookupIn is Lookup for callers that already hold a registered quiescence
+// thread and manage Enter/Exit themselves (as the DPS runtime does around
+// delegated operations).
+func (l *ParSec) LookupIn(key uint64) (uint64, bool) {
+	cur := l.head.next.Load()
+	for cur.key < key {
+		cur = cur.next.Load()
+	}
+	if cur.key == key {
+		return cur.val, true
+	}
+	return 0, false
+}
+
+// Lookup registers a transient quiescence thread, brackets the traversal in
+// a read-side section and reports membership. Callers on hot paths should
+// use LookupIn with a long-lived registration instead.
+func (l *ParSec) Lookup(key uint64) (uint64, bool) {
+	th := l.dom.Register()
+	th.Enter()
+	v, ok := l.LookupIn(key)
+	th.Exit()
+	th.Unregister()
+	return v, ok
+}
+
+// Insert adds key->val if absent. Writers are serialized by the MCS lock.
+func (l *ParSec) Insert(key, val uint64) bool {
+	g := l.writer.Lock()
+	defer l.writer.Unlock(g)
+	pred := l.head
+	cur := pred.next.Load()
+	for cur.key < key {
+		pred, cur = cur, cur.next.Load()
+	}
+	if cur.key == key {
+		return false
+	}
+	n := &psNode{key: key, val: val}
+	n.next.Store(cur)
+	pred.next.Store(n)
+	return true
+}
+
+// Remove deletes key if present, retiring the node through quiescence so
+// concurrent lock-free readers never observe freed memory.
+func (l *ParSec) Remove(key uint64) bool {
+	g := l.writer.Lock()
+	victim := (*psNode)(nil)
+	pred := l.head
+	cur := pred.next.Load()
+	for cur.key < key {
+		pred, cur = cur, cur.next.Load()
+	}
+	if cur.key == key {
+		pred.next.Store(cur.next.Load())
+		victim = cur
+	}
+	l.writer.Unlock(g)
+	if victim == nil {
+		return false
+	}
+	l.dom.RetireFunc(func() { victim.freed.Store(true) })
+	return true
+}
+
+// Size counts elements under a read-side section.
+func (l *ParSec) Size() int {
+	th := l.dom.Register()
+	th.Enter()
+	n := 0
+	for cur := l.head.next.Load(); cur.key != ^uint64(0); cur = cur.next.Load() {
+		n++
+	}
+	th.Exit()
+	th.Unregister()
+	return n
+}
+
+// Keys returns keys in ascending order under a read-side section.
+func (l *ParSec) Keys() []uint64 {
+	th := l.dom.Register()
+	th.Enter()
+	var out []uint64
+	for cur := l.head.next.Load(); cur.key != ^uint64(0); cur = cur.next.Load() {
+		out = append(out, cur.key)
+	}
+	th.Exit()
+	th.Unregister()
+	return out
+}

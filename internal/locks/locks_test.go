@@ -1,0 +1,218 @@
+package locks
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMCSMutualExclusion(t *testing.T) {
+	t.Parallel()
+	var l MCS
+	const goroutines, iters = 8, 2000
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				g := l.Lock()
+				counter++
+				l.Unlock(g)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*iters)
+	}
+}
+
+func TestMCSLockWithReusesGuard(t *testing.T) {
+	t.Parallel()
+	var l MCS
+	var g MCSGuard
+	for i := 0; i < 100; i++ {
+		l.LockWith(&g)
+		l.Unlock(&g)
+	}
+}
+
+func TestMCSTryLock(t *testing.T) {
+	t.Parallel()
+	var l MCS
+	g := l.TryLock()
+	if g == nil {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() != nil {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock(g)
+	g2 := l.TryLock()
+	if g2 == nil {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	l.Unlock(g2)
+}
+
+func TestMCSHandoffOrder(t *testing.T) {
+	t.Parallel()
+	// With a held lock and one queued waiter, unlock must hand over rather
+	// than let a late TryLock barge.
+	var l MCS
+	g := l.Lock()
+	acquired := make(chan struct{})
+	go func() {
+		g2 := l.Lock()
+		close(acquired)
+		l.Unlock(g2)
+	}()
+	// Wait until the waiter is queued (tail changed away from our node).
+	for l.tail.Load() == &g.node {
+	}
+	if l.TryLock() != nil {
+		t.Fatal("TryLock succeeded while lock held with waiter")
+	}
+	l.Unlock(g)
+	<-acquired
+}
+
+func TestTicketMutualExclusion(t *testing.T) {
+	t.Parallel()
+	var l Ticket
+	const goroutines, iters = 8, 2000
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*iters)
+	}
+}
+
+func TestTicketTryLock(t *testing.T) {
+	t.Parallel()
+	var l Ticket
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestOPTIKVersioning(t *testing.T) {
+	t.Parallel()
+	var l OPTIK
+	v := l.Version()
+	if IsLocked(v) {
+		t.Fatal("zero-value OPTIK reports locked")
+	}
+	if !l.TryLockVersion(v) {
+		t.Fatal("TryLockVersion on clean version failed")
+	}
+	if l.TryLockVersion(v) {
+		t.Fatal("TryLockVersion re-acquired a held lock")
+	}
+	if !IsLocked(l.Version()) {
+		t.Fatal("held lock not reported locked")
+	}
+	l.Unlock()
+	if l.Validate(v) {
+		t.Fatal("Validate passed after a write cycle")
+	}
+	v2 := l.Version()
+	if v2 != v+2 {
+		t.Fatalf("version = %d, want %d", v2, v+2)
+	}
+}
+
+func TestOPTIKStaleVersionFails(t *testing.T) {
+	t.Parallel()
+	var l OPTIK
+	v := l.Version()
+	l.Lock()
+	l.Unlock()
+	if l.TryLockVersion(v) {
+		t.Fatal("TryLockVersion succeeded with stale version")
+	}
+}
+
+func TestOPTIKLockedVersionFails(t *testing.T) {
+	t.Parallel()
+	var l OPTIK
+	l.Lock()
+	v := l.Version()
+	if l.TryLockVersion(v) {
+		t.Fatal("TryLockVersion succeeded with locked version")
+	}
+	l.Unlock()
+}
+
+func TestOPTIKMutualExclusion(t *testing.T) {
+	t.Parallel()
+	var l OPTIK
+	const goroutines, iters = 8, 2000
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*iters)
+	}
+}
+
+func BenchmarkMCSUncontended(b *testing.B) {
+	var l MCS
+	var g MCSGuard
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.LockWith(&g)
+		l.Unlock(&g)
+	}
+}
+
+func BenchmarkTicketUncontended(b *testing.B) {
+	var l Ticket
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+func BenchmarkOPTIKUncontended(b *testing.B) {
+	var l OPTIK
+	for i := 0; i < b.N; i++ {
+		v := l.Version()
+		if !l.TryLockVersion(v) {
+			b.Fatal("uncontended TryLockVersion failed")
+		}
+		l.Unlock()
+	}
+}

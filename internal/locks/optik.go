@@ -1,0 +1,62 @@
+package locks
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// OPTIK is a versioned lock supporting the OPTIK design pattern for
+// optimistic concurrency (Guerraoui & Trigonakis, PPoPP '16). Readers record
+// a version, traverse optimistically, and writers acquire the lock only if
+// the version has not changed since it was read — merging the validation and
+// locking steps into a single compare-and-swap.
+//
+// The version is even when the lock is free and odd while it is held. The
+// zero value is a free lock at version 0.
+type OPTIK struct {
+	version atomic.Uint64
+}
+
+// Version returns the current version for a later TryLockVersion validation.
+// If the lock is currently held, the returned version is odd and any
+// subsequent TryLockVersion with it will fail.
+func (l *OPTIK) Version() uint64 {
+	return l.version.Load()
+}
+
+// IsLocked reports whether v denotes a held lock.
+func IsLocked(v uint64) bool { return v&1 == 1 }
+
+// TryLockVersion acquires the lock only if the version still equals v — the
+// OPTIK pattern's "validate and lock in one step". It fails if the protected
+// data changed (version moved on) or the lock is held.
+func (l *OPTIK) TryLockVersion(v uint64) bool {
+	if IsLocked(v) {
+		return false
+	}
+	return l.version.CompareAndSwap(v, v+1)
+}
+
+// Lock acquires the lock unconditionally (pessimistic path), spinning until
+// it observes a free version and wins the CAS.
+func (l *OPTIK) Lock() {
+	for {
+		v := l.version.Load()
+		if !IsLocked(v) && l.version.CompareAndSwap(v, v+1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases the lock, advancing the version so concurrent optimistic
+// readers observe the change.
+func (l *OPTIK) Unlock() {
+	l.version.Add(1)
+}
+
+// Validate reports whether the version is still v, i.e. no writer acquired
+// the lock since v was read.
+func (l *OPTIK) Validate(v uint64) bool {
+	return l.version.Load() == v
+}

@@ -1,0 +1,35 @@
+package locks
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Ticket is a FIFO ticket spinlock. It is the simplest fair lock and is used
+// by the simulator's lock cost model and by tests as a reference
+// implementation for mutual-exclusion properties.
+//
+// The zero value is an unlocked ticket lock.
+type Ticket struct {
+	next    atomic.Uint64
+	serving atomic.Uint64
+}
+
+// Lock takes a ticket and spins until it is served.
+func (l *Ticket) Lock() {
+	t := l.next.Add(1) - 1
+	for l.serving.Load() != t {
+		runtime.Gosched()
+	}
+}
+
+// Unlock serves the next ticket.
+func (l *Ticket) Unlock() {
+	l.serving.Add(1)
+}
+
+// TryLock acquires the lock only if no one holds or awaits it.
+func (l *Ticket) TryLock() bool {
+	s := l.serving.Load()
+	return l.next.CompareAndSwap(s, s+1)
+}

@@ -1,0 +1,238 @@
+package mcd
+
+import (
+	"fmt"
+
+	"dps/internal/core"
+	"dps/internal/ffwd"
+)
+
+// DPS partitions a memcached variant across DPS localities, the §5.3 port:
+// "partitions not only the hash table, but also all associated
+// data-structures [LRU, slab]. It also asynchronously delegates set
+// requests to remote partitions, while get requests remain synchronous
+// delegations." With LocalGets (the DPS-ParSec configuration), gets run on
+// the calling thread against the owning partition's shard instead — §4.4's
+// local-execution optimization, valid because the ParSec shard's get path
+// is safe for cross-locality readers.
+type DPS struct {
+	rt        *core.Runtime
+	localGets bool
+}
+
+// DPSConfig parameterizes the partitioned cache.
+type DPSConfig struct {
+	// Partitions is the locality count (one full cache shard per
+	// locality — hash table, LRU and slab all partition together).
+	Partitions int
+	// NewShard builds one partition's cache (each gets 1/Partitions of
+	// the memory budget). Defaults to Stock shards.
+	NewShard func() (Cache, error)
+	// LocalGets executes gets on the calling thread (DPS-ParSec mode).
+	// Only safe when the shard's Get is concurrency-safe for readers
+	// outside the owning locality.
+	LocalGets bool
+	// MaxThreads bounds registered handles.
+	MaxThreads int
+}
+
+// NewDPS creates the partitioned cache.
+func NewDPS(cfg DPSConfig) (*DPS, error) {
+	if cfg.NewShard == nil {
+		cfg.NewShard = func() (Cache, error) { return NewStock(StockConfig{}) }
+	}
+	var shardErr error
+	rt, err := core.New(core.Config{
+		Partitions: cfg.Partitions,
+		MaxThreads: cfg.MaxThreads,
+		Init: func(p *core.Partition) any {
+			c, err := cfg.NewShard()
+			if err != nil && shardErr == nil {
+				shardErr = err
+			}
+			return c
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shardErr != nil {
+		return nil, fmt.Errorf("mcd: shard init: %w", shardErr)
+	}
+	return &DPS{rt: rt, localGets: cfg.LocalGets}, nil
+}
+
+// Runtime exposes the underlying DPS runtime.
+func (d *DPS) Runtime() *core.Runtime { return d.rt }
+
+// DPSHandle is a registered, locality-bound accessor (one goroutine at a
+// time, like core.Thread).
+type DPSHandle struct {
+	t *core.Thread
+	d *DPS
+}
+
+// Register binds the caller to the least-loaded locality.
+func (d *DPS) Register() (*DPSHandle, error) {
+	t, err := d.rt.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &DPSHandle{t: t, d: d}, nil
+}
+
+// RegisterAt binds the caller to locality loc.
+func (d *DPS) RegisterAt(loc int) (*DPSHandle, error) {
+	t, err := d.rt.RegisterAt(loc)
+	if err != nil {
+		return nil, err
+	}
+	return &DPSHandle{t: t, d: d}, nil
+}
+
+// Unregister drains outstanding asynchronous sets and releases the handle.
+func (h *DPSHandle) Unregister() { h.t.Unregister() }
+
+// Serve processes requests pending on the handle's locality.
+func (h *DPSHandle) Serve() int { return h.t.Serve() }
+
+// Drain waits for the handle's asynchronous sets to complete.
+func (h *DPSHandle) Drain() { h.t.Drain() }
+
+func opGet(p *core.Partition, key uint64, _ *core.Args) core.Result {
+	v, ok := p.Data().(Cache).Get(key)
+	return core.Result{P: v, U: boolU(ok)}
+}
+
+func opSet(p *core.Partition, key uint64, args *core.Args) core.Result {
+	if err := p.Data().(Cache).Set(key, args.P.([]byte)); err != nil {
+		return core.Result{Err: err}
+	}
+	return core.Result{}
+}
+
+func opDelete(p *core.Partition, key uint64, _ *core.Args) core.Result {
+	return core.Result{U: boolU(p.Data().(Cache).Delete(key))}
+}
+
+func opLen(p *core.Partition, _ uint64, _ *core.Args) core.Result {
+	return core.Result{U: uint64(p.Data().(Cache).Len())}
+}
+
+func boolU(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Get fetches key's value: synchronous delegation to the owning locality,
+// or local execution in LocalGets mode.
+func (h *DPSHandle) Get(key uint64) ([]byte, bool) {
+	var res core.Result
+	if h.d.localGets {
+		res = h.t.ExecuteLocal(key, opGet, core.Args{})
+	} else {
+		res = h.t.ExecuteSync(key, opGet, core.Args{})
+	}
+	if res.U == 0 {
+		return nil, false
+	}
+	return res.P.([]byte), true
+}
+
+// Set stores key->val asynchronously (fire-and-forget delegation). Ordering
+// to the same partition is FIFO, so this handle's later Get of the same key
+// observes the Set (§3.3 read-your-writes). Errors from asynchronous sets
+// (cache full, oversized value) surface as panics on the serving thread;
+// use SetSync when the caller must observe them.
+func (h *DPSHandle) Set(key uint64, val []byte) {
+	h.t.ExecuteAsync(key, opSet, core.Args{P: val})
+}
+
+// SetSync stores key->val and waits for the result.
+func (h *DPSHandle) SetSync(key uint64, val []byte) error {
+	return h.t.ExecuteSync(key, opSet, core.Args{P: val}).Err
+}
+
+// Delete removes key (synchronous).
+func (h *DPSHandle) Delete(key uint64) bool {
+	return h.t.ExecuteSync(key, opDelete, core.Args{}).U == 1
+}
+
+// Len sums shard sizes with a broadcast.
+func (h *DPSHandle) Len() int {
+	res := h.t.ExecuteAll(opLen, core.Args{}, func(rs []core.Result) core.Result {
+		var sum uint64
+		for _, r := range rs {
+			sum += r.U
+		}
+		return core.Result{U: sum}
+	})
+	return int(res.U)
+}
+
+// FFWD wraps a single unsynchronized cache shard behind one ffwd server —
+// the §5.3 ffwd memcached, "where all get and set operations are delegated
+// to a single server without any synchronization".
+type FFWD struct {
+	sys *ffwd.System
+}
+
+// NewFFWD creates the single-server delegated cache.
+func NewFFWD(shard Cache) (*FFWD, error) {
+	sys, err := ffwd.New(ffwd.Config{
+		Servers:   1,
+		ShardInit: func(int) any { return shard },
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FFWD{sys: sys}, nil
+}
+
+// Close stops the server.
+func (f *FFWD) Close() { f.sys.Close() }
+
+// FFWDHandle is a registered client.
+type FFWDHandle struct {
+	c *ffwd.Client
+}
+
+// Register adds a client.
+func (f *FFWD) Register() (*FFWDHandle, error) {
+	c, err := f.sys.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &FFWDHandle{c: c}, nil
+}
+
+// Unregister releases the client.
+func (h *FFWDHandle) Unregister() { h.c.Unregister() }
+
+func ffwdGet(shard any, key uint64, _ *ffwd.Args) ffwd.Result {
+	v, ok := shard.(Cache).Get(key)
+	return ffwd.Result{P: v, U: boolU(ok)}
+}
+
+func ffwdSet(shard any, key uint64, args *ffwd.Args) ffwd.Result {
+	if err := shard.(Cache).Set(key, args.P.([]byte)); err != nil {
+		return ffwd.Result{Err: err}
+	}
+	return ffwd.Result{}
+}
+
+// Get fetches key through the server.
+func (h *FFWDHandle) Get(key uint64) ([]byte, bool) {
+	res := h.c.Call(key, ffwdGet, ffwd.Args{})
+	if res.U == 0 {
+		return nil, false
+	}
+	return res.P.([]byte), true
+}
+
+// Set stores key->val through the server.
+func (h *FFWDHandle) Set(key uint64, val []byte) error {
+	return h.c.Call(key, ffwdSet, ffwd.Args{P: val}).Err
+}

@@ -1,0 +1,161 @@
+// Package mcd is a memcached-like in-memory KV cache, rebuilt for the
+// paper's §5.3 application study. It reproduces the structural coupling the
+// paper calls out — "memcached contains complicated connections between its
+// hash table, LRU list, and the backend memory allocator" — with a slab
+// allocator (size classes, chunk reuse, memory cap), per-class LRU lists
+// with tail eviction, and a bucket-locked hash table.
+//
+// Variants mirror §5.3's comparison: Stock (locks everywhere, LRU bump on
+// every get), a ParSec-style cache (store-free get path, quiescence
+// reclamation, CLOCK eviction), an ffwd adaptation (every operation
+// delegated to one server), and DPS adaptations of both (partitioned
+// hash/LRU/slab; asynchronous sets, synchronous or locally-executed gets).
+package mcd
+
+import "fmt"
+
+// Slab size-class parameters, following memcached's defaults: chunk sizes
+// grow by a factor from a small base; items live in the smallest class that
+// fits.
+const (
+	slabBase   = 96
+	slabFactor = 1.25
+	slabPage   = 1 << 20
+)
+
+// slabClass is one size class: a chunk size and its free list.
+type slabClass struct {
+	chunk int
+	free  []*Item
+}
+
+// Item is one cache entry: key, value bytes (capacity = its class's chunk
+// size), LRU links and class index. Items are recycled through the slab
+// free lists exactly as the C implementation reuses chunks.
+type Item struct {
+	key   uint64
+	data  []byte
+	class int8
+	// LRU links (guarded by the owning cache's LRU lock). linked tracks
+	// list membership: whoever unlinks an item (under the LRU lock) owns
+	// returning its chunk to the slab, which prevents double-release when
+	// a Set, a Delete and an eviction race on the same item.
+	prev, next *Item
+	linked     bool
+	// clock is the CLOCK-eviction reference flag used by the ParSec
+	// variant (stock bumps LRU instead).
+	clock bool
+}
+
+// Key returns the item's key.
+func (it *Item) Key() uint64 { return it.key }
+
+// Value returns the stored bytes. Callers must not mutate the result.
+func (it *Item) Value() []byte { return it.data }
+
+// slab is the allocator: size classes plus a global memory cap.
+type slab struct {
+	classes  []slabClass
+	capBytes int64
+	used     int64
+}
+
+// newSlab builds classes covering value sizes up to maxChunk.
+func newSlab(capBytes int64, maxChunk int) *slab {
+	s := &slab{capBytes: capBytes}
+	for c := float64(slabBase); ; c *= slabFactor {
+		s.classes = append(s.classes, slabClass{chunk: int(c)})
+		if int(c) >= maxChunk {
+			break
+		}
+	}
+	return s
+}
+
+// classFor returns the class index for a value of n bytes, or -1 if no
+// class fits.
+func (s *slab) classFor(n int) int {
+	for i := range s.classes {
+		if s.classes[i].chunk >= n {
+			return i
+		}
+	}
+	return -1
+}
+
+// alloc returns an item with capacity for n bytes: from the class free
+// list, or freshly if the cap allows; otherwise it returns nil and the
+// caller must evict. Callers hold the cache's slab lock.
+func (s *slab) alloc(n int) (*Item, error) {
+	ci := s.classFor(n)
+	if ci < 0 {
+		return nil, fmt.Errorf("mcd: value of %d bytes exceeds the largest slab class (%d)", n, s.classes[len(s.classes)-1].chunk)
+	}
+	cl := &s.classes[ci]
+	if k := len(cl.free); k > 0 {
+		it := cl.free[k-1]
+		cl.free[k-1] = nil
+		cl.free = cl.free[:k-1]
+		return it, nil
+	}
+	if s.used+int64(cl.chunk) > s.capBytes {
+		return nil, nil // cache full: evict and retry
+	}
+	s.used += int64(cl.chunk)
+	return &Item{data: make([]byte, 0, cl.chunk), class: int8(ci)}, nil
+}
+
+// release returns an item's chunk to its class free list.
+func (s *slab) release(it *Item) {
+	it.prev, it.next = nil, nil
+	it.data = it.data[:0]
+	it.clock = false
+	s.classes[it.class].free = append(s.classes[it.class].free, it)
+}
+
+// lruList is a doubly-linked LRU with head = most recent.
+type lruList struct {
+	head, tail *Item
+	n          int
+}
+
+func (l *lruList) pushFront(it *Item) {
+	it.linked = true
+	it.prev = nil
+	it.next = l.head
+	if l.head != nil {
+		l.head.prev = it
+	}
+	l.head = it
+	if l.tail == nil {
+		l.tail = it
+	}
+	l.n++
+}
+
+func (l *lruList) remove(it *Item) {
+	if !it.linked {
+		return
+	}
+	it.linked = false
+	if it.prev != nil {
+		it.prev.next = it.next
+	} else {
+		l.head = it.next
+	}
+	if it.next != nil {
+		it.next.prev = it.prev
+	} else {
+		l.tail = it.prev
+	}
+	it.prev, it.next = nil, nil
+	l.n--
+}
+
+func (l *lruList) bump(it *Item) {
+	if l.head == it {
+		return
+	}
+	l.remove(it)
+	l.pushFront(it)
+}

@@ -1,0 +1,250 @@
+package mcd
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cache is the common interface of all memcached variants.
+type Cache interface {
+	// Get returns key's value. Variants whose chunks are recycled
+	// (Stock, DPS-over-Stock) return a private copy, mirroring
+	// memcached's copy into the response buffer; variants with immutable
+	// values (ParSec) may return the stored slice directly.
+	Get(key uint64) ([]byte, bool)
+	// Set stores val under key, evicting LRU items if the cache is full.
+	Set(key uint64, val []byte) error
+	// Delete removes key.
+	Delete(key uint64) bool
+	// Len counts stored items (quiescent use only).
+	Len() int
+}
+
+// Stock models stock memcached (v1.5.x): a bucket-locked hash table; one
+// LRU list per slab class under a single LRU lock; a slab allocator under
+// its own lock; and gets that take locks and bump LRU state — exactly the
+// stores-on-the-get-path behaviour that limits its scalability (§5.3).
+type Stock struct {
+	buckets []stockBucket
+	mask    uint64
+
+	// lruMu guards the per-class LRU lists; slabMu the allocator. This
+	// lock split matches memcached's cache_lock/slabs_lock structure.
+	lruMu  sync.Mutex
+	lrus   []lruList
+	slabMu sync.Mutex
+	slab   *slab
+}
+
+type stockBucket struct {
+	mu    sync.Mutex
+	items map[uint64]*Item
+}
+
+// StockConfig parameterizes a Stock cache.
+type StockConfig struct {
+	// MemLimit caps slab memory in bytes (default 64 MiB).
+	MemLimit int64
+	// MaxValue is the largest storable value (default 1 MiB).
+	MaxValue int
+	// Buckets is the hash-table bucket count (default 1024).
+	Buckets int
+}
+
+func (c *StockConfig) setDefaults() error {
+	if c.MemLimit == 0 {
+		c.MemLimit = 64 << 20
+	}
+	if c.MaxValue == 0 {
+		c.MaxValue = slabPage
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 1024
+	}
+	if c.MemLimit < 0 || c.MaxValue < 0 || c.Buckets < 0 {
+		return fmt.Errorf("mcd: negative config value")
+	}
+	return nil
+}
+
+// NewStock creates a stock cache.
+func NewStock(cfg StockConfig) (*Stock, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	n := 1
+	for n < cfg.Buckets {
+		n <<= 1
+	}
+	s := &Stock{
+		buckets: make([]stockBucket, n),
+		mask:    uint64(n - 1),
+		slab:    newSlab(cfg.MemLimit, cfg.MaxValue),
+	}
+	for i := range s.buckets {
+		s.buckets[i].items = make(map[uint64]*Item)
+	}
+	s.lrus = make([]lruList, len(s.slab.classes))
+	return s, nil
+}
+
+func (s *Stock) bucket(key uint64) *stockBucket {
+	h := key * 0x9e3779b97f4a7c15
+	return &s.buckets[(h>>32)&s.mask]
+}
+
+// Get looks the key up under the bucket lock and bumps its LRU position
+// under the LRU lock (the stock get path's stores).
+func (s *Stock) Get(key uint64) ([]byte, bool) {
+	b := s.bucket(key)
+	b.mu.Lock()
+	it, ok := b.items[key]
+	if !ok {
+		b.mu.Unlock()
+		return nil, false
+	}
+	// Copy under the bucket lock: chunks are recycled by eviction, so the
+	// bytes are only stable while the item is pinned (memcached likewise
+	// copies into the response buffer while holding the item reference).
+	val := append([]byte(nil), it.data...)
+	cls := it.class
+	b.mu.Unlock()
+
+	s.lruMu.Lock()
+	// Re-validate under the LRU lock: a racing delete, eviction or
+	// replacement may have unlinked the item already.
+	if it.linked {
+		s.lrus[cls].bump(it)
+	}
+	s.lruMu.Unlock()
+	return val, true
+}
+
+// Set stores key->val, evicting from the value's class LRU tail when the
+// slab is full.
+func (s *Stock) Set(key uint64, val []byte) error {
+	it, err := s.allocate(len(val))
+	if err != nil {
+		return err
+	}
+	it.key = key
+	it.data = append(it.data[:0], val...)
+
+	b := s.bucket(key)
+	b.mu.Lock()
+	old := b.items[key]
+	b.items[key] = it
+	b.mu.Unlock()
+
+	s.lruMu.Lock()
+	s.lrus[it.class].pushFront(it)
+	releaseOld := old != nil && old.linked
+	if releaseOld {
+		s.lrus[old.class].remove(old)
+	}
+	s.lruMu.Unlock()
+	if releaseOld {
+		s.slabMu.Lock()
+		s.slab.release(old)
+		s.slabMu.Unlock()
+	}
+	return nil
+}
+
+// allocate gets a chunk for n bytes, evicting LRU victims of the same
+// class until one is available — the slab/LRU interplay of the original.
+func (s *Stock) allocate(n int) (*Item, error) {
+	for {
+		s.slabMu.Lock()
+		it, err := s.slab.alloc(n)
+		s.slabMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if it != nil {
+			return it, nil
+		}
+		if !s.evictOne(n) {
+			return nil, fmt.Errorf("mcd: cache full and nothing evictable for %d bytes", n)
+		}
+	}
+}
+
+// evictOne removes the LRU tail of n's size class (falling back to the
+// largest non-empty class) from table, LRU and slab.
+func (s *Stock) evictOne(n int) bool {
+	ci := s.slab.classFor(n)
+	if ci < 0 {
+		return false
+	}
+	s.lruMu.Lock()
+	victim := s.lrus[ci].tail
+	if victim == nil {
+		for c := len(s.lrus) - 1; c >= 0 && victim == nil; c-- {
+			victim = s.lrus[c].tail
+		}
+	}
+	if victim == nil {
+		s.lruMu.Unlock()
+		return false
+	}
+	s.lrus[victim.class].remove(victim) // we unlinked it: we own the release
+	s.lruMu.Unlock()
+
+	b := s.bucket(victim.key)
+	b.mu.Lock()
+	if cur, ok := b.items[victim.key]; ok && cur == victim {
+		delete(b.items, victim.key)
+	}
+	b.mu.Unlock()
+
+	s.slabMu.Lock()
+	s.slab.release(victim)
+	s.slabMu.Unlock()
+	return true
+}
+
+// Delete removes key from table, LRU and slab.
+func (s *Stock) Delete(key uint64) bool {
+	b := s.bucket(key)
+	b.mu.Lock()
+	it, ok := b.items[key]
+	if ok {
+		delete(b.items, key)
+	}
+	b.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.lruMu.Lock()
+	owns := it.linked
+	s.lrus[it.class].remove(it)
+	s.lruMu.Unlock()
+	if owns {
+		s.slabMu.Lock()
+		s.slab.release(it)
+		s.slabMu.Unlock()
+	}
+	return true
+}
+
+// Len counts stored items.
+func (s *Stock) Len() int {
+	n := 0
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		b.mu.Lock()
+		n += len(b.items)
+		b.mu.Unlock()
+	}
+	return n
+}
+
+// MemUsed reports slab bytes in use (chunks allocated, free or live).
+func (s *Stock) MemUsed() int64 {
+	s.slabMu.Lock()
+	defer s.slabMu.Unlock()
+	return s.slab.used
+}
+
+var _ Cache = (*Stock)(nil)

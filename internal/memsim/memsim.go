@@ -1,0 +1,211 @@
+// Package memsim models the memory system of the paper's evaluation
+// machine: per-socket last-level caches with capacity misses, and an
+// invalidation-based coherence protocol whose cross-socket transfers are
+// what make shared-memory data-structures stop scaling (§2). The simulator
+// (internal/sim) charges every simulated memory access through this model,
+// so the cache-miss counts and cycle costs that shape Figures 2, 7, 8 and
+// 13 emerge from the same event classes the paper measures with hardware
+// counters.
+//
+// The model tracks coherence state per line group (which socket last wrote
+// a line, which sockets have it cached) exactly, and approximates LLC
+// capacity probabilistically: a line present in a socket's cache survives
+// with probability min(1, LLC/footprint), where footprint is the working
+// set the experiment drives through that socket.
+package memsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dps/internal/topology"
+)
+
+// Cost constants in cycles, representative of the paper's 2.0 GHz Xeon
+// E7-4850 (4-socket QPI) machine.
+const (
+	CostL1Hit     = 4   // private L1
+	CostL2Hit     = 12  // private L2
+	CostLLCHit    = 40  // shared per-socket L3
+	CostLocalMem  = 300 // LLC miss to local DRAM (~150 ns at 2 GHz)
+	CostRemoteMem = 550 // LLC miss to another socket's DRAM (~275 ns)
+	CostCoherence = 600 // dirty-line transfer between sockets (~300 ns QPI)
+	CostAtomic    = 20  // uncontended atomic-op premium on a resident line
+)
+
+// AccessClass classifies one memory access; the per-class counters are the
+// simulator's equivalents of the paper's measured cache-miss rates.
+type AccessClass int
+
+// Access classes.
+const (
+	ClassLocalHit  AccessClass = iota + 1 // hit in the issuing socket's caches
+	ClassLocalMem                         // miss served by local DRAM
+	ClassRemoteMem                        // miss served by remote DRAM
+	ClassCoherence                        // transfer/invalidation involving another socket
+)
+
+func (c AccessClass) String() string {
+	switch c {
+	case ClassLocalHit:
+		return "local-hit"
+	case ClassLocalMem:
+		return "local-mem"
+	case ClassRemoteMem:
+		return "remote-mem"
+	case ClassCoherence:
+		return "coherence"
+	default:
+		return fmt.Sprintf("AccessClass(%d)", int(c))
+	}
+}
+
+// Line is the coherence state of one cache-line group. The zero value is an
+// uncached line.
+type Line struct {
+	// sharers is a socket bitmask of caches holding the line.
+	sharers uint16
+	// dirty marks the line modified in lastWriter's cache.
+	dirty bool
+	// lastWriter is the socket that last stored to the line.
+	lastWriter int8
+	// home is the socket whose DRAM holds the line (NUMA placement).
+	home int8
+}
+
+// NewLine returns a line homed on the given socket (per the allocation
+// policy in force — node-local in most experiments, interleaved in
+// Table 2's comparison).
+func NewLine(home int) Line {
+	return Line{home: int8(home), lastWriter: -1}
+}
+
+// Model is a memory-system cost model for one simulated machine.
+type Model struct {
+	mach topology.Machine
+	rng  *rand.Rand
+
+	// llcFootprint[s] is the bytes of live data socket s's threads stream
+	// through their LLC; it determines capacity-hit probability.
+	llcFootprint []float64
+
+	counts [5]uint64 // indexed by AccessClass
+	cycles [5]uint64
+}
+
+// New creates a model for the machine.
+func New(mach topology.Machine, seed int64) *Model {
+	return &Model{
+		mach:         mach,
+		rng:          rand.New(rand.NewSource(seed)),
+		llcFootprint: make([]float64, mach.Sockets),
+	}
+}
+
+// SetFootprint declares socket s's working-set size in bytes.
+func (m *Model) SetFootprint(s int, bytes float64) {
+	m.llcFootprint[s] = bytes
+}
+
+// hitProb is the probability a previously-cached line is still resident in
+// socket s's LLC.
+func (m *Model) hitProb(s int) float64 {
+	f := m.llcFootprint[s]
+	if f <= 0 {
+		return 1
+	}
+	p := float64(m.mach.LLCBytes) / f
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+func (m *Model) record(c AccessClass, cycles uint64) uint64 {
+	m.counts[c] += 1
+	m.cycles[c] += cycles
+	return cycles
+}
+
+// Load charges a read of line ln from socket s and returns its cycle cost.
+func (m *Model) Load(s int, ln *Line) uint64 {
+	bit := uint16(1) << s
+	if ln.sharers&bit != 0 && m.rng.Float64() < m.hitProb(s) {
+		// Resident. Dirty in another socket means the last write
+		// invalidated our copy — treat as coherence transfer.
+		if ln.dirty && int(ln.lastWriter) != s {
+			ln.sharers |= bit
+			ln.dirty = false
+			return m.record(ClassCoherence, CostCoherence)
+		}
+		return m.record(ClassLocalHit, CostLLCHit)
+	}
+	// Miss: fetch from the dirty owner's cache, else from home DRAM.
+	ln.sharers |= bit
+	if ln.dirty && int(ln.lastWriter) != s {
+		ln.dirty = false
+		return m.record(ClassCoherence, CostCoherence)
+	}
+	if int(ln.home) == s {
+		return m.record(ClassLocalMem, CostLocalMem)
+	}
+	return m.record(ClassRemoteMem, CostRemoteMem)
+}
+
+// Store charges a write of line ln from socket s and returns its cycle
+// cost. Writing invalidates every other socket's copy.
+func (m *Model) Store(s int, ln *Line) uint64 {
+	bit := uint16(1) << s
+	others := ln.sharers &^ bit
+	resident := ln.sharers&bit != 0 && m.rng.Float64() < m.hitProb(s)
+	ln.sharers = bit
+	ln.dirty = true
+	ln.lastWriter = int8(s)
+	switch {
+	case others != 0:
+		// Invalidation round to other sockets.
+		return m.record(ClassCoherence, CostCoherence)
+	case resident:
+		return m.record(ClassLocalHit, CostLLCHit)
+	case int(ln.home) == s:
+		return m.record(ClassLocalMem, CostLocalMem)
+	default:
+		return m.record(ClassRemoteMem, CostRemoteMem)
+	}
+}
+
+// Atomic charges an atomic read-modify-write (CAS, fetch-add) of ln from
+// socket s: a store plus the atomic premium.
+func (m *Model) Atomic(s int, ln *Line) uint64 {
+	c := m.Store(s, ln)
+	m.cycles[0] += CostAtomic // bucket 0 aggregates unpublished premiums
+	return c + CostAtomic
+}
+
+// Stats is a snapshot of access-class counters.
+type Stats struct {
+	Counts map[AccessClass]uint64
+	Cycles map[AccessClass]uint64
+}
+
+// Stats returns the per-class access counters.
+func (m *Model) Stats() Stats {
+	s := Stats{Counts: map[AccessClass]uint64{}, Cycles: map[AccessClass]uint64{}}
+	for _, c := range []AccessClass{ClassLocalHit, ClassLocalMem, ClassRemoteMem, ClassCoherence} {
+		s.Counts[c] = m.counts[c]
+		s.Cycles[c] = m.cycles[c]
+	}
+	return s
+}
+
+// Misses returns the total non-hit accesses — the "cache misses" the
+// paper's miss-per-operation plots count (LLC misses plus coherence
+// transfers).
+func (m *Model) Misses() uint64 {
+	return m.counts[ClassLocalMem] + m.counts[ClassRemoteMem] + m.counts[ClassCoherence]
+}
+
+// Accesses returns the total accesses charged.
+func (m *Model) Accesses() uint64 {
+	return m.counts[ClassLocalHit] + m.Misses()
+}

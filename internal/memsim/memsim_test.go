@@ -1,0 +1,147 @@
+package memsim
+
+import (
+	"testing"
+
+	"dps/internal/topology"
+)
+
+func newModel() *Model {
+	return New(topology.PaperMachine(), 1)
+}
+
+func TestColdLoadCosts(t *testing.T) {
+	t.Parallel()
+	m := newModel()
+	ln := NewLine(0)
+	// First load from the home socket: local DRAM.
+	if c := m.Load(0, &ln); c != CostLocalMem {
+		t.Fatalf("cold local load cost %d, want %d", c, CostLocalMem)
+	}
+	// Re-load: LLC hit (footprint 0 => always resident).
+	if c := m.Load(0, &ln); c != CostLLCHit {
+		t.Fatalf("warm load cost %d, want %d", c, CostLLCHit)
+	}
+	// Load from another socket: remote DRAM.
+	ln2 := NewLine(0)
+	if c := m.Load(1, &ln2); c != CostRemoteMem {
+		t.Fatalf("cold remote load cost %d, want %d", c, CostRemoteMem)
+	}
+}
+
+func TestStoreInvalidatesSharers(t *testing.T) {
+	t.Parallel()
+	m := newModel()
+	ln := NewLine(0)
+	m.Load(0, &ln)
+	m.Load(1, &ln)
+	m.Load(2, &ln)
+	// Store from socket 3 must pay an invalidation round.
+	if c := m.Store(3, &ln); c != CostCoherence {
+		t.Fatalf("store over 3 sharers cost %d, want %d", c, CostCoherence)
+	}
+	// The writer, now exclusive, hits locally on a re-store.
+	if c := m.Store(3, &ln); c != CostLLCHit {
+		t.Fatalf("re-store by exclusive writer cost %d, want %d", c, CostLLCHit)
+	}
+	// A load from socket 0 sees a dirty remote line: coherence transfer.
+	if c := m.Load(0, &ln); c != CostCoherence {
+		t.Fatalf("load of remote-dirty line cost %d, want %d", c, CostCoherence)
+	}
+	// Socket 0's copy re-dirties the invalidation set: storing from 3
+	// again pays coherence once more.
+	if c := m.Store(3, &ln); c != CostCoherence {
+		t.Fatalf("store over reader's copy cost %d, want %d", c, CostCoherence)
+	}
+}
+
+func TestPingPongIsAllCoherence(t *testing.T) {
+	t.Parallel()
+	// Two sockets alternately writing one line — the cache-line ping-pong
+	// that kills shared-memory locks — must cost coherence every time.
+	m := newModel()
+	ln := NewLine(0)
+	m.Store(0, &ln)
+	for i := 0; i < 10; i++ {
+		s := i % 2
+		if c := m.Store(s, &ln); i > 0 && c != CostCoherence {
+			t.Fatalf("ping-pong store %d cost %d, want %d", i, c, CostCoherence)
+		}
+	}
+}
+
+func TestCapacityMisses(t *testing.T) {
+	t.Parallel()
+	m := newModel()
+	mach := topology.PaperMachine()
+	// Footprint 4x the LLC: ~75% of re-accesses miss.
+	m.SetFootprint(0, float64(4*mach.LLCBytes))
+	ln := NewLine(0)
+	m.Load(0, &ln)
+	misses := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if m.Load(0, &ln) >= CostLocalMem {
+			misses++
+		}
+	}
+	frac := float64(misses) / n
+	if frac < 0.65 || frac > 0.85 {
+		t.Fatalf("capacity-miss fraction %.2f, want ~0.75", frac)
+	}
+}
+
+func TestNoFootprintAlwaysHits(t *testing.T) {
+	t.Parallel()
+	m := newModel()
+	ln := NewLine(0)
+	m.Load(0, &ln)
+	for i := 0; i < 1000; i++ {
+		if c := m.Load(0, &ln); c != CostLLCHit {
+			t.Fatalf("hit cost %d on iteration %d", c, i)
+		}
+	}
+}
+
+func TestAtomicPremium(t *testing.T) {
+	t.Parallel()
+	m := newModel()
+	ln := NewLine(0)
+	m.Store(0, &ln)
+	if c := m.Atomic(0, &ln); c != CostLLCHit+CostAtomic {
+		t.Fatalf("resident atomic cost %d, want %d", c, CostLLCHit+CostAtomic)
+	}
+}
+
+func TestStatsAndMisses(t *testing.T) {
+	t.Parallel()
+	m := newModel()
+	ln := NewLine(0)
+	m.Load(0, &ln)  // local mem
+	m.Load(0, &ln)  // hit
+	m.Load(1, &ln)  // remote mem
+	m.Store(2, &ln) // coherence (invalidate 0,1)
+	st := m.Stats()
+	if st.Counts[ClassLocalHit] != 1 || st.Counts[ClassLocalMem] != 1 ||
+		st.Counts[ClassRemoteMem] != 1 || st.Counts[ClassCoherence] != 1 {
+		t.Fatalf("stats = %+v", st.Counts)
+	}
+	if m.Misses() != 3 {
+		t.Fatalf("Misses() = %d, want 3", m.Misses())
+	}
+	if m.Accesses() != 4 {
+		t.Fatalf("Accesses() = %d, want 4", m.Accesses())
+	}
+}
+
+func TestAccessClassString(t *testing.T) {
+	t.Parallel()
+	for c, want := range map[AccessClass]string{
+		ClassLocalHit: "local-hit", ClassLocalMem: "local-mem",
+		ClassRemoteMem: "remote-mem", ClassCoherence: "coherence",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %s, want %s", c, c.String(), want)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package parsec reimplements the pieces of the ParSec runtime (Wang,
+// Stamler, Parmer — EuroSys '16) that the DPS runtime is layered on:
+//
+//   - quiescence-based safe memory reclamation (Domain / Thread / Retire),
+//   - synchronization-free namespace lookup (Namespace),
+//   - partition-wide variables (Partitioned), the analogue of the per-cpu
+//     variable macros DPS provides for porting code (§4.5 of the paper).
+//
+// Although Go is garbage collected, the reclamation machinery is implemented
+// faithfully: structures ported from the paper (the ParSec linked list, the
+// DPS runtime itself) use Retire/Synchronize to defer logical teardown until
+// all concurrent readers have quiesced, exactly as the C runtime does. This
+// preserves the algorithmic structure — and the cost model the evaluation
+// depends on — rather than leaning on the Go GC.
+package parsec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheLine is the coherence granularity assumed throughout the paper's
+// machine (64-byte lines, fetched as 128-byte aligned pairs).
+const cacheLine = 64
+
+// quiescent marks a thread slot as outside any read-side critical section.
+const quiescent = ^uint64(0)
+
+// threadSlot is one registered thread's epoch record, padded so that epoch
+// announcements by different threads never share a cache line.
+type threadSlot struct {
+	epoch atomic.Uint64 // epoch at Enter, or quiescent
+	_     [cacheLine - 8]byte
+}
+
+// retired is a deferred reclamation: free runs once every thread has
+// quiesced past epoch.
+type retired struct {
+	epoch uint64
+	free  func()
+}
+
+// Domain is a quiescence (epoch-based) reclamation domain. Threads register
+// once, bracket read-side critical sections with Enter/Exit, and writers
+// retire removed nodes; retired nodes are freed only after all threads have
+// passed through a quiescent state beyond the retiring epoch.
+//
+// The zero value is not usable; create domains with NewDomain.
+type Domain struct {
+	epoch atomic.Uint64
+
+	mu      sync.Mutex
+	slots   []*threadSlot
+	limbo   []retired
+	reclaim uint64 // count of reclaimed entries, for introspection/tests
+}
+
+// NewDomain creates an empty reclamation domain.
+func NewDomain() *Domain {
+	return &Domain{}
+}
+
+// Thread is a per-thread handle into a Domain. A Thread must not be used
+// concurrently from multiple goroutines.
+type Thread struct {
+	dom  *Domain
+	slot *threadSlot
+}
+
+// Register adds the calling thread to the domain and returns its handle.
+func (d *Domain) Register() *Thread {
+	s := &threadSlot{}
+	s.epoch.Store(quiescent)
+	d.mu.Lock()
+	d.slots = append(d.slots, s)
+	d.mu.Unlock()
+	return &Thread{dom: d, slot: s}
+}
+
+// Unregister removes the thread from the domain. The handle must not be used
+// afterwards. Any read-side section is implicitly exited.
+func (t *Thread) Unregister() {
+	t.slot.epoch.Store(quiescent)
+	d := t.dom
+	d.mu.Lock()
+	for i, s := range d.slots {
+		if s == t.slot {
+			d.slots = append(d.slots[:i], d.slots[i+1:]...)
+			break
+		}
+	}
+	d.mu.Unlock()
+}
+
+// Enter begins a read-side critical section: the thread announces the
+// current global epoch and may dereference nodes that have not been freed.
+func (t *Thread) Enter() {
+	e := t.dom.epoch.Load()
+	t.slot.epoch.Store(e)
+}
+
+// Exit ends the read-side critical section, announcing quiescence.
+func (t *Thread) Exit() {
+	t.slot.epoch.Store(quiescent)
+}
+
+// InCriticalSection reports whether the thread is inside Enter/Exit.
+func (t *Thread) InCriticalSection() bool {
+	return t.slot.epoch.Load() != quiescent
+}
+
+// Retire schedules free to run once all threads have quiesced past the
+// current epoch. It may be called inside or outside a critical section.
+func (t *Thread) Retire(free func()) {
+	t.dom.RetireFunc(free)
+}
+
+// RetireFunc is Retire for callers without a thread handle (e.g. a writer
+// holding a lock).
+func (d *Domain) RetireFunc(free func()) {
+	e := d.epoch.Add(1)
+	d.mu.Lock()
+	d.limbo = append(d.limbo, retired{epoch: e, free: free})
+	d.tryReclaimLocked()
+	d.mu.Unlock()
+}
+
+// minActiveEpoch returns the smallest epoch announced by any thread, or
+// quiescent if all threads are quiescent. Caller holds d.mu.
+func (d *Domain) minActiveEpoch() uint64 {
+	min := quiescent
+	for _, s := range d.slots {
+		if e := s.epoch.Load(); e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// tryReclaimLocked frees limbo entries whose epoch precedes every active
+// reader. Caller holds d.mu.
+func (d *Domain) tryReclaimLocked() {
+	min := d.minActiveEpoch()
+	kept := d.limbo[:0]
+	for _, r := range d.limbo {
+		if r.epoch < min || min == quiescent {
+			r.free()
+			d.reclaim++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	// Drop freed tail references so they can be collected.
+	for i := len(kept); i < len(d.limbo); i++ {
+		d.limbo[i] = retired{}
+	}
+	d.limbo = kept
+}
+
+// Synchronize blocks until every thread that was inside a read-side critical
+// section when Synchronize was called has exited it, then reclaims limbo
+// entries that became safe. This is the analogue of ParSec quiescence
+// detection (and of rlu_synchronize, whose blocking the paper's Figure 10(c)
+// discussion attributes list slowdowns to).
+func (d *Domain) Synchronize() {
+	target := d.epoch.Add(1)
+	for {
+		d.mu.Lock()
+		min := d.minActiveEpoch()
+		if min == quiescent || min >= target {
+			d.tryReclaimLocked()
+			d.mu.Unlock()
+			return
+		}
+		d.mu.Unlock()
+		runtime.Gosched()
+	}
+}
+
+// Reclaimed returns how many retired entries have been freed so far.
+func (d *Domain) Reclaimed() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reclaim
+}
+
+// Pending returns how many retired entries await reclamation.
+func (d *Domain) Pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.limbo)
+}
+
+// Namespace is ParSec's flat scalar namespace: a contiguous key space of
+// Size ids split into Partitions contiguous ranges. Lookup is a pure
+// function of the id — synchronization-free, as §4.1 of the paper requires.
+type Namespace struct {
+	size       uint64
+	partitions int
+}
+
+// NewNamespace creates a namespace of size ids over n partitions.
+func NewNamespace(size uint64, n int) (*Namespace, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("parsec: namespace size must be positive")
+	}
+	if n <= 0 || uint64(n) > size {
+		return nil, fmt.Errorf("parsec: partition count %d invalid for namespace size %d", n, size)
+	}
+	return &Namespace{size: size, partitions: n}, nil
+}
+
+// Size returns the number of ids in the namespace.
+func (ns *Namespace) Size() uint64 { return ns.size }
+
+// Partitions returns the partition count.
+func (ns *Namespace) Partitions() int { return ns.partitions }
+
+// Lookup maps an id to its partition. Ids are taken modulo Size so hashed
+// keys of any magnitude are valid inputs.
+func (ns *Namespace) Lookup(id uint64) int {
+	id %= ns.size
+	// Contiguous range partitioning: partition p owns ids
+	// [p*size/n, (p+1)*size/n).
+	return int(id * uint64(ns.partitions) / ns.size)
+}
+
+// Range returns the [lo, hi) id range owned by partition p. The bounds are
+// exactly the ids for which Lookup returns p: Lookup(id) == p iff
+// id*n/size == p, so lo is the ceiling of p*size/n.
+func (ns *Namespace) Range(p int) (lo, hi uint64) {
+	n := uint64(ns.partitions)
+	lo = (uint64(p)*ns.size + n - 1) / n
+	hi = (uint64(p+1)*ns.size + n - 1) / n
+	return lo, hi
+}

@@ -1,0 +1,329 @@
+package parsec
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestRetireFreesWhenAllQuiescent(t *testing.T) {
+	t.Parallel()
+	d := NewDomain()
+	th := d.Register()
+	defer th.Unregister()
+
+	freed := false
+	th.Retire(func() { freed = true })
+	// No reader is active, so the retire path reclaims immediately.
+	if !freed {
+		t.Fatal("retire with no active readers did not free")
+	}
+	if got := d.Reclaimed(); got != 1 {
+		t.Fatalf("Reclaimed() = %d, want 1", got)
+	}
+}
+
+func TestRetireDeferredUntilReaderExits(t *testing.T) {
+	t.Parallel()
+	d := NewDomain()
+	reader := d.Register()
+	writer := d.Register()
+	defer reader.Unregister()
+	defer writer.Unregister()
+
+	reader.Enter()
+	var freed atomic.Bool
+	writer.Retire(func() { freed.Store(true) })
+	if freed.Load() {
+		t.Fatal("freed while a reader was inside its critical section")
+	}
+	reader.Exit()
+	d.Synchronize()
+	if !freed.Load() {
+		t.Fatal("not freed after reader exit + synchronize")
+	}
+}
+
+func TestSynchronizeWaitsForReader(t *testing.T) {
+	t.Parallel()
+	d := NewDomain()
+	reader := d.Register()
+	defer reader.Unregister()
+
+	reader.Enter()
+	released := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		d.Synchronize()
+		close(done)
+	}()
+	go func() {
+		<-released
+		reader.Exit()
+	}()
+	select {
+	case <-done:
+		t.Fatal("Synchronize returned while reader still active")
+	default:
+	}
+	close(released)
+	<-done
+}
+
+func TestReaderAfterSynchronizeDoesNotBlockIt(t *testing.T) {
+	t.Parallel()
+	// A reader that enters *after* Synchronize starts must not block it:
+	// only pre-existing readers matter.
+	d := NewDomain()
+	late := d.Register()
+	defer late.Unregister()
+
+	d.Synchronize() // no readers: returns immediately
+	late.Enter()
+	defer late.Exit()
+	// Epoch-based check: a fresh reader announces the post-synchronize
+	// epoch, so a second Synchronize must still see it as blocking, but
+	// retires from before must already be freeable.
+	var freed atomic.Bool
+	d.RetireFunc(func() { freed.Store(true) })
+	if freed.Load() {
+		t.Fatal("freed under an active reader that predates the retire")
+	}
+}
+
+func TestUnregisterReleasesQuiescence(t *testing.T) {
+	t.Parallel()
+	d := NewDomain()
+	reader := d.Register()
+	reader.Enter()
+	var freed atomic.Bool
+	d.RetireFunc(func() { freed.Store(true) })
+	if freed.Load() {
+		t.Fatal("freed while reader active")
+	}
+	reader.Unregister() // implicit exit
+	d.Synchronize()
+	if !freed.Load() {
+		t.Fatal("not freed after reader unregistered")
+	}
+}
+
+func TestInCriticalSection(t *testing.T) {
+	t.Parallel()
+	d := NewDomain()
+	th := d.Register()
+	defer th.Unregister()
+	if th.InCriticalSection() {
+		t.Fatal("fresh thread reports in critical section")
+	}
+	th.Enter()
+	if !th.InCriticalSection() {
+		t.Fatal("Enter not reflected")
+	}
+	th.Exit()
+	if th.InCriticalSection() {
+		t.Fatal("Exit not reflected")
+	}
+}
+
+func TestConcurrentReadersAndRetires(t *testing.T) {
+	t.Parallel()
+	d := NewDomain()
+	const readers, writers, iters = 4, 2, 500
+
+	var wg sync.WaitGroup
+	var retireCount atomic.Int64
+	var freeCount atomic.Int64
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := d.Register()
+			defer th.Unregister()
+			for j := 0; j < iters; j++ {
+				th.Enter()
+				th.Exit()
+			}
+		}()
+	}
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := d.Register()
+			defer th.Unregister()
+			for j := 0; j < iters; j++ {
+				retireCount.Add(1)
+				th.Retire(func() { freeCount.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	d.Synchronize()
+	if retireCount.Load() != freeCount.Load() {
+		t.Fatalf("retired %d, freed %d", retireCount.Load(), freeCount.Load())
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("Pending() = %d after full synchronize", d.Pending())
+	}
+}
+
+func TestNamespaceValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewNamespace(0, 1); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := NewNamespace(10, 0); err == nil {
+		t.Error("0 partitions accepted")
+	}
+	if _, err := NewNamespace(10, 11); err == nil {
+		t.Error("more partitions than ids accepted")
+	}
+	if _, err := NewNamespace(10, -1); err == nil {
+		t.Error("negative partitions accepted")
+	}
+}
+
+func TestNamespaceLookupRanges(t *testing.T) {
+	t.Parallel()
+	ns, err := NewNamespace(1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		lo, hi := ns.Range(p)
+		if lo != uint64(p)*256 || hi != uint64(p+1)*256 {
+			t.Fatalf("Range(%d) = [%d,%d), want [%d,%d)", p, lo, hi, p*256, (p+1)*256)
+		}
+		if got := ns.Lookup(lo); got != p {
+			t.Errorf("Lookup(%d) = %d, want %d", lo, got, p)
+		}
+		if got := ns.Lookup(hi - 1); got != p {
+			t.Errorf("Lookup(%d) = %d, want %d", hi-1, got, p)
+		}
+	}
+}
+
+func TestNamespaceLookupModulo(t *testing.T) {
+	t.Parallel()
+	ns, err := NewNamespace(100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.Lookup(5) != ns.Lookup(105) {
+		t.Error("Lookup not invariant under modulo wrap")
+	}
+}
+
+func TestNamespacePropertyPartitionConsistency(t *testing.T) {
+	t.Parallel()
+	ns, err := NewNamespace(4096, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Property: every id maps to exactly the partition whose range holds it.
+	prop := func(id uint64) bool {
+		p := ns.Lookup(id)
+		if p < 0 || p >= ns.Partitions() {
+			return false
+		}
+		lo, hi := ns.Range(p)
+		m := id % ns.Size()
+		return m >= lo && m < hi
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNamespaceRangesCoverWholeSpace(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		ns, err := NewNamespace(997, n) // prime size: uneven ranges
+		if err != nil {
+			t.Fatal(err)
+		}
+		var covered uint64
+		for p := 0; p < n; p++ {
+			lo, hi := ns.Range(p)
+			if hi < lo {
+				t.Fatalf("n=%d: inverted range [%d,%d)", n, lo, hi)
+			}
+			covered += hi - lo
+		}
+		if covered != ns.Size() {
+			t.Fatalf("n=%d: ranges cover %d ids, want %d", n, covered, ns.Size())
+		}
+		if _, hi := ns.Range(n - 1); hi != ns.Size() {
+			t.Fatalf("n=%d: last range ends at %d, want %d", n, hi, ns.Size())
+		}
+	}
+}
+
+func TestPartitionedIsolation(t *testing.T) {
+	t.Parallel()
+	pv := NewPartitioned[int](8)
+	if pv.Len() != 8 {
+		t.Fatalf("Len() = %d, want 8", pv.Len())
+	}
+	for p := 0; p < 8; p++ {
+		*pv.Get(p) = p * 10
+	}
+	sum := 0
+	pv.ForEach(func(p int, v *int) {
+		if *v != p*10 {
+			t.Errorf("partition %d value = %d, want %d", p, *v, p*10)
+		}
+		sum += *v
+	})
+	if sum != 280 {
+		t.Fatalf("sum = %d, want 280", sum)
+	}
+}
+
+func TestPartitionedConcurrentWriters(t *testing.T) {
+	t.Parallel()
+	const parts, iters = 8, 10000
+	pv := NewPartitioned[int64](parts)
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v := pv.Get(p)
+			for i := 0; i < iters; i++ {
+				*v++
+			}
+		}(p)
+	}
+	wg.Wait()
+	pv.ForEach(func(p int, v *int64) {
+		if *v != iters {
+			t.Errorf("partition %d = %d, want %d", p, *v, iters)
+		}
+	})
+}
+
+func BenchmarkEnterExit(b *testing.B) {
+	d := NewDomain()
+	th := d.Register()
+	defer th.Unregister()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		th.Enter()
+		th.Exit()
+	}
+}
+
+func BenchmarkNamespaceLookup(b *testing.B) {
+	ns, err := NewNamespace(1<<20, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = ns.Lookup(uint64(i) * 2654435761)
+	}
+	_ = sink
+}

@@ -1,0 +1,37 @@
+package parsec
+
+// Partitioned is a partition-wide variable: one value per namespace
+// partition, each padded to its own cache-line group so partitions never
+// false-share. It is the Go analogue of the macros DPS provides to turn
+// global variables into partition-wide variables when porting code (§4.5),
+// mirroring per-cpu variables in the Linux kernel.
+type Partitioned[T any] struct {
+	vals []paddedValue[T]
+}
+
+// paddedValue separates adjacent partition values by at least a 128-byte
+// fetch group (the paper's machine fetches lines as 128-byte aligned pairs).
+type paddedValue[T any] struct {
+	v T
+	_ [2 * cacheLine]byte
+}
+
+// NewPartitioned creates a partition-wide variable for n partitions.
+func NewPartitioned[T any](n int) *Partitioned[T] {
+	return &Partitioned[T]{vals: make([]paddedValue[T], n)}
+}
+
+// Get returns a pointer to partition p's value.
+func (pv *Partitioned[T]) Get(p int) *T {
+	return &pv.vals[p].v
+}
+
+// Len returns the partition count.
+func (pv *Partitioned[T]) Len() int { return len(pv.vals) }
+
+// ForEach invokes fn on every partition's value in partition order.
+func (pv *Partitioned[T]) ForEach(fn func(p int, v *T)) {
+	for i := range pv.vals {
+		fn(i, &pv.vals[i].v)
+	}
+}

@@ -1,0 +1,56 @@
+// Package pqueue implements the priority-queue variants from the paper's
+// §5.2 evaluation: the Shavit-Lotan lock-free skiplist priority queue
+// ("lf-s") and the common PQ interface the DPS adapter (internal/dpsds)
+// partitions. Smaller keys are higher priority.
+package pqueue
+
+import "dps/internal/skiplist"
+
+// PQ is the priority-queue interface of the paper's pq benchmark: the three
+// set operations plus findMin and removeMin.
+type PQ interface {
+	// Insert enqueues key with val; duplicate keys are rejected.
+	Insert(key, val uint64) bool
+	// Remove deletes a specific key.
+	Remove(key uint64) bool
+	// Lookup reports whether key is queued.
+	Lookup(key uint64) (uint64, bool)
+	// Min returns the smallest queued key without removing it.
+	Min() (key, val uint64, ok bool)
+	// RemoveMin dequeues the smallest key.
+	RemoveMin() (key, val uint64, ok bool)
+	// Size counts queued elements.
+	Size() int
+}
+
+// ShavitLotan is the lock-free skiplist priority queue ("lf-s"): a
+// lock-free skip list whose dequeue races to logically delete the leftmost
+// unmarked bottom-level node.
+type ShavitLotan struct {
+	sl *skiplist.LockFree
+}
+
+var _ PQ = (*ShavitLotan)(nil)
+
+// NewShavitLotan creates an empty queue.
+func NewShavitLotan() *ShavitLotan {
+	return &ShavitLotan{sl: skiplist.NewLockFree()}
+}
+
+// Insert enqueues key->val.
+func (q *ShavitLotan) Insert(key, val uint64) bool { return q.sl.Insert(key, val) }
+
+// Remove deletes key.
+func (q *ShavitLotan) Remove(key uint64) bool { return q.sl.Remove(key) }
+
+// Lookup reports whether key is queued.
+func (q *ShavitLotan) Lookup(key uint64) (uint64, bool) { return q.sl.Lookup(key) }
+
+// Min returns the smallest queued key.
+func (q *ShavitLotan) Min() (key, val uint64, ok bool) { return q.sl.Min() }
+
+// RemoveMin dequeues the smallest key.
+func (q *ShavitLotan) RemoveMin() (key, val uint64, ok bool) { return q.sl.RemoveMin() }
+
+// Size counts queued elements.
+func (q *ShavitLotan) Size() int { return q.sl.Size() }

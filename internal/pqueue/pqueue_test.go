@@ -1,0 +1,243 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	t.Parallel()
+	q := NewShavitLotan()
+	if _, _, ok := q.Min(); ok {
+		t.Error("Min on empty queue succeeded")
+	}
+	if _, _, ok := q.RemoveMin(); ok {
+		t.Error("RemoveMin on empty queue succeeded")
+	}
+	if q.Size() != 0 {
+		t.Error("empty queue has nonzero size")
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	t.Parallel()
+	q := NewShavitLotan()
+	keys := []uint64{50, 10, 40, 30, 20}
+	for _, k := range keys {
+		if !q.Insert(k, k*10) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+	}
+	if k, v, ok := q.Min(); !ok || k != 10 || v != 100 {
+		t.Fatalf("Min = (%d,%d,%v), want (10,100,true)", k, v, ok)
+	}
+	want := []uint64{10, 20, 30, 40, 50}
+	for _, wk := range want {
+		k, v, ok := q.RemoveMin()
+		if !ok || k != wk || v != wk*10 {
+			t.Fatalf("RemoveMin = (%d,%d,%v), want (%d,%d,true)", k, v, ok, wk, wk*10)
+		}
+	}
+	if _, _, ok := q.RemoveMin(); ok {
+		t.Fatal("RemoveMin on drained queue succeeded")
+	}
+}
+
+func TestDuplicateAndSpecificRemove(t *testing.T) {
+	t.Parallel()
+	q := NewShavitLotan()
+	if !q.Insert(5, 1) || q.Insert(5, 2) {
+		t.Fatal("duplicate insert behaviour wrong")
+	}
+	if !q.Insert(7, 3) {
+		t.Fatal("Insert(7) failed")
+	}
+	if !q.Remove(5) {
+		t.Fatal("Remove(5) failed")
+	}
+	if k, _, ok := q.Min(); !ok || k != 7 {
+		t.Fatalf("Min = (%d,%v), want (7,true)", k, ok)
+	}
+	if _, ok := q.Lookup(7); !ok {
+		t.Fatal("Lookup(7) failed")
+	}
+}
+
+func TestRandomizedAgainstModel(t *testing.T) {
+	t.Parallel()
+	q := NewShavitLotan()
+	rng := rand.New(rand.NewSource(3))
+	model := map[uint64]uint64{}
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			k := uint64(rng.Intn(1000) + 1)
+			_, exists := model[k]
+			if q.Insert(k, k) != !exists {
+				t.Fatalf("Insert(%d) disagreed with model", k)
+			}
+			if !exists {
+				model[k] = k
+			}
+		case 2:
+			k, _, ok := q.RemoveMin()
+			if len(model) == 0 {
+				if ok {
+					t.Fatal("RemoveMin on empty succeeded")
+				}
+				continue
+			}
+			var min uint64 = ^uint64(0)
+			for mk := range model {
+				if mk < min {
+					min = mk
+				}
+			}
+			if !ok || k != min {
+				t.Fatalf("RemoveMin = (%d,%v), model min %d", k, ok, min)
+			}
+			delete(model, k)
+		default:
+			k, _, ok := q.Min()
+			if len(model) == 0 {
+				if ok {
+					t.Fatal("Min on empty succeeded")
+				}
+				continue
+			}
+			var min uint64 = ^uint64(0)
+			for mk := range model {
+				if mk < min {
+					min = mk
+				}
+			}
+			if !ok || k != min {
+				t.Fatalf("Min = (%d,%v), model min %d", k, ok, min)
+			}
+		}
+	}
+}
+
+func TestConcurrentDequeueUnique(t *testing.T) {
+	t.Parallel()
+	// Every inserted key must be dequeued exactly once across all
+	// concurrent dequeuers — the Shavit-Lotan claim race must never hand
+	// the same node to two winners.
+	q := NewShavitLotan()
+	const n = 4000
+	for i := uint64(1); i <= n; i++ {
+		q.Insert(i, i)
+	}
+	const workers = 8
+	got := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				k, _, ok := q.RemoveMin()
+				if !ok {
+					return
+				}
+				got[w] = append(got[w], k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all []uint64
+	for _, g := range got {
+		all = append(all, g...)
+	}
+	if len(all) != n {
+		t.Fatalf("dequeued %d keys, want %d", len(all), n)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, k := range all {
+		if k != uint64(i+1) {
+			t.Fatalf("key %d missing or duplicated (got %d at %d)", i+1, k, i)
+		}
+	}
+	// Per-worker sequences must be locally ascending: a single dequeuer
+	// never sees priorities go backwards.
+	for w, g := range got {
+		for i := 1; i < len(g); i++ {
+			if g[i-1] >= g[i] {
+				t.Fatalf("worker %d dequeued out of order: %d then %d", w, g[i-1], g[i])
+			}
+		}
+	}
+}
+
+func TestConcurrentMixedEnqueueDequeue(t *testing.T) {
+	t.Parallel()
+	q := NewShavitLotan()
+	const producers, consumers, perProducer = 4, 4, 1000
+	var wg sync.WaitGroup
+	var dequeued sync.Map
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			base := uint64(p*perProducer) + 1
+			for i := uint64(0); i < perProducer; i++ {
+				q.Insert(base+i, p64(p))
+			}
+		}(p)
+	}
+	var consumed [consumers]int
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			misses := 0
+			for misses < 1000 {
+				k, _, ok := q.RemoveMin()
+				if !ok {
+					misses++
+					continue
+				}
+				if _, dup := dequeued.LoadOrStore(k, c); dup {
+					t.Errorf("key %d dequeued twice", k)
+					return
+				}
+				consumed[c]++
+			}
+		}(c)
+	}
+	wg.Wait()
+	// Drain the rest and confirm total conservation.
+	total := 0
+	for c := range consumed {
+		total += consumed[c]
+	}
+	for {
+		k, _, ok := q.RemoveMin()
+		if !ok {
+			break
+		}
+		if _, dup := dequeued.LoadOrStore(k, -1); dup {
+			t.Fatalf("key %d dequeued twice in drain", k)
+		}
+		total++
+	}
+	if total != producers*perProducer {
+		t.Fatalf("consumed %d keys, want %d", total, producers*perProducer)
+	}
+}
+
+func p64(v int) uint64 { return uint64(v) }
+
+func BenchmarkShavitLotanInsertRemoveMin(b *testing.B) {
+	q := NewShavitLotan()
+	for i := uint64(1); i <= 1024; i++ {
+		q.Insert(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k, _, _ := q.RemoveMin()
+		q.Insert(k+1024, k)
+	}
+}

@@ -1,0 +1,142 @@
+package rlu
+
+import "sync"
+
+// List is the RLU sorted linked-list set from the paper's §5.2 list
+// comparison ("rlu" in Figures 9 and 10): wait-free-ish reads via
+// Dereference chains, updates via copy-lock-commit on the predecessor.
+type List struct {
+	d    *Domain
+	head *Node
+	// pool recycles sessions so the dstest-style concurrent interface
+	// (no explicit session argument) stays cheap.
+	pool sync.Pool
+}
+
+// NewList creates an empty list with its own domain.
+func NewList() *List {
+	head := NewNode(0, 0)
+	tail := NewNode(^uint64(0), 0)
+	head.next.Store(tail)
+	l := &List{d: NewDomain(), head: head}
+	l.pool.New = func() any { return l.d.Register() }
+	return l
+}
+
+// Domain returns the list's RLU domain.
+func (l *List) Domain() *Domain { return l.d }
+
+func (l *List) session() *Session {
+	return l.pool.Get().(*Session)
+}
+
+func (l *List) release(s *Session) {
+	l.pool.Put(s)
+}
+
+// Lookup reports whether key is present (read-side section only).
+func (l *List) Lookup(key uint64) (uint64, bool) {
+	s := l.session()
+	defer l.release(s)
+	s.ReaderLock()
+	cur := s.Dereference(l.head.next.Load())
+	for cur.key < key {
+		cur = s.Dereference(cur.next.Load())
+	}
+	v, ok := cur.val.Load(), cur.key == key
+	s.ReaderUnlock()
+	if !ok {
+		return 0, false
+	}
+	return v, true
+}
+
+// Insert adds key->val if absent: lock the predecessor's copy and point it
+// at the new node; the commit in ReaderUnlock makes it visible atomically.
+func (l *List) Insert(key, val uint64) bool {
+	s := l.session()
+	defer l.release(s)
+	for {
+		s.ReaderLock()
+		pred := l.head
+		cur := s.Dereference(pred.next.Load())
+		for cur.key < key {
+			pred = cur
+			cur = s.Dereference(cur.next.Load())
+		}
+		if cur.key == key {
+			s.ReaderUnlock()
+			return false
+		}
+		// pred is a dereferenced view; lock the original it came from.
+		orig := l.original(pred)
+		pc, ok := s.TryLock(orig)
+		if !ok {
+			s.Abort()
+			continue
+		}
+		if orig.Deleted() {
+			s.Abort() // pred was unlinked while we traversed
+			continue
+		}
+		// Validate the locked copy still precedes cur.
+		succ := s.Dereference(pc.next.Load())
+		if succ.Original() != cur.Original() || succ.key != cur.key || pc.key >= key {
+			s.Abort()
+			continue
+		}
+		n := NewNode(key, val)
+		n.next.Store(l.original(cur))
+		pc.next.Store(n)
+		s.ReaderUnlock() // commits
+		return true
+	}
+}
+
+// Remove deletes key if present: lock both the predecessor and the victim,
+// splice the predecessor's copy past the victim.
+func (l *List) Remove(key uint64) bool {
+	s := l.session()
+	defer l.release(s)
+	for {
+		s.ReaderLock()
+		pred := l.head
+		cur := s.Dereference(pred.next.Load())
+		for cur.key < key {
+			pred = cur
+			cur = s.Dereference(cur.next.Load())
+		}
+		if cur.key != key {
+			s.ReaderUnlock()
+			return false
+		}
+		predOrig := l.original(pred)
+		victimOrig := l.original(cur)
+		pc, ok := s.TryLock(predOrig)
+		if !ok {
+			s.Abort()
+			continue
+		}
+		// Lock the victim too so no concurrent writer mutates it while
+		// we splice it out.
+		vc, ok := s.TryLock(victimOrig)
+		if !ok {
+			s.Abort()
+			continue
+		}
+		if predOrig.Deleted() || victimOrig.Deleted() ||
+			s.Dereference(pc.next.Load()).Original() != victimOrig || pc.key >= key {
+			s.Abort()
+			continue
+		}
+		vc.deleted.Store(true)
+		pc.next.Store(vc.next.Load())
+		s.ReaderUnlock() // commits both
+		return true
+	}
+}
+
+// original maps a dereferenced node view back to the managed original.
+func (l *List) original(view *Node) *Node {
+	return view.Original()
+}

@@ -1,0 +1,225 @@
+// Package rlu implements Read-Log-Update (Matveev, Shavit, Felber &
+// Marlier — SOSP '15), the synchronization mechanism the paper's §5.2
+// compares against for lists and trees. RLU gives readers unsynchronized
+// traversals and writers per-object copies:
+//
+//   - a reader samples the global clock and dereferences objects, stealing
+//     a writer's copy when that writer's commit clock is visible to it;
+//   - a writer locks objects it mutates, edits private copies, and commits
+//     by advancing the clock, waiting for older readers (rlu_synchronize —
+//     the blocking step the paper blames for RLU's update-heavy slowdowns,
+//     Figure 10(c)), then writing the copies back.
+//
+// This is the single-copy-per-object variant of RLU; it provides the same
+// semantics (readers never block, writers serialize per object, updates
+// appear atomic to readers) with one pending copy per locked object.
+package rlu
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// infClock marks a session with no commit in progress.
+const infClock = ^uint64(0)
+
+// Domain is an RLU clock domain: a global clock plus the registered
+// sessions whose reader clocks rlu_synchronize must wait on.
+type Domain struct {
+	clock atomic.Uint64
+
+	mu       sync.Mutex
+	sessions []*Session
+}
+
+// NewDomain creates an empty domain.
+func NewDomain() *Domain {
+	return &Domain{}
+}
+
+// Session is a per-thread RLU handle. A Session must be used by one
+// goroutine at a time.
+type Session struct {
+	d          *Domain
+	localClock atomic.Uint64
+	active     atomic.Bool
+	writeClock atomic.Uint64
+	log        []*Node
+}
+
+// Register adds a session to the domain.
+func (d *Domain) Register() *Session {
+	s := &Session{d: d}
+	s.writeClock.Store(infClock)
+	d.mu.Lock()
+	d.sessions = append(d.sessions, s)
+	d.mu.Unlock()
+	return s
+}
+
+// Unregister removes the session; it must not be inside a critical section.
+func (s *Session) Unregister() {
+	d := s.d
+	d.mu.Lock()
+	for i, other := range d.sessions {
+		if other == s {
+			d.sessions = append(d.sessions[:i], d.sessions[i+1:]...)
+			break
+		}
+	}
+	d.mu.Unlock()
+}
+
+// Node is an RLU-managed list node: the object header (owner + pending
+// copy) plus the payload. Payload fields that writers mutate are atomic so
+// write-back is safe against concurrent fresh readers.
+type Node struct {
+	owner atomic.Pointer[Session]
+	copy  atomic.Pointer[Node]
+	// orig points from a working copy back to its managed original (nil
+	// on originals), so callers holding a dereferenced view can always
+	// recover the lockable object.
+	orig *Node
+
+	key     uint64
+	val     atomic.Uint64
+	next    atomic.Pointer[Node]
+	deleted atomic.Bool // set when the node is unlinked, so writers never
+	// resurrect it by linking new nodes behind it
+}
+
+// NewNode creates an unmanaged node (not yet linked).
+func NewNode(key, val uint64) *Node {
+	n := &Node{key: key}
+	n.val.Store(val)
+	return n
+}
+
+// Key returns the node's immutable key.
+func (n *Node) Key() uint64 { return n.key }
+
+// Deleted reports whether the node has been unlinked by a committed
+// removal.
+func (n *Node) Deleted() bool { return n.deleted.Load() }
+
+// ReaderLock begins a read-side critical section (rlu_reader_lock).
+func (s *Session) ReaderLock() {
+	s.localClock.Store(s.d.clock.Load())
+	s.active.Store(true)
+}
+
+// ReaderUnlock ends the critical section (rlu_reader_unlock); if the
+// session locked any objects, it commits them (rlu_commit).
+func (s *Session) ReaderUnlock() {
+	if len(s.log) > 0 {
+		s.commit()
+	}
+	s.active.Store(false)
+}
+
+// Abort ends the critical section discarding all locked copies; the caller
+// then typically retries.
+func (s *Session) Abort() {
+	for _, n := range s.log {
+		n.copy.Store(nil)
+		n.owner.Store(nil)
+	}
+	s.log = s.log[:0]
+	s.active.Store(false)
+}
+
+// Dereference resolves n for this reader (rlu_dereference): the writer's
+// copy if this session owns it or if the owning writer's commit is visible
+// to this reader's clock; the original otherwise.
+func (s *Session) Dereference(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	c := n.copy.Load()
+	if c == nil {
+		return n
+	}
+	owner := n.owner.Load()
+	if owner == s {
+		return c // our own working copy
+	}
+	if owner != nil && owner.writeClock.Load() <= s.localClock.Load() {
+		return c // committed copy visible to us: steal it
+	}
+	return n
+}
+
+// TryLock locks n for writing and returns the working copy to mutate
+// (rlu_try_lock). It fails if another session holds n; the caller should
+// Abort and retry.
+func (s *Session) TryLock(n *Node) (*Node, bool) {
+	if owner := n.owner.Load(); owner == s {
+		return n.copy.Load(), true // already ours
+	}
+	if !n.owner.CompareAndSwap(nil, s) {
+		return nil, false
+	}
+	c := &Node{key: n.key, orig: n}
+	c.val.Store(n.val.Load())
+	c.next.Store(n.next.Load())
+	n.copy.Store(c)
+	s.log = append(s.log, n)
+	return c, true
+}
+
+// Original maps a dereferenced view back to its managed original.
+func (n *Node) Original() *Node {
+	if n.orig != nil {
+		return n.orig
+	}
+	return n
+}
+
+// commit is rlu_commit: publish a commit clock, advance the global clock,
+// wait for readers that predate it, then write copies back and unlock.
+func (s *Session) commit() {
+	newClock := s.d.clock.Load() + 1
+	s.writeClock.Store(newClock)
+	s.d.clock.Add(1)
+	s.synchronize(newClock)
+	for _, n := range s.log {
+		c := n.copy.Load()
+		n.val.Store(c.val.Load())
+		n.next.Store(c.next.Load())
+		if c.deleted.Load() {
+			n.deleted.Store(true)
+		}
+		n.copy.Store(nil)
+		n.owner.Store(nil)
+	}
+	s.log = s.log[:0]
+	s.writeClock.Store(infClock)
+}
+
+// synchronize waits until every other active session either finishes or
+// started at/after our commit clock — the blocking quiescence wait.
+func (s *Session) synchronize(writeClock uint64) {
+	s.d.mu.Lock()
+	peers := make([]*Session, len(s.d.sessions))
+	copy(peers, s.d.sessions)
+	s.d.mu.Unlock()
+	for _, p := range peers {
+		if p == s {
+			continue
+		}
+		for p.active.Load() && p.localClock.Load() < writeClock {
+			// A peer that is itself committing with an earlier-or-equal
+			// write clock will never dereference our write-back targets
+			// again; skipping it breaks the writer-writer wait cycle
+			// (as in the reference rlu.c).
+			if wc := p.writeClock.Load(); wc <= writeClock {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// Clock returns the domain's current clock (for tests/metrics).
+func (d *Domain) Clock() uint64 { return d.clock.Load() }

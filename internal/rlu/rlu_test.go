@@ -1,0 +1,129 @@
+package rlu
+
+import (
+	"testing"
+
+	"dps/internal/dstest"
+)
+
+// listAdapter gives the RLU list a Size/Keys so the shared battery runs.
+type listAdapter struct{ *List }
+
+func (a listAdapter) Size() int {
+	n := 0
+	s := a.session()
+	defer a.release(s)
+	s.ReaderLock()
+	for cur := s.Dereference(a.head.next.Load()); cur.key != ^uint64(0); cur = s.Dereference(cur.next.Load()) {
+		n++
+	}
+	s.ReaderUnlock()
+	return n
+}
+
+func (a listAdapter) Keys() []uint64 {
+	var out []uint64
+	s := a.session()
+	defer a.release(s)
+	s.ReaderLock()
+	for cur := s.Dereference(a.head.next.Load()); cur.key != ^uint64(0); cur = s.Dereference(cur.next.Load()) {
+		out = append(out, cur.key)
+	}
+	s.ReaderUnlock()
+	return out
+}
+
+func TestRLUList(t *testing.T) {
+	dstest.RunSuite(t, "RLU", func() dstest.Set { return listAdapter{NewList()} })
+}
+
+func TestDereferenceStealsCommittedCopy(t *testing.T) {
+	t.Parallel()
+	d := NewDomain()
+	writer := d.Register()
+	reader := d.Register()
+	defer writer.Unregister()
+	defer reader.Unregister()
+
+	n := NewNode(1, 10)
+	writer.ReaderLock()
+	c, ok := writer.TryLock(n)
+	if !ok {
+		t.Fatal("TryLock on free node failed")
+	}
+	c.val.Store(20)
+
+	// A reader that started before the commit clock sees the original.
+	reader.ReaderLock()
+	if v := reader.Dereference(n); v.val.Load() != 10 {
+		t.Fatalf("pre-commit reader saw %d, want 10", v.val.Load())
+	}
+	reader.ReaderUnlock()
+
+	writer.ReaderUnlock() // commit (no active older readers: writes back)
+	if n.val.Load() != 20 {
+		t.Fatalf("write-back missing: val = %d", n.val.Load())
+	}
+	if n.copy.Load() != nil || n.owner.Load() != nil {
+		t.Fatal("commit left the node locked")
+	}
+}
+
+func TestTryLockConflict(t *testing.T) {
+	t.Parallel()
+	d := NewDomain()
+	a := d.Register()
+	b := d.Register()
+	defer a.Unregister()
+	defer b.Unregister()
+	n := NewNode(1, 1)
+	a.ReaderLock()
+	if _, ok := a.TryLock(n); !ok {
+		t.Fatal("first TryLock failed")
+	}
+	b.ReaderLock()
+	if _, ok := b.TryLock(n); ok {
+		t.Fatal("second TryLock succeeded on a held node")
+	}
+	b.Abort()
+	a.Abort()
+	// After abort the node is free again.
+	b.ReaderLock()
+	if _, ok := b.TryLock(n); !ok {
+		t.Fatal("TryLock after abort failed")
+	}
+	b.Abort()
+}
+
+func TestRelockReturnsSameCopy(t *testing.T) {
+	t.Parallel()
+	d := NewDomain()
+	s := d.Register()
+	defer s.Unregister()
+	n := NewNode(1, 1)
+	s.ReaderLock()
+	c1, _ := s.TryLock(n)
+	c2, ok := s.TryLock(n)
+	if !ok || c1 != c2 {
+		t.Fatal("re-lock did not return the same working copy")
+	}
+	s.Abort()
+}
+
+func TestClockAdvancesPerCommit(t *testing.T) {
+	t.Parallel()
+	l := NewList()
+	before := l.Domain().Clock()
+	l.Insert(1, 1)
+	l.Insert(2, 2)
+	l.Remove(1)
+	if got := l.Domain().Clock(); got != before+3 {
+		t.Fatalf("clock advanced %d, want 3", got-before)
+	}
+	// Failed operations (duplicate insert, missing remove) do not commit.
+	l.Insert(2, 9)
+	l.Remove(7)
+	if got := l.Domain().Clock(); got != before+3 {
+		t.Fatalf("no-op operations advanced the clock to %d", got)
+	}
+}

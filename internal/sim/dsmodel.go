@@ -1,0 +1,449 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"dps/internal/memsim"
+	"dps/internal/topology"
+)
+
+// This file models the data-structure evaluations (§5.2, Figures 2 and
+// 9-12) and the memcached application study (§5.3, Figure 13). Unlike the
+// micro-benchmarks, which are event-simulated, these are closed-form
+// saturation models built from the same memsim cost constants: an
+// operation's cost is its traversal geometry (nodes touched) times the
+// per-access cost implied by footprint and locality, plus the
+// synchronization cost of its update path; throughput is bounded by
+// aggregate thread capacity and by each variant's serialization bottleneck
+// (a global lock, a per-partition writer lock, ffwd's servers). The same
+// bottleneck arithmetic the paper uses to explain its results regenerates
+// the figures' shapes.
+
+// DS identifies a data-structure implementation from the paper's §5.2
+// evaluation.
+type DS int
+
+// Evaluated implementations.
+const (
+	DSListGlobalMCS DS = iota + 1 // gl-m
+	DSListLazy                    // lb-l
+	DSListMichael                 // lf-m
+	DSListOPTIK                   // optik (node caching)
+	DSListRLU                     // rlu
+	DSBSTBronson                  // lb-b (balanced, optimistic reads)
+	DSBSTNatarajan                // lf-n
+	DSBSTHowley                   // lf-h
+	DSBSTTK                       // optik / BST-TK (DPS's internal tree)
+	DSSkipHerlihy                 // lb-h
+	DSSkipFraser                  // lf-f
+	DSPQShavitLotan               // lf-s
+)
+
+func (d DS) String() string {
+	switch d {
+	case DSListGlobalMCS:
+		return "gl-m"
+	case DSListLazy:
+		return "lb-l"
+	case DSListMichael:
+		return "lf-m"
+	case DSListOPTIK:
+		return "optik"
+	case DSListRLU:
+		return "rlu"
+	case DSBSTBronson:
+		return "lb-b"
+	case DSBSTNatarajan:
+		return "lf-n"
+	case DSBSTHowley:
+		return "lf-h"
+	case DSBSTTK:
+		return "bst-tk"
+	case DSSkipHerlihy:
+		return "lb-h"
+	case DSSkipFraser:
+		return "lf-f"
+	case DSPQShavitLotan:
+		return "lf-s"
+	default:
+		return fmt.Sprintf("DS(%d)", int(d))
+	}
+}
+
+// dsClass groups implementations by structure for traversal geometry.
+type dsClass int
+
+const (
+	classList dsClass = iota + 1
+	classBST
+	classSkip
+	classPQ
+)
+
+func (d DS) class() dsClass {
+	switch d {
+	case DSListGlobalMCS, DSListLazy, DSListMichael, DSListOPTIK, DSListRLU:
+		return classList
+	case DSBSTBronson, DSBSTNatarajan, DSBSTHowley, DSBSTTK:
+		return classBST
+	case DSSkipHerlihy, DSSkipFraser:
+		return classSkip
+	default:
+		return classPQ
+	}
+}
+
+// DSConfig parameterizes one data-structure workload point.
+type DSConfig struct {
+	Mach    topology.Machine
+	Impl    DS
+	Threads int
+	// Size is the initial element count (key range is 2x).
+	Size int
+	// UpdateRatio in [0,1]; updates split half insert / half remove.
+	UpdateRatio float64
+	// Skewed selects the Zipf-like high-contention key distribution
+	// (§5.2's "skewed" workloads).
+	Skewed bool
+	// DPS wraps the implementation in DPS (one shard per socket).
+	DPS bool
+	// FFWDServers delegates to this many ffwd servers instead (0 = no
+	// ffwd; lists use 1 in the paper, BSTs 4).
+	FFWDServers int
+}
+
+// DSResult is the modelled outcome of one workload point.
+type DSResult struct {
+	Mops        float64
+	MissesPerOp float64
+}
+
+// nodeBytes is the modelled per-node footprint (node, value, padding).
+const nodeBytes = 128
+
+// travNodes returns nodes touched by one operation.
+func travNodes(class dsClass, impl DS, size int) float64 {
+	n := float64(size)
+	switch class {
+	case classList:
+		return n / 2
+	case classBST:
+		if impl == DSBSTBronson {
+			return math.Log2(n) // balanced tree (§5.2: max depth 25 vs 48/60)
+		}
+		return 1.39 * math.Log2(n) // expected random-BST depth
+	case classSkip:
+		return 1.5 * math.Log2(n)
+	default:
+		return math.Log2(n)
+	}
+}
+
+// writeStores returns the shared stores an update performs (locks, marks,
+// pointer swings) — the coherence-traffic generators.
+func writeStores(impl DS) float64 {
+	switch impl {
+	case DSListGlobalMCS:
+		return 2 // lock word + pointer
+	case DSListLazy:
+		return 4 // two node locks + mark + pointer
+	case DSListMichael, DSBSTNatarajan:
+		return 2 // CAS mark + CAS unlink
+	case DSListOPTIK, DSBSTTK:
+		return 2.5 // version lock(s) + pointer
+	case DSListRLU:
+		return 3 // log write + commit + pointer
+	case DSBSTBronson:
+		return 4 // hand-over-hand locks + rotation stores
+	case DSBSTHowley:
+		return 3 // op-record CASes
+	case DSSkipHerlihy:
+		return 5 // tower locks + links
+	case DSSkipFraser, DSPQShavitLotan:
+		return 3.5 // per-level CASes
+	default:
+		return 3
+	}
+}
+
+// readStores returns shared stores on the read path (0 for all the
+// structures here — ASCY-compliant read-only searches).
+func readStores(impl DS) float64 {
+	if impl == DSListRLU {
+		return 0.5 // reader clock publication
+	}
+	return 0
+}
+
+// ModelDS computes the modelled throughput of one workload point.
+func ModelDS(cfg DSConfig) (DSResult, error) {
+	if cfg.Threads < 1 || cfg.Size < 1 {
+		return DSResult{}, fmt.Errorf("sim: threads and size must be positive")
+	}
+	if cfg.UpdateRatio < 0 || cfg.UpdateRatio > 1 {
+		return DSResult{}, fmt.Errorf("sim: update ratio %v outside [0,1]", cfg.UpdateRatio)
+	}
+	mach := cfg.Mach
+	class := cfg.Impl.class()
+	N := cfg.Threads
+	sockets := mach.SocketsUsed(N)
+	u := cfg.UpdateRatio
+
+	// Effective compute capacity in core-equivalents (SMT discount).
+	eff := float64(N)
+	if N > mach.PhysCores() {
+		eff = float64(mach.PhysCores()) + float64(N-mach.PhysCores())*(smtFactor-1)/smtFactor
+	}
+
+	nodes := travNodes(class, cfg.Impl, cfg.Size)
+	footprint := float64(cfg.Size) * nodeBytes
+
+	// Contention hotness: fraction of traversed lines found dirty in a
+	// remote cache. Skewed workloads concentrate updates on few nodes.
+	hot := u * float64(sockets-1) / float64(max(1, sockets))
+	if cfg.Skewed {
+		hot = math.Min(1, hot*6)
+	} else {
+		hot = math.Min(1, hot*float64(N)*32/float64(cfg.Size+1))
+	}
+
+	// qpi inflates remote-fill latency when many threads contend for the
+	// cross-socket interconnect (visible beyond ~20 threads, saturating
+	// at 1.5x).
+	qpi := 1 + 0.5*math.Min(1, math.Max(0, float64(N)-20)/60)
+
+	// accessCost models one node visit given a per-socket footprint and
+	// the fraction of DRAM fills that are remote.
+	accessCost := func(perSocketFootprint, remoteFrac, dirtyFrac float64) float64 {
+		pHit := 1.0
+		if perSocketFootprint > 0 {
+			pHit = math.Min(1, float64(mach.LLCBytes)/perSocketFootprint)
+		}
+		fill := (1-remoteFrac)*memsim.CostLocalMem + remoteFrac*memsim.CostRemoteMem*qpi
+		base := pHit*memsim.CostLLCHit + (1-pHit)*fill
+		return base*(1-dirtyFrac) + dirtyFrac*memsim.CostCoherence
+	}
+
+	// treeTraverseCost exploits the locality of pointer-based search
+	// structures: the top levels of a tree/skip list stay LLC-resident;
+	// only the levels past the cache's node capacity pay DRAM fills.
+	// Lists get no such break — their traversals are uniform streams.
+	treeTraverseCost := func(size int, shardFootprint, remoteFrac, dirtyFrac, levelCoef float64) (cost, missNodes float64) {
+		cachedNodes := float64(mach.LLCBytes) / nodeBytes
+		missLevels := 0.0
+		if float64(size) > cachedNodes {
+			missLevels = math.Log2(float64(size) / cachedNodes)
+		}
+		if class == classSkip {
+			// Tall towers and per-level links double the thrashed
+			// depth relative to a binary tree.
+			missLevels *= 2
+		}
+		total := levelCoef * math.Log2(float64(size))
+		missLevels = math.Min(total, levelCoef*missLevels)
+		hitNodes := total - missLevels
+		fill := (1-remoteFrac)*memsim.CostLocalMem + remoteFrac*memsim.CostRemoteMem*qpi
+		perHit := memsim.CostLLCHit*(1-dirtyFrac) + dirtyFrac*memsim.CostCoherence
+		return hitNodes*perHit + missLevels*fill, missLevels
+	}
+	levelCoef := 1.39
+	switch {
+	case cfg.Impl == DSBSTBronson:
+		levelCoef = 1.0
+	case class == classSkip:
+		levelCoef = 1.5
+	}
+
+	// Contended-lock collapse under the skewed workload: the hot keys'
+	// locks serialize a share of all operations, with a per-family
+	// critical-section length calibrated to the paper's Figure 9(a)
+	// ratios (lock-based BST 6x, lock-based skip list 20x below DPS).
+	skewLockCapMops := math.Inf(1)
+	if cfg.Skewed && u > 0 && !cfg.DPS && cfg.FFWDServers == 0 {
+		// Contention is cheaper while the hot lines stay within one LLC;
+		// the cap tightens as handoffs go cross-socket.
+		relax := 4.0 / float64(sockets)
+		switch cfg.Impl {
+		case DSBSTBronson:
+			skewLockCapMops = 4.0 / u * relax // rotations hold subtree locks
+		case DSSkipHerlihy:
+			skewLockCapMops = 1.1 / u * relax // tower locks + revalidation
+		case DSBSTTK:
+			skewLockCapMops = 16.0 / u * relax
+		case DSBSTNatarajan, DSBSTHowley, DSSkipFraser:
+			skewLockCapMops = 14.0 / u * relax // CAS retry storms, no locks
+		}
+	}
+	// Optimistic lists re-traverse on validation failure; under skew the
+	// hot predecessors fail often and each retry is a full O(n) walk.
+	listRetry := 1.0
+	if cfg.Skewed && class == classList && !cfg.DPS && cfg.FFWDServers == 0 {
+		switch cfg.Impl {
+		case DSListLazy, DSListMichael, DSListOPTIK, DSListRLU:
+			listRetry = 1 + 1.2*hot
+		}
+	}
+
+	var perOpClient, perOpServer, serialCap float64
+	missPerOp := 0.0
+	serialCap = math.Inf(1)
+
+	if class == classPQ {
+		return modelPQ(cfg, eff, mach), nil
+	}
+
+	switch {
+	case cfg.DPS:
+		// Shard per socket: traversal over size/sockets nodes, all
+		// local, dirty lines stay within the socket's LLC (cheap).
+		shardSize := max(1, cfg.Size/sockets)
+		var trav, missNodes float64
+		if class == classList {
+			shardNodes := travNodes(class, cfg.Impl, shardSize)
+			trav = shardNodes * accessCost(footprint/float64(sockets), 0, 0)
+			pHit := math.Min(1, float64(mach.LLCBytes)/(footprint/float64(sockets)))
+			missNodes = shardNodes * (1 - pHit)
+		} else {
+			trav, missNodes = treeTraverseCost(shardSize, footprint/float64(sockets), 0, 0, levelCoef)
+		}
+		sync := (u*writeStores(cfg.Impl) + readStores(cfg.Impl)) * 2 * memsim.CostLLCHit
+		remoteFrac := float64(sockets-1) / float64(sockets)
+		perOpClient = remoteFrac*(costSendDPS+costRecvDPS) + (1-remoteFrac)*costLocalDPS
+		perOpServer = remoteFrac*(costServeDPS+costRespDPS) + trav + sync
+		// ParSec list: writers serialize per partition on an MCS lock.
+		if class == classList && u > 0 {
+			writeCS := trav + sync
+			serialCap = float64(sockets) / (u * writeCS)
+		}
+		missPerOp = remoteFrac*5 + missNodes
+	case cfg.FFWDServers > 0 && class == classList:
+		// The paper's ffwd list (§5.2): clients traverse the lazy list
+		// in shared memory and delegate only node modifications to the
+		// single server.
+		remoteFrac := float64(sockets-1) / float64(sockets)
+		trav := nodes * accessCost(footprint, remoteFrac, hot*0.25)
+		perOpClient = trav + u*(costSendFFWD+costRecvFFWD)
+		perOpServer = 0
+		if u > 0 {
+			serverOp := costServeFFWD + costRespFFWD + 4*memsim.CostCoherence
+			serialCap = float64(cfg.FFWDServers) / (u * serverOp)
+		}
+		pHit := math.Min(1, float64(mach.LLCBytes)/footprint)
+		missPerOp = nodes*(1-pHit) + u*46.0/15
+	case cfg.FFWDServers > 0:
+		// Servers own shards; every op is delegated and served serially.
+		srv := cfg.FFWDServers
+		shardSize := max(1, cfg.Size/srv)
+		var trav, missNodes float64
+		if class == classList {
+			shardNodes := travNodes(class, cfg.Impl, shardSize)
+			trav = shardNodes * accessCost(footprint/float64(srv), 0, 0)
+			pHit := math.Min(1, float64(mach.LLCBytes)/(footprint/float64(srv)))
+			missNodes = shardNodes * (1 - pHit)
+		} else {
+			trav, missNodes = treeTraverseCost(shardSize, footprint/float64(srv), 0, 0, levelCoef)
+		}
+		serverOp := costServeFFWD + costRespFFWD + trav
+		serialCap = float64(srv) / serverOp
+		perOpClient = costSendFFWD + costRecvFFWD
+		perOpServer = 0 // charged via serialCap
+		missPerOp = 46.0/15 + missNodes
+	default:
+		// Shared memory: all threads traverse the whole structure;
+		// DRAM fills are remote for (sockets-1)/sockets of lines
+		// (structure pages spread over the sockets that inserted them).
+		remoteFrac := float64(sockets-1) / float64(sockets)
+		var trav, missNodes float64
+		if class == classList {
+			trav = nodes * accessCost(footprint, remoteFrac, hot*0.25) * listRetry
+			pHit := math.Min(1, float64(mach.LLCBytes)/footprint)
+			missNodes = nodes * ((1 - pHit) + hot*0.25) * listRetry
+		} else {
+			trav, missNodes = treeTraverseCost(cfg.Size, footprint, remoteFrac, hot*0.25, levelCoef)
+			if class == classSkip && footprint > float64(mach.LLCBytes) {
+				// Tower pointers scatter across the arena: prefetching
+				// fails and fills serialize.
+				trav *= 1.35
+			}
+			missNodes += nodes * hot * 0.25
+			trav += nodes * hot * 0.25 * memsim.CostCoherence
+		}
+		sync := (u*writeStores(cfg.Impl) + readStores(cfg.Impl)) *
+			(memsim.CostCoherence*float64(sockets-1)/float64(sockets) + memsim.CostLLCHit)
+		perOpClient = trav + sync
+		perOpServer = 0
+		switch cfg.Impl {
+		case DSListGlobalMCS:
+			// Global lock: fully serialized, lock handoff per op.
+			cs := trav + sync
+			serialCap = 1 / (cs + memsim.CostCoherence)
+		case DSListRLU:
+			// rlu_synchronize blocks the writer for a quiescence round.
+			if u > 0 {
+				syncWait := 1500 + 150*float64(N)
+				if cfg.Skewed {
+					syncWait *= 3
+				}
+				perOpClient += u * syncWait
+			}
+		}
+		missPerOp = missNodes + (u*writeStores(cfg.Impl))*remoteFrac
+	}
+
+	// Aggregate throughput: thread capacity vs serialization bottlenecks.
+	cyclesPerOp := perOpClient + perOpServer
+	capacity := eff * mach.CyclesPerSec / cyclesPerOp
+	if cap2 := serialCap * mach.CyclesPerSec; cap2 < capacity {
+		capacity = cap2
+	}
+	if cap3 := skewLockCapMops * 1e6; cap3 < capacity {
+		capacity = cap3
+	}
+	return DSResult{Mops: capacity / 1e6, MissesPerOp: missPerOp}, nil
+}
+
+// modelPQ models the Shavit-Lotan priority queue and its DPS adaptation
+// (§3.4, §5.2): every removeMin hammers the queue head, so the shared
+// version is bounded by head-CAS retries; the DPS version pays a broadcast
+// findMin per dequeue, which only pays off when head contention (high
+// update, skew) is the bottleneck — with a low update ratio "the most
+// visited node in pq is its head, thus, leading to few cache misses" and
+// DPS's message passing cannot win.
+func modelPQ(cfg DSConfig, eff float64, mach topology.Machine) DSResult {
+	u := cfg.UpdateRatio
+	sockets := mach.SocketsUsed(cfg.Threads)
+	headCAS := float64(memsim.CostCoherence)
+	if cfg.DPS {
+		// Broadcast findMin: one delegation round trip per partition,
+		// issued in parallel (cost ≈ one round trip + aggregation),
+		// plus the local dequeue.
+		trav := math.Log2(float64(max(2, cfg.Size/sockets))) * memsim.CostLLCHit
+		perOp := (costSendDPS+costServeDPS+costRespDPS+costRecvDPS)*1.2 + trav +
+			u*writeStores(cfg.Impl)*memsim.CostLLCHit
+		return DSResult{Mops: eff * mach.CyclesPerSec / perOp / 1e6, MissesPerOp: 5}
+	}
+	// Shared: head line ping-pongs across sockets; retries grow with
+	// contention (threads x update share).
+	retries := 1 + u*float64(cfg.Threads)/8
+	if cfg.Skewed {
+		retries *= 2
+	}
+	trav := math.Log2(float64(max(2, cfg.Size))) * memsim.CostLLCHit
+	perOp := trav + u*headCAS*retries + (1-u)*memsim.CostLLCHit*4
+	capMops := eff * mach.CyclesPerSec / perOp / 1e6
+	// Head serialization: only dequeues (the update fraction) hand the
+	// head line around; findMin reads share it.
+	serialMops := math.Inf(1)
+	if u > 0 {
+		serialMops = mach.CyclesPerSec / (u * headCAS) / 1e6
+	}
+	return DSResult{Mops: math.Min(capMops, serialMops), MissesPerOp: u * retries}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,70 @@
+// Package sim is a discrete-event simulator of the paper's evaluation
+// machine running the delegation protocols under study. Simulated threads
+// are placed on sockets with the paper's allocation policy; every memory
+// access on the delegation fast path is charged through the internal/memsim
+// cost model; and the protocols themselves — DPS peer rings with overlapped
+// serving, ffwd dedicated servers with response batching, MCS critical
+// sections — are executed event by event. Throughput curves, saturation
+// points and crossovers in the reproduced figures therefore come from the
+// mechanisms, not from fitted curves.
+//
+// Go's runtime cannot pin OS threads to sockets (the repro constraint named
+// in DESIGN.md), so these simulations stand in for the paper's 80-thread
+// hardware runs; the real Go implementations of the same protocols are
+// exercised by the test suite and testing.B benchmarks instead.
+package sim
+
+import "container/heap"
+
+// Engine is a time-ordered event loop. Times are in CPU cycles.
+type Engine struct {
+	now  float64
+	seq  int
+	evts eventHeap
+}
+
+type event struct {
+	t   float64
+	seq int // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Now returns the current simulation time in cycles.
+func (e *Engine) Now() float64 { return e.now }
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.evts, event{t: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Run processes events until the horizon (in cycles) or until no events
+// remain; the clock always ends at the horizon.
+func (e *Engine) Run(horizon float64) {
+	for e.evts.Len() > 0 {
+		ev := heap.Pop(&e.evts).(event)
+		if ev.t > horizon {
+			e.now = horizon
+			return
+		}
+		e.now = ev.t
+		ev.fn()
+	}
+	e.now = horizon
+}

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"dps/internal/memsim"
+	"dps/internal/topology"
+)
+
+// MCVariant identifies a memcached implementation from §5.3.
+type MCVariant int
+
+// Compared variants.
+const (
+	// MCStock is memcached 1.5.4: bucket-locked hash table, locked LRU
+	// lists and slab allocator, every get bumping LRU state.
+	MCStock MCVariant = iota + 1
+	// MCFFWD delegates all gets and sets to a single ffwd server.
+	MCFFWD
+	// MCParSec is the ParSec rewrite: store-free get path, quiescence-
+	// based reclamation.
+	MCParSec
+	// MCDPS partitions stock memcached (hash table, LRU, slab) across
+	// localities; sets delegate asynchronously, gets synchronously.
+	MCDPS
+	// MCDPSParSec applies DPS on ParSec memcached: gets execute locally
+	// (§4.4 local execution), sets delegate asynchronously.
+	MCDPSParSec
+)
+
+func (v MCVariant) String() string {
+	switch v {
+	case MCStock:
+		return "stock"
+	case MCFFWD:
+		return "ffwd"
+	case MCParSec:
+		return "ParSec"
+	case MCDPS:
+		return "DPS-stock"
+	case MCDPSParSec:
+		return "DPS-ParSec"
+	default:
+		return fmt.Sprintf("MCVariant(%d)", int(v))
+	}
+}
+
+// MCConfig parameterizes one memcached workload point (YCSB-style Zipf
+// traces over 1M pre-populated items, §5.3).
+type MCConfig struct {
+	Mach       topology.Machine
+	Variant    MCVariant
+	Threads    int
+	SetRatio   float64
+	ValueBytes int
+	Items      int // default 1M
+}
+
+// MCResult is the modelled outcome.
+type MCResult struct {
+	Mops float64
+	// P99Cycles is the modelled tail latency of a request in cycles.
+	P99Cycles float64
+}
+
+// zipfHot is the fraction of accesses landing on LLC-resident hot items
+// under the YCSB Zipfian distribution.
+const zipfHot = 0.55
+
+// itemMeta is the per-item metadata footprint (hash entry, LRU links,
+// slab header).
+const itemMeta = 128
+
+// ModelMemcached computes the modelled throughput and tail latency of one
+// workload point of Figure 13.
+func ModelMemcached(cfg MCConfig) (MCResult, error) {
+	if cfg.Threads < 1 {
+		return MCResult{}, fmt.Errorf("sim: Threads must be positive")
+	}
+	if cfg.SetRatio < 0 || cfg.SetRatio > 1 {
+		return MCResult{}, fmt.Errorf("sim: SetRatio %v outside [0,1]", cfg.SetRatio)
+	}
+	if cfg.Items == 0 {
+		cfg.Items = 1 << 20
+	}
+	if cfg.ValueBytes == 0 {
+		cfg.ValueBytes = 128
+	}
+	mach := cfg.Mach
+	N := cfg.Threads
+	sockets := mach.SocketsUsed(N)
+	w := cfg.SetRatio
+
+	eff := float64(N)
+	if N > mach.PhysCores() {
+		eff = float64(mach.PhysCores()) + float64(N-mach.PhysCores())*(smtFactor-1)/smtFactor
+	}
+	qpi := 1 + 0.5*math.Min(1, math.Max(0, float64(N)-20)/60)
+
+	valueLines := float64((cfg.ValueBytes + mach.CacheLine - 1) / mach.CacheLine)
+	metaLines := 3.0 // bucket chain hop + item header + LRU node
+	footprint := float64(cfg.Items) * (itemMeta + float64(cfg.ValueBytes))
+	remoteFrac := float64(sockets-1) / float64(sockets)
+
+	// itemAccess is the per-line cost of touching item data.
+	// hotDirty: hot lines are being invalidated by other sockets' stores
+	// (true for stock, whose gets store into LRU state).
+	itemAccess := func(shardFootprint float64, local, hotDirty bool) float64 {
+		pCold := math.Min(1, float64(mach.LLCBytes)/shardFootprint)
+		pHit := zipfHot + (1-zipfHot)*pCold
+		fill := float64(memsim.CostLocalMem)
+		if !local {
+			fill = (1-remoteFrac)*memsim.CostLocalMem + remoteFrac*memsim.CostRemoteMem*qpi
+		}
+		hitCost := float64(memsim.CostLLCHit)
+		if hotDirty {
+			hitCost = memsim.CostCoherence * remoteFrac
+			if local {
+				hitCost = 2 * memsim.CostLLCHit // bounces stay in-socket
+			}
+		}
+		return pHit*hitCost + (1-pHit)*fill
+	}
+
+	var perOp, serialCapOps, p99 float64
+	serialCapOps = math.Inf(1)
+
+	switch cfg.Variant {
+	case MCStock:
+		// Gets store into LRU/lock lines: the hot set ping-pongs, and
+		// LRU/slab locks contend increasingly with thread count.
+		lines := metaLines + valueLines
+		get := lines*itemAccess(footprint, false, true) +
+			4*memsim.CostCoherence*remoteFrac // bucket lock + LRU bump
+		lockContention := memsim.CostCoherence * math.Min(6, float64(N)/12)
+		get += lockContention
+		set := get + 6*memsim.CostCoherence*remoteFrac
+		perOp = (1-w)*get + w*set
+		// Slab allocator + LRU list locks serialize sets system-wide.
+		if w > 0 {
+			serialCapOps = mach.CyclesPerSec / (w * 5 * memsim.CostCoherence)
+		}
+		p99 = perOp * 20 // deep lock queues at saturation
+	case MCFFWD:
+		// One server executes everything serially; its shard is its
+		// socket's memory (local, but one LLC).
+		lines := metaLines + valueLines
+		serverOp := costServeFFWD + costRespFFWD + lines*itemAccess(footprint, true, false) + 100
+		serialCapOps = mach.CyclesPerSec / serverOp
+		perOp = costSendFFWD + costRecvFFWD
+		p99 = serverOp*float64(maxInt(1, N-1)) + 2*costXfer // queue of all clients
+	case MCParSec:
+		// Store-free gets; sets pay quiescence-aware update stores.
+		lines := metaLines - 1 + valueLines // customized layout: one less hop
+		get := lines * itemAccess(footprint, false, false)
+		set := get + 5*memsim.CostCoherence*remoteFrac + 800 // quiescence publish
+		perOp = (1-w)*get + w*set
+		p99 = perOp * 3.2
+	case MCDPS:
+		// Partitioned stock: per-locality footprint, in-socket locks.
+		shard := footprint / float64(sockets)
+		lines := metaLines + valueLines
+		get := lines*itemAccess(shard, true, true) + 4*2*memsim.CostLLCHit
+		// Sets run the full stock update path on the owning locality:
+		// slab allocation, LRU unlink/relink and hash insert.
+		set := get + 12*2*memsim.CostLLCHit + 800
+		// Sync get delegation; async set delegation (client pays send).
+		getRT := remoteFrac*(costSendDPS+costServeDPS+costRespDPS+costRecvDPS) +
+			(1-remoteFrac)*costLocalDPS
+		setRT := remoteFrac*costSendDPS + (1-remoteFrac)*costLocalDPS
+		perOp = (1-w)*(getRT+get) + w*(setRT+set)
+		p99 = (getRT + get) * 1.8
+	case MCDPSParSec:
+		// Local gets against remote shards (no RT, but remote fills);
+		// async sets to the owning locality.
+		shard := footprint / float64(sockets)
+		lines := metaLines - 1 + valueLines
+		getLocalData := lines * itemAccess(shard, false, false)
+		get := costLocalDPS + getLocalData
+		setSrv := lines*itemAccess(shard, true, false) + 10*2*memsim.CostLLCHit + 600
+		set := remoteFrac*costSendDPS + (1-remoteFrac)*costLocalDPS + setSrv
+		perOp = (1-w)*get + w*set
+		p99 = get * 2.0
+	default:
+		return MCResult{}, fmt.Errorf("sim: unknown variant %v", cfg.Variant)
+	}
+
+	capacity := eff * mach.CyclesPerSec / perOp
+	if serialCapOps < capacity {
+		capacity = serialCapOps
+		p99 *= 3 // saturated server/locks stretch the tail
+	}
+	return MCResult{Mops: capacity / 1e6, P99Cycles: p99}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

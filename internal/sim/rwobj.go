@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dps/internal/memsim"
+	"dps/internal/topology"
+)
+
+// LockSystem selects the synchronization scheme for the atomic read-write
+// object micro-benchmark (Figures 7 and 8, Table 2).
+type LockSystem int
+
+// Benchmarked schemes.
+const (
+	// SysMCS protects each object with its own MCS lock; threads access
+	// objects in shared memory ("mcs" in Figure 7).
+	SysMCS LockSystem = iota + 1
+	// SysFFWD4 statically shards objects over 4 dedicated ffwd servers.
+	SysFFWD4
+	// SysDPSObj partitions objects across localities with DPS; within a
+	// locality the same MCS lock implementation synchronizes threads.
+	SysDPSObj
+)
+
+func (s LockSystem) String() string {
+	switch s {
+	case SysMCS:
+		return "mcs"
+	case SysFFWD4:
+		return "ffwd-s4"
+	case SysDPSObj:
+		return "DPS"
+	default:
+		return fmt.Sprintf("LockSystem(%d)", int(s))
+	}
+}
+
+// Streaming-bandwidth model for huge objects (Table 2's 10 MB objects):
+// a single thread streams at about streamBW bytes/cycle; concurrent streams
+// into one socket's DRAM share socketBW; cross-socket streams are capped by
+// the interconnect at remoteBW.
+const (
+	streamBW = 2.0 // bytes/cycle single stream (≈4 GB/s at 2 GHz)
+	socketBW = 5.0 // bytes/cycle per-socket DRAM (≈10 GB/s)
+	remoteBW = 1.0 // bytes/cycle per cross-socket stream (≈2 GB/s)
+	hugeSize = 1 << 20
+)
+
+// RWObjConfig parameterizes one run.
+type RWObjConfig struct {
+	Mach       topology.Machine
+	System     LockSystem
+	Threads    int
+	Objects    int
+	Lines      int // modified cache lines per operation
+	ObjBytes   int64
+	Interleave bool // Table 2: interleaved NUMA allocation (vs node-local)
+	Horizon    float64
+	Seed       int64
+}
+
+// RWObjResult reports throughput and the cache behaviour the paper plots in
+// Figures 8(c,d).
+type RWObjResult struct {
+	Ops         uint64
+	Mops        float64
+	MissesPerOp float64
+}
+
+// sampledLines bounds per-object coherence state to keep big sweeps cheap;
+// costs scale by the sampling ratio.
+const sampledLines = 8
+
+// SimulateRWObj runs the atomic read-write object micro-benchmark.
+func SimulateRWObj(cfg RWObjConfig) (RWObjResult, error) {
+	if cfg.Threads < 1 || cfg.Objects < 1 || cfg.Lines < 1 {
+		return RWObjResult{}, fmt.Errorf("sim: threads/objects/lines must be positive")
+	}
+	if cfg.ObjBytes == 0 {
+		cfg.ObjBytes = int64(cfg.Lines * cfg.Mach.CacheLine)
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 2e7
+		if cfg.ObjBytes >= hugeSize {
+			// Streaming operations take tens of millions of cycles
+			// each; give them room to complete.
+			cfg.Horizon = 4e8
+		}
+	}
+	eng := &Engine{}
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	mach := cfg.Mach
+	mem := memsim.New(mach, cfg.Seed+4)
+	sockets := mach.SocketsUsed(cfg.Threads)
+	totalBytes := float64(cfg.ObjBytes) * float64(cfg.Objects)
+
+	// NUMA home and access pattern depend on the system.
+	homeOf := func(obj int) int {
+		switch {
+		case cfg.Interleave:
+			return obj % mach.Sockets
+		case cfg.System == SysFFWD4:
+			return (obj % 4) % mach.Sockets
+		case cfg.System == SysDPSObj:
+			return obj % sockets
+		default:
+			return 0 // node-local: the (single-threaded) initializer's socket
+		}
+	}
+	// Footprint per socket: what its threads stream through their LLC.
+	for s := 0; s < mach.Sockets; s++ {
+		switch cfg.System {
+		case SysDPSObj:
+			mem.SetFootprint(s, totalBytes/float64(sockets))
+		case SysFFWD4:
+			mem.SetFootprint(s, totalBytes/4)
+		default:
+			mem.SetFootprint(s, totalBytes)
+		}
+	}
+
+	type object struct {
+		lockLine memsim.Line
+		lines    [sampledLines]memsim.Line
+		lockQ    []int    // waiting thread ids (MCS FIFO)
+		waiters  []func() // continuations matched to lockQ entries
+		locked   bool
+	}
+	objs := make([]*object, cfg.Objects)
+	for i := range objs {
+		o := &object{lockLine: memsim.NewLine(homeOf(i))}
+		for j := range o.lines {
+			o.lines[j] = memsim.NewLine(homeOf(i))
+		}
+		objs[i] = o
+	}
+
+	lineScale := float64(cfg.Lines) / float64(min(cfg.Lines, sampledLines))
+	nSample := min(cfg.Lines, sampledLines)
+
+	// streams tracks concurrent huge-object streams per home socket.
+	streams := make([]int, mach.Sockets)
+
+	// csCost returns the critical-section cost for socket s on object o.
+	csCost := func(s int, o *object, home int) float64 {
+		if cfg.ObjBytes >= hugeSize {
+			// Streaming regime: bandwidth-bound.
+			bw := streamBW
+			if n := streams[home]; n > 0 && socketBW/float64(n+1) < bw {
+				bw = socketBW / float64(n+1)
+			}
+			if home != s && remoteBW < bw {
+				bw = remoteBW
+			}
+			return float64(cfg.ObjBytes) / bw
+		}
+		var c uint64
+		for j := 0; j < nSample; j++ {
+			c += mem.Store(s, &o.lines[j])
+		}
+		return float64(c) * lineScale
+	}
+
+	var ops uint64
+	var delegMisses float64 // request/response line transfers per §5.1's accounting
+	smtOf := make([]float64, cfg.Threads)
+	sockOf := make([]int, cfg.Threads)
+	for i := range smtOf {
+		smtOf[i] = smt(mach, cfg.Threads, i)
+		s, _ := mach.Place(i)
+		sockOf[i] = s
+	}
+
+	var issue func(tid int)
+
+	// runCS executes the critical section on behalf of socket s, then cont.
+	runCS := func(s int, o *object, home int, f float64, cont func()) {
+		streams[home]++
+		cost := csCost(s, o, home)
+		eng.After(cost*f, func() {
+			streams[home]--
+			cont()
+		})
+	}
+
+	// MCS lock acquire/release with queueing; handoff transfers the lock
+	// line between the consecutive holders' sockets. acqSock is the socket
+	// the acquiring code runs on: the caller's under MCS, the owning
+	// locality's under DPS (delegated operations lock from the server
+	// side, which is what keeps the lock line socket-local).
+	var grant func(oi int)
+	lockAcquire := func(acqSock int, f float64, oi int, cont func()) {
+		o := objs[oi]
+		handoff := float64(mem.Atomic(acqSock, &o.lockLine))
+		eng.After(handoff*f, func() {
+			if !o.locked {
+				o.locked = true
+				cont()
+				return
+			}
+			o.lockQ = append(o.lockQ, acqSock)
+			o.waiters = append(o.waiters, cont)
+		})
+	}
+	grant = func(oi int) {
+		o := objs[oi]
+		if len(o.lockQ) == 0 {
+			o.locked = false
+			return
+		}
+		acqSock := o.lockQ[0]
+		o.lockQ = o.lockQ[1:]
+		cont := o.waiters[0]
+		o.waiters = o.waiters[1:]
+		// Handoff: the lock line moves to the next holder's socket.
+		c := float64(mem.Atomic(acqSock, &o.lockLine))
+		eng.After(c, cont)
+	}
+
+	switch cfg.System {
+	case SysMCS, SysDPSObj:
+		// Unified path: MCS everywhere; DPS adds partition routing and
+		// delegation for remote objects.
+		issue = func(tid int) {
+			oi := rng.Intn(cfg.Objects)
+			o := objs[oi]
+			home := homeOf(oi)
+			s := sockOf[tid]
+			f := smtOf[tid]
+			doCS := func(execSock int, execF float64, after func()) {
+				lockAcquire(execSock, execF, oi, func() {
+					runCS(execSock, o, home, execF, func() {
+						ops++
+						grant(oi)
+						after()
+					})
+				})
+			}
+			if cfg.System == SysMCS {
+				doCS(s, f, func() { issue(tid) })
+				return
+			}
+			// DPS: object belongs to partition oi % sockets (== home).
+			part := oi % sockets
+			if part != s {
+				delegMisses += 5 // send, serve, resp, recv, poll re-read
+			}
+			if part == s {
+				eng.After(costLocalDPS*f, func() {
+					doCS(s, f, func() { issue(tid) })
+				})
+				return
+			}
+			// Delegate: round-trip transfers plus execution on the
+			// owning socket (charged at the server's speed ≈ f).
+			eng.After((costSendDPS+costServeDPS)*f, func() {
+				doCS(part, f, func() {
+					eng.After((costRespDPS+costRecvDPS)*f, func() { issue(tid) })
+				})
+			})
+		}
+	case SysFFWD4:
+		// Four dedicated servers own static shards; clients delegate.
+		type server struct {
+			queue []func()
+			busy  bool
+		}
+		srv := make([]server, 4)
+		var serve func(si int)
+		serve = func(si int) {
+			s := &srv[si]
+			if len(s.queue) == 0 {
+				s.busy = false
+				return
+			}
+			job := s.queue[0]
+			s.queue = s.queue[1:]
+			s.busy = true
+			job()
+		}
+		issue = func(tid int) {
+			oi := rng.Intn(cfg.Objects)
+			o := objs[oi]
+			si := oi % 4
+			home := si % mach.Sockets
+			f := smtOf[tid]
+			delegMisses += 46.0 / 15 // §5.1: 46 cache ops per 15-request batch
+			eng.After(costSendFFWD*f, func() {
+				s := &srv[si]
+				s.queue = append(s.queue, func() {
+					eng.After(costServeFFWD+costRespFFWD, func() {
+						runCS(home, o, home, 1, func() {
+							ops++
+							eng.After(costRecvFFWD*f, func() { issue(tid) })
+							serve(si)
+						})
+					})
+				})
+				if !s.busy {
+					s.busy = true
+					eng.After(rng.Float64()*ffwdSweepCycle, func() {
+						s.busy = false
+						serve(si)
+					})
+				}
+			})
+		}
+	default:
+		return RWObjResult{}, fmt.Errorf("sim: unknown lock system %v", cfg.System)
+	}
+
+	clients := cfg.Threads
+	if cfg.System == SysFFWD4 {
+		clients = cfg.Threads - 4
+		if clients < 1 {
+			clients = 1
+		}
+	}
+	for i := 0; i < clients; i++ {
+		tid := i
+		eng.After(float64(i%13), func() { issue(tid) })
+	}
+	eng.Run(cfg.Horizon)
+
+	res := RWObjResult{Ops: ops}
+	secs := cfg.Horizon / mach.CyclesPerSec
+	if secs > 0 {
+		res.Mops = float64(ops) / secs / 1e6
+	}
+	if ops > 0 {
+		res.MissesPerOp = (float64(mem.Misses())*lineScale + delegMisses) / float64(ops)
+	}
+	return res, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

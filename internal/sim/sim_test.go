@@ -1,0 +1,509 @@
+package sim
+
+import (
+	"testing"
+
+	"dps/internal/topology"
+)
+
+// The simulator's job is to regenerate the paper's qualitative results:
+// who wins, by roughly what factor, and where the crossovers fall. These
+// tests pin exactly those properties, so recalibration of cost constants
+// cannot silently break a reproduced figure.
+
+func mach() topology.Machine { return topology.PaperMachine() }
+
+func deleg(t *testing.T, sys System, threads, servers int, op, delay float64) DelegationResult {
+	t.Helper()
+	r, err := SimulateDelegation(DelegationConfig{
+		Mach: mach(), System: sys, Threads: threads, Servers: servers,
+		OpCycles: op, Delay: delay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestEngineOrdersEvents(t *testing.T) {
+	t.Parallel()
+	var e Engine
+	var order []int
+	e.After(30, func() { order = append(order, 3) })
+	e.After(10, func() { order = append(order, 1) })
+	e.After(20, func() { order = append(order, 2) })
+	e.After(10, func() { order = append(order, 11) }) // FIFO tie-break
+	e.Run(100)
+	if len(order) != 4 || order[0] != 1 || order[1] != 11 || order[2] != 2 || order[3] != 3 {
+		t.Fatalf("event order = %v", order)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %v, want horizon", e.Now())
+	}
+}
+
+func TestEngineHorizonStopsEvents(t *testing.T) {
+	t.Parallel()
+	var e Engine
+	ran := false
+	e.After(50, func() { ran = true })
+	e.Run(10)
+	if ran {
+		t.Fatal("event past horizon executed")
+	}
+}
+
+func TestDelegationValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := SimulateDelegation(DelegationConfig{Mach: mach(), System: SysDPS}); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := SimulateDelegation(DelegationConfig{Mach: mach(), System: SysFFWD, Threads: 8, Servers: 5}); err == nil {
+		t.Error("5 ffwd servers accepted")
+	}
+	if _, err := SimulateDelegation(DelegationConfig{Mach: mach(), System: System(99), Threads: 8}); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+// Figure 6(a): DPS beats ffwd-s1 at low core counts (peer parallelism);
+// ffwd's batching wins for empty operations at 80 threads; ffwd-s4 is below
+// DPS before all sockets are populated (<40) and above after.
+func TestFig6aShape(t *testing.T) {
+	t.Parallel()
+	dps10 := deleg(t, SysDPS, 10, 0, 0, 0)
+	s1x10 := deleg(t, SysFFWD, 10, 1, 0, 0)
+	if dps10.Mops <= s1x10.Mops {
+		t.Errorf("10 threads empty: DPS %.1f <= ffwd-s1 %.1f", dps10.Mops, s1x10.Mops)
+	}
+	dps80 := deleg(t, SysDPS, 80, 0, 0, 0)
+	s1x80 := deleg(t, SysFFWD, 80, 1, 0, 0)
+	if s1x80.Mops <= dps80.Mops {
+		t.Errorf("80 threads empty: ffwd-s1 %.1f <= DPS %.1f (batching should win)", s1x80.Mops, dps80.Mops)
+	}
+	dps20 := deleg(t, SysDPS, 20, 0, 0, 0)
+	s4x20 := deleg(t, SysFFWD, 20, 4, 0, 0)
+	if s4x20.Mops >= dps20.Mops {
+		t.Errorf("20 threads empty: ffwd-s4 %.1f >= DPS %.1f", s4x20.Mops, dps20.Mops)
+	}
+	s4x80 := deleg(t, SysFFWD, 80, 4, 0, 0)
+	if s4x80.Mops <= dps80.Mops {
+		t.Errorf("80 threads empty: ffwd-s4 %.1f <= DPS %.1f", s4x80.Mops, dps80.Mops)
+	}
+}
+
+// Figure 6(a)/3: at 500-cycle operations neither ffwd variant is
+// competitive with DPS (server saturation).
+func TestFig6a500CycleOps(t *testing.T) {
+	t.Parallel()
+	dps := deleg(t, SysDPS, 80, 0, 500, 0)
+	s1 := deleg(t, SysFFWD, 80, 1, 500, 0)
+	s4 := deleg(t, SysFFWD, 80, 4, 500, 0)
+	if dps.Mops <= s1.Mops*2 || dps.Mops <= s4.Mops*1.5 {
+		t.Errorf("500cy ops: DPS %.1f vs s1 %.1f s4 %.1f — DPS should dominate", dps.Mops, s1.Mops, s4.Mops)
+	}
+}
+
+// Figure 3: ffwd throughput collapses roughly hyperbolically with operation
+// length while DPS declines gently ("the performance decrease in DPS is
+// very small").
+func TestFig3OpLengthSensitivity(t *testing.T) {
+	t.Parallel()
+	dps0 := deleg(t, SysDPS, 80, 0, 0, 0)
+	dps2k := deleg(t, SysDPS, 80, 0, 2000, 0)
+	s10 := deleg(t, SysFFWD, 80, 1, 0, 0)
+	s12k := deleg(t, SysFFWD, 80, 1, 2000, 0)
+	dpsDrop := dps0.Mops / dps2k.Mops
+	ffwdDrop := s10.Mops / s12k.Mops
+	if dpsDrop > 4 {
+		t.Errorf("DPS dropped %.1fx over 0..2000 cycles, want gentle (<4x)", dpsDrop)
+	}
+	if ffwdDrop < 10 {
+		t.Errorf("ffwd-s1 dropped only %.1fx, want steep (>10x)", ffwdDrop)
+	}
+}
+
+// Figure 6(b): with inter-operation delay, asynchronous DPS hides the
+// latency — it beats both ffwd and synchronous DPS at every delay.
+func TestFig6bAsyncHidesDelay(t *testing.T) {
+	t.Parallel()
+	for _, delay := range []float64{0, 2000, 6000} {
+		dps := deleg(t, SysDPS, 80, 0, 0, delay)
+		dpsA := deleg(t, SysDPSAsync, 80, 0, 0, delay)
+		ffwd := deleg(t, SysFFWD, 80, 4, 0, delay)
+		if dpsA.Mops <= ffwd.Mops {
+			t.Errorf("delay %v: DPS-async %.1f <= ffwd %.1f", delay, dpsA.Mops, ffwd.Mops)
+		}
+		if dpsA.Mops <= dps.Mops {
+			t.Errorf("delay %v: DPS-async %.1f <= DPS %.1f", delay, dpsA.Mops, dps.Mops)
+		}
+	}
+}
+
+func TestDelegationLocalFraction(t *testing.T) {
+	t.Parallel()
+	// With one socket every op is local; with four, ~1/4.
+	r10 := deleg(t, SysDPS, 10, 0, 0, 0)
+	if r10.LocalFrac != 1 {
+		t.Errorf("10 threads: local fraction %.2f, want 1", r10.LocalFrac)
+	}
+	r80 := deleg(t, SysDPS, 80, 0, 0, 0)
+	if r80.LocalFrac < 0.15 || r80.LocalFrac > 0.35 {
+		t.Errorf("80 threads: local fraction %.2f, want ~0.25", r80.LocalFrac)
+	}
+}
+
+// --- Figures 7/8, Table 2 ---------------------------------------------------
+
+func rwobj(t *testing.T, sys LockSystem, threads, objs, lines int, objBytes int64, il bool) RWObjResult {
+	t.Helper()
+	r, err := SimulateRWObj(RWObjConfig{
+		Mach: mach(), System: sys, Threads: threads, Objects: objs,
+		Lines: lines, ObjBytes: objBytes, Interleave: il,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRWObjValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := SimulateRWObj(RWObjConfig{Mach: mach()}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+// Figure 7(a): 64 objects x 4 lines — fine-grained MCS wins at low core
+// counts; DPS overtakes MCS at 80.
+func TestFig7aShape(t *testing.T) {
+	t.Parallel()
+	mcs10 := rwobj(t, SysMCS, 10, 64, 4, 0, false)
+	dps10 := rwobj(t, SysDPSObj, 10, 64, 4, 0, false)
+	if mcs10.Mops <= dps10.Mops {
+		t.Errorf("10 threads: MCS %.1f <= DPS %.1f (locking should win uncontended)", mcs10.Mops, dps10.Mops)
+	}
+	mcs80 := rwobj(t, SysMCS, 80, 64, 4, 0, false)
+	dps80 := rwobj(t, SysDPSObj, 80, 64, 4, 0, false)
+	if dps80.Mops <= mcs80.Mops {
+		t.Errorf("80 threads: DPS %.1f <= MCS %.1f", dps80.Mops, mcs80.Mops)
+	}
+}
+
+// Figure 7(b): 64 cache-line objects — DPS gives a substantial boost over
+// both MCS (coherence) and ffwd (long serialized ops).
+func TestFig7bLongOps(t *testing.T) {
+	t.Parallel()
+	mcs := rwobj(t, SysMCS, 80, 64, 64, 0, false)
+	ffwd := rwobj(t, SysFFWD4, 80, 64, 64, 0, false)
+	dps := rwobj(t, SysDPSObj, 80, 64, 64, 0, false)
+	if dps.Mops < 3*mcs.Mops {
+		t.Errorf("DPS %.1f < 3x MCS %.1f", dps.Mops, mcs.Mops)
+	}
+	if dps.Mops < 3*ffwd.Mops {
+		t.Errorf("DPS %.1f < 3x ffwd %.1f", dps.Mops, ffwd.Mops)
+	}
+}
+
+// Figure 8(a): with more objects, ffwd degrades (cache thrash at the
+// servers) while MCS and DPS improve (less lock contention).
+func TestFig8aObjectSweep(t *testing.T) {
+	t.Parallel()
+	f64 := rwobj(t, SysFFWD4, 80, 64, 32, 0, false)
+	f2k := rwobj(t, SysFFWD4, 80, 2048, 32, 0, false)
+	if f2k.Mops >= f64.Mops {
+		t.Errorf("ffwd at 2048 objects %.1f >= at 64 %.1f (should thrash)", f2k.Mops, f64.Mops)
+	}
+	m64 := rwobj(t, SysMCS, 80, 64, 32, 0, false)
+	m2k := rwobj(t, SysMCS, 80, 2048, 32, 0, false)
+	if m2k.Mops <= m64.Mops {
+		t.Errorf("MCS at 2048 objects %.1f <= at 64 %.1f (contention should ease)", m2k.Mops, m64.Mops)
+	}
+}
+
+// Figure 8(b)-(d): MCS misses/op grow with modified lines and exceed DPS's
+// by a wide margin; ffwd's batching keeps its misses below DPS's.
+func TestFig8MissBehaviour(t *testing.T) {
+	t.Parallel()
+	mcs4 := rwobj(t, SysMCS, 80, 128, 4, 0, false)
+	mcs64 := rwobj(t, SysMCS, 80, 128, 64, 0, false)
+	if mcs64.MissesPerOp <= mcs4.MissesPerOp {
+		t.Errorf("MCS misses/op: 64 lines %.1f <= 4 lines %.1f", mcs64.MissesPerOp, mcs4.MissesPerOp)
+	}
+	dps64 := rwobj(t, SysDPSObj, 80, 128, 64, 0, false)
+	if mcs64.MissesPerOp <= 3*dps64.MissesPerOp {
+		t.Errorf("MCS misses %.1f not well above DPS %.1f", mcs64.MissesPerOp, dps64.MissesPerOp)
+	}
+	ffwd64 := rwobj(t, SysFFWD4, 80, 128, 64, 0, false)
+	if ffwd64.MissesPerOp >= dps64.MissesPerOp {
+		t.Errorf("ffwd misses %.1f >= DPS %.1f (batching should win)", ffwd64.MissesPerOp, dps64.MissesPerOp)
+	}
+}
+
+// Table 2: 5 GB working set ordering — MCS(local) << ffwd-s4 < MCS
+// (interleave) <= DPS, with DPS the best.
+func TestTable2Ordering(t *testing.T) {
+	t.Parallel()
+	big := int64(10 << 20)
+	mcsLocal := rwobj(t, SysMCS, 80, 512, 64, big, false)
+	mcsInter := rwobj(t, SysMCS, 80, 512, 64, big, true)
+	ffwd := rwobj(t, SysFFWD4, 80, 512, 64, big, false)
+	dps := rwobj(t, SysDPSObj, 80, 512, 64, big, false)
+	if !(mcsLocal.Ops < ffwd.Ops && ffwd.Ops <= mcsInter.Ops && mcsInter.Ops <= dps.Ops) {
+		t.Errorf("ordering: local=%d ffwd=%d interleave=%d dps=%d", mcsLocal.Ops, ffwd.Ops, mcsInter.Ops, dps.Ops)
+	}
+	if ratio := float64(mcsInter.Ops) / float64(mcsLocal.Ops); ratio < 1.8 {
+		t.Errorf("interleave/local = %.2f, want >= 1.8 (paper: 2.5)", ratio)
+	}
+}
+
+// --- Figures 2, 9-12 --------------------------------------------------------
+
+func model(t *testing.T, impl DS, threads, size int, u float64, skew, dps bool, ffwd int) DSResult {
+	t.Helper()
+	r, err := ModelDS(DSConfig{
+		Mach: mach(), Impl: impl, Threads: threads, Size: size,
+		UpdateRatio: u, Skewed: skew, DPS: dps, FFWDServers: ffwd,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestModelDSValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := ModelDS(DSConfig{Mach: mach(), Impl: DSListLazy}); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := ModelDS(DSConfig{Mach: mach(), Impl: DSListLazy, Threads: 1, Size: 10, UpdateRatio: 2}); err == nil {
+		t.Error("update ratio 2 accepted")
+	}
+}
+
+// Figure 9(a) headline ratios at 80 threads, skewed 4K, 50% updates:
+// DPS improves the lock-based BST ~6x and the lock-based skip list ~20x.
+func TestFig9aRatios(t *testing.T) {
+	t.Parallel()
+	lbb := model(t, DSBSTBronson, 80, 4096, 0.5, true, false, 0)
+	lbbDPS := model(t, DSBSTBronson, 80, 4096, 0.5, true, true, 0)
+	if r := lbbDPS.Mops / lbb.Mops; r < 3 || r > 12 {
+		t.Errorf("DPS/lb-b = %.1fx, want ~6x", r)
+	}
+	lbh := model(t, DSSkipHerlihy, 80, 4096, 0.5, true, false, 0)
+	lbhDPS := model(t, DSSkipHerlihy, 80, 4096, 0.5, true, true, 0)
+	if r := lbhDPS.Mops / lbh.Mops; r < 10 || r > 40 {
+		t.Errorf("DPS/lb-h = %.1fx, want ~20x", r)
+	}
+}
+
+// Figure 9(b): large working set (2M nodes, 5% updates) — DPS improves the
+// lock-free BST ~1.4x and the lock-free skip list ~3x.
+func TestFig9bRatios(t *testing.T) {
+	t.Parallel()
+	lfn := model(t, DSBSTNatarajan, 80, 2<<20, 0.05, false, false, 0)
+	lfnDPS := model(t, DSBSTNatarajan, 80, 2<<20, 0.05, false, true, 0)
+	if r := lfnDPS.Mops / lfn.Mops; r < 1.05 || r > 2.2 {
+		t.Errorf("DPS/lf-n = %.2fx, want ~1.4x", r)
+	}
+	lff := model(t, DSSkipFraser, 80, 2<<20, 0.05, false, false, 0)
+	lffDPS := model(t, DSSkipFraser, 80, 2<<20, 0.05, false, true, 0)
+	if r := lffDPS.Mops / lff.Mops; r < 1.8 || r > 5 {
+		t.Errorf("DPS/lf-f = %.2fx, want ~3x", r)
+	}
+}
+
+// Figure 10: the list — DPS is several times better than the best shared
+// implementation at 80 threads, and the global-lock list is far below the
+// fine-grained ones.
+func TestFig10ListShape(t *testing.T) {
+	t.Parallel()
+	glm := model(t, DSListGlobalMCS, 80, 4096, 0.5, true, false, 0)
+	optik := model(t, DSListOPTIK, 80, 4096, 0.5, true, false, 0)
+	dps := model(t, DSListOPTIK, 80, 4096, 0.5, true, true, 0)
+	if glm.Mops >= optik.Mops {
+		t.Errorf("gl-m %.2f >= optik %.2f", glm.Mops, optik.Mops)
+	}
+	if r := dps.Mops / optik.Mops; r < 2.5 || r > 9 {
+		t.Errorf("DPS/optik = %.1fx, want ~4.3x", r)
+	}
+}
+
+// Figure 10(d): ffwd's list depends on client-side traversal, so it falls
+// behind as the list grows (longer delegated+local operations).
+func TestFig10dFFWDListLength(t *testing.T) {
+	t.Parallel()
+	short := model(t, DSListLazy, 80, 2048, 0.05, false, false, 1)
+	long := model(t, DSListLazy, 80, 512<<10, 0.05, false, false, 1)
+	if long.Mops >= short.Mops/10 {
+		t.Errorf("ffwd list at 512K nodes %.3f not collapsed vs 2K %.3f", long.Mops, short.Mops)
+	}
+}
+
+// Figure 11(b): the balanced lock-based tree has the highest shared-memory
+// throughput on the large read-mostly working set, and ffwd cannot keep up.
+func TestFig11bShape(t *testing.T) {
+	t.Parallel()
+	lbb := model(t, DSBSTBronson, 80, 2<<20, 0.05, false, false, 0)
+	lfn := model(t, DSBSTNatarajan, 80, 2<<20, 0.05, false, false, 0)
+	if lbb.Mops <= lfn.Mops {
+		t.Errorf("lb-b %.1f <= lf-n %.1f (balanced tree should lead)", lbb.Mops, lfn.Mops)
+	}
+	ffwd := model(t, DSBSTNatarajan, 80, 2<<20, 0.05, false, false, 4)
+	if ffwd.Mops >= lfn.Mops {
+		t.Errorf("ffwd-s4 %.1f >= lf-n %.1f (servers should saturate)", ffwd.Mops, lfn.Mops)
+	}
+}
+
+// Figure 2: shared-memory structures lose throughput and gain misses as
+// the working set grows past LLC capacity.
+func TestFig2SizeSweep(t *testing.T) {
+	t.Parallel()
+	small := model(t, DSSkipFraser, 80, 32<<10, 0.05, false, false, 0)
+	big := model(t, DSSkipFraser, 80, 32<<20, 0.05, false, false, 0)
+	if big.Mops >= small.Mops {
+		t.Errorf("32M-node skip list %.1f >= 32K %.1f", big.Mops, small.Mops)
+	}
+	if big.MissesPerOp <= small.MissesPerOp {
+		t.Errorf("misses/op did not grow with size: %.2f vs %.2f", big.MissesPerOp, small.MissesPerOp)
+	}
+}
+
+// §3.4/§5.2: the DPS priority queue wins under contention but cannot
+// improve the read-mostly case (message-passing overhead, cheap hot head).
+func TestPQBothRegimes(t *testing.T) {
+	t.Parallel()
+	shared := model(t, DSPQShavitLotan, 80, 4096, 0.5, true, false, 0)
+	dps := model(t, DSPQShavitLotan, 80, 4096, 0.5, true, true, 0)
+	if dps.Mops <= shared.Mops {
+		t.Errorf("skewed 50%%: DPS pq %.1f <= shared %.1f", dps.Mops, shared.Mops)
+	}
+	sharedR := model(t, DSPQShavitLotan, 80, 2<<20, 0.05, false, false, 0)
+	dpsR := model(t, DSPQShavitLotan, 80, 2<<20, 0.05, false, true, 0)
+	if dpsR.Mops >= sharedR.Mops {
+		t.Errorf("read-mostly: DPS pq %.1f >= shared %.1f (paper: DPS fails to improve)", dpsR.Mops, sharedR.Mops)
+	}
+}
+
+// --- Figure 13 (memcached) --------------------------------------------------
+
+func mc(t *testing.T, v MCVariant, threads int, set float64, val int) MCResult {
+	t.Helper()
+	r, err := ModelMemcached(MCConfig{Mach: mach(), Variant: v, Threads: threads, SetRatio: set, ValueBytes: val})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMemcachedValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := ModelMemcached(MCConfig{Mach: mach(), Variant: MCStock}); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := ModelMemcached(MCConfig{Mach: mach(), Variant: MCStock, Threads: 8, SetRatio: -1}); err == nil {
+		t.Error("negative set ratio accepted")
+	}
+	if _, err := ModelMemcached(MCConfig{Mach: mach(), Variant: MCVariant(42), Threads: 8}); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+// Figure 13(a): at 80 threads with the typical workload, the ordering is
+// DPS-ParSec >= ParSec > DPS-stock > stock > ffwd, with DPS-stock at least
+// 2x stock (paper: "over 200%", i.e. ~3x).
+func TestFig13aOrdering(t *testing.T) {
+	t.Parallel()
+	stock := mc(t, MCStock, 80, 0.01, 128)
+	ffwd := mc(t, MCFFWD, 80, 0.01, 128)
+	parsec := mc(t, MCParSec, 80, 0.01, 128)
+	dps := mc(t, MCDPS, 80, 0.01, 128)
+	dpsPS := mc(t, MCDPSParSec, 80, 0.01, 128)
+	if !(dpsPS.Mops >= parsec.Mops && parsec.Mops > dps.Mops && dps.Mops > stock.Mops && stock.Mops > ffwd.Mops) {
+		t.Errorf("ordering: dpsPS=%.1f parsec=%.1f dps=%.1f stock=%.1f ffwd=%.1f",
+			dpsPS.Mops, parsec.Mops, dps.Mops, stock.Mops, ffwd.Mops)
+	}
+	if r := dps.Mops / stock.Mops; r < 2 {
+		t.Errorf("DPS/stock = %.1fx, want >= 2x (paper: >3x)", r)
+	}
+}
+
+// Figure 13(b): severe workload — DPS-stock matches ParSec at 80 threads
+// without reimplementing memcached.
+func TestFig13bSevereWorkload(t *testing.T) {
+	t.Parallel()
+	parsec := mc(t, MCParSec, 80, 0.2, 1024)
+	dps := mc(t, MCDPS, 80, 0.2, 1024)
+	if r := dps.Mops / parsec.Mops; r < 0.8 || r > 1.8 {
+		t.Errorf("DPS/ParSec = %.2f at 1KB/20%% sets, want ~1 (paper: equal)", r)
+	}
+}
+
+// Figure 13(c): throughput decreases with set ratio for every variant, and
+// ffwd overtakes stock at very high set ratios.
+func TestFig13cSetRatio(t *testing.T) {
+	t.Parallel()
+	for _, v := range []MCVariant{MCStock, MCParSec, MCDPS, MCDPSParSec} {
+		low := mc(t, v, 80, 0.01, 128)
+		high := mc(t, v, 80, 0.99, 128)
+		if high.Mops >= low.Mops {
+			t.Errorf("%v: throughput rose with set ratio (%.1f -> %.1f)", v, low.Mops, high.Mops)
+		}
+	}
+	stock99 := mc(t, MCStock, 80, 0.99, 128)
+	ffwd99 := mc(t, MCFFWD, 80, 0.99, 128)
+	if ffwd99.Mops <= stock99.Mops {
+		t.Errorf("99%% sets: ffwd %.1f <= stock %.1f (paper: ffwd 63%% higher)", ffwd99.Mops, stock99.Mops)
+	}
+}
+
+// Figure 13(d): DPS-stock is least sensitive to value size and overtakes
+// ParSec at large values; DPS-ParSec tracks ParSec (its local gets also
+// touch remote memory).
+func TestFig13dValueSize(t *testing.T) {
+	t.Parallel()
+	parsecBig := mc(t, MCParSec, 80, 0.01, 2048)
+	dpsBig := mc(t, MCDPS, 80, 0.01, 2048)
+	if dpsBig.Mops <= parsecBig.Mops {
+		t.Errorf("2KB values: DPS %.1f <= ParSec %.1f (locality should win)", dpsBig.Mops, parsecBig.Mops)
+	}
+	dpsPSBig := mc(t, MCDPSParSec, 80, 0.01, 2048)
+	if r := dpsPSBig.Mops / parsecBig.Mops; r < 0.7 || r > 1.5 {
+		t.Errorf("DPS-ParSec/ParSec = %.2f at 2KB, want ~1 (tracks)", r)
+	}
+}
+
+// §5.3 latency: DPS-based implementations cut stock's tail latency by an
+// order of magnitude (paper: 23x) and ParSec's by ~1.6x.
+func TestLatencyHeadline(t *testing.T) {
+	t.Parallel()
+	stock := mc(t, MCStock, 80, 0.01, 128)
+	parsec := mc(t, MCParSec, 80, 0.01, 128)
+	dps := mc(t, MCDPS, 80, 0.01, 128)
+	dpsPS := mc(t, MCDPSParSec, 80, 0.01, 128)
+	if r := stock.P99Cycles / dps.P99Cycles; r < 10 {
+		t.Errorf("stock/DPS p99 = %.1fx, want >= 10x (paper: 23x)", r)
+	}
+	if r := parsec.P99Cycles / dpsPS.P99Cycles; r < 1.2 || r > 4 {
+		t.Errorf("ParSec/DPS-ParSec p99 = %.1fx, want ~1.6x", r)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	t.Parallel()
+	if SysDPS.String() != "DPS" || SysFFWD.String() != "ffwd" || SysDPSAsync.String() != "DPS-async" {
+		t.Error("System strings wrong")
+	}
+	if SysMCS.String() != "mcs" || SysFFWD4.String() != "ffwd-s4" || SysDPSObj.String() != "DPS" {
+		t.Error("LockSystem strings wrong")
+	}
+	if MCStock.String() != "stock" || MCDPSParSec.String() != "DPS-ParSec" {
+		t.Error("MCVariant strings wrong")
+	}
+	for _, d := range []DS{DSListGlobalMCS, DSListLazy, DSListMichael, DSListOPTIK, DSListRLU,
+		DSBSTBronson, DSBSTNatarajan, DSBSTHowley, DSBSTTK, DSSkipHerlihy, DSSkipFraser, DSPQShavitLotan} {
+		if d.String() == "" || d.String()[0] == 'D' && d.String()[1] == 'S' {
+			t.Errorf("DS %d has no name", d)
+		}
+	}
+}

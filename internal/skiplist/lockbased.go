@@ -1,0 +1,217 @@
+package skiplist
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// lbNode is a lock-based skip-list node. fullyLinked is set once the node
+// is linked at every level of its tower; marked is the logical deletion
+// flag. Traversals read next pointers without locks.
+type lbNode struct {
+	key         uint64
+	val         uint64
+	next        []atomic.Pointer[lbNode]
+	mu          sync.Mutex
+	marked      atomic.Bool
+	fullyLinked atomic.Bool
+}
+
+func newLBNode(key, val uint64, level int) *lbNode {
+	return &lbNode{key: key, val: val, next: make([]atomic.Pointer[lbNode], level)}
+}
+
+func (n *lbNode) topLevel() int { return len(n.next) }
+
+// LockBased is the optimistic lock-based skip list of Herlihy et al.
+// ("lb-h" in the paper's Figure 12).
+type LockBased struct {
+	head *lbNode
+	tail *lbNode
+	gen  *levelGen
+}
+
+// NewLockBased creates an empty skip list.
+func NewLockBased() *LockBased {
+	head := newLBNode(0, 0, maxLevel)
+	tail := newLBNode(^uint64(0), 0, maxLevel)
+	for i := range head.next {
+		head.next[i].Store(tail)
+	}
+	head.fullyLinked.Store(true)
+	tail.fullyLinked.Store(true)
+	return &LockBased{head: head, tail: tail, gen: newLevelGen(1)}
+}
+
+// find fills preds/succs per level and returns the highest level at which
+// key was found, or -1.
+func (s *LockBased) find(key uint64, preds, succs *[maxLevel]*lbNode) int {
+	found := -1
+	pred := s.head
+	for lvl := maxLevel - 1; lvl >= 0; lvl-- {
+		cur := pred.next[lvl].Load()
+		for cur.key < key {
+			pred = cur
+			cur = pred.next[lvl].Load()
+		}
+		if found == -1 && cur.key == key {
+			found = lvl
+		}
+		preds[lvl] = pred
+		succs[lvl] = cur
+	}
+	return found
+}
+
+// Lookup reports whether key is present with a fully-linked, unmarked node.
+func (s *LockBased) Lookup(key uint64) (uint64, bool) {
+	pred := s.head
+	for lvl := maxLevel - 1; lvl >= 0; lvl-- {
+		cur := pred.next[lvl].Load()
+		for cur.key < key {
+			pred = cur
+			cur = pred.next[lvl].Load()
+		}
+		if cur.key == key {
+			if cur.fullyLinked.Load() && !cur.marked.Load() {
+				return cur.val, true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// Insert adds key->val if absent: optimistic find, lock the predecessors,
+// validate adjacency, link bottom-up, then publish with fullyLinked.
+func (s *LockBased) Insert(key, val uint64) bool {
+	topLevel := s.gen.next()
+	var preds, succs [maxLevel]*lbNode
+	for {
+		if found := s.find(key, &preds, &succs); found != -1 {
+			n := succs[found]
+			if !n.marked.Load() {
+				// Wait for the inserter to finish linking before
+				// reporting "already present".
+				for !n.fullyLinked.Load() {
+				}
+				return false
+			}
+			continue // marked: a removal is in flight, retry
+		}
+		// Lock predecessors in ascending level order (a global order, so
+		// no deadlock) and validate.
+		var locked [maxLevel]*lbNode
+		nLocked := 0
+		valid := true
+		var prevPred *lbNode
+		for lvl := 0; valid && lvl < topLevel; lvl++ {
+			pred, succ := preds[lvl], succs[lvl]
+			if pred != prevPred {
+				pred.mu.Lock()
+				locked[nLocked] = pred
+				nLocked++
+				prevPred = pred
+			}
+			valid = !pred.marked.Load() && !succ.marked.Load() && pred.next[lvl].Load() == succ
+		}
+		if !valid {
+			for i := nLocked - 1; i >= 0; i-- {
+				locked[i].mu.Unlock()
+			}
+			continue
+		}
+		n := newLBNode(key, val, topLevel)
+		for lvl := 0; lvl < topLevel; lvl++ {
+			n.next[lvl].Store(succs[lvl])
+		}
+		for lvl := 0; lvl < topLevel; lvl++ {
+			preds[lvl].next[lvl].Store(n)
+		}
+		n.fullyLinked.Store(true)
+		for i := nLocked - 1; i >= 0; i-- {
+			locked[i].mu.Unlock()
+		}
+		return true
+	}
+}
+
+// Remove deletes key if present: lock the victim, mark it, lock and
+// validate the predecessors, unlink top-down.
+func (s *LockBased) Remove(key uint64) bool {
+	var preds, succs [maxLevel]*lbNode
+	var victim *lbNode
+	marked := false
+	topLevel := 0
+	for {
+		found := s.find(key, &preds, &succs)
+		if !marked {
+			if found == -1 {
+				return false
+			}
+			victim = succs[found]
+			if !victim.fullyLinked.Load() || victim.marked.Load() || victim.topLevel() != found+1 {
+				return false
+			}
+			topLevel = victim.topLevel()
+			victim.mu.Lock()
+			if victim.marked.Load() {
+				victim.mu.Unlock()
+				return false
+			}
+			victim.marked.Store(true)
+			marked = true
+		}
+		// Lock predecessors and validate they still point at victim.
+		var locked [maxLevel]*lbNode
+		nLocked := 0
+		valid := true
+		var prevPred *lbNode
+		for lvl := 0; valid && lvl < topLevel; lvl++ {
+			pred := preds[lvl]
+			if pred != prevPred {
+				pred.mu.Lock()
+				locked[nLocked] = pred
+				nLocked++
+				prevPred = pred
+			}
+			valid = !pred.marked.Load() && pred.next[lvl].Load() == victim
+		}
+		if !valid {
+			for i := nLocked - 1; i >= 0; i-- {
+				locked[i].mu.Unlock()
+			}
+			continue // re-find and retry unlink; victim stays marked
+		}
+		for lvl := topLevel - 1; lvl >= 0; lvl-- {
+			preds[lvl].next[lvl].Store(victim.next[lvl].Load())
+		}
+		victim.mu.Unlock()
+		for i := nLocked - 1; i >= 0; i-- {
+			locked[i].mu.Unlock()
+		}
+		return true
+	}
+}
+
+// Size counts live elements at the bottom level.
+func (s *LockBased) Size() int {
+	n := 0
+	for cur := s.head.next[0].Load(); cur != s.tail; cur = cur.next[0].Load() {
+		if cur.fullyLinked.Load() && !cur.marked.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Keys returns live keys in ascending order.
+func (s *LockBased) Keys() []uint64 {
+	var out []uint64
+	for cur := s.head.next[0].Load(); cur != s.tail; cur = cur.next[0].Load() {
+		if cur.fullyLinked.Load() && !cur.marked.Load() {
+			out = append(out, cur.key)
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package skiplist
+
+// Min returns the smallest live key and its value — the findMin primitive
+// of a skiplist-based priority queue (Shavit & Lotan, IPDPS '00).
+func (s *LockFree) Min() (key, val uint64, ok bool) {
+	for cur := s.head.ref[0].Load().next; cur != s.tail; {
+		ref := cur.ref[0].Load()
+		if !ref.marked {
+			return cur.key, cur.val, true
+		}
+		cur = ref.next
+	}
+	return 0, 0, false
+}
+
+// RemoveMin deletes and returns the smallest live key — the Shavit-Lotan
+// dequeue: scan the bottom level for the first unmarked node and race to
+// logically delete it; losers move on to the next candidate.
+func (s *LockFree) RemoveMin() (key, val uint64, ok bool) {
+	for {
+		cur := s.head.ref[0].Load().next
+		for cur != s.tail {
+			ref := cur.ref[0].Load()
+			if !ref.marked {
+				if s.claim(cur) {
+					// Physically unlink via a helping find.
+					var preds, succs [maxLevel]*lfNode
+					s.find(cur.key, &preds, &succs)
+					return cur.key, cur.val, true
+				}
+				// Lost the race for this node; re-read its ref and
+				// continue scanning.
+				ref = cur.ref[0].Load()
+			}
+			cur = ref.next
+		}
+		return 0, 0, false
+	}
+}
+
+// claim attempts to own node n's removal: mark upper levels, then win the
+// bottom-level mark CAS.
+func (s *LockFree) claim(n *lfNode) bool {
+	for lvl := n.topLevel() - 1; lvl >= 1; lvl-- {
+		for {
+			ref := n.ref[lvl].Load()
+			if ref.marked {
+				break
+			}
+			if n.ref[lvl].CompareAndSwap(ref, &lfRef{next: ref.next, marked: true}) {
+				break
+			}
+		}
+	}
+	for {
+		ref := n.ref[0].Load()
+		if ref.marked {
+			return false
+		}
+		if n.ref[0].CompareAndSwap(ref, &lfRef{next: ref.next, marked: true}) {
+			return true
+		}
+	}
+}

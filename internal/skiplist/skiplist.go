@@ -1,0 +1,52 @@
+// Package skiplist implements the two skip-list set variants the paper
+// evaluates (§5.2, Figure 12):
+//
+//   - LockBased ("lb-h"): the simple optimistic lock-based skip list of
+//     Herlihy, Lev, Luchangco & Shavit (SIROCCO '07), with per-node locks,
+//     fullyLinked/marked flags and unsynchronized traversals.
+//   - LockFree ("lf-f"): a lock-free skip list in the Fraser / Herlihy-Lev
+//     style, with per-level (successor, marked) references replaced by CAS
+//     and wait-free lookups.
+//
+// Keys are uint64 in (0, ^uint64(0)); both sentinels are reserved.
+package skiplist
+
+import "sync/atomic"
+
+// maxLevel bounds tower height; towers this tall keep the expected search
+// cost logarithmic at the sizes the paper's Figure 12(d) sweeps (up to 32M
+// nodes).
+const maxLevel = 24
+
+// levelGen draws tower heights with P(level >= h+1) = 2^-h, the classic
+// geometric distribution. It is safe for concurrent use.
+type levelGen struct {
+	state atomic.Uint64
+}
+
+func newLevelGen(seed uint64) *levelGen {
+	g := &levelGen{}
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	g.state.Store(seed)
+	return g
+}
+
+// next returns a level in [1, maxLevel].
+func (g *levelGen) next() int {
+	// xorshift64, advanced with racing (non-CAS) updates: two concurrent
+	// callers may draw the same value, which only skews tower heights
+	// imperceptibly and never affects correctness.
+	x := g.state.Load()
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	g.state.Store(x)
+	lvl := 1
+	for x&1 == 1 && lvl < maxLevel {
+		lvl++
+		x >>= 1
+	}
+	return lvl
+}

@@ -1,0 +1,100 @@
+package skiplist
+
+import (
+	"testing"
+
+	"dps/internal/dstest"
+)
+
+func TestLockBased(t *testing.T) {
+	dstest.RunSuite(t, "LockBased", func() dstest.Set { return NewLockBased() })
+}
+
+func TestLockFree(t *testing.T) {
+	dstest.RunSuite(t, "LockFree", func() dstest.Set { return NewLockFree() })
+}
+
+func TestLevelGenDistribution(t *testing.T) {
+	t.Parallel()
+	g := newLevelGen(99)
+	const draws = 100000
+	counts := make([]int, maxLevel+1)
+	for i := 0; i < draws; i++ {
+		lvl := g.next()
+		if lvl < 1 || lvl > maxLevel {
+			t.Fatalf("level %d out of range", lvl)
+		}
+		counts[lvl]++
+	}
+	// Roughly half the towers are height 1, a quarter height 2, etc.
+	if counts[1] < draws/3 || counts[1] > 2*draws/3 {
+		t.Errorf("P(level==1) = %f, want ~0.5", float64(counts[1])/draws)
+	}
+	if counts[2] < draws/8 || counts[2] > draws/2 {
+		t.Errorf("P(level==2) = %f, want ~0.25", float64(counts[2])/draws)
+	}
+}
+
+func TestLockFreeTallTowers(t *testing.T) {
+	t.Parallel()
+	// Enough inserts to produce multi-level towers, then remove everything
+	// and confirm the index levels are coherent (lookups of removed keys
+	// miss at every level).
+	s := NewLockFree()
+	const n = 5000
+	for i := uint64(1); i <= n; i++ {
+		if !s.Insert(i, i) {
+			t.Fatalf("Insert(%d) failed", i)
+		}
+	}
+	if s.Size() != n {
+		t.Fatalf("Size() = %d, want %d", s.Size(), n)
+	}
+	for i := uint64(1); i <= n; i += 2 {
+		if !s.Remove(i) {
+			t.Fatalf("Remove(%d) failed", i)
+		}
+	}
+	for i := uint64(1); i <= n; i++ {
+		_, ok := s.Lookup(i)
+		if want := i%2 == 0; ok != want {
+			t.Fatalf("Lookup(%d) = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+func BenchmarkSkipLists(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func() dstest.Set
+	}{
+		{"LockBased", func() dstest.Set { return NewLockBased() }},
+		{"LockFree", func() dstest.Set { return NewLockFree() }},
+	}
+	for _, impl := range impls {
+		b.Run(impl.name+"/Lookup", func(b *testing.B) {
+			s := impl.mk()
+			const n = 1 << 14
+			for i := uint64(1); i <= n; i++ {
+				s.Insert(i*2, i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Lookup(uint64(i%n)*2 + 1)
+			}
+		})
+		b.Run(impl.name+"/InsertRemove", func(b *testing.B) {
+			s := impl.mk()
+			const n = 1 << 14
+			for i := uint64(1); i <= n; i++ {
+				s.Insert(i*2, i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := uint64(i%n)*2 + 1
+				s.Insert(k, k)
+				s.Remove(k)
+			}
+		})
+	}
+}

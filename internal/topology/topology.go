@@ -1,0 +1,151 @@
+// Package topology describes the machine model the reproduction targets: a
+// multi-socket NUMA system with per-socket last-level caches. The paper's
+// evaluation machine (§5) — four Intel Xeon E7-4850 sockets, 10 cores and
+// 24 MB of L3 per socket, two hyperthreads per core, 80 hardware threads in
+// total — is provided as a preset.
+//
+// Go's runtime hides thread placement, so the topology is consumed by two
+// clients: the discrete-event simulator (internal/sim), which places
+// simulated cores on sockets exactly as the paper's thread-allocation policy
+// does, and the DPS runtime, which uses the locality structure to group
+// worker goroutines into partitions.
+package topology
+
+import "fmt"
+
+// AllocPolicy is the NUMA memory allocation policy (§5: "The default NUMA
+// memory allocation policy is node local"; Table 2 also evaluates
+// interleave).
+type AllocPolicy int
+
+// Allocation policies.
+const (
+	// AllocLocal places memory on the allocating thread's NUMA node.
+	AllocLocal AllocPolicy = iota + 1
+	// AllocInterleave round-robins pages across all NUMA nodes.
+	AllocInterleave
+)
+
+func (p AllocPolicy) String() string {
+	switch p {
+	case AllocLocal:
+		return "local"
+	case AllocInterleave:
+		return "interleave"
+	default:
+		return fmt.Sprintf("AllocPolicy(%d)", int(p))
+	}
+}
+
+// Machine describes a NUMA system.
+type Machine struct {
+	// Sockets is the number of NUMA nodes (memory localities).
+	Sockets int
+	// CoresPerSocket is the number of physical cores per socket.
+	CoresPerSocket int
+	// ThreadsPerCore is the SMT width (2 on the paper's machine).
+	ThreadsPerCore int
+	// LLCBytes is the per-socket shared last-level cache capacity.
+	LLCBytes int64
+	// L2Bytes is the per-core private L2 capacity.
+	L2Bytes int64
+	// L1Bytes is the per-core private L1 capacity.
+	L1Bytes int64
+	// CacheLine is the coherence granularity in bytes.
+	CacheLine int
+	// FetchGroup is the memory fetch granularity (the paper's processor
+	// fetches cache lines as 128-byte aligned regions).
+	FetchGroup int
+	// CyclesPerSec is the core clock (2.0 GHz on the paper's machine).
+	CyclesPerSec float64
+}
+
+// PaperMachine returns the evaluation machine from §5 of the paper.
+func PaperMachine() Machine {
+	return Machine{
+		Sockets:        4,
+		CoresPerSocket: 10,
+		ThreadsPerCore: 2,
+		LLCBytes:       24 << 20,
+		L2Bytes:        256 << 10,
+		L1Bytes:        64 << 10,
+		CacheLine:      64,
+		FetchGroup:     128,
+		CyclesPerSec:   2.0e9,
+	}
+}
+
+// Validate checks that the machine description is internally consistent.
+func (m Machine) Validate() error {
+	switch {
+	case m.Sockets <= 0:
+		return fmt.Errorf("topology: sockets must be positive, got %d", m.Sockets)
+	case m.CoresPerSocket <= 0:
+		return fmt.Errorf("topology: cores per socket must be positive, got %d", m.CoresPerSocket)
+	case m.ThreadsPerCore <= 0:
+		return fmt.Errorf("topology: threads per core must be positive, got %d", m.ThreadsPerCore)
+	case m.LLCBytes <= 0 || m.L2Bytes < 0 || m.L1Bytes < 0:
+		return fmt.Errorf("topology: cache sizes must be positive")
+	case m.CacheLine <= 0:
+		return fmt.Errorf("topology: cache line must be positive, got %d", m.CacheLine)
+	}
+	return nil
+}
+
+// HWThreads returns the total number of hardware threads.
+func (m Machine) HWThreads() int {
+	return m.Sockets * m.CoresPerSocket * m.ThreadsPerCore
+}
+
+// PhysCores returns the total number of physical cores.
+func (m Machine) PhysCores() int {
+	return m.Sockets * m.CoresPerSocket
+}
+
+// AggregateLLC returns the sum of all sockets' LLC capacities. Figure 2 and
+// Figure 11(d) of the paper mark this boundary on their size axes.
+func (m Machine) AggregateLLC() int64 {
+	return int64(m.Sockets) * m.LLCBytes
+}
+
+// Place returns the socket and physical core of hardware-thread slot i under
+// the paper's thread-allocation policy (§5): first fill a minimal number of
+// sockets with one hyperthread per core, then (beyond PhysCores threads) add
+// second hyperthreads across a minimal number of sockets.
+func (m Machine) Place(i int) (socket, core int) {
+	if i < 0 || i >= m.HWThreads() {
+		panic(fmt.Sprintf("topology: thread slot %d out of range [0,%d)", i, m.HWThreads()))
+	}
+	if i < m.PhysCores() {
+		return i / m.CoresPerSocket, i % m.CoresPerSocket
+	}
+	j := i - m.PhysCores() // second hyperthreads, packed from socket 0
+	return j / m.CoresPerSocket, j % m.CoresPerSocket
+}
+
+// SocketsUsed returns how many sockets are populated when running n threads
+// under the Place policy.
+func (m Machine) SocketsUsed(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if n > m.HWThreads() {
+		n = m.HWThreads()
+	}
+	if n > m.PhysCores() {
+		return m.Sockets
+	}
+	return (n + m.CoresPerSocket - 1) / m.CoresPerSocket
+}
+
+// ThreadsOnSocket returns how many of the first n thread slots land on
+// socket s under the Place policy.
+func (m Machine) ThreadsOnSocket(n, s int) int {
+	count := 0
+	for i := 0; i < n && i < m.HWThreads(); i++ {
+		if sock, _ := m.Place(i); sock == s {
+			count++
+		}
+	}
+	return count
+}

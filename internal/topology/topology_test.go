@@ -1,0 +1,138 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperMachine(t *testing.T) {
+	t.Parallel()
+	m := PaperMachine()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.HWThreads(); got != 80 {
+		t.Errorf("HWThreads() = %d, want 80", got)
+	}
+	if got := m.PhysCores(); got != 40 {
+		t.Errorf("PhysCores() = %d, want 40", got)
+	}
+	if got := m.AggregateLLC(); got != 96<<20 {
+		t.Errorf("AggregateLLC() = %d, want %d", got, 96<<20)
+	}
+}
+
+func TestValidateRejectsBadMachines(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		mut  func(*Machine)
+	}{
+		{"zero sockets", func(m *Machine) { m.Sockets = 0 }},
+		{"negative cores", func(m *Machine) { m.CoresPerSocket = -1 }},
+		{"zero threads", func(m *Machine) { m.ThreadsPerCore = 0 }},
+		{"zero llc", func(m *Machine) { m.LLCBytes = 0 }},
+		{"zero line", func(m *Machine) { m.CacheLine = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := PaperMachine()
+			tc.mut(&m)
+			if err := m.Validate(); err == nil {
+				t.Error("Validate accepted invalid machine")
+			}
+		})
+	}
+}
+
+func TestPlacePolicyFillsSocketsMinimally(t *testing.T) {
+	t.Parallel()
+	m := PaperMachine()
+	// First 10 threads on socket 0, one per core.
+	for i := 0; i < 10; i++ {
+		if s, c := m.Place(i); s != 0 || c != i {
+			t.Fatalf("Place(%d) = (%d,%d), want (0,%d)", i, s, c, i)
+		}
+	}
+	// Threads 10-19 on socket 1.
+	if s, _ := m.Place(10); s != 1 {
+		t.Errorf("Place(10) socket = %d, want 1", s)
+	}
+	// Thread 40 is the first second-hyperthread, back on socket 0 core 0.
+	if s, c := m.Place(40); s != 0 || c != 0 {
+		t.Errorf("Place(40) = (%d,%d), want (0,0)", s, c)
+	}
+	if s, c := m.Place(79); s != 3 || c != 9 {
+		t.Errorf("Place(79) = (%d,%d), want (3,9)", s, c)
+	}
+}
+
+func TestPlacePanicsOutOfRange(t *testing.T) {
+	t.Parallel()
+	m := PaperMachine()
+	defer func() {
+		if recover() == nil {
+			t.Error("Place(-1) did not panic")
+		}
+	}()
+	m.Place(-1)
+}
+
+func TestSocketsUsed(t *testing.T) {
+	t.Parallel()
+	m := PaperMachine()
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {10, 1}, {11, 2}, {20, 2}, {21, 3}, {40, 4},
+		{41, 4}, {80, 4}, {100, 4},
+	}
+	for _, tc := range cases {
+		if got := m.SocketsUsed(tc.n); got != tc.want {
+			t.Errorf("SocketsUsed(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestThreadsOnSocketSumsToN(t *testing.T) {
+	t.Parallel()
+	m := PaperMachine()
+	prop := func(nRaw uint8) bool {
+		n := int(nRaw) % (m.HWThreads() + 1)
+		total := 0
+		for s := 0; s < m.Sockets; s++ {
+			total += m.ThreadsOnSocket(n, s)
+		}
+		return total == n
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlaceCoversEveryHWThreadOnce(t *testing.T) {
+	t.Parallel()
+	m := PaperMachine()
+	// Each (socket, core) pair must be hit exactly ThreadsPerCore times.
+	seen := make(map[[2]int]int)
+	for i := 0; i < m.HWThreads(); i++ {
+		s, c := m.Place(i)
+		seen[[2]int{s, c}]++
+	}
+	if len(seen) != m.PhysCores() {
+		t.Fatalf("Place covered %d distinct cores, want %d", len(seen), m.PhysCores())
+	}
+	for k, v := range seen {
+		if v != m.ThreadsPerCore {
+			t.Errorf("core %v placed %d threads, want %d", k, v, m.ThreadsPerCore)
+		}
+	}
+}
+
+func TestAllocPolicyString(t *testing.T) {
+	t.Parallel()
+	if AllocLocal.String() != "local" || AllocInterleave.String() != "interleave" {
+		t.Error("AllocPolicy String() mismatch")
+	}
+	if AllocPolicy(0).String() == "local" {
+		t.Error("zero AllocPolicy should not stringify as a valid policy")
+	}
+}

@@ -1,0 +1,161 @@
+// Package workload generates the key streams and operation mixes used
+// throughout the paper's evaluation (§5): uniform and skewed (Zipfian) key
+// choice, update-ratio mixes with half inserts / half removals, and the
+// YCSB-style Zipf request traces used for memcached (§5.3).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpKind classifies a generated operation.
+type OpKind int
+
+// Operation kinds. Update operations are half insertions, half removals
+// (§5.2); reads are lookups (or memcached gets).
+const (
+	OpLookup OpKind = iota + 1
+	OpInsert
+	OpRemove
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLookup:
+		return "lookup"
+	case OpInsert:
+		return "insert"
+	case OpRemove:
+		return "remove"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// KeyDist generates keys in [1, Range].
+type KeyDist interface {
+	// Next draws the next key.
+	Next() uint64
+	// Range returns the key-space size.
+	Range() uint64
+}
+
+// Uniform draws keys uniformly from [1, n].
+type Uniform struct {
+	rng *rand.Rand
+	n   uint64
+}
+
+// NewUniform creates a uniform distribution over [1, n].
+func NewUniform(n uint64, seed int64) *Uniform {
+	return &Uniform{rng: rand.New(rand.NewSource(seed)), n: n}
+}
+
+// Next draws the next key.
+func (u *Uniform) Next() uint64 { return uint64(u.rng.Int63n(int64(u.n))) + 1 }
+
+// Range returns the key-space size.
+func (u *Uniform) Range() uint64 { return u.n }
+
+// Zipf draws keys from [1, n] with a Zipfian distribution — the "skewed"
+// workloads of §5.2 and the YCSB traces of §5.3. The default exponent
+// matches YCSB's 0.99.
+type Zipf struct {
+	z *rand.Zipf
+	n uint64
+}
+
+// DefaultTheta is YCSB's default Zipfian exponent.
+const DefaultTheta = 0.99
+
+// NewZipf creates a Zipfian distribution over [1, n] with exponent theta
+// (values <= 1 are raised to just above 1, as required by rand.Zipf; YCSB's
+// 0.99 is approximated by 1.0001 skew on the same ranked popularity curve).
+func NewZipf(n uint64, theta float64, seed int64) *Zipf {
+	s := theta
+	// rand.Zipf requires s > 1; YCSB-style thetas are < 1. Using
+	// s = 1 + epsilon preserves the heavy-head rank-frequency shape.
+	if s <= 1 {
+		s = 1.0001
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Zipf{z: rand.NewZipf(rng, s, 1, n-1), n: n}
+}
+
+// Next draws the next key.
+func (z *Zipf) Next() uint64 { return z.z.Uint64() + 1 }
+
+// Range returns the key-space size.
+func (z *Zipf) Range() uint64 { return z.n }
+
+// Mix draws operations with a given update ratio: updates split evenly
+// between insert and remove, the §5.2 convention.
+type Mix struct {
+	rng    *rand.Rand
+	update float64
+	flip   bool
+}
+
+// NewMix creates an operation mix with the given update fraction in [0,1].
+func NewMix(updateRatio float64, seed int64) (*Mix, error) {
+	if updateRatio < 0 || updateRatio > 1 || math.IsNaN(updateRatio) {
+		return nil, fmt.Errorf("workload: update ratio %v outside [0,1]", updateRatio)
+	}
+	return &Mix{rng: rand.New(rand.NewSource(seed)), update: updateRatio}, nil
+}
+
+// Next draws the next operation kind.
+func (m *Mix) Next() OpKind {
+	if m.rng.Float64() >= m.update {
+		return OpLookup
+	}
+	// Alternate insert/remove for an exact half/half split of updates.
+	m.flip = !m.flip
+	if m.flip {
+		return OpInsert
+	}
+	return OpRemove
+}
+
+// Trace is a pre-generated request stream (the YCSB-style traces of §5.3:
+// "Each trace has 10 million requests ... partitioned across all testing
+// threads").
+type Trace struct {
+	// Keys are the requested keys, in order.
+	Keys []uint64
+	// Sets marks which requests are writes.
+	Sets []bool
+}
+
+// NewTrace generates a trace of n requests over dist with the given set
+// (write) ratio.
+func NewTrace(n int, dist KeyDist, setRatio float64, seed int64) (*Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: trace length must be positive, got %d", n)
+	}
+	if setRatio < 0 || setRatio > 1 || math.IsNaN(setRatio) {
+		return nil, fmt.Errorf("workload: set ratio %v outside [0,1]", setRatio)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{Keys: make([]uint64, n), Sets: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		tr.Keys[i] = dist.Next()
+		tr.Sets[i] = rng.Float64() < setRatio
+	}
+	return tr, nil
+}
+
+// Slice returns thread t's share of the trace when split across nThreads,
+// as (start, end) indices.
+func (tr *Trace) Slice(t, nThreads int) (int, int) {
+	n := len(tr.Keys)
+	per := n / nThreads
+	start := t * per
+	end := start + per
+	if t == nThreads-1 {
+		end = n
+	}
+	return start, end
+}

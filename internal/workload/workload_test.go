@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformBoundsAndSpread(t *testing.T) {
+	t.Parallel()
+	u := NewUniform(100, 1)
+	if u.Range() != 100 {
+		t.Fatalf("Range() = %d", u.Range())
+	}
+	counts := make(map[uint64]int)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		k := u.Next()
+		if k < 1 || k > 100 {
+			t.Fatalf("key %d out of [1,100]", k)
+		}
+		counts[k]++
+	}
+	if len(counts) != 100 {
+		t.Fatalf("only %d distinct keys drawn", len(counts))
+	}
+	for k, c := range counts {
+		if c < draws/200 || c > draws/50 {
+			t.Errorf("key %d drawn %d times, expected ~%d", k, c, draws/100)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	t.Parallel()
+	z := NewZipf(10000, DefaultTheta, 1)
+	if z.Range() != 10000 {
+		t.Fatalf("Range() = %d", z.Range())
+	}
+	const draws = 200000
+	counts := make(map[uint64]int)
+	for i := 0; i < draws; i++ {
+		k := z.Next()
+		if k < 1 || k > 10000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Zipf: the head key must dominate; top-10 keys should take a large
+	// fraction of all draws.
+	top := 0
+	for k := uint64(1); k <= 10; k++ {
+		top += counts[k]
+	}
+	if frac := float64(top) / draws; frac < 0.25 {
+		t.Errorf("top-10 keys got %.2f of draws, want >= 0.25 (skewed)", frac)
+	}
+	if counts[1] <= counts[100] {
+		t.Error("rank-1 key not more popular than rank-100 key")
+	}
+}
+
+func TestMixRatio(t *testing.T) {
+	t.Parallel()
+	for _, ratio := range []float64{0, 0.05, 0.5, 1} {
+		m, err := NewMix(ratio, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const draws = 50000
+		var lookups, inserts, removes int
+		for i := 0; i < draws; i++ {
+			switch m.Next() {
+			case OpLookup:
+				lookups++
+			case OpInsert:
+				inserts++
+			case OpRemove:
+				removes++
+			}
+		}
+		gotUpdate := float64(inserts+removes) / draws
+		if math.Abs(gotUpdate-ratio) > 0.02 {
+			t.Errorf("ratio %v: measured update fraction %v", ratio, gotUpdate)
+		}
+		if d := inserts - removes; d < -1 || d > 1 {
+			t.Errorf("ratio %v: inserts %d vs removes %d not balanced", ratio, inserts, removes)
+		}
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	t.Parallel()
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := NewMix(bad, 1); err == nil {
+			t.Errorf("NewMix(%v) succeeded", bad)
+		}
+	}
+}
+
+func TestTraceGenerationAndSlicing(t *testing.T) {
+	t.Parallel()
+	tr, err := NewTrace(1000, NewUniform(50, 2), 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Keys) != 1000 || len(tr.Sets) != 1000 {
+		t.Fatal("trace length wrong")
+	}
+	sets := 0
+	for _, s := range tr.Sets {
+		if s {
+			sets++
+		}
+	}
+	if sets < 150 || sets > 250 {
+		t.Errorf("set count %d, want ~200", sets)
+	}
+	// Slices must tile the trace exactly.
+	covered := 0
+	for th := 0; th < 7; th++ {
+		start, end := tr.Slice(th, 7)
+		if start > end || start < 0 || end > 1000 {
+			t.Fatalf("Slice(%d,7) = [%d,%d)", th, start, end)
+		}
+		covered += end - start
+	}
+	if covered != 1000 {
+		t.Fatalf("slices cover %d of 1000", covered)
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewTrace(0, NewUniform(10, 1), 0.1, 1); err == nil {
+		t.Error("NewTrace(0) succeeded")
+	}
+	if _, err := NewTrace(10, NewUniform(10, 1), -1, 1); err == nil {
+		t.Error("negative set ratio accepted")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	t.Parallel()
+	if OpLookup.String() != "lookup" || OpInsert.String() != "insert" || OpRemove.String() != "remove" {
+		t.Error("OpKind strings wrong")
+	}
+	if OpKind(0).String() == "lookup" {
+		t.Error("zero OpKind stringifies as valid")
+	}
+}
