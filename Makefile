@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-PR gate: vet everything, then race-test the runtime and
+# observability packages, whose correctness depends on concurrent access.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/core/... ./internal/obs/...
+
+bench:
+	$(GO) run ./cmd/dpsbench -all

@@ -4,10 +4,16 @@
 // fig9a..b, fig10a..d, fig11a..d, fig12a..d, fig13a..d, lat13, plus
 // ablation-* studies).
 //
+// The live-* experiments are the exception: they drive the real runtime on
+// the host machine and report the observability layer's measurements —
+// sync-delegation latency percentiles (live-latency) and the per-partition
+// served/ring-full breakdown (live-partitions).
+//
 // Usage:
 //
 //	dpsbench -list
 //	dpsbench -exp fig6a [-csv]
+//	dpsbench -exp live-latency
 //	dpsbench -all
 package main
 

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dps"
 	"dps/internal/bst"
 	"dps/internal/dpsds"
 	"dps/internal/list"
@@ -86,12 +87,14 @@ func run() int {
 
 	keyRange := uint64(*size * 2)
 	var target func(tid int) (set, func())
+	var dpsSet *dpsds.Set
 	if *useDPS {
 		s, err := dpsds.NewSet(dpsds.Config{Partitions: *partitions, NewShard: mk, MaxThreads: *threads + 1})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dsbench: %v\n", err)
 			return 1
 		}
+		dpsSet = s
 		target = func(int) (set, func()) {
 			h, err := s.Register()
 			if err != nil {
@@ -111,6 +114,13 @@ func run() int {
 			shared.Insert(pre.Next(), 1)
 		}
 		target = func(int) (set, func()) { return shared, func() {} }
+	}
+
+	// Baseline snapshot so the report covers only the measurement
+	// interval, not the pre-population phase.
+	var base dps.Snapshot
+	if dpsSet != nil {
+		base = dpsSet.Runtime().Metrics()
 	}
 
 	var ops atomic.Uint64
@@ -156,5 +166,11 @@ func run() int {
 	fmt.Printf("impl=%s dps=%v threads=%d size=%d update=%.2f dist=%s\n",
 		*implName, *useDPS, *threads, *size, *update, *dist)
 	fmt.Printf("ops=%d throughput=%.3f Mops/s\n", ops.Load(), float64(ops.Load())/secs/1e6)
+	if dpsSet != nil {
+		// Delta against the pre-measurement baseline: counters and
+		// latency percentiles for the measured interval only.
+		fmt.Printf("\nruntime metrics (measurement interval):\n%s\n",
+			dpsSet.Runtime().Metrics().Delta(base))
+	}
 	return 0
 }

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"dps"
 	"dps/internal/mcd"
 	"dps/internal/workload"
 )
@@ -53,6 +54,7 @@ func run() int {
 	// seeds the cache through one client.
 	var mkClient func() (client, func())
 	var cleanup func()
+	var dpsCache *mcd.DPS
 	switch *variant {
 	case "stock":
 		c, err := mcd.NewStock(mcd.StockConfig{MemLimit: memLimit, Buckets: *items})
@@ -106,6 +108,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "mcdbench:", err)
 			return 1
 		}
+		dpsCache = d
 		mkClient = func() (client, func()) {
 			h, err := d.Register()
 			if err != nil {
@@ -130,6 +133,12 @@ func run() int {
 			}
 		}
 		done()
+	}
+
+	// Baseline snapshot so the DPS metrics report excludes population.
+	var base dps.Snapshot
+	if dpsCache != nil {
+		base = dpsCache.Runtime().Metrics()
 	}
 
 	tr, err := workload.NewTrace(*reqs, workload.NewZipf(uint64(*items), workload.DefaultTheta, 42), *setRatio, 43)
@@ -185,6 +194,10 @@ func run() int {
 	fmt.Printf("requests=%d elapsed=%v throughput=%.3f Mops/s\n",
 		*reqs, elapsed.Round(time.Millisecond), float64(*reqs)/elapsed.Seconds()/1e6)
 	fmt.Printf("latency p50=%v p99=%v p999=%v\n", p(0.50), p(0.99), p(0.999))
+	if dpsCache != nil {
+		fmt.Printf("\nruntime metrics (measurement interval):\n%s\n",
+			dpsCache.Runtime().Metrics().Delta(base))
+	}
 	return 0
 }
 

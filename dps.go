@@ -55,8 +55,46 @@ type (
 	Args = core.Args
 	// Result is an operation's return value.
 	Result = core.Result
-	// Metrics is a snapshot of runtime activity counters.
+)
+
+// Observability surface. Runtime.Metrics returns a Snapshot; a Tracer
+// installed via Config.Tracer receives per-event callbacks. Together they
+// expose the behaviours the paper's evaluation (§5) reasons from.
+type (
+	// Metrics is the backward-compatible aggregate counter set — exactly
+	// Snapshot.Totals under its historical name. Its fields quantify the
+	// paper's evaluation axes: LocalExecs/RemoteSends the local-vs-remote
+	// operation split (§4.1), AsyncSends fire-and-forget delegation
+	// (§4.4), Served the peer-delegation overlap that keeps every core on
+	// data-structure work (§4.3), RingFullWaits ring back-pressure
+	// (§4.4), and Rescued the abandoned-locality liveness path.
 	Metrics = core.Metrics
+	// Snapshot is the structured view returned by Runtime.Metrics:
+	// Totals (the Metrics aggregate), PerPartition (the §5.2 partition
+	// breakdown: who executed, who delegated, queue back-pressure per
+	// locality), and Latency (delegation-latency histograms, the
+	// per-channel queueing delay §5.1 sweeps). Use Snapshot.Delta for
+	// interval reporting and Snapshot.String (or JSON marshalling) for
+	// tooling.
+	Snapshot = core.Snapshot
+	// PartitionMetrics is one partition's slice of a Snapshot: the same
+	// counters attributed to the partition (sends by destination, serves
+	// by serving locality), plus Workers and RingOccupancy gauges — the
+	// §4.2 ring back-pressure signal.
+	PartitionMetrics = core.PartitionMetrics
+	// HistogramSummary is one latency histogram: count, p50/p90/p99
+	// upper-bound estimates, exact max, and raw log₂ buckets.
+	HistogramSummary = core.HistogramSummary
+	// LatencySummaries groups the three runtime histograms: LocalExec
+	// (the §4.1 plain-function-call path), SyncDelegation
+	// (send→completion, §4.2-§4.3), and Served (peer execution, §4.3).
+	LatencySummaries = core.LatencySummaries
+	// Tracer is the pluggable per-event hook interface installed via
+	// Config.Tracer; the default is a no-op that costs one branch.
+	Tracer = core.Tracer
+	// NopTracer ignores every event; embed it to implement only the
+	// hooks of interest.
+	NopTracer = core.NopTracer
 )
 
 // Sentinel errors.
@@ -65,6 +103,9 @@ var (
 	ErrClosed = core.ErrClosed
 	// ErrTooManyThreads is returned by Register past Config.MaxThreads.
 	ErrTooManyThreads = core.ErrTooManyThreads
+	// ErrUnregistered is the panic value raised when a Thread is used
+	// after Unregister.
+	ErrUnregistered = core.ErrUnregistered
 )
 
 // New creates a DPS runtime, the analogue of the paper's create call

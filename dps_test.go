@@ -63,9 +63,15 @@ func TestPublicAPISmoke(t *testing.T) {
 		}(loc, th)
 	}
 	wg.Wait()
-	m := rt.Metrics()
-	if m.LocalExecs+m.RemoteSends == 0 {
+	snap := rt.Metrics()
+	if m := snap.Totals; m.LocalExecs+m.RemoteSends == 0 {
 		t.Fatal("no operations recorded")
+	}
+	if len(snap.PerPartition) != 2 {
+		t.Fatalf("PerPartition has %d entries, want 2", len(snap.PerPartition))
+	}
+	if snap.Totals.RemoteSends > 0 && snap.Latency.SyncDelegation.Count == 0 {
+		t.Fatal("remote sends recorded but sync-delegation histogram empty")
 	}
 	if err := rt.Close(); err != nil {
 		t.Fatal(err)

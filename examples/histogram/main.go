@@ -110,6 +110,6 @@ func main() {
 		}
 	}
 	fmt.Printf("events counted: %d (want %d), modal bucket: %d\n", sum, ingesters*events, peak)
-	m := rt.Metrics()
+	m := rt.Metrics().Totals
 	fmt.Printf("async updates: %d, ring back-pressure events: %d\n", m.AsyncSends, m.RingFullWaits)
 }

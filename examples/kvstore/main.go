@@ -156,7 +156,7 @@ func main() {
 		}
 	}
 	sess.Close()
-	m := rt.Metrics()
+	m := rt.Metrics().Totals
 	fmt.Printf("cache hits: %d/%d\n", hits, workers*500)
 	fmt.Printf("async sets: %d, sync delegations: %d, peer-served: %d\n",
 		m.AsyncSends, m.RemoteSends, m.Served)

@@ -171,5 +171,5 @@ func main() {
 
 	fmt.Printf("drained %d/%d tasks, per-consumer priority inversions: %d\n",
 		drained, producers*tasksEach, outOfOrder)
-	fmt.Printf("runtime metrics: %+v\n", rt.Metrics())
+	fmt.Printf("runtime metrics:\n%s\n", rt.Metrics())
 }

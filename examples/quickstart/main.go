@@ -86,10 +86,13 @@ func main() {
 	}
 	th.Unregister()
 
-	m := rt.Metrics()
+	snap := rt.Metrics()
+	m := snap.Totals
 	fmt.Printf("total increments: %d (want %d)\n", total, workers*perWorker)
 	fmt.Printf("local execs: %d, delegations: %d, served for peers: %d\n",
 		m.LocalExecs, m.RemoteSends, m.Served)
+	fmt.Printf("sync delegation latency: p50=%v p99=%v\n",
+		snap.Latency.SyncDelegation.P50, snap.Latency.SyncDelegation.P99)
 	if err := rt.Close(); err != nil {
 		log.Fatal(err)
 	}

@@ -16,6 +16,7 @@ func registerAll() {
 	registerDataStructures()
 	registerMemcached()
 	registerAblations()
+	registerLive()
 }
 
 var initialized = false

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"dps/internal/core"
+	"dps/internal/dpsds"
+	"dps/internal/skiplist"
+	"dps/internal/topology"
+)
+
+// The live-* experiments run the real runtime on the host machine rather
+// than the simulator, and report what the observability layer measures:
+// sync-delegation latency percentiles and the per-partition breakdown of
+// where work landed. Op counts are fixed so runs are deterministic in
+// shape (latencies of course vary with the host).
+
+const (
+	liveParts   = 4
+	liveOpsEach = 2000
+)
+
+// runLive drives a DPS skip-list set with the given number of worker
+// goroutines, each bound round-robin to a locality and issuing a fixed
+// mixed workload, and returns the runtime's metrics snapshot.
+func runLive(workers int) (core.Snapshot, error) {
+	s, err := dpsds.NewSet(dpsds.Config{
+		Partitions: liveParts,
+		NewShard:   func() dpsds.Inner { return skiplist.NewLockFree() },
+		MaxThreads: workers + 1,
+	})
+	if err != nil {
+		return core.Snapshot{}, err
+	}
+	// Register every handle before spawning workers so each locality is
+	// staffed for the whole run and operations delegate rather than hit
+	// the empty-locality inline fallback.
+	handles := make([]*dpsds.Handle, workers)
+	for w := range handles {
+		h, err := s.RegisterAt(w % liveParts)
+		if err != nil {
+			return core.Snapshot{}, err
+		}
+		handles[w] = h
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := handles[w]
+			defer h.Unregister()
+			for i := 0; i < liveOpsEach; i++ {
+				key := uint64(w*10*liveOpsEach + i)
+				h.Insert(key, key)
+				h.Lookup(key)
+				if i%2 == 0 {
+					h.Remove(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return s.Runtime().Metrics(), nil
+}
+
+func registerLive() {
+	register("live-latency", "live runtime: sync-delegation latency percentiles vs worker count (real hardware, not simulated)", func(mach topology.Machine) *Table {
+		t := &Table{ID: "live-latency", Title: "live DPS runtime: delegation latency by worker count",
+			Header: []string{"workers", "ops", "local", "remote", "served", "ringfull", "sync_p50", "sync_p99", "sync_max", "imbalance"}}
+		for _, workers := range []int{1, 2, 4, 8} {
+			snap, err := runLive(workers)
+			if err != nil {
+				panic(fmt.Sprintf("bench: live runtime: %v", err))
+			}
+			tot := snap.Totals
+			sd := snap.Latency.SyncDelegation
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", workers),
+				fmt.Sprintf("%d", tot.LocalExecs+tot.RemoteSends),
+				fmt.Sprintf("%d", tot.LocalExecs),
+				fmt.Sprintf("%d", tot.RemoteSends),
+				fmt.Sprintf("%d", tot.Served),
+				fmt.Sprintf("%d", tot.RingFullWaits),
+				sd.P50.String(),
+				sd.P99.String(),
+				sd.Max.String(),
+				f2(snap.Imbalance()),
+			})
+		}
+		return t
+	})
+	register("live-partitions", "live runtime: per-partition metrics breakdown (8 workers over 4 localities, real hardware)", func(mach topology.Machine) *Table {
+		t := &Table{ID: "live-partitions", Title: "live DPS runtime: per-partition breakdown",
+			Header: []string{"part", "local", "remote", "async", "served", "ringfull", "rescued"}}
+		snap, err := runLive(8)
+		if err != nil {
+			panic(fmt.Sprintf("bench: live runtime: %v", err))
+		}
+		for _, pm := range snap.PerPartition {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", pm.Partition),
+				fmt.Sprintf("%d", pm.LocalExecs),
+				fmt.Sprintf("%d", pm.RemoteSends),
+				fmt.Sprintf("%d", pm.AsyncSends),
+				fmt.Sprintf("%d", pm.Served),
+				fmt.Sprintf("%d", pm.RingFullWaits),
+				fmt.Sprintf("%d", pm.Rescued),
+			})
+		}
+		return t
+	})
+}

@@ -158,7 +158,7 @@ func TestLocalExecuteCompletesInline(t *testing.T) {
 	if res.U != 7 {
 		t.Fatalf("res.U = %d, want 7", res.U)
 	}
-	m := rt.Metrics()
+	m := rt.Metrics().Totals
 	if m.LocalExecs != 1 || m.RemoteSends != 0 {
 		t.Fatalf("metrics = %+v, want 1 local, 0 remote", m)
 	}
@@ -199,7 +199,7 @@ func TestRemoteDelegation(t *testing.T) {
 	}
 	stop()
 
-	m := rt.Metrics()
+	m := rt.Metrics().Totals
 	if m.RemoteSends != 2 {
 		t.Fatalf("RemoteSends = %d, want 2", m.RemoteSends)
 	}
@@ -252,7 +252,7 @@ func TestPeerServingWhileAwaiting(t *testing.T) {
 			t.Fatalf("locality %d: %v", loc, err)
 		}
 	}
-	m := rt.Metrics()
+	m := rt.Metrics().Totals
 	if m.RemoteSends != 400 {
 		t.Fatalf("RemoteSends = %d, want 400", m.RemoteSends)
 	}
@@ -281,7 +281,7 @@ func TestExecuteFallsBackInlineWhenLocalityEmpty(t *testing.T) {
 	if res.U != 5 {
 		t.Fatalf("res.U = %d, want 5", res.U)
 	}
-	if m := rt.Metrics(); m.RemoteSends != 0 || m.LocalExecs != 1 {
+	if m := rt.Metrics().Totals; m.RemoteSends != 0 || m.LocalExecs != 1 {
 		t.Fatalf("metrics = %+v, want inline fallback", m)
 	}
 }
@@ -404,7 +404,7 @@ func TestExecuteLocalRunsOnCaller(t *testing.T) {
 	if res.Err != nil || res.U != 11 {
 		t.Fatalf("ExecuteLocal get = (%d, %v), want (11, nil)", res.U, res.Err)
 	}
-	if m := rt.Metrics(); m.RemoteSends != 0 {
+	if m := rt.Metrics().Totals; m.RemoteSends != 0 {
 		t.Fatalf("RemoteSends = %d, want 0", m.RemoteSends)
 	}
 }

@@ -1,74 +1,57 @@
 package core
 
-import "sync/atomic"
+import "dps/internal/obs"
 
-// counter indexes into the per-thread metrics block.
-type counter int
-
-// Runtime event counters.
-const (
-	ctrLocalExec  counter = iota // operations executed inline (local key)
-	ctrRemoteSend                // synchronous delegations sent
-	ctrAsyncSend                 // fire-and-forget delegations sent
-	ctrServed                    // delegated requests executed for peers
-	ctrRingFull                  // send attempts that found the ring full
-	ctrRescued                   // pending requests executed by their sender after the destination locality emptied
-	numCounters
+// Observability surface, implemented by internal/obs and re-exported here
+// (and from the root dps package) as the supported API.
+type (
+	// Metrics is the backward-compatible aggregate counter set; it is
+	// Snapshot.Totals under its historical name.
+	Metrics = obs.Totals
+	// Snapshot is the structured view returned by Runtime.Metrics:
+	// aggregate counters, per-partition breakdown, latency summaries.
+	Snapshot = obs.Snapshot
+	// PartitionMetrics is one partition's slice of a Snapshot.
+	PartitionMetrics = obs.PartitionMetrics
+	// HistogramSummary is one latency histogram's percentile summary.
+	HistogramSummary = obs.HistogramSummary
+	// LatencySummaries groups the runtime's three latency histograms.
+	LatencySummaries = obs.LatencySummaries
+	// Tracer is the pluggable per-event hook interface (Config.Tracer).
+	Tracer = obs.Tracer
+	// NopTracer is a Tracer that ignores every event; embed it to
+	// implement only the hooks of interest.
+	NopTracer = obs.NopTracer
 )
 
-// Metrics is a snapshot of runtime activity, aggregated over all threads.
-// The counters quantify the behaviours the paper's evaluation discusses:
-// the local/remote split (§4.1), peer-served work (§4.3) and ring
-// back-pressure under asynchronous execution (§4.4).
-type Metrics struct {
-	// LocalExecs counts operations executed inline because their key was
-	// local (or local execution was requested).
-	LocalExecs uint64
-	// RemoteSends counts synchronous delegations to remote localities.
-	RemoteSends uint64
-	// AsyncSends counts fire-and-forget delegations.
-	AsyncSends uint64
-	// Served counts delegated requests this runtime's threads executed on
-	// behalf of peers.
-	Served uint64
-	// RingFullWaits counts send attempts that had to serve/yield because
-	// the destination ring was full.
-	RingFullWaits uint64
-	// Rescued counts pending requests a sender executed itself because
-	// every thread of the destination locality had unregistered.
-	Rescued uint64
-}
-
-// metrics holds one padded counter block per possible thread id, so threads
-// never false-share metric cache lines.
-type metrics struct {
-	blocks []metricsBlock
-}
-
-type metricsBlock struct {
-	c [numCounters]atomic.Uint64
-	_ [128 - 8*(numCounters%16)]byte
-}
-
-func newMetrics(maxThreads int) metrics {
-	return metrics{blocks: make([]metricsBlock, maxThreads)}
-}
-
-func (m *metrics) add(tid int, c counter, n uint64) {
-	m.blocks[tid].c[c].Add(n)
-}
-
-// Metrics returns an aggregate snapshot of the runtime's activity counters.
-func (rt *Runtime) Metrics() Metrics {
-	var out Metrics
-	for i := range rt.metrics.blocks {
-		b := &rt.metrics.blocks[i]
-		out.LocalExecs += b.c[ctrLocalExec].Load()
-		out.RemoteSends += b.c[ctrRemoteSend].Load()
-		out.AsyncSends += b.c[ctrAsyncSend].Load()
-		out.Served += b.c[ctrServed].Load()
-		out.RingFullWaits += b.c[ctrRingFull].Load()
-		out.Rescued += b.c[ctrRescued].Load()
+// Metrics returns a structured snapshot of the runtime's activity:
+// aggregate counters (Totals), a per-partition breakdown with worker and
+// ring-occupancy gauges, and latency histogram summaries. Snapshots are
+// plain data; interval activity is snap2.Delta(snap1).
+func (rt *Runtime) Metrics() Snapshot {
+	s := rt.rec.Snapshot()
+	for i, p := range rt.parts {
+		s.PerPartition[i].Workers = int(p.workers.Load())
+		s.PerPartition[i].RingOccupancy = p.ringOccupancy()
 	}
-	return out
+	return s
+}
+
+// ringOccupancy counts requests currently pending in the partition's rings
+// across all sender threads. It reads each slot's toggle without taking
+// ring locks, so the result is a racy gauge — exact only in quiescence.
+func (p *Partition) ringOccupancy() int {
+	n := 0
+	for i := range p.rings {
+		r := p.rings[i].Load()
+		if r == nil {
+			continue
+		}
+		for j := range r.slots {
+			if r.slots[j].pending() {
+				n++
+			}
+		}
+	}
+	return n
 }

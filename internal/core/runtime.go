@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dps/internal/obs"
 	"dps/internal/parsec"
 )
 
@@ -42,6 +43,12 @@ var ErrClosed = errors.New("dps: runtime closed")
 // ErrTooManyThreads is returned by Register when MaxThreads thread handles
 // are already live.
 var ErrTooManyThreads = errors.New("dps: too many registered threads")
+
+// ErrUnregistered is the panic value raised when a Thread is used after
+// Unregister. Unregistered threads hold no locality membership, so letting
+// such calls proceed would silently corrupt the peer-serving protocol; the
+// misuse is reported loudly instead of misbehaving quietly.
+var ErrUnregistered = errors.New("dps: thread used after Unregister")
 
 // Config parameterizes a Runtime. It mirrors the arguments of the paper's
 // create call: partition count, namespace size and hash function (§3.1),
@@ -83,6 +90,14 @@ type Config struct {
 	// Create time; the returned value is available via Partition.Data.
 	// Optional.
 	Init func(p *Partition) any
+
+	// Tracer receives per-event observability callbacks (sends, serves,
+	// completions, ring-full back-pressure). Optional: when nil the
+	// runtime installs a no-op tracer and skips every hook behind a
+	// single predictable branch, so tracing costs nothing unless
+	// requested. Hooks run inline on the runtime's threads; see
+	// obs.Tracer for the contract.
+	Tracer Tracer
 }
 
 func (c *Config) setDefaults() error {
@@ -165,7 +180,9 @@ type Runtime struct {
 	nlive   int
 	closed  bool
 
-	metrics metrics
+	rec     *obs.Recorder
+	tracer  obs.Tracer
+	tracing bool
 }
 
 // New creates a DPS runtime. It is the analogue of the paper's
@@ -183,7 +200,12 @@ func New(cfg Config) (*Runtime, error) {
 		ns:      ns,
 		parts:   make([]*Partition, cfg.Partitions),
 		smr:     parsec.NewDomain(),
-		metrics: newMetrics(cfg.MaxThreads),
+		rec:     obs.NewRecorder(cfg.MaxThreads, cfg.Partitions),
+		tracer:  cfg.Tracer,
+		tracing: cfg.Tracer != nil,
+	}
+	if rt.tracer == nil {
+		rt.tracer = obs.NopTracer{}
 	}
 	for i := range rt.parts {
 		lo, hi := ns.Range(i)

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
+	"dps/internal/obs"
 	"dps/internal/parsec"
 )
 
@@ -13,6 +15,11 @@ import (
 // A Thread plays both roles of the peer-delegation protocol: it delegates
 // operations on remote keys, and — whenever it waits (Await, ring full) — it
 // serves operations other threads delegated to its locality.
+//
+// After Unregister the Thread is dead: every Execute variant, Serve and
+// Drain panics with ErrUnregistered (an unregistered thread no longer
+// belongs to a locality, so silently accepting the call would corrupt the
+// peer-serving protocol). Unregister itself stays idempotent.
 type Thread struct {
 	rt       *Runtime
 	id       int
@@ -41,6 +48,9 @@ type Completion struct {
 	t    *Thread
 	res  Result
 	done bool
+	// sent is when the delegation was issued, for the send→completion
+	// latency histogram (zero for inline completions).
+	sent time.Time
 }
 
 // ID returns the thread's runtime-unique id.
@@ -69,6 +79,24 @@ func (t *Thread) partitionFor(key uint64) *Partition {
 	return t.rt.parts[t.rt.ns.Lookup(t.rt.cfg.Hash(key))]
 }
 
+// checkLive panics with ErrUnregistered on use-after-Unregister, the
+// documented misuse path.
+func (t *Thread) checkLive() {
+	if t.unregistered {
+		panic(ErrUnregistered)
+	}
+}
+
+// execInline runs op locally with metric attribution to partition p: one
+// LocalExec count plus a local-exec latency observation.
+func (t *Thread) execInline(p *Partition, key uint64, op Op, args *Args) Result {
+	t.rt.rec.Add(t.id, p.id, obs.LocalExec, 1)
+	start := time.Now()
+	res := t.runLocal(p, key, op, args)
+	t.rt.rec.Observe(t.id, obs.HistLocalExec, time.Since(start))
+	return res
+}
+
 // runLocal executes op inline on the calling thread, inside a quiescence
 // read-side section so the op may safely traverse nodes being retired by
 // other threads' ops.
@@ -87,17 +115,18 @@ func (t *Thread) runLocal(p *Partition, key uint64, op Op, args *Args) Result {
 // block with Result), both of which serve requests delegated to this
 // thread's locality in the meantime.
 func (t *Thread) Execute(key uint64, op Op, args Args) *Completion {
+	t.checkLive()
 	p := t.partitionFor(key)
 	if p.id == t.locality || p.workers.Load() == 0 {
 		// Local key — or a locality with no threads to serve it, where
 		// inline execution (a remote-memory access in the paper's
 		// terms) is the only way to make progress.
-		t.rt.metrics.add(t.id, ctrLocalExec, 1)
-		return &Completion{t: t, res: t.runLocal(p, key, op, &args), done: true}
+		return &Completion{t: t, res: t.execInline(p, key, op, &args), done: true}
 	}
+	sent := time.Now()
 	slot := t.send(p, key, op, args, true)
-	t.rt.metrics.add(t.id, ctrRemoteSend, 1)
-	return &Completion{slot: slot, t: t}
+	t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
+	return &Completion{slot: slot, t: t, sent: sent}
 }
 
 // ExecuteSync is Execute followed by completion (§3.1 notes the synchronous
@@ -112,14 +141,14 @@ func (t *Thread) ExecuteSync(key uint64, op Op, args Args) Result {
 // read-your-writes and monotonic-writes hold for subsequent operations from
 // this thread. Use Drain as the barrier before depending on completion.
 func (t *Thread) ExecuteAsync(key uint64, op Op, args Args) {
+	t.checkLive()
 	p := t.partitionFor(key)
 	if p.id == t.locality || p.workers.Load() == 0 {
-		t.rt.metrics.add(t.id, ctrLocalExec, 1)
-		t.runLocal(p, key, op, &args)
+		t.execInline(p, key, op, &args)
 		return
 	}
 	slot := t.send(p, key, op, args, false)
-	t.rt.metrics.add(t.id, ctrAsyncSend, 1)
+	t.rt.rec.Add(t.id, p.id, obs.AsyncSend, 1)
 	t.outstanding = append(t.outstanding, slot)
 	if len(t.outstanding) >= cap(t.outstanding) && len(t.outstanding) >= 32 {
 		t.compactOutstanding()
@@ -132,8 +161,8 @@ func (t *Thread) ExecuteAsync(key uint64, op Op, args Args) {
 // tolerates cross-locality readers. The operation still sees the owning
 // partition's shard.
 func (t *Thread) ExecuteLocal(key uint64, op Op, args Args) Result {
-	t.rt.metrics.add(t.id, ctrLocalExec, 1)
-	return t.runLocal(t.partitionFor(key), key, op, &args)
+	t.checkLive()
+	return t.execInline(t.partitionFor(key), key, op, &args)
 }
 
 // ExecutePartition performs op on an explicit partition instead of routing
@@ -142,14 +171,15 @@ func (t *Thread) ExecuteLocal(key uint64, op Op, args Args) Result {
 // (§3.4) — and blocks until the result is available, serving the caller's
 // locality meanwhile. The key is passed through to op uninterpreted.
 func (t *Thread) ExecutePartition(part int, key uint64, op Op, args Args) Result {
+	t.checkLive()
 	p := t.rt.parts[part]
 	if p.id == t.locality || p.workers.Load() == 0 {
-		t.rt.metrics.add(t.id, ctrLocalExec, 1)
-		return t.runLocal(p, key, op, &args)
+		return t.execInline(p, key, op, &args)
 	}
+	sent := time.Now()
 	slot := t.send(p, key, op, args, true)
-	t.rt.metrics.add(t.id, ctrRemoteSend, 1)
-	c := Completion{slot: slot, t: t}
+	t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
+	c := Completion{slot: slot, t: t, sent: sent}
 	return c.Result()
 }
 
@@ -159,6 +189,7 @@ func (t *Thread) ExecutePartition(part int, key uint64, op Op, args Args) Result
 // to concurrent single-key operations: each partition executes its share at
 // an independent point in time.
 func (t *Thread) ExecuteAll(op Op, args Args, agg func(results []Result) Result) Result {
+	t.checkLive()
 	n := len(t.rt.parts)
 	completions := make([]*Completion, n)
 	// Delegate to remote partitions first so they proceed in parallel
@@ -167,15 +198,15 @@ func (t *Thread) ExecuteAll(op Op, args Args, agg func(results []Result) Result)
 		if p.id == t.locality || p.workers.Load() == 0 {
 			continue
 		}
+		sent := time.Now()
 		slot := t.send(p, p.lo, op, args, true)
-		t.rt.metrics.add(t.id, ctrRemoteSend, 1)
-		completions[i] = &Completion{slot: slot, t: t}
+		t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
+		completions[i] = &Completion{slot: slot, t: t, sent: sent}
 	}
 	results := make([]Result, n)
 	for i, p := range t.rt.parts {
 		if completions[i] == nil {
-			t.rt.metrics.add(t.id, ctrLocalExec, 1)
-			results[i] = t.runLocal(p, p.lo, op, &args)
+			results[i] = t.execInline(p, p.lo, op, &args)
 		}
 	}
 	for i, c := range completions {
@@ -194,6 +225,7 @@ func (t *Thread) ExecuteAll(op Op, args Args, agg func(results []Result) Result)
 // It is the completion barrier §4.4 requires between dependent asynchronous
 // operations.
 func (t *Thread) Drain() {
+	t.checkLive()
 	for _, m := range t.outstanding {
 		for m.pending() {
 			if t.serve() == 0 {
@@ -245,13 +277,19 @@ func (t *Thread) send(p *Partition, key uint64, op Op, args Args, sync bool) *me
 			m.part = p
 			m.consumed = !sync
 			m.toggle.Store(1)
+			if t.rt.tracing {
+				t.rt.tracer.OnSend(t.id, p.id, key, sync)
+			}
 			return m
 		}
 		// Ring full (next slot still owned by the server side, or its
 		// result unconsumed): serve our own locality instead of
 		// spinning (§4.4: "the thread waits for an available request
 		// slot, while performing operations delegated to it").
-		t.rt.metrics.add(t.id, ctrRingFull, 1)
+		t.rt.rec.Add(t.id, p.id, obs.RingFull, 1)
+		if t.rt.tracing {
+			t.rt.tracer.OnRingFull(t.id, p.id)
+		}
 		if t.serve() == 0 {
 			if p.workers.Load() == 0 {
 				t.rescue(&r.slots[r.sendIdx])
@@ -279,7 +317,9 @@ func (t *Thread) serve() int {
 		}
 		served += t.serveRing(p, r)
 	}
-	t.rt.metrics.add(t.id, ctrServed, uint64(served))
+	if served > 0 {
+		t.rt.rec.Add(t.id, p.id, obs.Served, uint64(served))
+	}
 	return served
 }
 
@@ -326,7 +366,7 @@ func (t *Thread) rescue(m *message) {
 			return
 		}
 		t.executeMessage(p, s)
-		t.rt.metrics.add(t.id, ctrRescued, 1)
+		t.rt.rec.Add(t.id, p.id, obs.Rescued, 1)
 		r.cursor++
 		if r.cursor == len(r.slots) {
 			r.cursor = 0
@@ -335,11 +375,15 @@ func (t *Thread) rescue(m *message) {
 }
 
 // executeMessage runs a delegated request and publishes its completion.
-// Panics inside the operation are captured and re-raised on the awaiting
-// thread (for fire-and-forget requests they are re-raised here, on the
-// serving thread, since no one will ever observe the completion).
+// The execution time lands in the served histogram (covering the rescue
+// path too) and fires Tracer.OnServe. Panics inside the operation are
+// captured and re-raised on the awaiting thread (for fire-and-forget
+// requests they are re-raised here, on the serving thread, since no one
+// will ever observe the completion).
 func (t *Thread) executeMessage(p *Partition, m *message) {
 	fireAndForget := m.consumed
+	key := m.key
+	start := time.Now()
 	func() {
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -348,10 +392,15 @@ func (t *Thread) executeMessage(p *Partition, m *message) {
 		}()
 		m.res = t.runLocal(p, m.key, m.op, &m.args)
 	}()
+	d := time.Since(start)
 	pv := m.panicVal
 	m.op = nil
 	m.args.P = nil
 	m.toggle.Store(0)
+	t.rt.rec.Observe(t.id, obs.HistServed, d)
+	if t.rt.tracing {
+		t.rt.tracer.OnServe(t.id, p.id, key, d)
+	}
 	if fireAndForget && pv != nil {
 		panic(fmt.Sprintf("dps: panic in asynchronous delegated operation: %v", pv))
 	}
@@ -362,7 +411,10 @@ func (t *Thread) executeMessage(p *Partition, m *message) {
 // §4.4: an application can devote a thread (or a periodic callback) to
 // Serve so delegations complete even when all other locality threads are
 // blocked outside DPS.
-func (t *Thread) Serve() int { return t.serve() }
+func (t *Thread) Serve() int {
+	t.checkLive()
+	return t.serve()
+}
 
 // Ready polls the completion (§3.1's await_completion): it returns the
 // result and true if the operation has executed. While the operation is
@@ -399,14 +451,23 @@ func (c *Completion) Result() Result {
 	}
 }
 
-// finish copies the result out of the ring slot, releases the slot, and
-// re-raises any panic captured from the operation.
+// finish copies the result out of the ring slot, releases the slot,
+// records the send→completion latency, and re-raises any panic captured
+// from the operation.
 func (c *Completion) finish() {
 	c.res = c.slot.res
 	pv := c.slot.panicVal
+	part := c.slot.part
+	key := c.slot.key
 	c.slot.consumed = true
 	c.done = true
 	c.slot = nil
+	d := time.Since(c.sent)
+	rt := c.t.rt
+	rt.rec.Observe(c.t.id, obs.HistSyncDelegation, d)
+	if rt.tracing {
+		rt.tracer.OnComplete(c.t.id, part.id, key, d)
+	}
 	if pv != nil {
 		panic(pv)
 	}

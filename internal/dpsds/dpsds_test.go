@@ -189,7 +189,7 @@ func TestDPSMetricsShowDelegation(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	m := s.Runtime().Metrics()
+	m := s.Runtime().Metrics().Totals
 	if m.RemoteSends == 0 {
 		t.Error("no remote delegations recorded across 4 localities")
 	}

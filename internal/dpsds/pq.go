@@ -18,7 +18,11 @@ type PQ struct {
 }
 
 // NewPQ creates a partitioned priority queue with one shard per locality.
+// Validation errors follow the same wording as core.Config.setDefaults.
 func NewPQ(partitions int, newShard func() pqueue.PQ) (*PQ, error) {
+	if partitions < 1 {
+		return nil, fmt.Errorf("dpsds: partitions must be >= 1, got %d", partitions)
+	}
 	if newShard == nil {
 		newShard = func() pqueue.PQ { return pqueue.NewShavitLotan() }
 	}

@@ -51,6 +51,8 @@ type Config struct {
 	Hash func(uint64) uint64
 	// MaxThreads bounds concurrent handles (defaults per core.Config).
 	MaxThreads int
+	// Tracer is passed to the underlying runtime (see core.Config.Tracer).
+	Tracer core.Tracer
 }
 
 // Set is a DPS-partitioned sorted set.
@@ -59,15 +61,20 @@ type Set struct {
 	localReads bool
 }
 
-// NewSet creates the partitioned set.
+// NewSet creates the partitioned set. Validation errors follow the same
+// wording as core.Config.setDefaults.
 func NewSet(cfg Config) (*Set, error) {
+	if cfg.Partitions < 1 {
+		return nil, fmt.Errorf("dpsds: Partitions must be >= 1, got %d", cfg.Partitions)
+	}
 	if cfg.NewShard == nil {
-		return nil, fmt.Errorf("dpsds: NewShard is required")
+		return nil, fmt.Errorf("dpsds: NewShard must be non-nil")
 	}
 	rt, err := core.New(core.Config{
 		Partitions: cfg.Partitions,
 		Hash:       cfg.Hash,
 		MaxThreads: cfg.MaxThreads,
+		Tracer:     cfg.Tracer,
 		Init:       func(p *core.Partition) any { return cfg.NewShard() },
 	})
 	if err != nil {

@@ -310,13 +310,13 @@ func TestDPSParSecLocalGets(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	before := d.Runtime().Metrics().RemoteSends
+	before := d.Runtime().Metrics().Totals.RemoteSends
 	for i := 0; i < 100; i++ {
 		if v, ok := h.Get(uint64(i)); !ok || !bytes.Equal(v, val(i)) {
 			t.Fatalf("Get(%d) = (%q,%v)", i, v, ok)
 		}
 	}
-	if after := d.Runtime().Metrics().RemoteSends; after != before {
+	if after := d.Runtime().Metrics().Totals.RemoteSends; after != before {
 		t.Fatalf("local gets sent %d delegations", after-before)
 	}
 }

@@ -1,0 +1,225 @@
+// Package obs is the DPS runtime's observability layer: padded
+// per-(thread, partition) event counters, log-bucketed latency histograms,
+// and the pluggable Tracer hook interface. internal/core records into it on
+// every operation; Runtime.Metrics assembles its contents into a Snapshot.
+//
+// The package exists because the paper's evaluation (§5) reasons entirely
+// from behaviours invisible to a throughput number: the local/remote
+// operation split (§4.1), peer-served work (§4.3), and ring back-pressure
+// under asynchronous execution (§4.4). Delegation designs live or die on
+// per-channel queueing delay, so the recording paths are built to sit on
+// the per-operation hot path: no allocation, no locks, one atomic add per
+// event into a counter block no other thread writes.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// Counter indexes one event counter within a (thread, partition) block.
+type Counter int
+
+// Runtime event counters. Each is attributed to a partition: sends (remote,
+// async, ring-full, rescued) to the destination partition, local execs to
+// the partition whose shard ran the operation, serves to the serving
+// thread's own locality.
+const (
+	// LocalExec counts operations executed inline on the calling thread
+	// (local key, empty-locality fallback, or explicit local execution).
+	LocalExec Counter = iota
+	// RemoteSend counts synchronous delegations to remote localities.
+	RemoteSend
+	// AsyncSend counts fire-and-forget delegations (§4.4).
+	AsyncSend
+	// Served counts delegated requests executed on behalf of peers (§4.3).
+	Served
+	// RingFull counts send attempts that found the destination ring full
+	// and had to serve/yield instead (§4.4 back-pressure).
+	RingFull
+	// Rescued counts pending requests executed by their sender after the
+	// destination locality emptied (the liveness path).
+	Rescued
+	// NumCounters is the number of counters per block.
+	NumCounters
+)
+
+// blockStride is the unit the counter block is padded to: two cache lines,
+// covering the spatial-prefetcher pairing on common x86 parts.
+const blockStride = 128
+
+// block is the counter set for one (thread, partition) pair. Exactly one
+// thread writes a given block, so the only coherence traffic is snapshot
+// reads; padding to a whole number of strides keeps neighbouring blocks
+// from false-sharing.
+type block struct {
+	c [NumCounters]atomic.Uint64
+	_ [blockPad]byte
+}
+
+// blockPad is derived from NumCounters directly, so the block stays a whole
+// number of strides no matter how many counters are added.
+const blockPad = (blockStride - (8*int(NumCounters))%blockStride) % blockStride
+
+// Compile-time assertions: the padded structs are whole numbers of strides.
+// A non-zero remainder makes the negation a negative uintptr constant,
+// which does not compile.
+const (
+	_ = -(unsafe.Sizeof(block{}) % blockStride)
+	_ = -(unsafe.Sizeof(histShard{}) % blockStride)
+)
+
+// Hist names one of the runtime's latency histograms.
+type Hist int
+
+const (
+	// HistLocalExec is the latency of operations executed inline on the
+	// calling thread (the plain-function-call path, §4.1).
+	HistLocalExec Hist = iota
+	// HistSyncDelegation is the send→completion latency of synchronous
+	// delegations: enqueue (including any ring-full wait), remote queueing,
+	// remote execution, and completion pickup (§4.2-§4.3).
+	HistSyncDelegation
+	// HistServed is the execution time of delegated requests run on behalf
+	// of peers, including requests executed through the rescue path.
+	HistServed
+	// NumHists is the number of histograms per thread.
+	NumHists
+)
+
+// NumBuckets is the number of log₂-spaced latency buckets. Bucket 0 holds
+// sub-nanosecond observations; bucket i ≥ 1 holds durations in
+// [2^(i-1), 2^i) ns; the last bucket additionally absorbs everything
+// larger (2^38 ns ≈ 4.6 min).
+const NumBuckets = 40
+
+// histShard is one thread's shard of one histogram, padded like the
+// counter blocks so recording threads never false-share.
+type histShard struct {
+	buckets [NumBuckets]atomic.Uint64
+	max     atomic.Uint64
+	_       [histPad]byte
+}
+
+const histPad = (blockStride - (8*(NumBuckets+1))%blockStride) % blockStride
+
+// BucketOf returns the histogram bucket index for a duration.
+func BucketOf(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i — the value
+// reported for a percentile that falls in the bucket. The last bucket is
+// open-ended; its nominal bound is returned (summaries clamp to the
+// recorded maximum).
+func BucketUpper(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	if i >= NumBuckets {
+		i = NumBuckets
+	}
+	return time.Duration(uint64(1)<<uint(i) - 1)
+}
+
+// Recorder is the per-runtime recording surface: maxThreads × partitions
+// counter blocks and maxThreads × NumHists histogram shards, both indexed
+// flat so the hot path is one multiply-add away from its block.
+type Recorder struct {
+	parts   int
+	threads int
+	blocks  []block
+	hists   []histShard
+}
+
+// NewRecorder sizes the recording arrays for a runtime with the given
+// thread and partition bounds.
+func NewRecorder(maxThreads, partitions int) *Recorder {
+	return &Recorder{
+		parts:   partitions,
+		threads: maxThreads,
+		blocks:  make([]block, maxThreads*partitions),
+		hists:   make([]histShard, maxThreads*int(NumHists)),
+	}
+}
+
+// Add adds n to counter c of thread tid's block for partition part.
+func (r *Recorder) Add(tid, part int, c Counter, n uint64) {
+	r.blocks[tid*r.parts+part].c[c].Add(n)
+}
+
+// Observe records one duration into thread tid's shard of histogram h.
+func (r *Recorder) Observe(tid int, h Hist, d time.Duration) {
+	s := &r.hists[tid*int(NumHists)+int(h)]
+	s.buckets[BucketOf(d)].Add(1)
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d.Nanoseconds())
+	}
+	for {
+		old := s.max.Load()
+		if ns <= old || s.max.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot aggregates the recorder's counters and histograms. The caller
+// (Runtime.Metrics) fills in the gauge fields the recorder cannot know
+// (workers, ring occupancy).
+func (r *Recorder) Snapshot() Snapshot {
+	s := Snapshot{PerPartition: make([]PartitionMetrics, r.parts)}
+	for part := range s.PerPartition {
+		s.PerPartition[part].Partition = part
+	}
+	for tid := 0; tid < r.threads; tid++ {
+		for part := 0; part < r.parts; part++ {
+			b := &r.blocks[tid*r.parts+part]
+			pm := &s.PerPartition[part]
+			pm.LocalExecs += b.c[LocalExec].Load()
+			pm.RemoteSends += b.c[RemoteSend].Load()
+			pm.AsyncSends += b.c[AsyncSend].Load()
+			pm.Served += b.c[Served].Load()
+			pm.RingFullWaits += b.c[RingFull].Load()
+			pm.Rescued += b.c[Rescued].Load()
+		}
+	}
+	for _, pm := range s.PerPartition {
+		s.Totals.LocalExecs += pm.LocalExecs
+		s.Totals.RemoteSends += pm.RemoteSends
+		s.Totals.AsyncSends += pm.AsyncSends
+		s.Totals.Served += pm.Served
+		s.Totals.RingFullWaits += pm.RingFullWaits
+		s.Totals.Rescued += pm.Rescued
+	}
+	s.Latency.LocalExec = r.summary(HistLocalExec)
+	s.Latency.SyncDelegation = r.summary(HistSyncDelegation)
+	s.Latency.Served = r.summary(HistServed)
+	return s
+}
+
+// summary merges every thread's shard of histogram h.
+func (r *Recorder) summary(h Hist) HistogramSummary {
+	var buckets [NumBuckets]uint64
+	var max uint64
+	for tid := 0; tid < r.threads; tid++ {
+		s := &r.hists[tid*int(NumHists)+int(h)]
+		for i := range buckets {
+			buckets[i] += s.buckets[i].Load()
+		}
+		if m := s.max.Load(); m > max {
+			max = m
+		}
+	}
+	return summarize(buckets, time.Duration(max))
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+func TestBlockPadding(t *testing.T) {
+	t.Parallel()
+	// The compile-time assertions enforce this already; keep a runtime
+	// check so the invariant is visible in test output too.
+	if sz := unsafe.Sizeof(block{}); sz%blockStride != 0 {
+		t.Fatalf("block size %d not a multiple of %d", sz, blockStride)
+	}
+	if sz := unsafe.Sizeof(histShard{}); sz%blockStride != 0 {
+		t.Fatalf("histShard size %d not a multiple of %d", sz, blockStride)
+	}
+	if blockPad >= blockStride {
+		t.Fatalf("blockPad = %d, want < %d", blockPad, blockStride)
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-5 * time.Nanosecond, 0},
+		{0, 0},
+		{1 * time.Nanosecond, 1},
+		{2 * time.Nanosecond, 2},
+		{3 * time.Nanosecond, 2},
+		{4 * time.Nanosecond, 3},
+		{7 * time.Nanosecond, 3},
+		{8 * time.Nanosecond, 4},
+		{1023 * time.Nanosecond, 10},
+		{1024 * time.Nanosecond, 11},
+		{time.Duration(1)<<39 - 1, NumBuckets - 1},
+		{time.Duration(1) << 39, NumBuckets - 1}, // beyond range: clamped
+		{time.Hour, NumBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := BucketOf(tc.d); got != tc.want {
+			t.Errorf("BucketOf(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+	// Every bucket's upper bound must itself fall in that bucket, and one
+	// nanosecond more must fall in the next (except at the clamped end).
+	for i := 1; i < NumBuckets-1; i++ {
+		ub := BucketUpper(i)
+		if got := BucketOf(ub); got != i {
+			t.Errorf("BucketOf(BucketUpper(%d)=%v) = %d", i, ub, got)
+		}
+		if got := BucketOf(ub + 1); got != i+1 {
+			t.Errorf("BucketOf(BucketUpper(%d)+1) = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestPercentileMath(t *testing.T) {
+	t.Parallel()
+	r := NewRecorder(1, 1)
+	// 100 observations: 50 at ~100ns (bucket 7, upper 127), 40 at ~1µs
+	// (bucket 10, upper 1023), 9 at ~10µs (bucket 14, upper 16383), 1 at
+	// exactly 1ms.
+	for i := 0; i < 50; i++ {
+		r.Observe(0, HistSyncDelegation, 100*time.Nanosecond)
+	}
+	for i := 0; i < 40; i++ {
+		r.Observe(0, HistSyncDelegation, time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		r.Observe(0, HistSyncDelegation, 10*time.Microsecond)
+	}
+	r.Observe(0, HistSyncDelegation, time.Millisecond)
+
+	h := r.Snapshot().Latency.SyncDelegation
+	if h.Count != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count)
+	}
+	if want := 127 * time.Nanosecond; h.P50 != want {
+		t.Errorf("P50 = %v, want %v", h.P50, want)
+	}
+	if want := 1023 * time.Nanosecond; h.P90 != want {
+		t.Errorf("P90 = %v, want %v", h.P90, want)
+	}
+	if want := 16383 * time.Nanosecond; h.P99 != want {
+		t.Errorf("P99 = %v, want %v", h.P99, want)
+	}
+	if h.Max != time.Millisecond {
+		t.Errorf("Max = %v, want 1ms", h.Max)
+	}
+	// The single largest observation defines the top of the distribution:
+	// a 100th-percentile walk must clamp to the recorded max, not the
+	// bucket's nominal upper bound.
+	if got := percentile(&h.Buckets, h.Count, 1.0, h.Max); got != time.Millisecond {
+		t.Errorf("p100 = %v, want exact max 1ms", got)
+	}
+	if empty := (HistogramSummary{}); empty.P50 != 0 || empty.String() == "" {
+		t.Errorf("empty summary misbehaves: %v", empty)
+	}
+}
+
+func TestPercentilesMergeAcrossThreadShards(t *testing.T) {
+	t.Parallel()
+	r := NewRecorder(4, 1)
+	for tid := 0; tid < 4; tid++ {
+		for i := 0; i < 25; i++ {
+			r.Observe(tid, HistServed, time.Duration(1<<uint(tid))*time.Microsecond)
+		}
+	}
+	h := r.Snapshot().Latency.Served
+	if h.Count != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count)
+	}
+	// tids recorded 1µs, 2µs, 4µs, 8µs — 25 each. P50 falls in the 2µs
+	// bucket (upper bound 2047ns), P99 in the 8µs bucket.
+	if want := 2047 * time.Nanosecond; h.P50 != want {
+		t.Errorf("P50 = %v, want %v", h.P50, want)
+	}
+	if h.Max != 8*time.Microsecond {
+		t.Errorf("Max = %v, want 8µs", h.Max)
+	}
+}
+
+func TestCounterAttribution(t *testing.T) {
+	t.Parallel()
+	r := NewRecorder(3, 2)
+	r.Add(0, 0, LocalExec, 5)
+	r.Add(1, 0, LocalExec, 7)
+	r.Add(2, 1, RemoteSend, 3)
+	r.Add(0, 1, Served, 2)
+	s := r.Snapshot()
+	if s.PerPartition[0].LocalExecs != 12 || s.PerPartition[1].LocalExecs != 0 {
+		t.Errorf("LocalExecs per partition = %d,%d want 12,0",
+			s.PerPartition[0].LocalExecs, s.PerPartition[1].LocalExecs)
+	}
+	if s.PerPartition[1].RemoteSends != 3 || s.PerPartition[1].Served != 2 {
+		t.Errorf("partition 1 = %+v", s.PerPartition[1])
+	}
+	if s.Totals.LocalExecs != 12 || s.Totals.RemoteSends != 3 || s.Totals.Served != 2 {
+		t.Errorf("totals = %+v", s.Totals)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	t.Parallel()
+	r := NewRecorder(1, 2)
+	r.Add(0, 0, LocalExec, 10)
+	r.Observe(0, HistLocalExec, time.Microsecond)
+	prev := r.Snapshot()
+
+	r.Add(0, 0, LocalExec, 4)
+	r.Add(0, 1, RemoteSend, 6)
+	r.Observe(0, HistLocalExec, 4*time.Microsecond)
+	r.Observe(0, HistLocalExec, 4*time.Microsecond)
+	cur := r.Snapshot()
+	cur.PerPartition[1].Workers = 3 // gauge set by the runtime layer
+
+	d := cur.Delta(prev)
+	if d.Totals.LocalExecs != 4 || d.Totals.RemoteSends != 6 {
+		t.Errorf("delta totals = %+v", d.Totals)
+	}
+	if d.PerPartition[0].LocalExecs != 4 || d.PerPartition[1].RemoteSends != 6 {
+		t.Errorf("delta per-partition = %+v", d.PerPartition)
+	}
+	if d.PerPartition[1].Workers != 3 {
+		t.Errorf("delta dropped gauge: workers = %d", d.PerPartition[1].Workers)
+	}
+	if d.Latency.LocalExec.Count != 2 {
+		t.Errorf("delta histogram count = %d, want 2", d.Latency.LocalExec.Count)
+	}
+	// Both interval observations were ~4µs; the delta's percentiles must
+	// reflect only the interval, not the earlier 1µs observation.
+	if d.Latency.LocalExec.P50 < 2*time.Microsecond {
+		t.Errorf("delta P50 = %v, want ≥ 2µs", d.Latency.LocalExec.P50)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	t.Parallel()
+	r := NewRecorder(1, 4)
+	if got := r.Snapshot().Imbalance(); got != 0 {
+		t.Errorf("empty imbalance = %v, want 0", got)
+	}
+	for part := 0; part < 4; part++ {
+		r.Add(0, part, LocalExec, 100)
+	}
+	if got := r.Snapshot().Imbalance(); got != 1.0 {
+		t.Errorf("balanced imbalance = %v, want 1.0", got)
+	}
+	r.Add(0, 0, Served, 400) // partition 0 now executed 500 of 800
+	s := r.Snapshot()
+	if got := s.Imbalance(); got != 2.5 {
+		t.Errorf("imbalance = %v, want 2.5", got)
+	}
+}
+
+func TestSnapshotStringAndJSON(t *testing.T) {
+	t.Parallel()
+	r := NewRecorder(2, 2)
+	r.Add(0, 0, LocalExec, 3)
+	r.Add(1, 1, RemoteSend, 2)
+	r.Observe(0, HistSyncDelegation, 5*time.Microsecond)
+	s := r.Snapshot()
+	out := s.String()
+	for _, want := range []string{"totals:", "latency sync-delegation:", "p99=", "imbalance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q in:\n%s", want, out)
+		}
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Totals != s.Totals || back.Latency.SyncDelegation.Count != 1 {
+		t.Errorf("JSON round trip lost data: %+v", back.Totals)
+	}
+}
+
+func TestConcurrentRecordingIsSane(t *testing.T) {
+	t.Parallel()
+	const threads, perThread = 8, 10000
+	r := NewRecorder(threads, 4)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				r.Add(tid, i%4, LocalExec, 1)
+				r.Observe(tid, HistLocalExec, time.Duration(i)*time.Nanosecond)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Totals.LocalExecs != threads*perThread {
+		t.Fatalf("LocalExecs = %d, want %d", s.Totals.LocalExecs, threads*perThread)
+	}
+	if s.Latency.LocalExec.Count != threads*perThread {
+		t.Fatalf("histogram count = %d, want %d", s.Latency.LocalExec.Count, threads*perThread)
+	}
+}
+
+func TestRecordingDoesNotAllocate(t *testing.T) {
+	r := NewRecorder(2, 2)
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Add(1, 1, RemoteSend, 1)
+	}); n != 0 {
+		t.Errorf("Add allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Observe(1, HistSyncDelegation, 3*time.Microsecond)
+	}); n != 0 {
+		t.Errorf("Observe allocates %v per op", n)
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Totals is the aggregate counter set — the backward-compatible Metrics
+// surface. The counters quantify the behaviours the paper's evaluation
+// discusses: the local/remote split (§4.1), peer-served work (§4.3) and
+// ring back-pressure under asynchronous execution (§4.4).
+type Totals struct {
+	// LocalExecs counts operations executed inline because their key was
+	// local (or local execution was requested).
+	LocalExecs uint64
+	// RemoteSends counts synchronous delegations to remote localities.
+	RemoteSends uint64
+	// AsyncSends counts fire-and-forget delegations.
+	AsyncSends uint64
+	// Served counts delegated requests this runtime's threads executed on
+	// behalf of peers.
+	Served uint64
+	// RingFullWaits counts send attempts that had to serve/yield because
+	// the destination ring was full.
+	RingFullWaits uint64
+	// Rescued counts pending requests a sender executed itself because
+	// every thread of the destination locality had unregistered.
+	Rescued uint64
+}
+
+func (t Totals) sub(prev Totals) Totals {
+	return Totals{
+		LocalExecs:    t.LocalExecs - prev.LocalExecs,
+		RemoteSends:   t.RemoteSends - prev.RemoteSends,
+		AsyncSends:    t.AsyncSends - prev.AsyncSends,
+		Served:        t.Served - prev.Served,
+		RingFullWaits: t.RingFullWaits - prev.RingFullWaits,
+		Rescued:       t.Rescued - prev.Rescued,
+	}
+}
+
+// PartitionMetrics is one partition's slice of a Snapshot. The embedded
+// counters are attributed to the partition as described on Counter: sends
+// by destination, local execs by executing shard, serves by the serving
+// locality.
+type PartitionMetrics struct {
+	// Partition is the partition index in [0, Partitions).
+	Partition int
+	Totals
+	// Workers is the number of threads registered to the partition's
+	// locality at snapshot time (a gauge; Delta keeps the current value).
+	Workers int
+	// RingOccupancy is the number of in-flight requests sitting in the
+	// partition's rings at snapshot time, summed over sender threads (a
+	// gauge; Delta keeps the current value). Sustained occupancy near
+	// workers × ring depth means the locality is the bottleneck.
+	RingOccupancy int
+}
+
+// HistogramSummary is one latency histogram's aggregate: total count,
+// upper-bound percentile estimates, the exact maximum, and the raw
+// log₂ bucket counts (kept so Delta can recompute percentiles for an
+// interval). Percentiles are conservative: each reports the inclusive
+// upper bound of the bucket the quantile falls in, clamped to Max.
+type HistogramSummary struct {
+	// Count is the number of recorded observations.
+	Count uint64
+	// P50, P90 and P99 are upper-bound estimates of the quantiles.
+	P50 time.Duration
+	P90 time.Duration
+	P99 time.Duration
+	// Max is the largest observation ever recorded. After Delta it still
+	// spans the whole runtime lifetime, not only the interval.
+	Max time.Duration
+	// Buckets are the raw log₂-spaced bucket counts (see BucketOf).
+	Buckets [NumBuckets]uint64
+}
+
+func summarize(buckets [NumBuckets]uint64, max time.Duration) HistogramSummary {
+	h := HistogramSummary{Max: max, Buckets: buckets}
+	for _, c := range buckets {
+		h.Count += c
+	}
+	h.P50 = percentile(&buckets, h.Count, 0.50, max)
+	h.P90 = percentile(&buckets, h.Count, 0.90, max)
+	h.P99 = percentile(&buckets, h.Count, 0.99, max)
+	return h
+}
+
+// percentile returns the upper bound of the bucket holding the q-quantile
+// observation, clamped to the recorded maximum.
+func percentile(buckets *[NumBuckets]uint64, total uint64, q float64, max time.Duration) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += buckets[i]
+		if cum >= rank {
+			ub := BucketUpper(i)
+			if ub > max {
+				ub = max
+			}
+			return ub
+		}
+	}
+	return max
+}
+
+// Delta returns the summary for the observations recorded since prev was
+// taken (h and prev must come from the same histogram, h later).
+func (h HistogramSummary) Delta(prev HistogramSummary) HistogramSummary {
+	var buckets [NumBuckets]uint64
+	for i := range buckets {
+		buckets[i] = h.Buckets[i] - prev.Buckets[i]
+	}
+	return summarize(buckets, h.Max)
+}
+
+// LatencySummaries groups the runtime's three latency histograms.
+type LatencySummaries struct {
+	// LocalExec is the latency of inline-executed operations (§4.1).
+	LocalExec HistogramSummary
+	// SyncDelegation is the send→completion latency of synchronous
+	// delegations (§4.2-§4.3) — the per-channel queueing delay delegation
+	// designs live or die on.
+	SyncDelegation HistogramSummary
+	// Served is the execution time of requests served for peers (§4.3),
+	// including rescue-path executions.
+	Served HistogramSummary
+}
+
+// Snapshot is a structured view of runtime activity: aggregate counters,
+// a per-partition breakdown, and latency histogram summaries. It is plain
+// data — safe to copy, compare across time with Delta, and marshal to JSON
+// (durations marshal as integer nanoseconds).
+type Snapshot struct {
+	// Totals aggregates the counters over all threads and partitions; it
+	// is the backward-compatible Metrics surface.
+	Totals Totals
+	// PerPartition breaks the counters down by partition and adds the
+	// per-locality gauges (workers, ring occupancy).
+	PerPartition []PartitionMetrics
+	// Latency summarizes the local-exec, sync-delegation and served
+	// histograms.
+	Latency LatencySummaries
+}
+
+// Delta returns the activity recorded between prev and s (prev must be an
+// earlier snapshot of the same runtime). Counters and histogram counts are
+// subtracted; gauges (Workers, RingOccupancy) and histogram maxima keep
+// s's current values.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Totals:       s.Totals.sub(prev.Totals),
+		PerPartition: make([]PartitionMetrics, len(s.PerPartition)),
+	}
+	copy(d.PerPartition, s.PerPartition)
+	for i := range d.PerPartition {
+		if i < len(prev.PerPartition) {
+			d.PerPartition[i].Totals = s.PerPartition[i].Totals.sub(prev.PerPartition[i].Totals)
+		}
+	}
+	d.Latency.LocalExec = s.Latency.LocalExec.Delta(prev.Latency.LocalExec)
+	d.Latency.SyncDelegation = s.Latency.SyncDelegation.Delta(prev.Latency.SyncDelegation)
+	d.Latency.Served = s.Latency.Served.Delta(prev.Latency.Served)
+	return d
+}
+
+// Executed returns the number of operations partition p's shard actually
+// executed: inline locals plus peer serves plus rescues.
+func (pm PartitionMetrics) Executed() uint64 {
+	return pm.LocalExecs + pm.Served + pm.Rescued
+}
+
+// Imbalance reports how unevenly executed work spreads over partitions, as
+// max/mean of per-partition executed operations. 1.0 is perfectly balanced;
+// 0 means no work was recorded.
+func (s Snapshot) Imbalance() float64 {
+	if len(s.PerPartition) == 0 {
+		return 0
+	}
+	var sum, max uint64
+	for _, pm := range s.PerPartition {
+		e := pm.Executed()
+		sum += e
+		if e > max {
+			max = e
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(s.PerPartition))
+	return float64(max) / mean
+}
+
+// String renders the snapshot as a small human-readable report: totals,
+// the three latency summaries, and a per-partition table.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	t := s.Totals
+	fmt.Fprintf(&b, "totals: local=%d remote=%d async=%d served=%d ringfull=%d rescued=%d\n",
+		t.LocalExecs, t.RemoteSends, t.AsyncSends, t.Served, t.RingFullWaits, t.Rescued)
+	fmt.Fprintf(&b, "latency sync-delegation: %s\n", s.Latency.SyncDelegation)
+	fmt.Fprintf(&b, "latency local-exec:      %s\n", s.Latency.LocalExec)
+	fmt.Fprintf(&b, "latency served:          %s\n", s.Latency.Served)
+	fmt.Fprintf(&b, "%4s %7s %9s %9s %9s %9s %9s %9s %9s\n",
+		"part", "workers", "local", "remote", "async", "served", "ringfull", "rescued", "occupancy")
+	for _, pm := range s.PerPartition {
+		fmt.Fprintf(&b, "%4d %7d %9d %9d %9d %9d %9d %9d %9d\n",
+			pm.Partition, pm.Workers, pm.LocalExecs, pm.RemoteSends, pm.AsyncSends,
+			pm.Served, pm.RingFullWaits, pm.Rescued, pm.RingOccupancy)
+	}
+	fmt.Fprintf(&b, "partition imbalance (executed, max/mean): %.2f", s.Imbalance())
+	return b.String()
+}
+
+// String renders the summary as "count=… p50=… p90=… p99=… max=…".
+func (h HistogramSummary) String() string {
+	return fmt.Sprintf("count=%d p50=%v p90=%v p99=%v max=%v", h.Count, h.P50, h.P90, h.P99, h.Max)
+}
