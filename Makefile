@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,22 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-PR gate: vet everything, then race-test the runtime and
-# observability packages, whose correctness depends on concurrent access.
+# check is the pre-PR gate (run by CI): vet and build everything, then
+# race-test the delegation transport and the packages built on it — ring
+# (the shared slot/ring primitives), core (the DPS runtime), ffwd (the
+# baseline), and obs — whose correctness depends on concurrent access.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/obs/...
+	$(GO) build ./...
+	$(GO) test -race ./internal/ring/... ./internal/core/... ./internal/obs/... ./internal/ffwd/...
 
 bench:
 	$(GO) run ./cmd/dpsbench -all
+
+# bench-compare runs the delegation-latency benchmarks with allocation
+# reporting: the core transport benchmark plus the root-level paper-figure
+# benchmarks (Fig. 3 round-trip, peer-serve ablation). Use it before and
+# after transport changes; EXPERIMENTS.md records the reference numbers.
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkDelegation' -benchmem ./internal/core/
+	$(GO) test -run '^$$' -bench 'BenchmarkFig3DelegationRoundTrip|BenchmarkAblationPeerServe' -benchmem -benchtime=0.5s .

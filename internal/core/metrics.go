@@ -38,19 +38,13 @@ func (rt *Runtime) Metrics() Snapshot {
 }
 
 // ringOccupancy counts requests currently pending in the partition's rings
-// across all sender threads. It reads each slot's toggle without taking
-// ring locks, so the result is a racy gauge — exact only in quiescence.
+// across all sender threads. It reads each slot's toggle without claiming
+// the rings, so the result is a racy gauge — exact only in quiescence.
 func (p *Partition) ringOccupancy() int {
 	n := 0
 	for i := range p.rings {
-		r := p.rings[i].Load()
-		if r == nil {
-			continue
-		}
-		for j := range r.slots {
-			if r.slots[j].pending() {
-				n++
-			}
+		if r := p.rings[i].Load(); r != nil {
+			n += r.Occupancy()
 		}
 	}
 	return n

@@ -27,6 +27,7 @@ import (
 
 	"dps/internal/obs"
 	"dps/internal/parsec"
+	"dps/internal/ring"
 )
 
 // Defaults for Config fields left zero.
@@ -35,6 +36,9 @@ const (
 	DefaultRingDepth     = 16
 	DefaultMaxThreads    = 128
 	DefaultCheckRatio    = 1
+	// DefaultServeBatch is the per-claim drain bound of the serve loop,
+	// mirroring ffwd's 15-response batch (§5.1 of the paper).
+	DefaultServeBatch = ring.DefaultBatch
 )
 
 // ErrClosed is returned by operations on a closed runtime.
@@ -85,6 +89,19 @@ type Config struct {
 	// DefaultCheckRatio.
 	CheckRatio int
 
+	// ServeBatch bounds how many pending requests a serving thread drains
+	// from one sender's ring per claim of that ring's serve token. Smaller
+	// batches return the server to its own completion polls (and to other
+	// senders' rings) sooner; larger batches amortize the claim. Defaults
+	// to DefaultServeBatch, ffwd's response batch size.
+	ServeBatch int
+
+	// DisableTiming turns off the per-operation clock reads behind the
+	// latency histograms: Runtime.Metrics' Latency summaries stay empty
+	// and Tracer hooks receive zero durations, but the delegation hot
+	// paths never consult time.Now. Counters are unaffected.
+	DisableTiming bool
+
 	// Init constructs partition-local data (e.g. the partition's shard of
 	// the wrapped data-structure). It is called once per partition at
 	// Create time; the returned value is available via Partition.Data.
@@ -131,6 +148,12 @@ func (c *Config) setDefaults() error {
 	if c.CheckRatio < 1 {
 		return fmt.Errorf("dps: CheckRatio must be >= 1, got %d", c.CheckRatio)
 	}
+	if c.ServeBatch == 0 {
+		c.ServeBatch = DefaultServeBatch
+	}
+	if c.ServeBatch < 1 {
+		return fmt.Errorf("dps: ServeBatch must be >= 1, got %d", c.ServeBatch)
+	}
 	return nil
 }
 
@@ -146,7 +169,7 @@ type Partition struct {
 
 	// rings[tid] is thread tid's ring targeting this partition, created
 	// lazily when the thread registers.
-	rings []atomic.Pointer[ring]
+	rings []atomic.Pointer[dring]
 
 	// workers counts threads currently registered to this locality. When
 	// it is zero, Execute falls back to inline execution (there is nobody
@@ -204,6 +227,7 @@ func New(cfg Config) (*Runtime, error) {
 		tracer:  cfg.Tracer,
 		tracing: cfg.Tracer != nil,
 	}
+	rt.rec.SetTiming(!cfg.DisableTiming)
 	if rt.tracer == nil {
 		rt.tracer = obs.NopTracer{}
 	}
@@ -214,7 +238,7 @@ func New(cfg Config) (*Runtime, error) {
 			lo:    lo,
 			hi:    hi,
 			rt:    rt,
-			rings: make([]atomic.Pointer[ring], cfg.MaxThreads),
+			rings: make([]atomic.Pointer[dring], cfg.MaxThreads),
 		}
 		rt.parts[i] = p
 	}
@@ -263,16 +287,20 @@ func (rt *Runtime) Close() error {
 
 // Register adds the calling goroutine as a DPS thread, assigning it to the
 // locality with the fewest threads so registration alone balances workers
-// across partitions. The returned Thread must be used by one goroutine at a
-// time and unregistered when done.
+// across partitions. The scan and the worker-count bump happen under the
+// runtime lock, so concurrent Registers cannot pick the same least-loaded
+// partition and skew the balance. The returned Thread must be used by one
+// goroutine at a time and unregistered when done.
 func (rt *Runtime) Register() (*Thread, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	best, min := 0, int(^uint(0)>>1)
 	for i, p := range rt.parts {
 		if w := int(p.workers.Load()); w < min {
 			best, min = i, w
 		}
 	}
-	return rt.RegisterAt(best)
+	return rt.registerLocked(best)
 }
 
 // RegisterAt adds the calling goroutine as a DPS thread bound to locality
@@ -284,8 +312,15 @@ func (rt *Runtime) RegisterAt(loc int) (*Thread, error) {
 		return nil, fmt.Errorf("dps: locality %d out of range [0,%d)", loc, len(rt.parts))
 	}
 	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.registerLocked(loc)
+}
+
+// registerLocked allocates a thread id, its rings, and the locality
+// membership. Caller holds rt.mu; the worker-count increment stays inside
+// the critical section so Register's least-loaded scan observes it.
+func (rt *Runtime) registerLocked(loc int) (*Thread, error) {
 	if rt.closed {
-		rt.mu.Unlock()
 		return nil, ErrClosed
 	}
 	var tid int
@@ -294,14 +329,12 @@ func (rt *Runtime) RegisterAt(loc int) (*Thread, error) {
 		rt.freeTID = rt.freeTID[:n-1]
 	} else {
 		if rt.nextTID >= rt.cfg.MaxThreads {
-			rt.mu.Unlock()
 			return nil, ErrTooManyThreads
 		}
 		tid = rt.nextTID
 		rt.nextTID++
 	}
 	rt.nlive++
-	rt.mu.Unlock()
 
 	t := &Thread{
 		rt:       rt,
@@ -322,9 +355,9 @@ func (rt *Runtime) RegisterAt(loc int) (*Thread, error) {
 
 // unregister returns t's resources. Called via Thread.Unregister.
 func (rt *Runtime) unregister(t *Thread) {
-	rt.parts[t.locality].workers.Add(-1)
 	t.smr.Unregister()
 	rt.mu.Lock()
+	rt.parts[t.locality].workers.Add(-1)
 	rt.freeTID = append(rt.freeTID, t.id)
 	rt.nlive--
 	rt.mu.Unlock()

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"time"
 
 	"dps/internal/obs"
 	"dps/internal/parsec"
@@ -27,7 +26,7 @@ type Thread struct {
 
 	// outstanding tracks fire-and-forget async messages so Drain and
 	// Unregister can wait for them.
-	outstanding []*message
+	outstanding []*slot
 
 	// serveCursor rotates the starting ring so a locality's threads tend
 	// to scan different senders first.
@@ -41,16 +40,21 @@ type Thread struct {
 // Completion is the completion record returned by Execute (§3.1). Ready
 // reports (and Result returns) the operation's outcome once the owning
 // locality has executed it.
+//
+// Completion is used both by pointer (Execute's asynchronous records) and
+// by value: the synchronous paths (ExecuteSync, ExecutePartition,
+// ExecuteAll) build stack completions and await them in place, so a remote
+// synchronous delegation performs no heap allocation.
 type Completion struct {
 	// slot is the in-ring message, nil if the operation completed inline
 	// (local execution), in which case res already holds the result.
-	slot *message
+	slot *slot
 	t    *Thread
 	res  Result
 	done bool
-	// sent is when the delegation was issued, for the send→completion
-	// latency histogram (zero for inline completions).
-	sent time.Time
+	// sent is the send-side clock stamp for the send→completion latency
+	// histogram (zero for inline completions or with timing disabled).
+	sent obs.Stamp
 }
 
 // ID returns the thread's runtime-unique id.
@@ -88,12 +92,14 @@ func (t *Thread) checkLive() {
 }
 
 // execInline runs op locally with metric attribution to partition p: one
-// LocalExec count plus a local-exec latency observation.
+// LocalExec count plus a local-exec latency observation. The clock is
+// consulted once, through the obs layer, so disabling timing removes the
+// reads entirely.
 func (t *Thread) execInline(p *Partition, key uint64, op Op, args *Args) Result {
 	t.rt.rec.Add(t.id, p.id, obs.LocalExec, 1)
-	start := time.Now()
+	start := t.rt.rec.Start()
 	res := t.runLocal(p, key, op, args)
-	t.rt.rec.Observe(t.id, obs.HistLocalExec, time.Since(start))
+	t.rt.rec.Observe(t.id, obs.HistLocalExec, t.rt.rec.Since(start))
 	return res
 }
 
@@ -120,19 +126,33 @@ func (t *Thread) Execute(key uint64, op Op, args Args) *Completion {
 	if p.id == t.locality || p.workers.Load() == 0 {
 		// Local key — or a locality with no threads to serve it, where
 		// inline execution (a remote-memory access in the paper's
-		// terms) is the only way to make progress.
-		return &Completion{t: t, res: t.execInline(p, key, op, &args), done: true}
+		// terms) is the only way to make progress. The copy confines
+		// args' escape to this branch.
+		a := args
+		return &Completion{t: t, res: t.execInline(p, key, op, &a), done: true}
 	}
-	sent := time.Now()
-	slot := t.send(p, key, op, args, true)
+	sent := t.rt.rec.Start()
+	s := t.send(p, key, op, args, true)
 	t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
-	return &Completion{slot: slot, t: t, sent: sent}
+	return &Completion{slot: s, t: t, sent: sent}
 }
 
 // ExecuteSync is Execute followed by completion (§3.1 notes the synchronous
-// API "directly following execute with a loop on await_completion").
+// API "directly following execute with a loop on await_completion"). The
+// completion record lives on the caller's stack, so a remote synchronous
+// delegation allocates nothing.
 func (t *Thread) ExecuteSync(key uint64, op Op, args Args) Result {
-	return t.Execute(key, op, args).Result()
+	t.checkLive()
+	p := t.partitionFor(key)
+	if p.id == t.locality || p.workers.Load() == 0 {
+		a := args
+		return t.execInline(p, key, op, &a)
+	}
+	sent := t.rt.rec.Start()
+	s := t.send(p, key, op, args, true)
+	t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
+	c := Completion{slot: s, t: t, sent: sent}
+	return c.Result()
 }
 
 // ExecuteAsync delegates op without a completion record (§4.4): it returns
@@ -144,12 +164,13 @@ func (t *Thread) ExecuteAsync(key uint64, op Op, args Args) {
 	t.checkLive()
 	p := t.partitionFor(key)
 	if p.id == t.locality || p.workers.Load() == 0 {
-		t.execInline(p, key, op, &args)
+		a := args
+		t.execInline(p, key, op, &a)
 		return
 	}
-	slot := t.send(p, key, op, args, false)
+	s := t.send(p, key, op, args, false)
 	t.rt.rec.Add(t.id, p.id, obs.AsyncSend, 1)
-	t.outstanding = append(t.outstanding, slot)
+	t.outstanding = append(t.outstanding, s)
 	if len(t.outstanding) >= cap(t.outstanding) && len(t.outstanding) >= 32 {
 		t.compactOutstanding()
 	}
@@ -174,12 +195,13 @@ func (t *Thread) ExecutePartition(part int, key uint64, op Op, args Args) Result
 	t.checkLive()
 	p := t.rt.parts[part]
 	if p.id == t.locality || p.workers.Load() == 0 {
-		return t.execInline(p, key, op, &args)
+		a := args
+		return t.execInline(p, key, op, &a)
 	}
-	sent := time.Now()
-	slot := t.send(p, key, op, args, true)
+	sent := t.rt.rec.Start()
+	s := t.send(p, key, op, args, true)
 	t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
-	c := Completion{slot: slot, t: t, sent: sent}
+	c := Completion{slot: s, t: t, sent: sent}
 	return c.Result()
 }
 
@@ -191,27 +213,28 @@ func (t *Thread) ExecutePartition(part int, key uint64, op Op, args Args) Result
 func (t *Thread) ExecuteAll(op Op, args Args, agg func(results []Result) Result) Result {
 	t.checkLive()
 	n := len(t.rt.parts)
-	completions := make([]*Completion, n)
+	completions := make([]Completion, n)
 	// Delegate to remote partitions first so they proceed in parallel
-	// with our local share.
+	// with our local share. A nil slot marks "not delegated".
 	for i, p := range t.rt.parts {
 		if p.id == t.locality || p.workers.Load() == 0 {
 			continue
 		}
-		sent := time.Now()
-		slot := t.send(p, p.lo, op, args, true)
+		sent := t.rt.rec.Start()
+		s := t.send(p, p.lo, op, args, true)
 		t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
-		completions[i] = &Completion{slot: slot, t: t, sent: sent}
+		completions[i] = Completion{slot: s, t: t, sent: sent}
 	}
 	results := make([]Result, n)
 	for i, p := range t.rt.parts {
-		if completions[i] == nil {
-			results[i] = t.execInline(p, p.lo, op, &args)
+		if completions[i].slot == nil {
+			a := args
+			results[i] = t.execInline(p, p.lo, op, &a)
 		}
 	}
-	for i, c := range completions {
-		if c != nil {
-			results[i] = c.Result()
+	for i := range completions {
+		if completions[i].slot != nil {
+			results[i] = completions[i].Result()
 		}
 	}
 	if agg == nil {
@@ -226,14 +249,16 @@ func (t *Thread) ExecuteAll(op Op, args Args, agg func(results []Result) Result)
 // operations.
 func (t *Thread) Drain() {
 	t.checkLive()
-	for _, m := range t.outstanding {
-		for m.pending() {
+	for _, s := range t.outstanding {
+		for s.Pending() {
 			if t.serve() == 0 {
-				t.rescue(m)
+				t.rescue(s)
 				runtime.Gosched()
 			}
 		}
-		m.consumed = true
+	}
+	for i := range t.outstanding {
+		t.outstanding[i] = nil
 	}
 	t.outstanding = t.outstanding[:0]
 }
@@ -241,11 +266,9 @@ func (t *Thread) Drain() {
 // compactOutstanding drops already-completed async messages.
 func (t *Thread) compactOutstanding() {
 	kept := t.outstanding[:0]
-	for _, m := range t.outstanding {
-		if m.pending() {
-			kept = append(kept, m)
-		} else {
-			m.consumed = true
+	for _, s := range t.outstanding {
+		if s.Pending() {
+			kept = append(kept, s)
 		}
 	}
 	for i := len(kept); i < len(t.outstanding); i++ {
@@ -255,20 +278,18 @@ func (t *Thread) compactOutstanding() {
 }
 
 // send places a request in this thread's ring to partition p, serving its
-// own locality while the ring is full. Setting the toggle publishes the
-// request (all message writes happen-before it).
-func (t *Thread) send(p *Partition, key uint64, op Op, args Args, sync bool) *message {
+// own locality while the ring is full. Publishing the slot transfers
+// ownership to the server side (all payload writes happen-before).
+func (t *Thread) send(p *Partition, key uint64, op Op, args Args, sync bool) *slot {
 	r := p.rings[t.id].Load()
 	for {
-		m := &r.slots[r.sendIdx]
+		s := r.SendSlot()
+		m := s.Payload()
 		// A slot is free once the server side has finished with it
 		// (toggle clear) and its previous result, if any, has been
 		// consumed by its completion record.
-		if !m.pending() && m.consumed {
-			r.sendIdx++
-			if r.sendIdx == len(r.slots) {
-				r.sendIdx = 0
-			}
+		if !s.Pending() && m.consumed {
+			r.AdvanceSend()
 			m.op = op
 			m.key = key
 			m.args = args
@@ -276,11 +297,11 @@ func (t *Thread) send(p *Partition, key uint64, op Op, args Args, sync bool) *me
 			m.panicVal = nil
 			m.part = p
 			m.consumed = !sync
-			m.toggle.Store(1)
+			s.Publish()
 			if t.rt.tracing {
 				t.rt.tracer.OnSend(t.id, p.id, key, sync)
 			}
-			return m
+			return s
 		}
 		// Ring full (next slot still owned by the server side, or its
 		// result unconsumed): serve our own locality instead of
@@ -292,7 +313,7 @@ func (t *Thread) send(p *Partition, key uint64, op Op, args Args, sync bool) *me
 		}
 		if t.serve() == 0 {
 			if p.workers.Load() == 0 {
-				t.rescue(&r.slots[r.sendIdx])
+				t.rescue(r.SendSlot())
 			}
 			runtime.Gosched()
 		}
@@ -300,10 +321,11 @@ func (t *Thread) send(p *Partition, key uint64, op Op, args Args, sync bool) *me
 }
 
 // serve scans the rings of this thread's locality and executes pending
-// requests. It returns the number of requests executed. Rings are guarded by
-// a try-lock so concurrent serving threads (or the designated poller, §4.4)
-// skip rather than contend; within a ring, requests are executed in FIFO
-// order, which preserves per-sender ordering (read-your-writes, §3.3).
+// requests. It returns the number of requests executed. Each ring is
+// guarded by its claim token, so concurrent serving threads (or the
+// designated poller, §4.4) skip a claimed ring rather than contend; within
+// a ring, requests are executed in FIFO order, which preserves per-sender
+// ordering (read-your-writes, §3.3).
 func (t *Thread) serve() int {
 	p := t.rt.parts[t.locality]
 	n := len(p.rings)
@@ -323,54 +345,45 @@ func (t *Thread) serve() int {
 	return served
 }
 
-// serveRing drains pending requests from one ring in FIFO order.
-func (t *Thread) serveRing(p *Partition, r *ring) int {
-	if !r.mu.TryLock() {
+// serveRing drains up to Config.ServeBatch pending requests from one ring
+// in FIFO order under the ring's claim token. Bounding the batch keeps one
+// claim from monopolizing a busy ring: the server returns to polling its
+// own completions (and other senders' rings) every batch, mirroring ffwd's
+// response batching.
+func (t *Thread) serveRing(p *Partition, r *dring) int {
+	if !r.TryClaim() {
 		return 0
 	}
-	defer r.mu.Unlock()
-	served := 0
-	for {
-		m := &r.slots[r.cursor]
-		if !m.pending() {
-			return served
-		}
-		t.executeMessage(p, m)
-		served++
-		r.cursor++
-		if r.cursor == len(r.slots) {
-			r.cursor = 0
-		}
-	}
+	defer r.Unclaim()
+	return r.Drain(t.rt.cfg.ServeBatch, func(s *slot) {
+		t.executeMessage(p, s)
+	})
 }
 
-// rescue handles the abandoned-locality case: if every thread of m's
-// destination locality has unregistered while m is still pending, nobody
+// rescue handles the abandoned-locality case: if every thread of s's
+// destination locality has unregistered while s is still pending, nobody
 // will ever serve it. The sender then executes its own ring to that
 // partition inline (a remote-memory access in the paper's terms, but the
-// only way to preserve liveness). The blocking lock is safe: ring locks are
-// only held for the duration of already-running operations.
-func (t *Thread) rescue(m *message) {
-	p := m.part
-	if p == nil || p.workers.Load() != 0 || !m.pending() {
+// only way to preserve liveness). The blocking claim is safe: serve claims
+// are only held for the duration of a bounded drain batch.
+func (t *Thread) rescue(s *slot) {
+	p := s.Payload().part
+	if p == nil || p.workers.Load() != 0 || !s.Pending() {
 		return
 	}
 	r := p.rings[t.id].Load()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for m.pending() {
-		s := &r.slots[r.cursor]
-		if !s.pending() {
+	r.Claim()
+	defer r.Unclaim()
+	for s.Pending() {
+		h := r.Head()
+		if !h.Pending() {
 			// Our message is pending but the cursor found a gap: a
 			// reviving server must have taken over; let it finish.
 			return
 		}
-		t.executeMessage(p, s)
+		t.executeMessage(p, h)
 		t.rt.rec.Add(t.id, p.id, obs.Rescued, 1)
-		r.cursor++
-		if r.cursor == len(r.slots) {
-			r.cursor = 0
-		}
+		r.AdvanceHead()
 	}
 }
 
@@ -380,10 +393,11 @@ func (t *Thread) rescue(m *message) {
 // captured and re-raised on the awaiting thread (for fire-and-forget
 // requests they are re-raised here, on the serving thread, since no one
 // will ever observe the completion).
-func (t *Thread) executeMessage(p *Partition, m *message) {
+func (t *Thread) executeMessage(p *Partition, s *slot) {
+	m := s.Payload()
 	fireAndForget := m.consumed
 	key := m.key
-	start := time.Now()
+	start := t.rt.rec.Start()
 	func() {
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -392,11 +406,18 @@ func (t *Thread) executeMessage(p *Partition, m *message) {
 		}()
 		m.res = t.runLocal(p, m.key, m.op, &m.args)
 	}()
-	d := time.Since(start)
+	d := t.rt.rec.Since(start)
 	pv := m.panicVal
 	m.op = nil
 	m.args.P = nil
-	m.toggle.Store(0)
+	if fireAndForget {
+		// Nobody will read a fire-and-forget result: drop its references
+		// before the release so the slot doesn't pin the op's result (and
+		// any captured panic) for GC until the sender happens to reuse it.
+		m.res = Result{}
+		m.panicVal = nil
+	}
+	s.Release()
 	t.rt.rec.Observe(t.id, obs.HistServed, d)
 	if t.rt.tracing {
 		t.rt.tracer.OnServe(t.id, p.id, key, d)
@@ -426,14 +447,14 @@ func (c *Completion) Ready() (Result, bool) {
 		return c.res, true
 	}
 	for i := 0; i < c.t.rt.cfg.CheckRatio; i++ {
-		if !c.slot.pending() {
+		if !c.slot.Pending() {
 			c.finish()
 			return c.res, true
 		}
 		c.t.serve()
 	}
 	c.t.rescue(c.slot)
-	if !c.slot.pending() {
+	if !c.slot.Pending() {
 		c.finish()
 		return c.res, true
 	}
@@ -451,19 +472,23 @@ func (c *Completion) Result() Result {
 	}
 }
 
-// finish copies the result out of the ring slot, releases the slot,
-// records the send→completion latency, and re-raises any panic captured
-// from the operation.
+// finish copies the result out of the ring slot, clears the slot's
+// references (so it doesn't pin the result for GC until reuse), releases
+// the slot to the sender, records the send→completion latency, and
+// re-raises any panic captured from the operation.
 func (c *Completion) finish() {
-	c.res = c.slot.res
-	pv := c.slot.panicVal
-	part := c.slot.part
-	key := c.slot.key
-	c.slot.consumed = true
+	m := c.slot.Payload()
+	c.res = m.res
+	pv := m.panicVal
+	part := m.part
+	key := m.key
+	m.res = Result{}
+	m.panicVal = nil
+	m.consumed = true
 	c.done = true
 	c.slot = nil
-	d := time.Since(c.sent)
 	rt := c.t.rt
+	d := rt.rec.Since(c.sent)
 	rt.rec.Observe(c.t.id, obs.HistSyncDelegation, d)
 	if rt.tracing {
 		rt.tracer.OnComplete(c.t.id, part.id, key, d)

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"unsafe"
+
+	"dps/internal/ring"
+)
+
+// The delegation transport — padded slots, toggle-bit ownership, the
+// single-writer send cursor and the serve-claim token — lives in
+// internal/ring and is shared with the ffwd baseline. This file defines the
+// DPS-side payload carried in each slot and the aliases that make ring's
+// argument/result records the runtime's own.
+
+// Args carries an operation's arguments. The C implementation packs up to
+// four word-sized arguments into the one-cache-line delegation message
+// (§4.2); U mirrors that. P is a Go convenience: a single reference argument
+// for operations that need to pass structured data (values, byte slices)
+// without the unsafe pointer-in-word games the C original plays.
+type Args = ring.Args
+
+// Result is an operation's return value: one word (mirroring the message's
+// return-value slot), an optional reference result, and an optional error.
+type Result = ring.Result
+
+// Op is a data-structure operation executed by DPS. It runs on some thread
+// belonging to the locality that owns key — the calling thread if the key is
+// local, otherwise a peer thread in the remote locality. DPS provides no
+// synchronization (§3.1): if several threads of a locality execute ops
+// concurrently, the partition's data-structure must itself be concurrent.
+type Op func(p *Partition, key uint64, args *Args) Result
+
+// msg is the payload of one delegation request/completion slot. As in
+// §4.2, a single record carries both the request (op, key, args) and the
+// completion (result); the enclosing ring.Slot's toggle carries ownership.
+// The trailing pad keeps ring.Slot[msg] a whole number of strides so
+// neighbouring slots never false-share (asserted below).
+type msg struct {
+	op       Op
+	key      uint64
+	args     Args
+	res      Result
+	panicVal any        // recovered panic from op, re-raised at the awaiting side
+	part     *Partition // destination partition, for the abandoned-locality rescue path
+	consumed bool       // sender-private: result has been read, slot reusable
+	_        [119]byte
+}
+
+// slot and dring are the runtime's instantiations of the shared transport.
+type (
+	slot  = ring.Slot[msg]
+	dring = ring.Ring[msg]
+)
+
+// Compile-time assertion: the padded slot is a whole number of strides. A
+// non-zero remainder makes the negation a negative uintptr constant, which
+// does not compile.
+const _ = -(unsafe.Sizeof(slot{}) % ring.Stride)
+
+// newRing builds a delegation ring whose slots are all immediately
+// reusable by the sender: consumed==true marks a slot free, and fresh
+// slots hold no result anyone will read.
+func newRing(depth int) *dring {
+	r := ring.New[msg](depth)
+	for i := 0; i < depth; i++ {
+		r.Slot(i).Payload().consumed = true
+	}
+	return r
+}

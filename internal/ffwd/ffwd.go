@@ -9,6 +9,11 @@
 // executed between response publications, preserving the latency/throughput
 // trade-off the paper discusses).
 //
+// The request lines are internal/ring padded slots — the same toggle-bit,
+// one-line transport the DPS runtime delegates over — so the two systems
+// differ only where the paper says they do: who serves (dedicated servers
+// vs peers) and how responses are published (batched vs per message).
+//
 // Unlike DPS, ffwd servers are reserved: they run nothing but delegation
 // processing, and clients spin while awaiting replies. Both properties are
 // what Figures 3 and 6 of the paper measure the cost of.
@@ -20,6 +25,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
+
+	"dps/internal/ring"
 )
 
 // MaxServers is the most servers the published ffwd implementation
@@ -30,40 +38,41 @@ const MaxServers = 4
 // DefaultBatch is the response batch size from the paper's analysis (§5.1:
 // "one cache coherency operation for sending a batch of (up to 15)
 // responses").
-const DefaultBatch = 15
+const DefaultBatch = ring.DefaultBatch
 
 // ErrClosed is returned when using a closed ffwd instance.
 var ErrClosed = errors.New("ffwd: closed")
 
 // Args carries a request's arguments: up to four words (the C message
-// format) plus one reference for Go ergonomics.
-type Args struct {
-	U [4]uint64
-	P any
-}
+// format) plus one reference for Go ergonomics. It is the shared transport
+// argument record, so requests have the same layout under ffwd and DPS.
+type Args = ring.Args
 
 // Result is a request's return value.
-type Result struct {
-	U   uint64
-	P   any
-	Err error
-}
+type Result = ring.Result
 
 // Op is an operation executed by a server against its shard. Servers are
 // single threads, so ops need no synchronization — the core simplification
 // delegation buys (Table 1: complexity "easy", coherence "none").
 type Op func(shard any, key uint64, args *Args) Result
 
-// reqLine is one client's private request line to one server, padded so
-// that distinct clients' lines never share a cache line.
-type reqLine struct {
-	op     Op
-	key    uint64
-	args   Args
-	res    Result
-	toggle atomic.Uint32
-	_      [60]byte
+// request is the payload of one client request line. The trailing pad
+// keeps ring.Slot[request] a whole number of strides so distinct clients'
+// lines never share a cache line (asserted below).
+type request struct {
+	op   Op
+	key  uint64
+	args Args
+	res  Result
+	_    [16]byte
 }
+
+// reqLine is one client's private request line to one server, built on the
+// shared padded-slot primitive.
+type reqLine = ring.Slot[request]
+
+// Compile-time assertion: the padded line is a whole number of strides.
+const _ = -(unsafe.Sizeof(reqLine{}) % ring.Stride)
 
 // System is an ffwd instance: dedicated server goroutines, each owning one
 // shard of the protected data.
@@ -164,7 +173,7 @@ func (sys *System) serverLoop(s int) {
 	pendingResp := make([]*reqLine, 0, sys.batch)
 	flush := func() {
 		for _, l := range pendingResp {
-			l.toggle.Store(0)
+			l.Release()
 		}
 		pendingResp = pendingResp[:0]
 	}
@@ -172,10 +181,11 @@ func (sys *System) serverLoop(s int) {
 		served := 0
 		for c := range lines {
 			l := &lines[c]
-			if l.toggle.Load() != 1 {
+			if !l.Pending() {
 				continue
 			}
-			l.res = runOp(shard, l)
+			q := l.Payload()
+			q.res = runOp(shard, q)
 			pendingResp = append(pendingResp, l)
 			served++
 			if len(pendingResp) >= sys.batch {
@@ -195,13 +205,13 @@ func (sys *System) serverLoop(s int) {
 
 // runOp executes a request, converting a panic into an error result rather
 // than killing the server thread.
-func runOp(shard any, l *reqLine) (res Result) {
+func runOp(shard any, q *request) (res Result) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			res = Result{Err: fmt.Errorf("ffwd: panic in delegated op: %v", rec)}
 		}
 	}()
-	return l.op(shard, l.key, &l.args)
+	return q.op(shard, q.key, &q.args)
 }
 
 // Client is a registered client handle. Methods must be called from a
@@ -251,15 +261,16 @@ func (c *Client) Call(key uint64, op Op, args Args) Result {
 // the paper's linked-list setup).
 func (c *Client) CallServer(s int, key uint64, op Op, args Args) Result {
 	l := &c.sys.lines[s][c.id]
-	l.op = op
-	l.key = key
-	l.args = args
-	l.toggle.Store(1)
-	for l.toggle.Load() != 0 {
+	q := l.Payload()
+	q.op = op
+	q.key = key
+	q.args = args
+	l.Publish()
+	for l.Pending() {
 		runtime.Gosched()
 	}
-	res := l.res
-	l.res = Result{}
-	l.args.P = nil
+	res := q.res
+	q.res = Result{}
+	q.args.P = nil
 	return res
 }

@@ -135,22 +135,60 @@ func BucketUpper(i int) time.Duration {
 // Recorder is the per-runtime recording surface: maxThreads × partitions
 // counter blocks and maxThreads × NumHists histogram shards, both indexed
 // flat so the hot path is one multiply-add away from its block.
+//
+// The recorder also owns the runtime's clock discipline: hot paths obtain
+// timestamps only through Start/Since, so one stamp per operation (per
+// side) feeds both the histogram observation and any Tracer callback, and
+// disabling timing removes every clock read from the delegation fast path
+// in one place.
 type Recorder struct {
 	parts   int
 	threads int
+	timed   bool
 	blocks  []block
 	hists   []histShard
 }
 
 // NewRecorder sizes the recording arrays for a runtime with the given
-// thread and partition bounds.
+// thread and partition bounds. Timing is enabled; SetTiming turns it off.
 func NewRecorder(maxThreads, partitions int) *Recorder {
 	return &Recorder{
 		parts:   partitions,
 		threads: maxThreads,
+		timed:   true,
 		blocks:  make([]block, maxThreads*partitions),
 		hists:   make([]histShard, maxThreads*int(NumHists)),
 	}
+}
+
+// SetTiming enables or disables latency measurement. When disabled, Start
+// and Since cost nothing and read no clock, and Observe is a no-op, so the
+// histograms stay empty. Call before the recorder is shared with recording
+// threads; it is not synchronized with them.
+func (r *Recorder) SetTiming(enabled bool) { r.timed = enabled }
+
+// Stamp is an opaque clock reading captured by Recorder.Start and consumed
+// by Recorder.Since. The zero Stamp is what Start returns with timing
+// disabled.
+type Stamp struct{ t time.Time }
+
+// Start captures the clock for a latency measurement — the single time
+// source consulted per operation side. With timing disabled it returns the
+// zero Stamp without reading the clock.
+func (r *Recorder) Start() Stamp {
+	if !r.timed {
+		return Stamp{}
+	}
+	return Stamp{t: time.Now()}
+}
+
+// Since returns the elapsed time from a Start stamp, or 0 with timing
+// disabled (the duration then flows to Tracer hooks as zero).
+func (r *Recorder) Since(s Stamp) time.Duration {
+	if !r.timed {
+		return 0
+	}
+	return time.Since(s.t)
 }
 
 // Add adds n to counter c of thread tid's block for partition part.
@@ -159,7 +197,12 @@ func (r *Recorder) Add(tid, part int, c Counter, n uint64) {
 }
 
 // Observe records one duration into thread tid's shard of histogram h.
+// It is a no-op with timing disabled, keeping histogram counts consistent
+// with the absence of measurements.
 func (r *Recorder) Observe(tid int, h Hist, d time.Duration) {
+	if !r.timed {
+		return
+	}
 	s := &r.hists[tid*int(NumHists)+int(h)]
 	s.buckets[BucketOf(d)].Add(1)
 	ns := uint64(0)

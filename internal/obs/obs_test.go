@@ -265,3 +265,41 @@ func TestRecordingDoesNotAllocate(t *testing.T) {
 		t.Errorf("Observe allocates %v per op", n)
 	}
 }
+
+// TestTimingGate verifies the Start/Since clock gate: with timing enabled a
+// stamp measures real elapsed time, and with timing disabled Start, Since
+// and Observe all become no-ops (no clock reads, no histogram counts) so
+// the runtime can strip every time.Now from its hot paths via one switch.
+func TestTimingGate(t *testing.T) {
+	t.Parallel()
+	r := NewRecorder(1, 1)
+
+	s := r.Start()
+	time.Sleep(time.Millisecond)
+	if d := r.Since(s); d < time.Millisecond {
+		t.Errorf("timed Since = %v, want >= 1ms", d)
+	}
+
+	r.SetTiming(false)
+	if s := r.Start(); s != (Stamp{}) {
+		t.Error("untimed Start returned a non-zero stamp")
+	}
+	if d := r.Since(Stamp{}); d != 0 {
+		t.Errorf("untimed Since = %v, want 0", d)
+	}
+	r.Observe(0, HistSyncDelegation, time.Second)
+	if c := r.Snapshot().Latency.SyncDelegation.Count; c != 0 {
+		t.Errorf("untimed Observe recorded %d observations, want 0", c)
+	}
+	// Counters are unaffected by the timing gate.
+	r.Add(0, 0, RemoteSend, 3)
+	if got := r.Snapshot().Totals.RemoteSends; got != 3 {
+		t.Errorf("RemoteSends = %d with timing off, want 3", got)
+	}
+
+	r.SetTiming(true)
+	r.Observe(0, HistSyncDelegation, time.Second)
+	if c := r.Snapshot().Latency.SyncDelegation.Count; c != 1 {
+		t.Errorf("re-enabled Observe recorded %d observations, want 1", c)
+	}
+}

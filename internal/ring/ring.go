@@ -1,0 +1,220 @@
+// Package ring is the delegation transport shared by the DPS runtime
+// (internal/core) and the ffwd baseline (internal/ffwd): cache-line-padded
+// request/completion slots governed by the paper's toggle-bit ownership
+// discipline (§4.2), and a fixed-depth ring of such slots with a
+// single-writer send cursor and an atomic serve-claim token.
+//
+// The slot layout *is* the performance artifact of delegation systems: a
+// request and its completion share one padded line, so publishing a request
+// and publishing its response each move exactly one line between sender and
+// server. Both protocols the repository implements — DPS's peer-served
+// per-(thread, partition) rings and ffwd's per-(client, server) request
+// lines with batched responses — are built from the same Slot primitive, so
+// the padding and ordering rules are audited in one place instead of
+// drifting across packages.
+//
+// # Ownership protocol
+//
+// A slot's toggle word carries ownership: the sender populates the payload
+// and calls Publish (toggle←1, payload writes happen-before); the server
+// observes Pending, executes, writes the response into the payload, and
+// calls Release (toggle←0, response writes happen-before). Sender-private
+// payload fields (e.g. a consumed flag) ride the same synchronization.
+//
+// # Padding
+//
+// Slot adds no padding itself — Go generics cannot derive a pad from an
+// arbitrary payload — so payload types carry their own trailing pad and
+// assert the invariant at compile time:
+//
+//	const _ = -(unsafe.Sizeof(ring.Slot[msg]{}) % ring.Stride)
+//
+// which fails to compile (negative uintptr constant) unless the padded slot
+// is a whole number of strides, guaranteeing neighbouring slots never share
+// a line.
+package ring
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Stride is the padding unit for slots and cursors: two 64-byte lines,
+// covering the spatial-prefetcher pairing on common x86 parts (matching
+// internal/obs's counter-block stride).
+const Stride = 128
+
+// DefaultBatch is the per-claim serve batch from ffwd's analysis (§5.1 of
+// the paper: "one cache coherency operation for sending a batch of (up to
+// 15) responses"). DPS's serve loop uses it as the default drain bound so a
+// serving thread re-checks its own completions at the same granularity.
+const DefaultBatch = 15
+
+// Args carries a delegated operation's arguments: up to four word-sized
+// arguments, as in the paper's one-cache-line message format (§4.2), plus
+// one reference argument as a Go convenience for operations that pass
+// structured data without the pointer-in-word games the C original plays.
+// Both internal/core and internal/ffwd alias this type, so requests cross
+// either transport in the same layout.
+type Args struct {
+	// U holds up to four word arguments, as in the paper's message format.
+	U [4]uint64
+	// P is an optional reference argument.
+	P any
+}
+
+// Result is a delegated operation's return value: one word (mirroring the
+// message's return-value slot), an optional reference result, and an
+// optional error for operation-level failures (e.g. key not found, if the
+// wrapped data-structure chooses to express it that way).
+type Result struct {
+	// U is the word-sized return value.
+	U uint64
+	// P is an optional reference result.
+	P any
+	// Err reports an operation-level failure.
+	Err error
+}
+
+// Slot is one padded request/completion line holding a caller-defined
+// payload T. The zero value is sender-owned and empty.
+type Slot[T any] struct {
+	val    T
+	toggle atomic.Uint32
+}
+
+// Payload returns the slot's payload. The caller must own the slot per the
+// toggle protocol (sender before Publish, server between Pending and
+// Release); the pointer is stable for the slot's lifetime.
+func (s *Slot[T]) Payload() *T { return &s.val }
+
+// Pending reports whether the server side owns the slot (toggle set). The
+// atomic load acquires the owner's preceding payload writes.
+func (s *Slot[T]) Pending() bool { return s.toggle.Load() == 1 }
+
+// Publish transfers the slot to the server side, releasing the sender's
+// payload writes.
+func (s *Slot[T]) Publish() { s.toggle.Store(1) }
+
+// Release transfers the slot back to the sender side, releasing the
+// server's response writes. ffwd batches Releases to amortize response
+// coherence traffic; DPS releases per message.
+func (s *Slot[T]) Release() { s.toggle.Store(0) }
+
+// Ring is a fixed-depth buffer of slots for one sender/receiver channel.
+// The toggle bit in each slot substitutes for head/tail comparison on the
+// send side (§4.2): a sender finding its next slot unavailable knows the
+// ring is full.
+//
+// The send cursor is single-writer: only the owning sender thread touches
+// it. The receive cursor is guarded by the claim token — an atomic that
+// replaces the per-ring mutex of earlier revisions, so the common serve
+// path costs one uncontended CAS instead of a lock/unlock pair, and
+// concurrent servers (or the designated poller, §4.4) skip a claimed ring
+// rather than queue behind it.
+type Ring[T any] struct {
+	slots []Slot[T]
+
+	// sendIdx is the sender's next-slot cursor, padded away from the
+	// receive-side state so the sender's cursor bump never invalidates the
+	// server's line.
+	sendIdx int
+	_       [Stride - 32]byte
+
+	// cursor is the receive-side scan position; read and written only
+	// while claim is held.
+	cursor int
+	claim  atomic.Uint32
+}
+
+// New creates a ring with depth slots, all sender-owned and zero.
+func New[T any](depth int) *Ring[T] {
+	return &Ring[T]{slots: make([]Slot[T], depth)}
+}
+
+// Depth returns the number of slots.
+func (r *Ring[T]) Depth() int { return len(r.slots) }
+
+// Slot returns slot i, for initialization sweeps and diagnostics.
+func (r *Ring[T]) Slot(i int) *Slot[T] { return &r.slots[i] }
+
+// SendSlot returns the slot at the send cursor. The sender checks
+// availability itself (Pending plus any sender-private reuse condition) and
+// calls AdvanceSend once it decides to use the slot. Sender-side only.
+func (r *Ring[T]) SendSlot() *Slot[T] { return &r.slots[r.sendIdx] }
+
+// AdvanceSend moves the send cursor past the slot SendSlot returned.
+// Sender-side only.
+func (r *Ring[T]) AdvanceSend() {
+	r.sendIdx++
+	if r.sendIdx == len(r.slots) {
+		r.sendIdx = 0
+	}
+}
+
+// TryClaim attempts to acquire the serve token without blocking. On success
+// the caller owns the receive cursor until Unclaim.
+func (r *Ring[T]) TryClaim() bool { return r.claim.CompareAndSwap(0, 1) }
+
+// Claim acquires the serve token, yielding while another server holds it.
+// It is used by the rescue path, where the caller must win the ring to
+// guarantee liveness; the wait is bounded by the claim holder's current
+// drain batch.
+func (r *Ring[T]) Claim() {
+	for !r.claim.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+}
+
+// Unclaim releases the serve token acquired by TryClaim or Claim.
+func (r *Ring[T]) Unclaim() { r.claim.Store(0) }
+
+// Head returns the slot at the receive cursor. Claim must be held.
+func (r *Ring[T]) Head() *Slot[T] { return &r.slots[r.cursor] }
+
+// AdvanceHead moves the receive cursor forward one slot. Claim must be
+// held.
+func (r *Ring[T]) AdvanceHead() {
+	r.cursor++
+	if r.cursor == len(r.slots) {
+		r.cursor = 0
+	}
+}
+
+// Drain serves up to max pending slots from the receive cursor in FIFO
+// order and returns how many it served. Claim must be held. serve must
+// complete the slot protocol — publish the response and Release — before
+// returning; Drain advances the cursor after each callback. Bounding the
+// batch keeps one claim from monopolizing a busy ring: the server
+// republishes its own liveness (completion checks, claim hand-off) every
+// max messages, mirroring ffwd's response batching.
+func (r *Ring[T]) Drain(max int, serve func(*Slot[T])) int {
+	served := 0
+	for served < max {
+		s := &r.slots[r.cursor]
+		if !s.Pending() {
+			break
+		}
+		serve(s)
+		served++
+		r.cursor++
+		if r.cursor == len(r.slots) {
+			r.cursor = 0
+		}
+	}
+	return served
+}
+
+// Occupancy counts slots currently owned by the server side. It reads
+// toggles without claiming the ring, so the result is a racy gauge — exact
+// only in quiescence. Used by the observability layer's per-partition
+// ring-occupancy metric.
+func (r *Ring[T]) Occupancy() int {
+	n := 0
+	for i := range r.slots {
+		if r.slots[i].Pending() {
+			n++
+		}
+	}
+	return n
+}
