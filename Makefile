@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-compare
+.PHONY: build test check chaos bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,14 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./internal/ring/... ./internal/core/... ./internal/obs/... ./internal/ffwd/...
+
+# chaos runs the fault-injection suite under the race detector: the
+# injector's own tests plus the runtime's chaos and rescue scenarios
+# (dropped claims, forced full rings, injected panics, wedged localities,
+# shutdown under load). Run it after touching any delegation wait loop.
+chaos:
+	$(GO) test -race -timeout 120s ./internal/chaos/...
+	$(GO) test -race -timeout 120s -run 'TestChaos|TestRescue' -v ./internal/core/...
 
 bench:
 	$(GO) run ./cmd/dpsbench -all

@@ -14,7 +14,14 @@
 //	dpsbench -list
 //	dpsbench -exp fig6a [-csv]
 //	dpsbench -exp live-latency
+//	dpsbench -exp live-partitions -chaos -chaos-seed 7
 //	dpsbench -all
+//
+// -chaos installs a deterministic fault injector (dropped serve claims,
+// slow operations, forced ring-full back-pressure) on the live-* runtimes,
+// so the tables show delegation behaviour under degraded conditions; the
+// stalls/panics/abandoned columns of live-partitions quantify the
+// hardening machinery's activity. -chaos-seed replays a fault stream.
 package main
 
 import (
@@ -32,12 +39,17 @@ func main() {
 
 func run() int {
 	var (
-		expID = flag.String("exp", "", "experiment id to run (see -list)")
-		list  = flag.Bool("list", false, "list experiment ids")
-		all   = flag.Bool("all", false, "run every experiment")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned columns")
+		expID     = flag.String("exp", "", "experiment id to run (see -list)")
+		list      = flag.Bool("list", false, "list experiment ids")
+		all       = flag.Bool("all", false, "run every experiment")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned columns")
+		chaosOn   = flag.Bool("chaos", false, "run the live-* experiments under deterministic fault injection")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "fault-injection seed (with -chaos); the same seed replays the same fault stream")
 	)
 	flag.Parse()
+	if *chaosOn {
+		bench.EnableChaos(*chaosSeed)
+	}
 	bench.Init()
 	mach := topology.PaperMachine()
 

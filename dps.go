@@ -97,6 +97,30 @@ type (
 	NopTracer = core.NopTracer
 )
 
+// Robustness surface: deadline-aware waits, orphaned-panic routing, and
+// graceful shutdown. See DESIGN.md's "Failure modes & degraded operation"
+// for the full failure-mode matrix.
+type (
+	// PanicPolicy selects the handling of delegated-op panics no completion
+	// will ever observe (Config.PanicPolicy).
+	PanicPolicy = core.PanicPolicy
+	// PanicInfo describes one recovered orphaned panic (Config.OnPanic).
+	PanicInfo = core.PanicInfo
+	// ShutdownReport summarizes what Runtime.Shutdown accomplished.
+	ShutdownReport = core.ShutdownReport
+)
+
+// PanicPolicy values.
+const (
+	// PanicReport (the default) recovers orphaned delegated-op panics,
+	// counts them, and delivers them to Config.OnPanic or the standard
+	// logger; the serving thread keeps serving.
+	PanicReport = core.PanicReport
+	// PanicCrash re-raises orphaned panics on the serving thread —
+	// fail-stop instead of degraded operation.
+	PanicCrash = core.PanicCrash
+)
+
 // Sentinel errors.
 var (
 	// ErrClosed is returned by operations on a closed runtime.
@@ -106,6 +130,10 @@ var (
 	// ErrUnregistered is the panic value raised when a Thread is used
 	// after Unregister.
 	ErrUnregistered = core.ErrUnregistered
+	// ErrTimeout is returned by the deadline-aware waits — Runtime.Shutdown,
+	// Completion.ResultTimeout, Thread.ExecuteSyncTimeout — when the
+	// deadline expires first.
+	ErrTimeout = core.ErrTimeout
 )
 
 // New creates a DPS runtime, the analogue of the paper's create call

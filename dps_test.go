@@ -1,8 +1,11 @@
 package dps_test
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"dps"
 )
@@ -76,6 +79,64 @@ func TestPublicAPISmoke(t *testing.T) {
 	if err := rt.Close(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestRobustnessSurface pins the hardening API re-exported through the
+// facade: ErrTimeout from deadline waits, PanicPolicy/PanicInfo in Config,
+// and Shutdown's report — all reachable without importing internal/core.
+func TestRobustnessSurface(t *testing.T) {
+	t.Parallel()
+	var handlerOK atomic.Bool
+	rt, err := dps.New(dps.Config{
+		Partitions:  2,
+		PanicPolicy: dps.PanicReport,
+		OnPanic:     func(info dps.PanicInfo) { handlerOK.Store(true) },
+		Init:        func(p *dps.Partition) any { return &shard{m: make(map[uint64]string)} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dps.PanicCrash // the fail-stop policy is part of the surface
+
+	t0, err := rt.RegisterAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := rt.RegisterAt(1) // populates locality 1 but never serves
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	put := func(p *dps.Partition, key uint64, args *dps.Args) dps.Result {
+		s := p.Data().(*shard)
+		s.mu.Lock()
+		s.m[key] = "v"
+		s.mu.Unlock()
+		return dps.Result{}
+	}
+	key := uint64(0)
+	for rt.PartitionForKey(key).ID() != 1 {
+		key++
+	}
+	// Locality 1 never serves, so a short deadline must expire.
+	if _, err := t0.ExecuteSyncTimeout(key, put, dps.Args{}, 10*time.Millisecond); !errors.Is(err, dps.ErrTimeout) {
+		t.Fatalf("ExecuteSyncTimeout err = %v, want dps.ErrTimeout", err)
+	}
+	t0.Unregister() // blocks until the abandoned slot is rescued and reaped
+	t1.Unregister()
+
+	rep, err := rt.Shutdown(5 * time.Second)
+	if err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	var _ dps.ShutdownReport = rep
+	if rep.LiveThreads != 0 {
+		t.Fatalf("LiveThreads = %d, want 0", rep.LiveThreads)
+	}
+	if _, err := rt.Shutdown(time.Second); !errors.Is(err, dps.ErrClosed) {
+		t.Fatalf("second Shutdown err = %v, want dps.ErrClosed", err)
+	}
+	_ = handlerOK.Load() // handler wiring compiles and is accepted; no panic op ran
 }
 
 func boolToU(b bool) uint64 {

@@ -3,7 +3,9 @@ package bench
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"dps/internal/chaos"
 	"dps/internal/core"
 	"dps/internal/dpsds"
 	"dps/internal/skiplist"
@@ -21,6 +23,26 @@ const (
 	liveOpsEach = 2000
 )
 
+// liveChaos, when non-nil, is installed on every live-* runtime so the
+// experiments measure delegation under injected faults. Set via
+// EnableChaos before experiments run.
+var liveChaos *chaos.Injector
+
+// EnableChaos makes the live-* experiments run with a deterministic fault
+// injector: dropped serve claims, occasional slow operations, and forced
+// ring-full back-pressure (no injected panics — a synchronous panic would
+// re-raise inside a worker and abort the run). The same seed replays the
+// same fault decision stream.
+func EnableChaos(seed uint64) {
+	liveChaos = chaos.New(chaos.Config{
+		Seed:          seed,
+		DropClaimProb: 0.05,
+		OpDelayProb:   0.01,
+		OpDelay:       200 * time.Microsecond,
+		RingFullProb:  0.02,
+	})
+}
+
 // runLive drives a DPS skip-list set with the given number of worker
 // goroutines, each bound round-robin to a locality and issuing a fixed
 // mixed workload, and returns the runtime's metrics snapshot.
@@ -29,6 +51,7 @@ func runLive(workers int) (core.Snapshot, error) {
 		Partitions: liveParts,
 		NewShard:   func() dpsds.Inner { return skiplist.NewLockFree() },
 		MaxThreads: workers + 1,
+		Chaos:      liveChaos,
 	})
 	if err != nil {
 		return core.Snapshot{}, err
@@ -93,7 +116,7 @@ func registerLive() {
 	})
 	register("live-partitions", "live runtime: per-partition metrics breakdown (8 workers over 4 localities, real hardware)", func(mach topology.Machine) *Table {
 		t := &Table{ID: "live-partitions", Title: "live DPS runtime: per-partition breakdown",
-			Header: []string{"part", "local", "remote", "async", "served", "ringfull", "rescued"}}
+			Header: []string{"part", "local", "remote", "async", "served", "ringfull", "rescued", "stalls", "panics", "abandoned"}}
 		snap, err := runLive(8)
 		if err != nil {
 			panic(fmt.Sprintf("bench: live runtime: %v", err))
@@ -107,6 +130,9 @@ func registerLive() {
 				fmt.Sprintf("%d", pm.Served),
 				fmt.Sprintf("%d", pm.RingFullWaits),
 				fmt.Sprintf("%d", pm.Rescued),
+				fmt.Sprintf("%d", pm.Stalls),
+				fmt.Sprintf("%d", pm.Panics),
+				fmt.Sprintf("%d", pm.Abandoned),
 			})
 		}
 		return t

@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeterministicDecisionStream(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Seed: 42, DropClaimProb: 0.3}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 1000; i++ {
+		da, db := a.DropClaim(), b.DropClaim()
+		if da != db {
+			t.Fatalf("draw %d: injectors with the same seed diverged (%t vs %t)", i, da, db)
+		}
+	}
+	if a.Counts() != b.Counts() {
+		t.Fatalf("counts diverged: %+v vs %+v", a.Counts(), b.Counts())
+	}
+}
+
+func TestSeedSelectsStream(t *testing.T) {
+	t.Parallel()
+	a := New(Config{Seed: 1, DropClaimProb: 0.5})
+	b := New(Config{Seed: 2, DropClaimProb: 0.5})
+	same := true
+	for i := 0; i < 256; i++ {
+		if a.DropClaim() != b.DropClaim() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("256 draws identical across different seeds")
+	}
+}
+
+func TestZeroProbabilityNeverFires(t *testing.T) {
+	t.Parallel()
+	i := New(Config{Seed: 7})
+	for n := 0; n < 1000; n++ {
+		if i.DropClaim() || i.RingFull() {
+			t.Fatal("zero-probability fault fired")
+		}
+		i.BeforeServe()
+		i.BeforeOp()
+	}
+	if c := i.Counts(); c != (Counts{}) {
+		t.Fatalf("counts = %+v, want all zero", c)
+	}
+}
+
+func TestUnitProbabilityAlwaysFires(t *testing.T) {
+	t.Parallel()
+	i := New(Config{Seed: 7, DropClaimProb: 1, RingFullProb: 1})
+	for n := 0; n < 100; n++ {
+		if !i.DropClaim() {
+			t.Fatal("probability-1 DropClaim did not fire")
+		}
+		if !i.RingFull() {
+			t.Fatal("probability-1 RingFull did not fire")
+		}
+	}
+	c := i.Counts()
+	if c.ClaimsDropped != 100 || c.RingFulls != 100 {
+		t.Fatalf("counts = %+v, want 100/100", c)
+	}
+}
+
+func TestFiringRateTracksProbability(t *testing.T) {
+	t.Parallel()
+	const n = 20000
+	i := New(Config{Seed: 99, DropClaimProb: 0.25})
+	fired := 0
+	for d := 0; d < n; d++ {
+		if i.DropClaim() {
+			fired++
+		}
+	}
+	// A binomial with p=0.25 over 20000 draws stays well within ±3% of
+	// the mean; a mixer or threshold bug lands far outside.
+	if fired < n/4-n*3/100 || fired > n/4+n*3/100 {
+		t.Fatalf("p=0.25 fired %d/%d times", fired, n)
+	}
+}
+
+func TestBeforeOpPanicsWithSentinel(t *testing.T) {
+	t.Parallel()
+	i := New(Config{Seed: 3, OpPanicProb: 1})
+	defer func() {
+		if rec := recover(); rec != ErrInjectedPanic {
+			t.Fatalf("recovered %v, want ErrInjectedPanic", rec)
+		}
+		if c := i.Counts(); c.OpPanics != 1 {
+			t.Fatalf("OpPanics = %d, want 1", c.OpPanics)
+		}
+	}()
+	i.BeforeOp()
+}
+
+func TestDelaysSleepAndCount(t *testing.T) {
+	t.Parallel()
+	i := New(Config{
+		Seed:           5,
+		ServeDelayProb: 1, ServeDelay: time.Millisecond,
+		OpDelayProb: 1, OpDelay: time.Millisecond,
+	})
+	start := time.Now()
+	i.BeforeServe()
+	i.BeforeOp()
+	if d := time.Since(start); d < 2*time.Millisecond {
+		t.Fatalf("delays slept %v, want >= 2ms", d)
+	}
+	c := i.Counts()
+	if c.ServeDelays != 1 || c.OpDelays != 1 {
+		t.Fatalf("counts = %+v, want one of each delay", c)
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import "log"
+
+// Panic routing. A delegated operation that panics on a serving peer must
+// not take that peer down: the peer is executing someone else's code as a
+// courtesy of the §4.3 protocol. Panics with a live awaiter re-raise on
+// the awaiting thread (the thread that issued the faulty operation);
+// orphaned panics — fire-and-forget requests, and synchronous requests
+// abandoned after a timeout — route through the configured PanicPolicy.
+
+// PanicPolicy selects the handling of orphaned delegated-op panics.
+type PanicPolicy int
+
+const (
+	// PanicReport recovers the panic, counts it in the Panics metric, and
+	// delivers it to Config.OnPanic (or the standard logger when no
+	// handler is installed). The serving thread keeps serving. This is
+	// the default.
+	PanicReport PanicPolicy = iota
+	// PanicCrash re-raises the panic on the serving thread — the
+	// pre-hardening behaviour, retained for applications that prefer
+	// fail-stop over degraded operation.
+	PanicCrash
+)
+
+// PanicInfo describes one recovered delegated-op panic for Config.OnPanic.
+type PanicInfo struct {
+	// Value is the recovered panic value.
+	Value any
+	// ThreadID is the serving thread the panic was recovered on.
+	ThreadID int
+	// Partition is the partition the operation targeted.
+	Partition int
+	// Key is the operation's key.
+	Key uint64
+	// Async is true for fire-and-forget operations, false for synchronous
+	// operations whose completion was abandoned after a timeout.
+	Async bool
+}
+
+// deliverPanic routes one orphaned panic per the configured policy. The
+// Panics counter is bumped where the panic is recovered, not here, so a
+// panic is counted exactly once however it is routed.
+func (rt *Runtime) deliverPanic(info PanicInfo) {
+	if rt.cfg.PanicPolicy == PanicCrash {
+		panic(info)
+	}
+	if rt.cfg.OnPanic != nil {
+		rt.cfg.OnPanic(info)
+		return
+	}
+	log.Printf("dps: recovered panic in delegated operation (thread %d, partition %d, key %d, async %t): %v",
+		info.ThreadID, info.Partition, info.Key, info.Async, info.Value)
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dps/internal/chaos"
 	"dps/internal/obs"
 	"dps/internal/parsec"
 	"dps/internal/ring"
@@ -53,6 +54,13 @@ var ErrTooManyThreads = errors.New("dps: too many registered threads")
 // such calls proceed would silently corrupt the peer-serving protocol; the
 // misuse is reported loudly instead of misbehaving quietly.
 var ErrUnregistered = errors.New("dps: thread used after Unregister")
+
+// ErrTimeout is returned by the deadline-aware waits (Shutdown,
+// Completion.ResultTimeout, Thread.ExecuteSyncTimeout) when the deadline
+// expires before the operation completes. A timed-out operation may still
+// execute later; the runtime discards its result and routes any panic it
+// raises through the panic policy.
+var ErrTimeout = errors.New("dps: operation timed out")
 
 // Config parameterizes a Runtime. It mirrors the arguments of the paper's
 // create call: partition count, namespace size and hash function (§3.1),
@@ -115,6 +123,27 @@ type Config struct {
 	// requested. Hooks run inline on the runtime's threads; see
 	// obs.Tracer for the contract.
 	Tracer Tracer
+
+	// PanicPolicy selects what happens to a panic raised by a delegated
+	// operation that no completion will ever observe — fire-and-forget
+	// requests, and synchronous requests whose sender abandoned the
+	// completion after a timeout. Synchronous panics with a live awaiter
+	// are unaffected: they re-raise on the awaiting thread, which issued
+	// the faulty operation. Defaults to PanicReport.
+	PanicPolicy PanicPolicy
+
+	// OnPanic receives orphaned operation panics under PanicReport. It
+	// runs inline on the serving thread, which may hold a ring claim:
+	// handlers must be fast and must not call back into the runtime.
+	// When nil, the panic is logged to the standard logger instead.
+	// Optional.
+	OnPanic func(PanicInfo)
+
+	// Chaos installs a fault injector on the runtime's delegation paths
+	// (see internal/chaos). Nil — the default — leaves only a nil-check
+	// per hook site in the hot paths. Intended for tests and chaos
+	// benchmarking, not production configurations.
+	Chaos *chaos.Injector
 }
 
 func (c *Config) setDefaults() error {
@@ -203,9 +232,17 @@ type Runtime struct {
 	nlive   int
 	closed  bool
 
+	// down is set once Shutdown finishes (cleanly or at its deadline):
+	// new operations panic with ErrClosed and blocked waits unwind with a
+	// Result carrying ErrClosed. It is distinct from closed, which flips
+	// at the start of Shutdown to quiesce registration while in-flight
+	// work is still being drained.
+	down atomic.Bool
+
 	rec     *obs.Recorder
 	tracer  obs.Tracer
 	tracing bool
+	chaos   *chaos.Injector
 }
 
 // New creates a DPS runtime. It is the analogue of the paper's
@@ -219,13 +256,17 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	rt := &Runtime{
-		cfg:     cfg,
-		ns:      ns,
-		parts:   make([]*Partition, cfg.Partitions),
-		smr:     parsec.NewDomain(),
-		rec:     obs.NewRecorder(cfg.MaxThreads, cfg.Partitions),
+		cfg:   cfg,
+		ns:    ns,
+		parts: make([]*Partition, cfg.Partitions),
+		smr:   parsec.NewDomain(),
+		// One recorder row beyond MaxThreads: the reserved attribution
+		// slot for Shutdown's drain sweep, which executes requests
+		// without holding a registered thread id.
+		rec:     obs.NewRecorder(cfg.MaxThreads+1, cfg.Partitions),
 		tracer:  cfg.Tracer,
 		tracing: cfg.Tracer != nil,
+		chaos:   cfg.Chaos,
 	}
 	rt.rec.SetTiming(!cfg.DisableTiming)
 	if rt.tracer == nil {
@@ -341,12 +382,17 @@ func (rt *Runtime) registerLocked(loc int) (*Thread, error) {
 		id:       tid,
 		locality: loc,
 		smr:      rt.smr.Register(),
+		chaos:    rt.chaos,
 	}
 	// Create this thread's rings (one per remote partition), allocated on
 	// first registration of the thread id and reused across re-register.
 	for _, p := range rt.parts {
 		if p.rings[tid].Load() == nil {
-			p.rings[tid].Store(newRing(rt.cfg.RingDepth))
+			r := newRing(rt.cfg.RingDepth)
+			if rt.chaos != nil {
+				r.SetClaimFault(rt.chaos.DropClaim)
+			}
+			p.rings[tid].Store(r)
 		}
 	}
 	rt.parts[loc].workers.Add(1)

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"dps/internal/obs"
+)
+
+// ShutdownReport summarizes what Shutdown accomplished before returning.
+type ShutdownReport struct {
+	// Drained counts delegated requests the shutdown sweep executed on
+	// behalf of localities that were no longer serving them.
+	Drained int
+	// Abandoned counts requests still pending in rings when Shutdown gave
+	// up at its deadline (0 on a clean shutdown). It is read without
+	// claiming the rings, so with wedged threads still mutating state it is
+	// a racy gauge.
+	Abandoned int
+	// LiveThreads counts threads still registered when Shutdown returned
+	// (0 on a clean shutdown).
+	LiveThreads int
+}
+
+// Shutdown gracefully stops the runtime within timeout. It immediately
+// quiesces registration (new Register calls fail with ErrClosed), then
+// sweeps every partition's rings — executing pending delegated requests so
+// blocked senders unwind — until the rings are empty and every thread has
+// unregistered, or the deadline expires. Either way Shutdown marks the
+// runtime down before returning: from then on new operations panic with
+// ErrClosed and still-blocked waits resolve with a Result carrying
+// ErrClosed.
+//
+// On a clean quiesce the error is nil. At the deadline the error is
+// ErrTimeout and the report says what was left behind: requests still in
+// rings and threads still registered. A delegated operation that blocks
+// forever cannot be cancelled — its serving goroutine is abandoned (it
+// leaks, by design) so Shutdown itself always returns. Calling Shutdown on
+// a runtime that is already closed or shut down returns ErrClosed.
+func (rt *Runtime) Shutdown(timeout time.Duration) (ShutdownReport, error) {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return ShutdownReport{}, ErrClosed
+	}
+	rt.closed = true
+	rt.mu.Unlock()
+
+	deadline := time.Now().Add(timeout)
+	var drained atomic.Int64
+	done := make(chan struct{})
+	go rt.shutdownSweep(deadline, &drained, done)
+
+	timedOut := false
+	select {
+	case <-done:
+	case <-time.After(time.Until(deadline)):
+		timedOut = true
+	}
+	rt.down.Store(true)
+
+	rt.mu.Lock()
+	nlive := rt.nlive
+	rt.mu.Unlock()
+	rep := ShutdownReport{
+		Drained:     int(drained.Load()),
+		Abandoned:   rt.occupancy(),
+		LiveThreads: nlive,
+	}
+	if timedOut {
+		return rep, ErrTimeout
+	}
+	return rep, nil
+}
+
+// shutdownSweep repeatedly drains every partition's rings with the rescue
+// machinery until the runtime is quiescent (no pending requests, no
+// registered threads) or the deadline passes. It runs on its own goroutine
+// so a delegated operation that never returns wedges the sweep, not
+// Shutdown.
+func (rt *Runtime) shutdownSweep(deadline time.Time, drained *atomic.Int64, done chan<- struct{}) {
+	defer close(done)
+	// The sweep executes operations without holding a registered thread
+	// id: it uses the recorder row reserved past MaxThreads for metric
+	// attribution and its own quiescence-domain registration for SMR.
+	admin := &Thread{rt: rt, id: rt.cfg.MaxThreads, smr: rt.smr.Register()}
+	defer admin.smr.Unregister()
+	idle := 0
+	for time.Now().Before(deadline) {
+		n := 0
+		for _, p := range rt.parts {
+			n += admin.sweepPartition(p)
+		}
+		if n > 0 {
+			drained.Add(int64(n))
+			idle = 0
+			continue
+		}
+		rt.mu.Lock()
+		nlive := rt.nlive
+		rt.mu.Unlock()
+		if nlive == 0 && rt.occupancy() == 0 {
+			return
+		}
+		// Nothing to drain but not quiescent yet: threads are still
+		// registered or mid-publish. Spin briefly, then poll gently.
+		if idle++; idle <= waitSpinYield {
+			runtime.Gosched()
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// sweepPartition drains whatever it can claim of one partition's rings,
+// executing the pending requests. Rings claimed by live servers (or by an
+// injected claim fault) are skipped and retried on the next pass.
+func (t *Thread) sweepPartition(p *Partition) int {
+	n := 0
+	for i := range p.rings {
+		r := p.rings[i].Load()
+		if r == nil || !r.TryClaim() {
+			continue
+		}
+		n += r.Drain(r.Depth(), func(s *slot) {
+			t.executeMessage(p, s)
+		})
+		r.Unclaim()
+	}
+	if n > 0 {
+		t.rt.rec.Add(t.id, p.id, obs.Served, uint64(n))
+	}
+	return n
+}
+
+// occupancy counts requests pending across every partition's rings — the
+// racy whole-runtime version of the per-partition metric gauge.
+func (rt *Runtime) occupancy() int {
+	n := 0
+	for _, p := range rt.parts {
+		n += p.ringOccupancy()
+	}
+	return n
+}

@@ -1,9 +1,9 @@
 package core
 
 import (
-	"fmt"
-	"runtime"
+	"time"
 
+	"dps/internal/chaos"
 	"dps/internal/obs"
 	"dps/internal/parsec"
 )
@@ -28,11 +28,23 @@ type Thread struct {
 	// Unregister can wait for them.
 	outstanding []*slot
 
+	// abandoned holds slots of synchronous operations whose completion
+	// timed out: the request is still in flight (or its unread result
+	// still occupies the slot), so the slot cannot be reused until the
+	// server releases it and reapAbandoned reclaims it.
+	abandoned []*slot
+
 	// serveCursor rotates the starting ring so a locality's threads tend
 	// to scan different senders first.
 	serveCursor int
 
 	smr *parsec.Thread
+
+	// chaos caches rt.chaos (immutable after New) so the serve scan and
+	// execute paths test one pointer off the hot Thread struct instead of
+	// chasing rt. Nil for the shutdown sweep's admin thread: the sweep
+	// drains without injecting further faults.
+	chaos *chaos.Injector
 
 	unregistered bool
 }
@@ -67,13 +79,18 @@ func (t *Thread) Locality() int { return t.locality }
 func (t *Thread) Runtime() *Runtime { return t.rt }
 
 // Unregister waits for the thread's outstanding asynchronous operations to
-// complete, then removes the thread from the runtime. The Thread must not be
-// used afterwards.
+// complete — and for any timed-out synchronous operations to be reclaimed,
+// so the thread id's rings return to the runtime clean — then removes the
+// thread from the runtime. After Shutdown the waits are skipped (the
+// shutdown sweep already drained or abandoned everything). The Thread must
+// not be used afterwards.
 func (t *Thread) Unregister() {
 	if t.unregistered {
 		return
 	}
-	t.Drain()
+	if !t.rt.down.Load() {
+		t.Drain()
+	}
 	t.unregistered = true
 	t.rt.unregister(t)
 }
@@ -83,11 +100,14 @@ func (t *Thread) partitionFor(key uint64) *Partition {
 	return t.rt.parts[t.rt.ns.Lookup(t.rt.cfg.Hash(key))]
 }
 
-// checkLive panics with ErrUnregistered on use-after-Unregister, the
-// documented misuse path.
+// checkLive panics with ErrUnregistered on use-after-Unregister and with
+// ErrClosed on use after Shutdown, the documented misuse paths.
 func (t *Thread) checkLive() {
 	if t.unregistered {
 		panic(ErrUnregistered)
+	}
+	if t.rt.down.Load() {
+		panic(ErrClosed)
 	}
 }
 
@@ -133,6 +153,9 @@ func (t *Thread) Execute(key uint64, op Op, args Args) *Completion {
 	}
 	sent := t.rt.rec.Start()
 	s := t.send(p, key, op, args, true)
+	if s == nil {
+		return &Completion{t: t, res: Result{Err: ErrClosed}, done: true}
+	}
 	t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
 	return &Completion{slot: s, t: t, sent: sent}
 }
@@ -150,9 +173,44 @@ func (t *Thread) ExecuteSync(key uint64, op Op, args Args) Result {
 	}
 	sent := t.rt.rec.Start()
 	s := t.send(p, key, op, args, true)
+	if s == nil {
+		return Result{Err: ErrClosed}
+	}
 	t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
 	c := Completion{slot: s, t: t, sent: sent}
 	return c.Result()
+}
+
+// ExecuteSyncTimeout is ExecuteSync with a deadline: it blocks at most
+// timeout for the request to be enqueued (the ring-full wait) and the
+// completion to arrive, serving the caller's locality meanwhile, and
+// returns ErrTimeout when the deadline expires first. A timed-out
+// operation may still execute later — the runtime then discards its result
+// and routes any panic it raises through the panic policy — but it holds
+// its ring slot until the owning locality releases it, so a locality that
+// stays wedged past every timeout eventually exerts ring-full
+// back-pressure on new sends. Local keys execute inline as plain function
+// calls and are not subject to the deadline. ErrClosed is returned if the
+// runtime shuts down during the wait.
+func (t *Thread) ExecuteSyncTimeout(key uint64, op Op, args Args, timeout time.Duration) (Result, error) {
+	t.checkLive()
+	p := t.partitionFor(key)
+	if p.id == t.locality || p.workers.Load() == 0 {
+		a := args
+		return t.execInline(p, key, op, &a), nil
+	}
+	deadline := time.Now().Add(timeout)
+	sent := t.rt.rec.Start()
+	s := t.sendDeadline(p, key, op, args, true, deadline)
+	if s == nil {
+		if t.rt.down.Load() {
+			return Result{Err: ErrClosed}, ErrClosed
+		}
+		return Result{}, ErrTimeout
+	}
+	t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
+	c := Completion{slot: s, t: t, sent: sent}
+	return c.resultDeadline(deadline)
 }
 
 // ExecuteAsync delegates op without a completion record (§4.4): it returns
@@ -169,6 +227,12 @@ func (t *Thread) ExecuteAsync(key uint64, op Op, args Args) {
 		return
 	}
 	s := t.send(p, key, op, args, false)
+	if s == nil {
+		// Shutdown raced the send; the operation is dropped, and the drop
+		// is visible in the Abandoned counter.
+		t.rt.rec.Add(t.id, p.id, obs.Abandoned, 1)
+		return
+	}
 	t.rt.rec.Add(t.id, p.id, obs.AsyncSend, 1)
 	t.outstanding = append(t.outstanding, s)
 	if len(t.outstanding) >= cap(t.outstanding) && len(t.outstanding) >= 32 {
@@ -200,6 +264,9 @@ func (t *Thread) ExecutePartition(part int, key uint64, op Op, args Args) Result
 	}
 	sent := t.rt.rec.Start()
 	s := t.send(p, key, op, args, true)
+	if s == nil {
+		return Result{Err: ErrClosed}
+	}
 	t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
 	c := Completion{slot: s, t: t, sent: sent}
 	return c.Result()
@@ -222,19 +289,26 @@ func (t *Thread) ExecuteAll(op Op, args Args, agg func(results []Result) Result)
 		}
 		sent := t.rt.rec.Start()
 		s := t.send(p, p.lo, op, args, true)
+		if s == nil {
+			completions[i] = Completion{t: t, res: Result{Err: ErrClosed}, done: true}
+			continue
+		}
 		t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
 		completions[i] = Completion{slot: s, t: t, sent: sent}
 	}
 	results := make([]Result, n)
 	for i, p := range t.rt.parts {
-		if completions[i].slot == nil {
+		if completions[i].slot == nil && !completions[i].done {
 			a := args
 			results[i] = t.execInline(p, p.lo, op, &a)
 		}
 	}
 	for i := range completions {
-		if completions[i].slot != nil {
+		switch {
+		case completions[i].slot != nil:
 			results[i] = completions[i].Result()
+		case completions[i].done:
+			results[i] = completions[i].res
 		}
 	}
 	if agg == nil {
@@ -246,21 +320,50 @@ func (t *Thread) ExecuteAll(op Op, args Args, agg func(results []Result) Result)
 // Drain blocks until every fire-and-forget asynchronous operation issued by
 // this thread has been executed, serving delegated requests while it waits.
 // It is the completion barrier §4.4 requires between dependent asynchronous
-// operations.
+// operations. Drain also reclaims the slots of timed-out synchronous
+// operations once their servers release them, so after Drain returns the
+// thread's rings are fully reusable (Unregister relies on this before
+// recycling the thread id). If the runtime shuts down mid-drain, Drain
+// stops waiting — the shutdown sweep owns the rings from then on.
 func (t *Thread) Drain() {
 	t.checkLive()
 	for _, s := range t.outstanding {
-		for s.Pending() {
-			if t.serve() == 0 {
-				t.rescue(s)
-				runtime.Gosched()
-			}
-		}
+		t.awaitServed(s)
 	}
 	for i := range t.outstanding {
 		t.outstanding[i] = nil
 	}
 	t.outstanding = t.outstanding[:0]
+	for len(t.abandoned) > 0 {
+		t.awaitServed(t.abandoned[0])
+		if t.reapAbandoned() == 0 && t.rt.down.Load() {
+			break
+		}
+	}
+}
+
+// awaitServed blocks until s has been executed (toggle cleared), serving
+// the caller's locality meanwhile and escalating through the adaptive
+// waiter when no progress is visible. Returns early on shutdown.
+func (t *Thread) awaitServed(s *slot) {
+	if s == nil || !s.Pending() {
+		return
+	}
+	p := s.Payload().part
+	w := newWaiter(t, p)
+	for s.Pending() {
+		if t.rt.down.Load() {
+			return
+		}
+		if t.serve() > 0 {
+			w.reset()
+			continue
+		}
+		if p.workers.Load() == 0 {
+			t.rescue(s)
+		}
+		w.pause(s)
+	}
 }
 
 // compactOutstanding drops already-completed async messages.
@@ -279,16 +382,27 @@ func (t *Thread) compactOutstanding() {
 
 // send places a request in this thread's ring to partition p, serving its
 // own locality while the ring is full. Publishing the slot transfers
-// ownership to the server side (all payload writes happen-before).
+// ownership to the server side (all payload writes happen-before). Returns
+// nil only if the runtime shuts down while the ring is full.
 func (t *Thread) send(p *Partition, key uint64, op Op, args Args, sync bool) *slot {
+	return t.sendDeadline(p, key, op, args, sync, time.Time{})
+}
+
+// sendDeadline is send with an optional enqueue deadline (zero means
+// none): a nil return means the ring stayed full until the deadline
+// expired or the runtime shut down — the request was never published.
+func (t *Thread) sendDeadline(p *Partition, key uint64, op Op, args Args, sync bool, deadline time.Time) *slot {
+	rt := t.rt
 	r := p.rings[t.id].Load()
+	var w waiter
 	for {
 		s := r.SendSlot()
 		m := s.Payload()
 		// A slot is free once the server side has finished with it
 		// (toggle clear) and its previous result, if any, has been
-		// consumed by its completion record.
-		if !s.Pending() && m.consumed {
+		// consumed by its completion record. The chaos hook simulates a
+		// full ring to exercise the back-pressure path.
+		if !s.Pending() && m.consumed && (t.chaos == nil || !t.chaos.RingFull()) {
 			r.AdvanceSend()
 			m.op = op
 			m.key = key
@@ -298,10 +412,13 @@ func (t *Thread) send(p *Partition, key uint64, op Op, args Args, sync bool) *sl
 			m.part = p
 			m.consumed = !sync
 			s.Publish()
-			if t.rt.tracing {
-				t.rt.tracer.OnSend(t.id, p.id, key, sync)
+			if rt.tracing {
+				rt.tracer.OnSend(t.id, p.id, key, sync)
 			}
 			return s
+		}
+		if w.t == nil {
+			w = newWaiter(t, p)
 		}
 		// Ring full (next slot still owned by the server side, or its
 		// result unconsumed): serve our own locality instead of
@@ -311,12 +428,25 @@ func (t *Thread) send(p *Partition, key uint64, op Op, args Args, sync bool) *sl
 		if t.rt.tracing {
 			t.rt.tracer.OnRingFull(t.id, p.id)
 		}
-		if t.serve() == 0 {
-			if p.workers.Load() == 0 {
-				t.rescue(r.SendSlot())
-			}
-			runtime.Gosched()
+		// A released-but-unconsumed slot belongs to a timed-out
+		// completion; reclaiming it may free the ring immediately.
+		if t.reapAbandoned() > 0 {
+			continue
 		}
+		if t.rt.down.Load() {
+			return nil
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil
+		}
+		if t.serve() > 0 {
+			w.reset()
+			continue
+		}
+		if p.workers.Load() == 0 {
+			t.rescue(r.SendSlot())
+		}
+		w.pause(s)
 	}
 }
 
@@ -351,6 +481,9 @@ func (t *Thread) serve() int {
 // own completions (and other senders' rings) every batch, mirroring ffwd's
 // response batching.
 func (t *Thread) serveRing(p *Partition, r *dring) int {
+	if t.chaos != nil {
+		t.chaos.BeforeServe()
+	}
 	if !r.TryClaim() {
 		return 0
 	}
@@ -374,6 +507,32 @@ func (t *Thread) rescue(s *slot) {
 	r := p.rings[t.id].Load()
 	r.Claim()
 	defer r.Unclaim()
+	t.rescueDrain(p, r, s)
+}
+
+// forceRescue is the stall-escalation variant of rescue: the destination
+// locality still has registered workers, but none of them has served
+// anything across a full stall-detection window (blocked outside DPS,
+// descheduled, or wedged by an injected fault). Unlike rescue it must not
+// block on the claim — the claim may be held by the very thread that is
+// wedged — so it uses TryClaim and simply returns when the ring is
+// claimed; the waiter will escalate again next window.
+func (t *Thread) forceRescue(p *Partition, s *slot) {
+	if !s.Pending() {
+		return
+	}
+	r := p.rings[t.id].Load()
+	if r == nil || !r.TryClaim() {
+		return
+	}
+	defer r.Unclaim()
+	t.rescueDrain(p, r, s)
+}
+
+// rescueDrain executes the pending prefix of r — the caller's own ring to
+// p, claimed by the caller — until s has been served or a gap shows a
+// reviving server took over.
+func (t *Thread) rescueDrain(p *Partition, r *dring, s *slot) {
 	for s.Pending() {
 		h := r.Head()
 		if !h.Pending() {
@@ -390,9 +549,11 @@ func (t *Thread) rescue(s *slot) {
 // executeMessage runs a delegated request and publishes its completion.
 // The execution time lands in the served histogram (covering the rescue
 // path too) and fires Tracer.OnServe. Panics inside the operation are
-// captured and re-raised on the awaiting thread (for fire-and-forget
-// requests they are re-raised here, on the serving thread, since no one
-// will ever observe the completion).
+// captured, never raised on the serving thread: a live synchronous awaiter
+// re-raises the panic on its own thread via Completion.finish; a
+// fire-and-forget panic (which no completion will ever observe) routes
+// through the configured panic policy; a timed-out synchronous request's
+// panic routes through the policy when its sender reaps the slot.
 func (t *Thread) executeMessage(p *Partition, s *slot) {
 	m := s.Payload()
 	fireAndForget := m.consumed
@@ -402,8 +563,12 @@ func (t *Thread) executeMessage(p *Partition, s *slot) {
 		defer func() {
 			if rec := recover(); rec != nil {
 				m.panicVal = rec
+				t.rt.rec.Add(t.id, p.id, obs.Panics, 1)
 			}
 		}()
+		if t.chaos != nil {
+			t.chaos.BeforeOp()
+		}
 		m.res = t.runLocal(p, m.key, m.op, &m.args)
 	}()
 	d := t.rt.rec.Since(start)
@@ -423,7 +588,7 @@ func (t *Thread) executeMessage(p *Partition, s *slot) {
 		t.rt.tracer.OnServe(t.id, p.id, key, d)
 	}
 	if fireAndForget && pv != nil {
-		panic(fmt.Sprintf("dps: panic in asynchronous delegated operation: %v", pv))
+		t.rt.deliverPanic(PanicInfo{Value: pv, ThreadID: t.id, Partition: p.id, Key: key, Async: true})
 	}
 }
 
@@ -442,9 +607,19 @@ func (t *Thread) Serve() int {
 // still pending, Ready serves CheckRatio passes' worth of requests delegated
 // to the calling thread's locality — the overlap that lets all cores make
 // progress on data-structure work (§4.3) — and returns false.
+//
+// Ready panics with ErrUnregistered when the issuing thread has been
+// unregistered while the completion was pending: the completion's serving
+// duties belong to a locality the thread no longer belongs to, and the
+// ring slot it polls may already have been recycled to a new thread.
+// Completions that finished before Unregister stay readable. After
+// Shutdown a still-pending completion resolves (done) with ErrClosed.
 func (c *Completion) Ready() (Result, bool) {
 	if c.done {
 		return c.res, true
+	}
+	if c.t.unregistered {
+		panic(ErrUnregistered)
 	}
 	for i := 0; i < c.t.rt.cfg.CheckRatio; i++ {
 		if !c.slot.Pending() {
@@ -458,18 +633,121 @@ func (c *Completion) Ready() (Result, bool) {
 		c.finish()
 		return c.res, true
 	}
+	if c.t.rt.down.Load() {
+		// The shutdown sweep abandoned this request; unwind with a
+		// closed-runtime result rather than spinning forever.
+		c.slot = nil
+		c.res = Result{Err: ErrClosed}
+		c.done = true
+		return c.res, true
+	}
 	return Result{}, false
 }
 
 // Result blocks until the operation has executed and returns its result,
-// serving the calling thread's locality while it waits.
+// serving the calling thread's locality while it waits. If the runtime is
+// shut down while the operation is pending, Result returns a Result whose
+// Err is ErrClosed.
 func (c *Completion) Result() Result {
+	// Deadline-free twin of resultDeadline: the unbounded await is the
+	// hot path (every ExecuteSync), so it skips the per-iteration
+	// deadline checks entirely.
+	if res, ok := c.Ready(); ok {
+		return res
+	}
+	w := newWaiter(c.t, c.slot.Payload().part)
 	for {
+		w.pause(c.slot)
 		if res, ok := c.Ready(); ok {
 			return res
 		}
-		runtime.Gosched()
 	}
+}
+
+// ResultTimeout is Result with a deadline. The error is nil when the
+// operation completed, ErrTimeout when the deadline expired first, or
+// ErrClosed when the runtime shut down during the wait. On ErrTimeout the
+// completion is abandoned: it is done (Err == ErrTimeout), the operation
+// may still execute later, its result is discarded, and its ring slot is
+// reclaimed by the issuing thread once the server releases it.
+func (c *Completion) ResultTimeout(timeout time.Duration) (Result, error) {
+	return c.resultDeadline(time.Now().Add(timeout))
+}
+
+// resultDeadline awaits the completion until deadline (zero: forever),
+// serving the caller's locality and escalating through the adaptive waiter
+// while it waits.
+func (c *Completion) resultDeadline(deadline time.Time) (Result, error) {
+	if res, ok := c.Ready(); ok {
+		return res, closedErr(res)
+	}
+	w := newWaiter(c.t, c.slot.Payload().part)
+	for {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			c.abandon()
+			return c.res, ErrTimeout
+		}
+		w.pause(c.slot)
+		if res, ok := c.Ready(); ok {
+			return res, closedErr(res)
+		}
+	}
+}
+
+// closedErr maps the shutdown-synthesized result to its error return.
+func closedErr(res Result) error {
+	if res.Err == ErrClosed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// abandon gives up on a pending completion after a timeout. The in-flight
+// request cannot be recalled — the server side may execute it at any
+// moment — and its slot cannot be reused until the server releases it, so
+// the slot moves to the thread's abandoned list for reapAbandoned to
+// reclaim later. The completion itself resolves to ErrTimeout.
+func (c *Completion) abandon() {
+	c.t.abandoned = append(c.t.abandoned, c.slot)
+	c.t.rt.rec.Add(c.t.id, c.slot.Payload().part.id, obs.Abandoned, 1)
+	c.slot = nil
+	c.res = Result{Err: ErrTimeout}
+	c.done = true
+}
+
+// reapAbandoned reclaims abandoned slots whose servers have finished with
+// them: the stale result is discarded, a captured panic routes through the
+// panic policy (no completion will ever re-raise it), and the slot becomes
+// sendable again. Slots still pending stay on the list. Returns how many
+// slots were reclaimed.
+func (t *Thread) reapAbandoned() int {
+	if len(t.abandoned) == 0 {
+		return 0
+	}
+	kept := t.abandoned[:0]
+	reaped := 0
+	for _, s := range t.abandoned {
+		if s.Pending() {
+			kept = append(kept, s)
+			continue
+		}
+		m := s.Payload()
+		pv := m.panicVal
+		part := m.part
+		key := m.key
+		m.res = Result{}
+		m.panicVal = nil
+		m.consumed = true
+		reaped++
+		if pv != nil {
+			t.rt.deliverPanic(PanicInfo{Value: pv, ThreadID: t.id, Partition: part.id, Key: key, Async: false})
+		}
+	}
+	for i := len(kept); i < len(t.abandoned); i++ {
+		t.abandoned[i] = nil
+	}
+	t.abandoned = kept
+	return reaped
 }
 
 // finish copies the result out of the ring slot, clears the slot's

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"dps/internal/obs"
+)
+
+// Adaptive waiting. The three delegation spin loops — completion await,
+// Drain, and the ring-full send path — used to busy-spin on Gosched
+// forever, which burns a core and wedges silently when the destination
+// locality stops serving (blocked peers, a descheduled server, injected
+// faults). A waiter escalates in three stages instead:
+//
+//  1. pure Gosched for the first waitSpinYield pauses (the common case:
+//     the reply is a few polls away, and sleeping would add latency);
+//  2. exponentially growing sleeps, 1µs doubling to 128µs, so an idle
+//     waiter costs microseconds of latency instead of a core;
+//  3. stall detection: every waitStallWindow pauses the waiter samples the
+//     destination partition's serving-progress clock; two consecutive
+//     samples with no progress while its request is still pending mean
+//     nobody is serving the partition. The waiter records a Stalls event,
+//     fires Tracer.OnStall, and escalates to forced rescue — claiming its
+//     own ring and executing the stuck prefix itself, workers or not.
+//
+// Any progress (local serves, or partition progress between samples)
+// resets the waiter to stage 1.
+const (
+	// waitSpinYield is how many pauses stay pure Gosched before sleeping.
+	waitSpinYield = 64
+	// waitSleepStep is how many pauses pass between sleep doublings.
+	waitSleepStep = 16
+	// waitMaxSleepShift caps the sleep at 1µs << 7 = 128µs.
+	waitMaxSleepShift = 7
+	// waitStallWindow is how many pauses pass between progress samples.
+	// With sleeps capped at 128µs a stall is declared after roughly
+	// 30-60ms of observed zero progress, and re-checked (with renewed
+	// escalation) every window after that.
+	waitStallWindow = 256
+)
+
+// waiter tracks one wait episode against a single destination partition.
+// The zero value is not usable; build with newWaiter.
+type waiter struct {
+	t        *Thread
+	p        *Partition
+	idle     int
+	progress uint64
+	sampled  bool
+}
+
+func newWaiter(t *Thread, p *Partition) waiter { return waiter{t: t, p: p} }
+
+// reset returns the waiter to the spin stage; callers invoke it whenever
+// they made progress themselves (e.g. served requests).
+func (w *waiter) reset() { w.idle, w.sampled = 0, false }
+
+// pause blocks the waiter briefly, escalating per the schedule above. s is
+// the slot whose completion the caller waits for (nil when the wait covers
+// no single slot); stall escalation force-rescues it.
+func (w *waiter) pause(s *slot) {
+	w.idle++
+	if w.idle <= waitSpinYield {
+		// The stall check cannot trigger in the spin stage:
+		// waitStallWindow > waitSpinYield.
+		runtime.Gosched()
+		return
+	}
+	if w.idle%waitStallWindow == 0 {
+		w.checkStall(s)
+	}
+	shift := (w.idle - waitSpinYield) / waitSleepStep
+	if shift > waitMaxSleepShift {
+		shift = waitMaxSleepShift
+	}
+	time.Sleep(time.Microsecond << shift)
+}
+
+// checkStall samples the partition's progress clock and escalates when two
+// consecutive samples match while the awaited slot is still pending.
+func (w *waiter) checkStall(s *slot) {
+	prog := w.t.rt.rec.PartitionProgress(w.p.id)
+	if !w.sampled {
+		w.sampled, w.progress = true, prog
+		return
+	}
+	if prog != w.progress || (s != nil && !s.Pending()) {
+		// Trickle progress: the partition is slow, not stalled.
+		w.reset()
+		return
+	}
+	w.t.stalledOn(w.p, s)
+}
+
+// stalledOn records a stall against partition p and escalates to forced
+// rescue of s (when the wait is for a specific slot).
+func (t *Thread) stalledOn(p *Partition, s *slot) {
+	t.rt.rec.Add(t.id, p.id, obs.Stalls, 1)
+	if t.rt.tracing {
+		var key uint64
+		if s != nil {
+			key = s.Payload().key
+		}
+		t.rt.tracer.OnStall(t.id, p.id, key)
+	}
+	if s != nil {
+		t.forceRescue(p, s)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dps/internal/chaos"
 	"dps/internal/core"
 )
 
@@ -53,6 +54,9 @@ type Config struct {
 	MaxThreads int
 	// Tracer is passed to the underlying runtime (see core.Config.Tracer).
 	Tracer core.Tracer
+	// Chaos installs a fault injector on the underlying runtime (see
+	// core.Config.Chaos). For chaos benchmarking, not production use.
+	Chaos *chaos.Injector
 }
 
 // Set is a DPS-partitioned sorted set.
@@ -75,6 +79,7 @@ func NewSet(cfg Config) (*Set, error) {
 		Hash:       cfg.Hash,
 		MaxThreads: cfg.MaxThreads,
 		Tracer:     cfg.Tracer,
+		Chaos:      cfg.Chaos,
 		Init:       func(p *core.Partition) any { return cfg.NewShard() },
 	})
 	if err != nil {

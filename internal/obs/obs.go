@@ -42,6 +42,18 @@ const (
 	// Rescued counts pending requests executed by their sender after the
 	// destination locality emptied (the liveness path).
 	Rescued
+	// Stalls counts stall-detector trips: a waiter observed the destination
+	// partition make no serving progress across a full detection window
+	// while its own request stayed pending (the degraded-mode signal).
+	Stalls
+	// Panics counts delegated operations that panicked while executing,
+	// whatever the panic's eventual routing (re-raise at the awaiter, the
+	// panic handler, or the crash policy).
+	Panics
+	// Abandoned counts delegated requests their sender gave up on —
+	// deadline expiry or runtime shutdown — whose results, if any, were
+	// discarded.
+	Abandoned
 	// NumCounters is the number of counters per block.
 	NumCounters
 )
@@ -196,6 +208,22 @@ func (r *Recorder) Add(tid, part int, c Counter, n uint64) {
 	r.blocks[tid*r.parts+part].c[c].Add(n)
 }
 
+// PartitionProgress returns the number of delegated requests partition
+// part's rings have had executed so far (peer serves plus rescues), summed
+// over threads. It is the monotone progress clock the stall detector
+// samples: a waiter whose request stays pending while this value holds
+// still across a detection window knows nobody is serving the partition.
+// The scan touches one counter block per thread, so it is meant for the
+// idle slow path, not the per-operation hot path.
+func (r *Recorder) PartitionProgress(part int) uint64 {
+	var n uint64
+	for tid := 0; tid < r.threads; tid++ {
+		b := &r.blocks[tid*r.parts+part]
+		n += b.c[Served].Load() + b.c[Rescued].Load()
+	}
+	return n
+}
+
 // Observe records one duration into thread tid's shard of histogram h.
 // It is a no-op with timing disabled, keeping histogram counts consistent
 // with the absence of measurements.
@@ -235,6 +263,9 @@ func (r *Recorder) Snapshot() Snapshot {
 			pm.Served += b.c[Served].Load()
 			pm.RingFullWaits += b.c[RingFull].Load()
 			pm.Rescued += b.c[Rescued].Load()
+			pm.Stalls += b.c[Stalls].Load()
+			pm.Panics += b.c[Panics].Load()
+			pm.Abandoned += b.c[Abandoned].Load()
 		}
 	}
 	for _, pm := range s.PerPartition {
@@ -244,6 +275,9 @@ func (r *Recorder) Snapshot() Snapshot {
 		s.Totals.Served += pm.Served
 		s.Totals.RingFullWaits += pm.RingFullWaits
 		s.Totals.Rescued += pm.Rescued
+		s.Totals.Stalls += pm.Stalls
+		s.Totals.Panics += pm.Panics
+		s.Totals.Abandoned += pm.Abandoned
 	}
 	s.Latency.LocalExec = r.summary(HistLocalExec)
 	s.Latency.SyncDelegation = r.summary(HistSyncDelegation)

@@ -28,6 +28,14 @@ type Totals struct {
 	// Rescued counts pending requests a sender executed itself because
 	// every thread of the destination locality had unregistered.
 	Rescued uint64
+	// Stalls counts stall-detector trips: a waiter saw the destination
+	// partition serve nothing across a full detection window.
+	Stalls uint64
+	// Panics counts delegated operations that panicked while executing.
+	Panics uint64
+	// Abandoned counts requests their sender gave up on (deadline expiry
+	// or runtime shutdown).
+	Abandoned uint64
 }
 
 func (t Totals) sub(prev Totals) Totals {
@@ -38,6 +46,9 @@ func (t Totals) sub(prev Totals) Totals {
 		Served:        t.Served - prev.Served,
 		RingFullWaits: t.RingFullWaits - prev.RingFullWaits,
 		Rescued:       t.Rescued - prev.Rescued,
+		Stalls:        t.Stalls - prev.Stalls,
+		Panics:        t.Panics - prev.Panics,
+		Abandoned:     t.Abandoned - prev.Abandoned,
 	}
 }
 
@@ -206,8 +217,8 @@ func (s Snapshot) Imbalance() float64 {
 func (s Snapshot) String() string {
 	var b strings.Builder
 	t := s.Totals
-	fmt.Fprintf(&b, "totals: local=%d remote=%d async=%d served=%d ringfull=%d rescued=%d\n",
-		t.LocalExecs, t.RemoteSends, t.AsyncSends, t.Served, t.RingFullWaits, t.Rescued)
+	fmt.Fprintf(&b, "totals: local=%d remote=%d async=%d served=%d ringfull=%d rescued=%d stalls=%d panics=%d abandoned=%d\n",
+		t.LocalExecs, t.RemoteSends, t.AsyncSends, t.Served, t.RingFullWaits, t.Rescued, t.Stalls, t.Panics, t.Abandoned)
 	fmt.Fprintf(&b, "latency sync-delegation: %s\n", s.Latency.SyncDelegation)
 	fmt.Fprintf(&b, "latency local-exec:      %s\n", s.Latency.LocalExec)
 	fmt.Fprintf(&b, "latency served:          %s\n", s.Latency.Served)

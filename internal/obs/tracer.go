@@ -27,6 +27,14 @@ type Tracer interface {
 	// OnRingFull fires when thread tid finds its ring to partition part
 	// full and must serve/yield before sending (§4.4 back-pressure).
 	OnRingFull(tid, part int)
+	// OnStall fires when thread tid, waiting on a request to partition
+	// part (key is the stuck request's key, or 0 when the wait covers no
+	// single request), observes the partition serve nothing across a full
+	// stall-detection window. The runtime escalates to forced rescue by
+	// itself; the hook is the operator's signal that a locality's threads
+	// are wedged or starved. It may fire repeatedly — once per detection
+	// window — while the stall persists.
+	OnStall(tid, part int, key uint64)
 }
 
 // NopTracer is the no-op Tracer the runtime falls back to when none is
@@ -44,3 +52,6 @@ func (NopTracer) OnComplete(tid, part int, key uint64, d time.Duration) {}
 
 // OnRingFull implements Tracer.
 func (NopTracer) OnRingFull(tid, part int) {}
+
+// OnStall implements Tracer.
+func (NopTracer) OnStall(tid, part int, key uint64) {}

@@ -125,6 +125,11 @@ type Ring[T any] struct {
 	// while claim is held.
 	cursor int
 	claim  atomic.Uint32
+
+	// claimFault, when set, makes TryClaim artificially fail — the
+	// fault-injection hook for dropped/starved serve claims. The nil guard
+	// is the only cost when no fault layer is installed.
+	claimFault func() bool
 }
 
 // New creates a ring with depth slots, all sender-owned and zero.
@@ -152,9 +157,22 @@ func (r *Ring[T]) AdvanceSend() {
 	}
 }
 
+// SetClaimFault installs a fault hook consulted by TryClaim: when it
+// returns true the claim attempt fails as if another server held the ring.
+// Install before the ring is shared with serving threads; the field is not
+// synchronized. Claim is exempt — it is the liveness path rescue and
+// stall escalation depend on, and injecting failures there would block
+// recovery itself.
+func (r *Ring[T]) SetClaimFault(f func() bool) { r.claimFault = f }
+
 // TryClaim attempts to acquire the serve token without blocking. On success
 // the caller owns the receive cursor until Unclaim.
-func (r *Ring[T]) TryClaim() bool { return r.claim.CompareAndSwap(0, 1) }
+func (r *Ring[T]) TryClaim() bool {
+	if r.claimFault != nil && r.claimFault() {
+		return false
+	}
+	return r.claim.CompareAndSwap(0, 1)
+}
 
 // Claim acquires the serve token, yielding while another server holds it.
 // It is used by the rescue path, where the caller must win the ring to
