@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check chaos bench bench-compare
+.PHONY: build test check lint chaos bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -8,14 +8,22 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-PR gate (run by CI): vet and build everything, then
-# race-test the delegation transport and the packages built on it — ring
-# (the shared slot/ring primitives), core (the DPS runtime), ffwd (the
-# baseline), and obs — whose correctness depends on concurrent access.
+# check is the pre-PR gate (run by CI): vet, lint and build everything,
+# then race-test the delegation transport and the packages built on it —
+# ring (the shared slot/ring primitives), core (the DPS runtime), ffwd
+# (the baseline), and obs — whose correctness depends on concurrent access.
 check:
 	$(GO) vet ./...
+	$(GO) run ./cmd/dpslint
 	$(GO) build ./...
 	$(GO) test -race ./internal/ring/... ./internal/core/... ./internal/obs/... ./internal/ffwd/...
+
+# lint machine-checks the delegation runtime's concurrency and hot-path
+# invariants: cache-line padding, atomic/plain access mixing, 0-alloc
+# fast paths, bounded spin loops, guarded chaos/tracer hooks, and the
+# marker<->AllocsPerRun pin consistency. See DESIGN.md "Invariants".
+lint:
+	$(GO) run ./cmd/dpslint
 
 # chaos runs the fault-injection suite under the race detector: the
 # injector's own tests plus the runtime's chaos and rescue scenarios

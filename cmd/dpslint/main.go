@@ -1,0 +1,53 @@
+// Command dpslint runs the DPS static-analysis pass over the module: it
+// loads and type-checks every package with nothing but the standard
+// library's go/ast, go/parser and go/types, applies the five invariant
+// rules (padcheck, atomicmix, noalloc, spinloop, hookguard — see
+// internal/lint), and cross-checks the //dps:noalloc markers against the
+// AllocsPerRun pin tests. Exit status 1 when any diagnostic fires.
+//
+// Usage:
+//
+//	dpslint [-C dir]
+//
+// -C names any directory inside the module to lint (default ".").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dps/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "lint the module containing this directory")
+	flag.Parse()
+
+	m, err := lint.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpslint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(m)
+
+	pins, err := lint.CheckPinSync(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpslint: pinsync: %v\n", err)
+		os.Exit(2)
+	}
+	diags = append(diags, pins...)
+
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dpslint: %d problem(s)\n", len(diags))
+		os.Exit(1)
+	}
+	files := 0
+	for _, p := range m.Pkgs {
+		files += len(p.Files)
+	}
+	fmt.Printf("dpslint: %d packages (%d files) clean\n", len(m.Pkgs), files)
+}

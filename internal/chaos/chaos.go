@@ -24,6 +24,8 @@
 // one multiply-xor hash per draw.
 package chaos
 
+//dps:check atomicmix spinloop
+
 import (
 	"errors"
 	"sync/atomic"

@@ -19,6 +19,8 @@
 // re-exports this one.
 package core
 
+//dps:check atomicmix spinloop
+
 import (
 	"errors"
 	"fmt"
@@ -114,6 +116,8 @@ type Config struct {
 	// the wrapped data-structure). It is called once per partition at
 	// Create time; the returned value is available via Partition.Data.
 	// Optional.
+	//
+	//dps:hook
 	Init func(p *Partition) any
 
 	// Tracer receives per-event observability callbacks (sends, serves,
@@ -137,6 +141,8 @@ type Config struct {
 	// handlers must be fast and must not call back into the runtime.
 	// When nil, the panic is logged to the standard logger instead.
 	// Optional.
+	//
+	//dps:hook
 	OnPanic func(PanicInfo)
 
 	// Chaos installs a fault injector on the runtime's delegation paths
@@ -239,10 +245,20 @@ type Runtime struct {
 	// work is still being drained.
 	down atomic.Bool
 
-	rec     *obs.Recorder
+	rec *obs.Recorder
+
+	// tracer is never nil (New installs NopTracer), but every hot-path
+	// hook site still tests the tracing flag first so disabled tracing
+	// costs one predictable branch, not an interface call.
+	//
+	//dps:hook guard=tracing
 	tracer  obs.Tracer
 	tracing bool
-	chaos   *chaos.Injector
+
+	// chaos is the optional fault injector; nil outside chaos tests.
+	//
+	//dps:hook
+	chaos *chaos.Injector
 }
 
 // New creates a DPS runtime. It is the analogue of the paper's

@@ -44,6 +44,8 @@ type Thread struct {
 	// execute paths test one pointer off the hot Thread struct instead of
 	// chasing rt. Nil for the shutdown sweep's admin thread: the sweep
 	// drains without injecting further faults.
+	//
+	//dps:hook
 	chaos *chaos.Injector
 
 	unregistered bool
@@ -96,12 +98,16 @@ func (t *Thread) Unregister() {
 }
 
 // partitionFor maps a key to its owning partition.
+//
+//dps:noalloc via ExecuteSync
 func (t *Thread) partitionFor(key uint64) *Partition {
 	return t.rt.parts[t.rt.ns.Lookup(t.rt.cfg.Hash(key))]
 }
 
 // checkLive panics with ErrUnregistered on use-after-Unregister and with
 // ErrClosed on use after Shutdown, the documented misuse paths.
+//
+//dps:noalloc via ExecuteSync
 func (t *Thread) checkLive() {
 	if t.unregistered {
 		panic(ErrUnregistered)
@@ -115,6 +121,8 @@ func (t *Thread) checkLive() {
 // LocalExec count plus a local-exec latency observation. The clock is
 // consulted once, through the obs layer, so disabling timing removes the
 // reads entirely.
+//
+//dps:noalloc via ExecuteSync
 func (t *Thread) execInline(p *Partition, key uint64, op Op, args *Args) Result {
 	t.rt.rec.Add(t.id, p.id, obs.LocalExec, 1)
 	start := t.rt.rec.Start()
@@ -126,6 +134,8 @@ func (t *Thread) execInline(p *Partition, key uint64, op Op, args *Args) Result 
 // runLocal executes op inline on the calling thread, inside a quiescence
 // read-side section so the op may safely traverse nodes being retired by
 // other threads' ops.
+//
+//dps:noalloc via ExecuteSync
 func (t *Thread) runLocal(p *Partition, key uint64, op Op, args *Args) Result {
 	t.smr.Enter()
 	defer t.smr.Exit()
@@ -164,6 +174,8 @@ func (t *Thread) Execute(key uint64, op Op, args Args) *Completion {
 // API "directly following execute with a loop on await_completion"). The
 // completion record lives on the caller's stack, so a remote synchronous
 // delegation allocates nothing.
+//
+//dps:noalloc
 func (t *Thread) ExecuteSync(key uint64, op Op, args Args) Result {
 	t.checkLive()
 	p := t.partitionFor(key)
@@ -218,6 +230,8 @@ func (t *Thread) ExecuteSyncTimeout(key uint64, op Op, args Args, timeout time.D
 // ordering to the same partition is preserved (the ring is FIFO), so
 // read-your-writes and monotonic-writes hold for subsequent operations from
 // this thread. Use Drain as the barrier before depending on completion.
+//
+//dps:noalloc
 func (t *Thread) ExecuteAsync(key uint64, op Op, args Args) {
 	t.checkLive()
 	p := t.partitionFor(key)
@@ -234,6 +248,7 @@ func (t *Thread) ExecuteAsync(key uint64, op Op, args Args) {
 		return
 	}
 	t.rt.rec.Add(t.id, p.id, obs.AsyncSend, 1)
+	//dps:alloc-ok amortized growth of the outstanding list is the documented 1-alloc baseline
 	t.outstanding = append(t.outstanding, s)
 	if len(t.outstanding) >= cap(t.outstanding) && len(t.outstanding) >= 32 {
 		t.compactOutstanding()
@@ -245,6 +260,8 @@ func (t *Thread) ExecuteAsync(key uint64, op Op, args Args) {
 // operations on data-structures whose concurrent implementation already
 // tolerates cross-locality readers. The operation still sees the owning
 // partition's shard.
+//
+//dps:noalloc
 func (t *Thread) ExecuteLocal(key uint64, op Op, args Args) Result {
 	t.checkLive()
 	return t.execInline(t.partitionFor(key), key, op, &args)
@@ -384,6 +401,8 @@ func (t *Thread) compactOutstanding() {
 // own locality while the ring is full. Publishing the slot transfers
 // ownership to the server side (all payload writes happen-before). Returns
 // nil only if the runtime shuts down while the ring is full.
+//
+//dps:noalloc via ExecuteSync
 func (t *Thread) send(p *Partition, key uint64, op Op, args Args, sync bool) *slot {
 	return t.sendDeadline(p, key, op, args, sync, time.Time{})
 }
@@ -391,6 +410,8 @@ func (t *Thread) send(p *Partition, key uint64, op Op, args Args, sync bool) *sl
 // sendDeadline is send with an optional enqueue deadline (zero means
 // none): a nil return means the ring stayed full until the deadline
 // expired or the runtime shut down — the request was never published.
+//
+//dps:noalloc via ExecuteSync
 func (t *Thread) sendDeadline(p *Partition, key uint64, op Op, args Args, sync bool, deadline time.Time) *slot {
 	rt := t.rt
 	r := p.rings[t.id].Load()
@@ -456,6 +477,8 @@ func (t *Thread) sendDeadline(p *Partition, key uint64, op Op, args Args, sync b
 // designated poller, §4.4) skip a claimed ring rather than contend; within
 // a ring, requests are executed in FIFO order, which preserves per-sender
 // ordering (read-your-writes, §3.3).
+//
+//dps:noalloc via ExecuteSync
 func (t *Thread) serve() int {
 	p := t.rt.parts[t.locality]
 	n := len(p.rings)
@@ -480,6 +503,8 @@ func (t *Thread) serve() int {
 // claim from monopolizing a busy ring: the server returns to polling its
 // own completions (and other senders' rings) every batch, mirroring ffwd's
 // response batching.
+//
+//dps:noalloc via ExecuteSync
 func (t *Thread) serveRing(p *Partition, r *dring) int {
 	if t.chaos != nil {
 		t.chaos.BeforeServe()
@@ -488,6 +513,7 @@ func (t *Thread) serveRing(p *Partition, r *dring) int {
 		return 0
 	}
 	defer r.Unclaim()
+	//dps:alloc-ok the drain callback does not escape Drain; the remote 0-alloc pin proves it stays on the stack
 	return r.Drain(t.rt.cfg.ServeBatch, func(s *slot) {
 		t.executeMessage(p, s)
 	})
@@ -533,6 +559,7 @@ func (t *Thread) forceRescue(p *Partition, s *slot) {
 // p, claimed by the caller — until s has been served or a gap shows a
 // reviving server took over.
 func (t *Thread) rescueDrain(p *Partition, r *dring, s *slot) {
+	//dps:spin-ok every iteration serves one request or returns at a gap, so progress is guaranteed
 	for s.Pending() {
 		h := r.Head()
 		if !h.Pending() {
@@ -554,6 +581,8 @@ func (t *Thread) rescueDrain(p *Partition, r *dring, s *slot) {
 // fire-and-forget panic (which no completion will ever observe) routes
 // through the configured panic policy; a timed-out synchronous request's
 // panic routes through the policy when its sender reaps the slot.
+//
+//dps:noalloc via ExecuteSync
 func (t *Thread) executeMessage(p *Partition, s *slot) {
 	m := s.Payload()
 	fireAndForget := m.consumed
@@ -614,6 +643,8 @@ func (t *Thread) Serve() int {
 // ring slot it polls may already have been recycled to a new thread.
 // Completions that finished before Unregister stay readable. After
 // Shutdown a still-pending completion resolves (done) with ErrClosed.
+//
+//dps:noalloc via ExecuteSync
 func (c *Completion) Ready() (Result, bool) {
 	if c.done {
 		return c.res, true
@@ -648,6 +679,8 @@ func (c *Completion) Ready() (Result, bool) {
 // serving the calling thread's locality while it waits. If the runtime is
 // shut down while the operation is pending, Result returns a Result whose
 // Err is ErrClosed.
+//
+//dps:noalloc via ExecuteSync
 func (c *Completion) Result() Result {
 	// Deadline-free twin of resultDeadline: the unbounded await is the
 	// hot path (every ExecuteSync), so it skips the per-iteration
@@ -754,6 +787,8 @@ func (t *Thread) reapAbandoned() int {
 // references (so it doesn't pin the result for GC until reuse), releases
 // the slot to the sender, records the send→completion latency, and
 // re-raises any panic captured from the operation.
+//
+//dps:noalloc via ExecuteSync
 func (c *Completion) finish() {
 	m := c.slot.Payload()
 	c.res = m.res

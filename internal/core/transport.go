@@ -57,6 +57,16 @@ type (
 // does not compile.
 const _ = -(unsafe.Sizeof(slot{}) % ring.Stride)
 
+// Exact-size pin, both directions: the delegation slot is exactly two
+// strides — one for the request/completion record, one spatial-prefetch
+// pair — so a payload change that silently grows (or shrinks) the slot
+// fails the build rather than doubling ring cache traffic. Either constant
+// goes negative (uintptr overflow) when the size moves off 2*Stride.
+const (
+	_ = 2*ring.Stride - unsafe.Sizeof(slot{})
+	_ = unsafe.Sizeof(slot{}) - 2*ring.Stride
+)
+
 // newRing builds a delegation ring whose slots are all immediately
 // reusable by the sender: consumed==true marks a slot free, and fresh
 // slots hold no result anyone will read.

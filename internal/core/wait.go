@@ -59,6 +59,9 @@ func (w *waiter) reset() { w.idle, w.sampled = 0, false }
 // pause blocks the waiter briefly, escalating per the schedule above. s is
 // the slot whose completion the caller waits for (nil when the wait covers
 // no single slot); stall escalation force-rescues it.
+//
+//dps:bounded-wait
+//dps:noalloc via ExecuteSync
 func (w *waiter) pause(s *slot) {
 	w.idle++
 	if w.idle <= waitSpinYield {
@@ -79,6 +82,8 @@ func (w *waiter) pause(s *slot) {
 
 // checkStall samples the partition's progress clock and escalates when two
 // consecutive samples match while the awaited slot is still pending.
+//
+//dps:noalloc via ExecuteSync
 func (w *waiter) checkStall(s *slot) {
 	prog := w.t.rt.rec.PartitionProgress(w.p.id)
 	if !w.sampled {
@@ -95,6 +100,8 @@ func (w *waiter) checkStall(s *slot) {
 
 // stalledOn records a stall against partition p and escalates to forced
 // rescue of s (when the wait is for a specific slot).
+//
+//dps:noalloc via ExecuteSync
 func (t *Thread) stalledOn(p *Partition, s *slot) {
 	t.rt.rec.Add(t.id, p.id, obs.Stalls, 1)
 	if t.rt.tracing {

@@ -19,6 +19,8 @@
 // what Figures 3 and 6 of the paper measure the cost of.
 package ffwd
 
+//dps:check atomicmix spinloop
+
 import (
 	"errors"
 	"fmt"
@@ -73,6 +75,15 @@ type reqLine = ring.Slot[request]
 
 // Compile-time assertion: the padded line is a whole number of strides.
 const _ = -(unsafe.Sizeof(reqLine{}) % ring.Stride)
+
+// Exact-size pin, both directions: a request line is exactly one stride —
+// the whole point of ffwd's layout is one coherence transfer per
+// request/response — so padding drift that grows the line to two strides
+// fails the build instead of doubling line traffic.
+const (
+	_ = ring.Stride - unsafe.Sizeof(reqLine{})
+	_ = unsafe.Sizeof(reqLine{}) - ring.Stride
+)
 
 // System is an ffwd instance: dedicated server goroutines, each owning one
 // shard of the protected data.
@@ -164,19 +175,29 @@ func (sys *System) Close() {
 
 // serverLoop is one dedicated server: sweep all client request lines,
 // execute pending requests serially, and publish responses in batches.
+// After the one-time setup the sweep allocates nothing — the response
+// batch reuses a fixed-capacity buffer.
+//
+//dps:noalloc via CallServer
 func (sys *System) serverLoop(s int) {
 	defer sys.wg.Done()
 	lines := sys.lines[s]
 	shard := sys.shards[s]
 	// pendingResp collects executed lines whose toggles are not yet
 	// cleared — the response batch.
+	//dps:alloc-ok one-time setup before the serve loop
 	pendingResp := make([]*reqLine, 0, sys.batch)
+	//dps:alloc-ok one-time setup; the closure lives for the whole loop
 	flush := func() {
 		for _, l := range pendingResp {
 			l.Release()
 		}
 		pendingResp = pendingResp[:0]
 	}
+	// The server is a dedicated thread by ffwd's design: it spins over its
+	// client lines for the lifetime of the system, yields when idle, and
+	// exits on Close.
+	//dps:spin-ok dedicated ffwd server; Gosched when idle, exits on closed
 	for {
 		served := 0
 		for c := range lines {
@@ -186,6 +207,7 @@ func (sys *System) serverLoop(s int) {
 			}
 			q := l.Payload()
 			q.res = runOp(shard, q)
+			//dps:alloc-ok append never exceeds the batch capacity reserved at setup
 			pendingResp = append(pendingResp, l)
 			served++
 			if len(pendingResp) >= sys.batch {
@@ -205,9 +227,12 @@ func (sys *System) serverLoop(s int) {
 
 // runOp executes a request, converting a panic into an error result rather
 // than killing the server thread.
+//
+//dps:noalloc via CallServer
 func runOp(shard any, q *request) (res Result) {
 	defer func() {
 		if rec := recover(); rec != nil {
+			//dps:alloc-ok panic path only; the no-panic fast path stays allocation-free
 			res = Result{Err: fmt.Errorf("ffwd: panic in delegated op: %v", rec)}
 		}
 	}()
@@ -252,6 +277,8 @@ func (c *Client) Unregister() {
 // Call delegates op on key to the owning server and spins until the
 // response arrives (ffwd clients busy-wait; §3.2 of the paper contrasts
 // this with DPS's overlapped waiting).
+//
+//dps:noalloc via CallServer
 func (c *Client) Call(key uint64, op Op, args Args) Result {
 	return c.CallServer(c.sys.ServerFor(key), key, op, args)
 }
@@ -259,6 +286,8 @@ func (c *Client) Call(key uint64, op Op, args Args) Result {
 // CallServer delegates to a specific server, for callers that shard keys
 // themselves (e.g. one-server deployments where clients pre-traverse, as in
 // the paper's linked-list setup).
+//
+//dps:noalloc
 func (c *Client) CallServer(s int, key uint64, op Op, args Args) Result {
 	l := &c.sys.lines[s][c.id]
 	q := l.Payload()
@@ -266,6 +295,10 @@ func (c *Client) CallServer(s int, key uint64, op Op, args Args) Result {
 	q.key = key
 	q.args = args
 	l.Publish()
+	// Busy-waiting is ffwd's published client protocol — the contrast with
+	// DPS's serve-while-waiting is exactly what the Figure 3/6 benchmarks
+	// measure — so the poll loop is justified, not fixed.
+	//dps:spin-ok ffwd clients busy-wait by design (§3.2); a dedicated server is always serving
 	for l.Pending() {
 		runtime.Gosched()
 	}

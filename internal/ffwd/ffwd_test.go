@@ -268,3 +268,34 @@ func BenchmarkFFWDRoundTrip(b *testing.B) {
 		c.Call(uint64(i), nop, Args{})
 	}
 }
+
+// TestCallServerZeroAlloc pins ffwd's request/response round-trip at zero
+// heap allocations per call on both sides: the client publishes into its
+// preallocated line and busy-waits, and the server's sweep reuses its
+// fixed-capacity response batch. The pin is what the //dps:noalloc markers
+// in ffwd.go claim at runtime (dpslint's pinsync check keeps the two in
+// agreement).
+func TestCallServerZeroAlloc(t *testing.T) {
+	sys, err := New(Config{Servers: 1, ShardInit: func(int) any { return mapShard{} }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	c, err := sys.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Unregister()
+	nop := func(shard any, key uint64, args *Args) Result { return Result{} }
+	// Warm up: fault in the line and scheduler state.
+	for i := uint64(0); i < 100; i++ {
+		if res := c.CallServer(0, i, nop, Args{}); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		c.CallServer(0, 3, nop, Args{})
+	}); n != 0 {
+		t.Errorf("CallServer allocated %.1f objects/op, want 0", n)
+	}
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// atomicmix enforces the no-mixed-access discipline on atomic fields: a
+// struct field that is accessed via sync/atomic anywhere in the module —
+// either by carrying one of sync/atomic's types (atomic.Uint32, ...) or by
+// having its address passed to a sync/atomic function — must never be read
+// or written plainly outside the declaring type's constructor. Mixing the
+// two access modes is exactly the class of race the ring's toggle/claim
+// words and the obs counter blocks must never reintroduce.
+//
+// The rule inspects unmarked code, so it runs only in packages opted in
+// with //dps:check atomicmix. The legacy-field discovery pass (addresses
+// passed to atomic functions) still scans the whole module, so a package
+// cannot dodge the rule by doing its atomic accesses elsewhere.
+func atomicmix(m *Module) []Diagnostic {
+	const rule = "atomicmix"
+	var diags []Diagnostic
+
+	// Pass 1: fields whose address reaches a sync/atomic function call
+	// (the pre-Go-1.19 style: atomic.AddUint64(&s.n, 1)).
+	legacy := make(map[*types.Var]bool)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || !isAtomicPkg(fn.Pkg()) {
+					return true
+				}
+				for _, arg := range call.Args {
+					if v := addressedField(pkg.Info, arg); v != nil {
+						legacy[v] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: flag plain accesses in opted-in packages.
+	for _, pkg := range m.Pkgs {
+		if !pkg.Checks[rule] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			walkParents(f, func(c cursor) bool {
+				sel, ok := c.node.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := pkg.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				field, ok := s.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				typed := isAtomicType(field.Type())
+				if !typed && !legacy[field] {
+					return true
+				}
+				if inConstructor(c, pkg, field) {
+					return true
+				}
+				if verb, bad := plainAccess(pkg.Info, c, sel, typed); bad {
+					diags = append(diags, Diagnostic{
+						Pos:  m.Fset.Position(sel.Sel.Pos()),
+						Rule: rule,
+						Msg: fmt.Sprintf("field %s of %s is accessed atomically elsewhere; plain %s here can race (use the sync/atomic API, or confine the access to the type's constructor)",
+							field.Name(), types.TypeString(s.Recv(), types.RelativeTo(pkg.TPkg)), verb),
+					})
+				}
+				return true
+			})
+		}
+	}
+	sortDiags(diags)
+	return diags
+}
+
+// addressedField returns the field variable when arg is &x.f (possibly
+// parenthesized) selecting a struct field.
+func addressedField(info *types.Info, arg ast.Expr) *types.Var {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// plainAccess classifies how the field selector is consumed and reports
+// whether that consumption bypasses the sync/atomic API. Allowed uses:
+// calling a method of the atomic value (x.f.Load(), b.c[i].Add(1)),
+// taking the address of an atomic-typed field, passing a legacy field's
+// address to a sync/atomic function, and index-only ranges.
+func plainAccess(info *types.Info, c cursor, sel *ast.SelectorExpr, typed bool) (string, bool) {
+	child := ast.Node(sel)
+	i := 0
+	for {
+		p := c.parent(i)
+		switch pp := p.(type) {
+		case *ast.ParenExpr:
+			child, i = pp, i+1
+			continue
+		case *ast.IndexExpr:
+			if pp.X == child {
+				child, i = pp, i+1
+				continue
+			}
+		}
+		break
+	}
+	switch p := c.parent(i).(type) {
+	case nil:
+		return "", false
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[p]; ok && s.Kind() == types.MethodVal {
+			return "", false // the atomic API
+		}
+		return "read", true
+	case *ast.UnaryExpr:
+		if p.Op != token.AND {
+			return "read", true
+		}
+		if typed {
+			return "", false // &x.f of an atomic-typed field: still atomic-only access
+		}
+		// Legacy field: the address must feed a sync/atomic call directly.
+		if call, ok := c.parent(i + 1).(*ast.CallExpr); ok {
+			if fn := calleeFunc(info, call); fn != nil && isAtomicPkg(fn.Pkg()) {
+				return "", false
+			}
+		}
+		return "address escape", true
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == child {
+				return "write", true
+			}
+		}
+		return "read", true
+	case *ast.IncDecStmt:
+		return "write", true
+	case *ast.RangeStmt:
+		if p.X == child && p.Value == nil {
+			return "", false // index-only range copies no elements
+		}
+		return "read", true
+	default:
+		return "read", true
+	}
+}
+
+// inConstructor reports whether the access happens inside a constructor
+// (a function whose name starts with "new"/"New") of the package declaring
+// the field — the one place plain initialization is legitimate, before the
+// value is shared.
+func inConstructor(c cursor, pkg *Package, field *types.Var) bool {
+	if field.Pkg() != pkg.TPkg {
+		return false
+	}
+	for i := 0; ; i++ {
+		p := c.parent(i)
+		if p == nil {
+			return false
+		}
+		if fd, ok := p.(*ast.FuncDecl); ok {
+			return strings.HasPrefix(strings.ToLower(fd.Name.Name), "new")
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hookguard enforces //dps:hook: every call through a marked hook field —
+// a nilable fault-injection or tracing hook such as Ring.claimFault,
+// Thread.chaos or Runtime.tracer — must be dominated by a check proving
+// the hook is set. An unguarded call is a latent nil-pointer panic on the
+// delegation fast path that only fires when the hook is absent, i.e. in
+// production rather than under test.
+//
+// The dominating check is a nil comparison of the same selector path by
+// default, or, with //dps:hook guard=G, a read of the sibling boolean
+// field G (the pattern Runtime uses: `tracing` caches `tracer != nil` so
+// the fast path tests one bool). Recognized dominators:
+//
+//	if x.hook != nil { ... x.hook() ... }
+//	if x.hook == nil { return };  x.hook()
+//	x.hook != nil && x.hook()     (and `== nil ||` for the disjunction)
+//	if x.guard { ... x.hook.M() ... }   with //dps:hook guard=guard
+//
+// Matching is by selector path text (`t.rt.tracer`), so the check and the
+// call must spell the receiver the same way — which the runtime's hot
+// paths already do, and which keeps the rule dependency-free.
+func hookguard(m *Module) []Diagnostic {
+	const rule = "hookguard"
+	var diags []Diagnostic
+
+	// Pass 1 (module-wide): collect marked hook fields and their guards.
+	hooks := make(map[*types.Var]string) // field -> guard field name ("" = nil check)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					mk, ok := findMarker("hook", field.Doc, field.Comment)
+					if !ok {
+						continue
+					}
+					guard := ""
+					if g, ok := strings.CutPrefix(mk.Args, "guard="); ok {
+						guard = strings.TrimSpace(g)
+					} else if mk.Args != "" {
+						diags = append(diags, Diagnostic{
+							Pos:  m.Fset.Position(mk.Pos),
+							Rule: rule,
+							Msg:  fmt.Sprintf("bad //dps:hook argument %q (want nothing or guard=<field>)", mk.Args),
+						})
+					}
+					for _, name := range field.Names {
+						if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							hooks[v] = guard
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(hooks) == 0 {
+		sortDiags(diags)
+		return diags
+	}
+
+	// Pass 2 (module-wide): every use of a hook field that invokes it or
+	// reaches through it must be dominated by its guard.
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			walkParents(f, func(c cursor) bool {
+				sel, ok := c.node.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := pkg.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				field, ok := s.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				guard, marked := hooks[field]
+				if !marked {
+					return true
+				}
+				if !dereferencesHook(c, sel) {
+					return true // plain read, write, or nil comparison
+				}
+				hookPath, _ := selectorPath(sel)
+				if hookPath != "" && dominatedByGuard(c, hookPath, guardPathFor(sel, guard)) {
+					return true
+				}
+				what := "nil check of " + orSelf(hookPath, "the hook")
+				if guard != "" {
+					what = guardPathFor(sel, guard)
+					if what == "" {
+						what = guard
+					}
+				}
+				diags = append(diags, Diagnostic{
+					Pos:  m.Fset.Position(sel.Sel.Pos()),
+					Rule: rule,
+					Msg: fmt.Sprintf("call through hook field %s is not dominated by a check of %s (guard it, or hoist the hook into a checked local)",
+						field.Name(), what),
+				})
+				return true
+			})
+		}
+	}
+	sortDiags(diags)
+	return diags
+}
+
+func orSelf(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
+}
+
+// guardPathFor rewrites the hook selector's path to its sibling guard
+// field: t.rt.tracer + guard "tracing" -> t.rt.tracing. Empty when the
+// receiver has no stable path or no guard is configured.
+func guardPathFor(sel *ast.SelectorExpr, guard string) string {
+	if guard == "" {
+		return ""
+	}
+	base, ok := selectorPath(sel.X)
+	if !ok {
+		return ""
+	}
+	if base == "" {
+		return guard
+	}
+	return base + "." + guard
+}
+
+// dereferencesHook reports whether this occurrence of the hook selector
+// actually goes through the hook: it is called (x.hook(...)), or a member
+// is reached through it (x.hook.M(...), x.hook.M). Reads, writes, and
+// comparisons of the field value itself are fine without a guard.
+func dereferencesHook(c cursor, sel *ast.SelectorExpr) bool {
+	switch p := c.parent(0).(type) {
+	case *ast.CallExpr:
+		return p.Fun == sel // the hook is the callee
+	case *ast.SelectorExpr:
+		return p.X == sel // member access through the hook
+	}
+	return false
+}
+
+// dominatedByGuard walks the ancestor chain of the hook use looking for a
+// dominating guard: an if/&&/|| whose condition proves the hook is set on
+// the path reaching the use, or an earlier terminating `if <unset> { return }`
+// in an enclosing block.
+func dominatedByGuard(c cursor, hookPath, guardPath string) bool {
+	child := c.node
+	for i := 0; ; i++ {
+		p := c.parent(i)
+		if p == nil {
+			return false
+		}
+		switch p := p.(type) {
+		case *ast.IfStmt:
+			if ast.Node(p.Body) == child && condAsserts(p.Cond, hookPath, guardPath) {
+				return true
+			}
+			if p.Else == child && condRefutes(p.Cond, hookPath, guardPath) {
+				return true
+			}
+		case *ast.BinaryExpr:
+			if p.Y == child {
+				if p.Op == token.LAND && condAsserts(p.X, hookPath, guardPath) {
+					return true
+				}
+				if p.Op == token.LOR && condRefutes(p.X, hookPath, guardPath) {
+					return true
+				}
+			}
+		case *ast.BlockStmt:
+			if stmt, ok := child.(ast.Stmt); ok && earlyReturnGuard(p, stmt, hookPath, guardPath) {
+				return true
+			}
+		}
+		child = p
+	}
+}
+
+// condAsserts reports whether cond being true proves the hook is set:
+// `hookPath != nil`, a read of guardPath, or a conjunction containing
+// either.
+func condAsserts(cond ast.Expr, hookPath, guardPath string) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND {
+			return condAsserts(e.X, hookPath, guardPath) || condAsserts(e.Y, hookPath, guardPath)
+		}
+		if e.Op == token.NEQ {
+			return nilCompare(e, hookPath)
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		if guardPath != "" {
+			if p, ok := selectorPath(ast.Unparen(cond)); ok && p == guardPath {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// condRefutes reports whether cond being FALSE proves the hook is set:
+// `hookPath == nil`, `!guardPath`, or a disjunction of such tests.
+func condRefutes(cond ast.Expr, hookPath, guardPath string) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LOR {
+			return condRefutes(e.X, hookPath, guardPath) || condRefutes(e.Y, hookPath, guardPath)
+		}
+		if e.Op == token.EQL {
+			return nilCompare(e, hookPath)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT && guardPath != "" {
+			if p, ok := selectorPath(ast.Unparen(e.X)); ok && p == guardPath {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nilCompare reports whether the comparison's operands are the hook path
+// and a nil literal, in either order.
+func nilCompare(e *ast.BinaryExpr, hookPath string) bool {
+	isNil := func(x ast.Expr) bool {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	isHook := func(x ast.Expr) bool {
+		p, ok := selectorPath(ast.Unparen(x))
+		return ok && p == hookPath
+	}
+	return (isNil(e.X) && isHook(e.Y)) || (isHook(e.X) && isNil(e.Y))
+}
+
+// earlyReturnGuard reports whether a statement before `at` in block is a
+// terminating unset-check: `if <hook unset> { return / panic / branch }`,
+// which makes every later statement guard-dominated.
+func earlyReturnGuard(block *ast.BlockStmt, at ast.Stmt, hookPath, guardPath string) bool {
+	for _, stmt := range block.List {
+		if stmt == at {
+			return false
+		}
+		ifs, ok := stmt.(*ast.IfStmt)
+		if !ok || ifs.Else != nil || !condRefutes(ifs.Cond, hookPath, guardPath) {
+			continue
+		}
+		if terminates(ifs.Body) {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether the block's final statement unconditionally
+// leaves the enclosing function or loop iteration.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,91 @@
+// Package lint is dpslint: a dependency-free static-analysis pass that
+// machine-checks the delegation runtime's concurrency and hot-path
+// invariants. The DPS protocols only deliver their locality wins while
+// invariants the Go compiler cannot see hold everywhere — ring slots never
+// share a cache line, toggle/claim words are touched only through
+// sync/atomic, the delegation fast path stays allocation-free, wait loops
+// are bounded, and fault/tracing hooks stay nil-guarded. Before this
+// package those invariants lived in comments, a handful of AllocsPerRun
+// pins, and reviewer vigilance; dpslint turns each one into a diagnostic.
+//
+// The pass is built purely on go/ast, go/parser and go/types (go.mod gains
+// no dependencies) and loads every package in the module through a small
+// source importer (see load.go).
+//
+// # Rules and markers
+//
+// Every rule is keyed off a source marker, so checks are opt-in and the
+// marked code is self-documenting:
+//
+//	//dps:cacheline[=N]    (type)  padcheck: the type's size must be a whole
+//	                       multiple of the N-byte stride (default 64). On a
+//	                       generic type, every instantiation in the module
+//	                       is checked at its instantiation site.
+//	//dps:noalloc [via F]  (func)  noalloc: the function body must contain
+//	                       no allocating construct. "via F" records which
+//	                       directly-pinned function's AllocsPerRun test
+//	                       covers it at runtime (see pinsync.go).
+//	//dps:alloc-ok <why>   (line)  suppresses one noalloc diagnostic on the
+//	                       marked line, with justification.
+//	//dps:bounded-wait     (func)  names a bounded waiter: calling it
+//	                       satisfies the spinloop rule.
+//	//dps:spin-ok <why>    (line)  justifies one atomic-polling loop.
+//	//dps:hook [guard=G]   (field) hookguard: every call through the field
+//	                       must be dominated by a nil check of the field (or
+//	                       by a check of the sibling boolean field G).
+//	//dps:check r1 r2 ...  (package) opts the package in to the whole-package
+//	                       rules atomicmix and spinloop.
+//
+// padcheck, noalloc and hookguard need no package opt-in: their markers
+// are the opt-in. atomicmix and spinloop inspect unmarked code, so they
+// run only in packages carrying a //dps:check marker — the lock-free
+// baseline structures (internal/list, internal/skiplist, ...) spin and mix
+// accesses per their published algorithms and deliberately stay out.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one rule violation.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Run applies every analyzer rule to the loaded module and returns the
+// diagnostics sorted by position. The pin-sync check (pinsync.go) is
+// separate: it is parse-only and also reads test files.
+func Run(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	diags = append(diags, padcheck(m)...)
+	diags = append(diags, atomicmix(m)...)
+	diags = append(diags, noalloc(m)...)
+	diags = append(diags, spinloop(m)...)
+	diags = append(diags, hookguard(m)...)
+	sortDiags(diags)
+	return diags
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}

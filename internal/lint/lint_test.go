@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRE matches golden expectations in testdata:
+//
+//	// want rule "substring of the message"
+//	// want(+1) rule "substring"   (diagnostic expected N lines below)
+var wantRE = regexp.MustCompile(`^// want(?:\(([+-]\d+)\))? ([a-z]+) "([^"]*)"$`)
+
+type expectation struct {
+	file    string
+	line    int
+	rule    string
+	substr  string
+	matched bool
+}
+
+// TestGolden runs the full analyzer over each seeded testdata package and
+// matches diagnostics against the // want comments bidirectionally: every
+// diagnostic must be expected at its exact file:line, and every expectation
+// must fire.
+func TestGolden(t *testing.T) {
+	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, dir := range dirs {
+		seen[filepath.Base(dir)] = true
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			m, err := LoadDir(dir)
+			if err != nil {
+				t.Fatalf("LoadDir(%s): %v", dir, err)
+			}
+			diags := Run(m)
+			if len(diags) == 0 {
+				t.Fatalf("no diagnostics at all from %s; the rule is not firing", dir)
+			}
+
+			var wants []*expectation
+			for _, pkg := range m.Pkgs {
+				for _, f := range pkg.Files {
+					for _, cg := range f.Comments {
+						for _, c := range cg.List {
+							mm := wantRE.FindStringSubmatch(c.Text)
+							if mm == nil {
+								continue
+							}
+							off := 0
+							if mm[1] != "" {
+								off, _ = strconv.Atoi(mm[1])
+							}
+							pos := m.Fset.Position(c.Pos())
+							wants = append(wants, &expectation{
+								file:   filepath.Base(pos.Filename),
+								line:   pos.Line + off,
+								rule:   mm[2],
+								substr: mm[3],
+							})
+						}
+					}
+				}
+			}
+			if len(wants) == 0 {
+				t.Fatalf("no // want expectations found in %s", dir)
+			}
+
+			for _, d := range diags {
+				matched := false
+				for _, w := range wants {
+					if !w.matched &&
+						w.file == filepath.Base(d.Pos.Filename) &&
+						w.line == d.Pos.Line &&
+						w.rule == d.Rule &&
+						strings.Contains(d.Msg, w.substr) {
+						w.matched = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("expectation did not fire: %s:%d: %s %q", w.file, w.line, w.rule, w.substr)
+				}
+			}
+		})
+	}
+	for _, rule := range []string{"padcheck", "atomicmix", "noalloc", "spinloop", "hookguard"} {
+		if !seen[rule] {
+			t.Errorf("no golden package for rule %s under testdata/src", rule)
+		}
+	}
+}
+
+// TestRepoIsClean is the self-test: the annotated runtime must pass every
+// rule plus the marker/pin consistency check with zero diagnostics. If a
+// hot-path marker and its AllocsPerRun pin diverge, this test fails.
+func TestRepoIsClean(t *testing.T) {
+	m, err := LoadModule("../..")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	for _, d := range Run(m) {
+		t.Errorf("repo not lint-clean: %s", d)
+	}
+	pins, err := CheckPinSync("../..")
+	if err != nil {
+		t.Fatalf("CheckPinSync: %v", err)
+	}
+	for _, d := range pins {
+		t.Errorf("markers and pin tests diverged: %s", d)
+	}
+}
+
+// TestPinSyncDivergence seeds a throwaway module where markers and pins
+// disagree in all three directions and checks each divergence is reported.
+func TestPinSyncDivergence(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module pintest\n\ngo 1.22\n")
+	write("a.go", `package pintest
+
+// Unpinned claims the property but no pin test measures it.
+//
+//dps:noalloc
+func Unpinned() {}
+
+// Pinned is measured but carries no marker.
+func Pinned() {}
+
+// Transitive claims coverage through a pin that does not exist.
+//
+//dps:noalloc via Ghost
+func Transitive() {}
+`)
+	write("a_test.go", `package pintest
+
+import "testing"
+
+func TestPin(t *testing.T) {
+	if n := testing.AllocsPerRun(10, func() { Pinned() }); n != 0 {
+		t.Fatalf("allocs: %v", n)
+	}
+}
+`)
+
+	diags, err := CheckPinSync(dir)
+	if err != nil {
+		t.Fatalf("CheckPinSync: %v", err)
+	}
+	wants := []string{
+		`Unpinned is marked //dps:noalloc but no testing.AllocsPerRun closure calls it`,
+		`Pinned is pinned by testing.AllocsPerRun but its declaration is not marked`,
+		`via Ghost: Ghost is not itself a directly-marked`,
+	}
+	if len(diags) != len(wants) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("got %d pinsync diagnostics, want %d", len(diags), len(wants))
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Msg, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q", w)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Marker is one parsed //dps:<name> source marker.
+type Marker struct {
+	Name string // "cacheline", "noalloc", "spin-ok", ...
+	Args string // everything after the name, trimmed ("=128", "via ExecuteSync", ...)
+	Pos  token.Pos
+}
+
+const markerPrefix = "//dps:"
+
+// parseMarker parses one comment line as a marker, or returns false. A
+// marker comment is exactly "//dps:name" optionally followed by "=value"
+// or whitespace-separated arguments.
+func parseMarker(c *ast.Comment) (Marker, bool) {
+	text, ok := strings.CutPrefix(c.Text, markerPrefix)
+	if !ok {
+		return Marker{}, false
+	}
+	name := text
+	args := ""
+	if i := strings.IndexAny(text, " \t="); i >= 0 {
+		name = text[:i]
+		args = strings.TrimSpace(strings.TrimPrefix(text[i:], "="))
+	}
+	if name == "" {
+		return Marker{}, false
+	}
+	return Marker{Name: name, Args: args, Pos: c.Pos()}, true
+}
+
+// markersIn returns the markers of a comment group (nil-safe).
+func markersIn(cg *ast.CommentGroup) []Marker {
+	if cg == nil {
+		return nil
+	}
+	var ms []Marker
+	for _, c := range cg.List {
+		if m, ok := parseMarker(c); ok {
+			ms = append(ms, m)
+		}
+	}
+	return ms
+}
+
+// findMarker returns the first marker with the given name across the given
+// comment groups (a declaration's Doc and trailing line Comment).
+func findMarker(name string, groups ...*ast.CommentGroup) (Marker, bool) {
+	for _, g := range groups {
+		for _, m := range markersIn(g) {
+			if m.Name == name {
+				return m, true
+			}
+		}
+	}
+	return Marker{}, false
+}
+
+// packageChecks collects the rule names every //dps:check marker in the
+// files opts the package in to. Arguments are whitespace- or
+// comma-separated rule names.
+func packageChecks(files []*ast.File) map[string]bool {
+	checks := make(map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, m := range markersIn(cg) {
+				if m.Name != "check" {
+					continue
+				}
+				for _, r := range strings.FieldsFunc(m.Args, func(c rune) bool { return c == ',' || c == ' ' || c == '\t' }) {
+					checks[r] = true
+				}
+			}
+		}
+	}
+	return checks
+}
+
+// lineMarkers collects, per file line, the markers with the given name
+// anywhere in the file — the association mechanism for line-scoped
+// suppressions (//dps:spin-ok, //dps:alloc-ok), which may sit on the
+// offending line or on the line directly above it.
+func lineMarkers(fset *token.FileSet, f *ast.File, name string) map[int]Marker {
+	byLine := make(map[int]Marker)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m, ok := parseMarker(c)
+			if !ok || m.Name != name {
+				continue
+			}
+			byLine[fset.Position(c.Pos()).Line] = m
+		}
+	}
+	return byLine
+}
+
+// suppressedAt reports whether a line-scoped marker covers the construct
+// starting at line: the marker is on the same line or the line above.
+func suppressedAt(byLine map[int]Marker, line int) bool {
+	_, same := byLine[line]
+	_, above := byLine[line-1]
+	return same || above
+}
+
+// docOf returns the effective doc comment groups of a TypeSpec: its own
+// Doc and line Comment, plus the enclosing GenDecl's Doc when the decl
+// holds a single spec (where the parser hangs the comment on the decl).
+func typeSpecDocs(decl *ast.GenDecl, spec *ast.TypeSpec) []*ast.CommentGroup {
+	groups := []*ast.CommentGroup{spec.Doc, spec.Comment}
+	if len(decl.Specs) == 1 {
+		groups = append(groups, decl.Doc)
+	}
+	return groups
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// padcheck enforces //dps:cacheline[=N]: the marked type's size, as
+// computed by types.Sizes for the host architecture, must be a whole
+// multiple of the N-byte stride (default 64) — the contract that keeps
+// neighbouring ring slots and counter blocks from sharing a cache line.
+//
+// A marker on a generic type cannot be checked on the declaration (the
+// size depends on the type arguments), so it is enforced at every
+// instantiation in the module instead: whoever instantiates ring.Slot with
+// an unpadded payload gets the diagnostic at the instantiation site.
+func padcheck(m *Module) []Diagnostic {
+	const rule = "padcheck"
+	var diags []Diagnostic
+
+	// generics maps a marked generic type's TypeName to its stride.
+	generics := make(map[*types.TypeName]int64)
+
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, s := range gd.Specs {
+					spec, ok := s.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					mk, ok := findMarker("cacheline", typeSpecDocs(gd, spec)...)
+					if !ok {
+						continue
+					}
+					stride := int64(64)
+					if mk.Args != "" {
+						n, err := strconv.ParseInt(mk.Args, 10, 64)
+						if err != nil || n <= 0 {
+							diags = append(diags, Diagnostic{
+								Pos:  m.Fset.Position(mk.Pos),
+								Rule: rule,
+								Msg:  fmt.Sprintf("bad //dps:cacheline stride %q (want a positive integer)", mk.Args),
+							})
+							continue
+						}
+						stride = n
+					}
+					tn, ok := pkg.Info.Defs[spec.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					t := types.Unalias(tn.Type())
+					if named, ok := t.(*types.Named); ok &&
+						named.TypeParams().Len() > 0 && named.TypeArgs().Len() == 0 {
+						generics[named.Obj()] = stride
+						continue
+					}
+					if d, bad := checkSize(m, t, tn.Name(), stride, m.Fset.Position(spec.Name.Pos())); bad {
+						diags = append(diags, d)
+					}
+				}
+			}
+		}
+	}
+
+	if len(generics) == 0 {
+		return diags
+	}
+	// Second pass: audit every instantiation of the marked generic types.
+	// A given instantiated type is reported once, at its first site.
+	seen := make(map[string]bool)
+	for _, pkg := range m.Pkgs {
+		for id, inst := range pkg.Info.Instances {
+			obj, ok := pkg.Info.Uses[id].(*types.TypeName)
+			if !ok {
+				continue
+			}
+			origin := obj
+			if named, ok := types.Unalias(obj.Type()).(*types.Named); ok {
+				origin = named.Origin().Obj()
+			}
+			stride, marked := generics[origin]
+			if !marked || containsTypeParam(inst.Type) {
+				continue
+			}
+			name := types.TypeString(inst.Type, types.RelativeTo(pkg.TPkg))
+			key := fmt.Sprintf("%s%%%d", types.TypeString(inst.Type, nil), stride)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if d, bad := checkSize(m, inst.Type, name, stride, m.Fset.Position(id.Pos())); bad {
+				diags = append(diags, d)
+			}
+		}
+	}
+	return diags
+}
+
+// checkSize builds the diagnostic for a concrete type whose size is not a
+// stride multiple, naming the field after which padding must change.
+func checkSize(m *Module, t types.Type, name string, stride int64, pos token.Position) (Diagnostic, bool) {
+	size := m.Sizes.Sizeof(t)
+	rem := size % stride
+	if rem == 0 {
+		return Diagnostic{}, false
+	}
+	field := ""
+	if st, ok := t.Underlying().(*types.Struct); ok && st.NumFields() > 0 {
+		field = fmt.Sprintf(" after field %s", st.Field(st.NumFields()-1).Name())
+	}
+	return Diagnostic{
+		Pos:  pos,
+		Rule: "padcheck",
+		Msg: fmt.Sprintf("%s is %d bytes, not a multiple of the %d-byte stride (%d bytes short; adjust padding%s)",
+			name, size, stride, stride-rem, field),
+	}, true
+}
+
+// containsTypeParam reports whether t mentions an uninstantiated type
+// parameter, in which case its size is not computable.
+func containsTypeParam(t types.Type) bool {
+	switch t := types.Unalias(t).(type) {
+	case *types.TypeParam:
+		return true
+	case *types.Named:
+		if args := t.TypeArgs(); args != nil {
+			for i := 0; i < args.Len(); i++ {
+				if containsTypeParam(args.At(i)) {
+					return true
+				}
+			}
+		}
+		return t.TypeParams().Len() > 0 && t.TypeArgs().Len() == 0
+	case *types.Pointer:
+		return containsTypeParam(t.Elem())
+	case *types.Array:
+		return containsTypeParam(t.Elem())
+	case *types.Slice:
+		return containsTypeParam(t.Elem())
+	case *types.Map:
+		return containsTypeParam(t.Key()) || containsTypeParam(t.Elem())
+	case *types.Chan:
+		return containsTypeParam(t.Elem())
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsTypeParam(t.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CheckPinSync verifies the two-way contract between //dps:noalloc markers
+// and the AllocsPerRun pin tests, so neither can silently drift from the
+// other:
+//
+//   - every function carrying a direct //dps:noalloc marker must be called
+//     from inside some testing.AllocsPerRun closure — the marker claims a
+//     runtime property, and the pin is what actually measures it;
+//   - every function pinned by an AllocsPerRun closure must carry the
+//     direct marker — if it is worth pinning it is worth lint-checking;
+//   - every `//dps:noalloc via F` must name a directly-marked function —
+//     the "covered transitively by F's pin" claim must bottom out at a
+//     real pin.
+//
+// Matching is by bare function/method name, which is the right granularity
+// here: the pins drive one method on one receiver and the module does not
+// reuse hot-path method names across types. The scan is parse-only (it
+// must read _test.go files, which the type-checked Module excludes) and
+// covers the whole module containing dir.
+func CheckPinSync(dir string) ([]Diagnostic, error) {
+	root, _, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	direct := map[string]token.Position{} // direct //dps:noalloc markers
+	via := map[string][]token.Position{}  // via target -> marker sites
+	pinned := map[string]token.Position{} // names called under AllocsPerRun
+
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(d.Name(), "_test.go") {
+			collectPins(fset, f, pinned)
+		} else {
+			collectMarkers(fset, f, direct, via)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []Diagnostic
+	for name, pos := range direct {
+		if _, ok := pinned[name]; !ok {
+			diags = append(diags, Diagnostic{Pos: pos, Rule: "pinsync",
+				Msg: fmt.Sprintf("%s is marked //dps:noalloc but no testing.AllocsPerRun closure calls it; add a pin test or change the marker to //dps:noalloc via <pinned function>", name)})
+		}
+	}
+	for name, pos := range pinned {
+		if _, ok := direct[name]; !ok {
+			diags = append(diags, Diagnostic{Pos: pos, Rule: "pinsync",
+				Msg: fmt.Sprintf("%s is pinned by testing.AllocsPerRun but its declaration is not marked //dps:noalloc; the pin tests and markers have diverged", name)})
+		}
+	}
+	for target, sites := range via {
+		if _, ok := direct[target]; !ok {
+			for _, pos := range sites {
+				diags = append(diags, Diagnostic{Pos: pos, Rule: "pinsync",
+					Msg: fmt.Sprintf("//dps:noalloc via %s: %s is not itself a directly-marked //dps:noalloc function", target, target)})
+			}
+		}
+	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+// collectMarkers records the //dps:noalloc markers of one non-test file:
+// bare markers into direct, "via F" markers into via keyed by F.
+func collectMarkers(fset *token.FileSet, f *ast.File, direct map[string]token.Position, via map[string][]token.Position) {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		mk, ok := findMarker("noalloc", fd.Doc)
+		if !ok {
+			continue
+		}
+		if target, ok := strings.CutPrefix(mk.Args, "via "); ok {
+			target = strings.TrimSpace(target)
+			via[target] = append(via[target], fset.Position(mk.Pos))
+		} else {
+			direct[fd.Name.Name] = fset.Position(mk.Pos)
+		}
+	}
+}
+
+// collectPins records the bare names of functions called inside
+// testing.AllocsPerRun closures, skipping testing.T/B helpers and builtins.
+func collectPins(fset *token.FileSet, f *ast.File, pinned map[string]token.Position) {
+	skip := map[string]bool{
+		// testing.T / testing.B helpers that legitimately appear in pins.
+		"Fatal": true, "Fatalf": true, "Error": true, "Errorf": true,
+		"Fail": true, "FailNow": true, "Log": true, "Logf": true,
+		"Helper": true, "Skip": true, "Skipf": true, "SkipNow": true,
+		// builtins
+		"len": true, "cap": true, "make": true, "new": true, "append": true,
+		"copy": true, "delete": true, "panic": true, "print": true, "println": true,
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "AllocsPerRun" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "testing" {
+			return true
+		}
+		if len(call.Args) != 2 {
+			return true
+		}
+		lit, ok := call.Args[1].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var name string
+			var pos token.Pos
+			switch fun := ast.Unparen(inner.Fun).(type) {
+			case *ast.Ident:
+				name, pos = fun.Name, fun.Pos()
+			case *ast.SelectorExpr:
+				name, pos = fun.Sel.Name, fun.Sel.Pos()
+			default:
+				return true
+			}
+			if skip[name] {
+				return true
+			}
+			if _, seen := pinned[name]; !seen {
+				pinned[name] = fset.Position(pos)
+			}
+			return true
+		})
+		return true
+	})
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// spinloop forbids unbounded busy-wait loops on atomic state — the class
+// of bug the adaptive waiter (internal/core/wait.go) was built to remove:
+// a loop that polls an atomic word forever burns a core and wedges
+// silently when the other side stops making progress.
+//
+// A loop is a poll loop when its condition calls an atomic Load or
+// CompareAndSwap (directly, or through a depth-1 wrapper like
+// ring.Slot.Pending whose body performs the atomic load), or when it is an
+// infinite `for {}` whose body performs an atomic Load/CompareAndSwap
+// directly. A poll loop must either call a function marked
+// //dps:bounded-wait (the escalating waiter) in its body, or carry a
+// //dps:spin-ok justification on the loop's line or the line above.
+//
+// The rule inspects unmarked code, so it runs only in packages opted in
+// with //dps:check spinloop.
+func spinloop(m *Module) []Diagnostic {
+	const rule = "spinloop"
+	var diags []Diagnostic
+
+	// wrappers: functions whose own body performs an atomic Load/CAS — the
+	// depth-1 poll wrappers (Pending, TryClaim, ...). Built module-wide so
+	// cross-package wrappers are seen.
+	wrappers := make(map[*types.Func]bool)
+	// bounded: functions marked //dps:bounded-wait.
+	bounded := make(map[*types.Func]bool)
+	for _, pkg := range m.Pkgs {
+		funcBodies(pkg, func(fd *ast.FuncDecl, _ *ast.File) {
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				if _, marked := findMarker("bounded-wait", fd.Doc); marked {
+					bounded[fn] = true
+				}
+				if containsAtomicPoll(pkg.Info, fd.Body, true) != "" {
+					wrappers[fn] = true
+				}
+			}
+		})
+	}
+
+	for _, pkg := range m.Pkgs {
+		if !pkg.Checks[rule] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			okLines := lineMarkers(m.Fset, f, "spin-ok")
+			ast.Inspect(f, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok {
+					return true
+				}
+				var polled string
+				if loop.Cond != nil {
+					polled = pollInExpr(pkg.Info, loop.Cond, wrappers)
+				} else {
+					polled = containsAtomicPoll(pkg.Info, loop.Body, true)
+				}
+				if polled == "" {
+					return true
+				}
+				if callsBounded(pkg.Info, loop.Body, bounded) {
+					return true
+				}
+				if suppressedAt(okLines, m.Fset.Position(loop.Pos()).Line) {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:  m.Fset.Position(loop.Pos()),
+					Rule: rule,
+					Msg: fmt.Sprintf("for loop polls %s with no bound; call a //dps:bounded-wait waiter in the loop or justify with //dps:spin-ok",
+						polled),
+				})
+				return true
+			})
+		}
+	}
+	sortDiags(diags)
+	return diags
+}
+
+// pollInExpr names the first atomic poll in a loop condition: a direct
+// atomic Load/CompareAndSwap, or a call to a depth-1 wrapper.
+func pollInExpr(info *types.Info, e ast.Expr, wrappers map[*types.Func]bool) string {
+	found := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := directAtomicPoll(info, call); ok {
+			found = name
+			return false
+		}
+		if fn := calleeFunc(info, call); fn != nil && wrappers[fn] {
+			found = fn.Name() + " (which reads an atomic)"
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// containsAtomicPoll reports (by name) a direct atomic Load/CAS call under
+// n. With skipFuncLits set, nested function literals are not entered —
+// their bodies execute elsewhere.
+func containsAtomicPoll(info *types.Info, n ast.Node, skipFuncLits bool) string {
+	found := ""
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok && skipFuncLits {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := directAtomicPoll(info, call); ok {
+				found = name
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// directAtomicPoll matches calls that read or CAS atomic state: methods of
+// sync/atomic types named Load or CompareAndSwap, and the package-level
+// atomic.LoadX/CompareAndSwapX functions.
+func directAtomicPoll(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if name, ok := atomicMethodName(info, call); ok {
+		if name == "Load" || name == "CompareAndSwap" {
+			return "atomic " + name, true
+		}
+		return "", false
+	}
+	if fn := calleeFunc(info, call); fn != nil && isAtomicPkg(fn.Pkg()) {
+		if strings.HasPrefix(fn.Name(), "Load") || strings.HasPrefix(fn.Name(), "CompareAndSwap") {
+			return "atomic." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// callsBounded reports whether the loop body calls a //dps:bounded-wait
+// function.
+func callsBounded(info *types.Info, body *ast.BlockStmt, bounded map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(info, call); fn != nil && bounded[fn] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

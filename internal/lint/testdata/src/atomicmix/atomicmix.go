@@ -1,0 +1,44 @@
+// Package atomicmix seeds violations for dpslint's atomicmix rule: fields
+// accessed through sync/atomic anywhere must never be accessed plainly
+// outside their type's constructor.
+package atomicmix
+
+//dps:check atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	// n is atomic by type.
+	n atomic.Uint64
+	// leg is atomic by use: ok() passes its address to atomic.AddUint64.
+	leg uint64
+}
+
+// newCounter may touch the fields plainly: the value is not shared yet.
+func newCounter() *counter {
+	c := &counter{}
+	c.leg = 7
+	return c
+}
+
+// ok uses only the sync/atomic API.
+func ok(c *counter) uint64 {
+	atomic.AddUint64(&c.leg, 1)
+	return c.n.Load()
+}
+
+func badWrite(c *counter) {
+	c.leg++ // want atomicmix "plain write"
+}
+
+func badRead(c *counter) uint64 {
+	return c.leg // want atomicmix "plain read"
+}
+
+func badTypedWrite(c *counter) {
+	c.n = atomic.Uint64{} // want atomicmix "plain write"
+}
+
+func badEscape(c *counter) *uint64 {
+	return &c.leg // want atomicmix "plain address escape"
+}

@@ -1,0 +1,103 @@
+// Package hookguard seeds violations for dpslint's hookguard rule: every
+// call through a //dps:hook field must be dominated by a check proving the
+// hook is installed.
+package hookguard
+
+type tracer interface{ Event(n int) }
+
+type server struct {
+	//dps:hook
+	onDrop func(n int)
+
+	//dps:hook
+	check func() bool
+
+	// trace is guarded by the sibling boolean, the Runtime.tracer pattern.
+	//
+	//dps:hook guard=tracing
+	trace   tracer
+	tracing bool
+}
+
+func okIf(s *server) {
+	if s.onDrop != nil {
+		s.onDrop(1)
+	}
+}
+
+func okEarlyReturn(s *server) {
+	if s.onDrop == nil {
+		return
+	}
+	s.onDrop(2)
+}
+
+func okElse(s *server) {
+	if s.onDrop == nil {
+		_ = s
+	} else {
+		s.onDrop(3)
+	}
+}
+
+func okShortCircuit(s *server) bool {
+	return s.check != nil && s.check()
+}
+
+func okDisjunction(s *server) bool {
+	return s.check == nil || s.check()
+}
+
+func okBoolGuard(s *server) {
+	if s.tracing {
+		s.trace.Event(1)
+	}
+}
+
+func okNilCheckInsteadOfGuard(s *server) {
+	// A nil check of the hook itself also proves it is set, even when a
+	// cheaper boolean guard is configured.
+	if s.trace != nil {
+		s.trace.Event(2)
+	}
+}
+
+func okConjunction(s *server, busy bool) {
+	if busy && s.onDrop != nil {
+		s.onDrop(4)
+	}
+}
+
+func okReadsAndWrites(s *server, t tracer) {
+	s.trace = t
+	_ = s.onDrop == nil
+	f := s.onDrop // reading the field value needs no guard
+	if f != nil {
+		f(5)
+	}
+}
+
+func badCall(s *server) {
+	s.onDrop(6) // want hookguard "call through hook field onDrop is not dominated"
+}
+
+func badThrough(s *server) {
+	s.trace.Event(3) // want hookguard "call through hook field trace is not dominated"
+}
+
+func badMethodValue(s *server) func(int) {
+	return s.trace.Event // want hookguard "call through hook field trace is not dominated"
+}
+
+func badWrongPath(s *server, other *server) {
+	if other.onDrop != nil {
+		s.onDrop(7) // want hookguard "call through hook field onDrop is not dominated"
+	}
+}
+
+func badAfterUse(s *server) {
+	s.onDrop(8) // want hookguard "call through hook field onDrop is not dominated"
+	if s.onDrop == nil {
+		return
+	}
+}

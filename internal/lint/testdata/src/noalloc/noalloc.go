@@ -1,0 +1,55 @@
+// Package noalloc seeds violations for dpslint's noalloc rule: a
+// //dps:noalloc function must contain no allocating construct, unless the
+// line carries a //dps:alloc-ok justification.
+package noalloc
+
+import "fmt"
+
+var sink any
+
+type gadget struct{}
+
+func (gadget) poke() {}
+
+//dps:noalloc
+func bad(n int, g gadget) {
+	s := make([]int, n) // want noalloc "calls make"
+	_ = s
+	sink = n       // want noalloc "boxes a int into interface"
+	fmt.Println(n) // want noalloc "calls fmt.Println"
+	go g.poke()    // want noalloc "starts a goroutine"
+	f := func() {} // want noalloc "closure that may escape"
+	_ = f
+	m := g.poke // want noalloc "binds method value poke"
+	_ = m
+}
+
+//dps:noalloc
+func badConcat(a, b string) string {
+	return a + b // want noalloc "concatenates strings"
+}
+
+//dps:noalloc
+func badBoxedArg(n int) {
+	takesAny(n) // want noalloc "boxes a int into interface parameter"
+}
+
+func takesAny(a any) { _ = a }
+
+//dps:noalloc
+func okSuppressed(n int) []int {
+	//dps:alloc-ok callers invoke this once at setup, off the hot path
+	return make([]int, n)
+}
+
+//dps:noalloc
+func okPlain(n int, g gadget) int {
+	g.poke()       // direct method call: no bound method value
+	takesAny(nil)  // untyped nil boxes nothing
+	takesAny(&n)   // pointers are pointer-shaped: no boxing allocation
+	func() { n++ }() // immediately invoked literal stays on the stack
+	return n * 2
+}
+
+// unmarked may allocate freely: the rule is keyed on the marker.
+func unmarked() []int { return make([]int, 8) }

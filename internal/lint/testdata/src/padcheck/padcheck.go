@@ -1,0 +1,45 @@
+// Package padcheck seeds violations for dpslint's padcheck rule. The
+// `// want rule "substring"` comments are golden expectations checked by
+// lint_test.go; want(+N) anchors the expectation N lines below the comment.
+package padcheck
+
+// aligned is exactly one default (64-byte) stride: clean.
+//
+//dps:cacheline
+type aligned struct {
+	_ [64]byte
+}
+
+// crooked misses the default stride by four bytes.
+//
+//dps:cacheline
+type crooked struct { // want padcheck "crooked is 60 bytes, not a multiple of the 64-byte stride"
+	_ [60]byte
+}
+
+// wide is a whole 64-byte stride but is marked for the 128-byte stride.
+//
+//dps:cacheline=128
+type wide struct { // want padcheck "wide is 64 bytes, not a multiple of the 128-byte stride"
+	_ [64]byte
+}
+
+// want(+1) padcheck "bad //dps:cacheline stride"
+//dps:cacheline=banana
+type badstride struct {
+	_ [64]byte
+}
+
+// padded is generic, so the marker is enforced at each instantiation.
+//
+//dps:cacheline
+type padded[T any] struct {
+	val T
+	_   [48]byte
+}
+
+// A 16-byte payload lands the instantiation exactly on the stride: clean.
+type okInst = padded[[16]byte]
+
+// An 8-byte payload leaves the instantiation 8 bytes short.
+var _ padded[uint64] // want padcheck "not a multiple of the 64-byte stride"

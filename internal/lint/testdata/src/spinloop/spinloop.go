@@ -1,0 +1,72 @@
+// Package spinloop seeds violations for dpslint's spinloop rule: loops
+// polling atomic state must call a //dps:bounded-wait waiter or carry a
+// //dps:spin-ok justification.
+package spinloop
+
+//dps:check spinloop
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+var flag atomic.Bool
+
+var word uint32
+
+// pending is a depth-1 wrapper: its body performs the atomic load, so
+// loops polling it are poll loops too.
+func pending() bool { return flag.Load() }
+
+// pause is the sanctioned waiter.
+//
+//dps:bounded-wait
+func pause() { runtime.Gosched() }
+
+func badDirect() {
+	for !flag.Load() { // want spinloop "polls atomic Load"
+		runtime.Gosched()
+	}
+}
+
+func badWrapper() {
+	for pending() { // want spinloop "polls pending"
+		runtime.Gosched()
+	}
+}
+
+func badInfinite() {
+	for { // want spinloop "polls atomic Load"
+		if flag.Load() {
+			return
+		}
+	}
+}
+
+func badLegacy() {
+	for atomic.LoadUint32(&word) == 0 { // want spinloop "polls atomic.LoadUint32"
+		runtime.Gosched()
+	}
+}
+
+func okBounded() {
+	for !flag.Load() {
+		pause()
+	}
+}
+
+func okSuppressed() {
+	//dps:spin-ok exercised only in tests with a bounded peer
+	for !flag.Load() {
+		runtime.Gosched()
+	}
+}
+
+// okCounted polls nothing atomic in its condition.
+func okCounted(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

@@ -12,11 +12,15 @@
 // event into a counter block no other thread writes.
 package obs
 
+//dps:check atomicmix spinloop
+
 import (
 	"math/bits"
 	"sync/atomic"
 	"time"
 	"unsafe"
+
+	"dps/internal/ring"
 )
 
 // Counter indexes one event counter within a (thread, partition) block.
@@ -66,6 +70,8 @@ const blockStride = 128
 // thread writes a given block, so the only coherence traffic is snapshot
 // reads; padding to a whole number of strides keeps neighbouring blocks
 // from false-sharing.
+//
+//dps:cacheline=128
 type block struct {
 	c [NumCounters]atomic.Uint64
 	_ [blockPad]byte
@@ -82,6 +88,12 @@ const (
 	_ = -(unsafe.Sizeof(block{}) % blockStride)
 	_ = -(unsafe.Sizeof(histShard{}) % blockStride)
 )
+
+// The counter-block stride and the delegation transport's slot stride are
+// the same layout decision (two x86 cache lines, one prefetch pair) made in
+// two packages; pin them equal so one cannot drift from the other. Either
+// term overflows uint when they differ.
+const _ = uint(blockStride-ring.Stride) + uint(ring.Stride-blockStride)
 
 // Hist names one of the runtime's latency histograms.
 type Hist int
@@ -109,6 +121,8 @@ const NumBuckets = 40
 
 // histShard is one thread's shard of one histogram, padded like the
 // counter blocks so recording threads never false-share.
+//
+//dps:cacheline=128
 type histShard struct {
 	buckets [NumBuckets]atomic.Uint64
 	max     atomic.Uint64
@@ -187,6 +201,8 @@ type Stamp struct{ t time.Time }
 // Start captures the clock for a latency measurement — the single time
 // source consulted per operation side. With timing disabled it returns the
 // zero Stamp without reading the clock.
+//
+//dps:noalloc via ExecuteSync
 func (r *Recorder) Start() Stamp {
 	if !r.timed {
 		return Stamp{}
@@ -196,6 +212,8 @@ func (r *Recorder) Start() Stamp {
 
 // Since returns the elapsed time from a Start stamp, or 0 with timing
 // disabled (the duration then flows to Tracer hooks as zero).
+//
+//dps:noalloc via ExecuteSync
 func (r *Recorder) Since(s Stamp) time.Duration {
 	if !r.timed {
 		return 0
@@ -204,6 +222,8 @@ func (r *Recorder) Since(s Stamp) time.Duration {
 }
 
 // Add adds n to counter c of thread tid's block for partition part.
+//
+//dps:noalloc
 func (r *Recorder) Add(tid, part int, c Counter, n uint64) {
 	r.blocks[tid*r.parts+part].c[c].Add(n)
 }
@@ -227,6 +247,8 @@ func (r *Recorder) PartitionProgress(part int) uint64 {
 // Observe records one duration into thread tid's shard of histogram h.
 // It is a no-op with timing disabled, keeping histogram counts consistent
 // with the absence of measurements.
+//
+//dps:noalloc
 func (r *Recorder) Observe(tid int, h Hist, d time.Duration) {
 	if !r.timed {
 		return
@@ -237,6 +259,7 @@ func (r *Recorder) Observe(tid int, h Hist, d time.Duration) {
 	if d > 0 {
 		ns = uint64(d.Nanoseconds())
 	}
+	//dps:spin-ok lock-free max update: each retry means another writer advanced max, so the loop is contention-bounded
 	for {
 		old := s.max.Load()
 		if ns <= old || s.max.CompareAndSwap(old, ns) {

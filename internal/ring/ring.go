@@ -34,9 +34,12 @@
 // a line.
 package ring
 
+//dps:check atomicmix spinloop
+
 import (
 	"runtime"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Stride is the padding unit for slots and cursors: two 64-byte lines,
@@ -78,6 +81,8 @@ type Result struct {
 
 // Slot is one padded request/completion line holding a caller-defined
 // payload T. The zero value is sender-owned and empty.
+//
+//dps:cacheline=128
 type Slot[T any] struct {
 	val    T
 	toggle atomic.Uint32
@@ -86,19 +91,27 @@ type Slot[T any] struct {
 // Payload returns the slot's payload. The caller must own the slot per the
 // toggle protocol (sender before Publish, server between Pending and
 // Release); the pointer is stable for the slot's lifetime.
+//
+//dps:noalloc via ExecuteSync
 func (s *Slot[T]) Payload() *T { return &s.val }
 
 // Pending reports whether the server side owns the slot (toggle set). The
 // atomic load acquires the owner's preceding payload writes.
+//
+//dps:noalloc via ExecuteSync
 func (s *Slot[T]) Pending() bool { return s.toggle.Load() == 1 }
 
 // Publish transfers the slot to the server side, releasing the sender's
 // payload writes.
+//
+//dps:noalloc via ExecuteSync
 func (s *Slot[T]) Publish() { s.toggle.Store(1) }
 
 // Release transfers the slot back to the sender side, releasing the
 // server's response writes. ffwd batches Releases to amortize response
 // coherence traffic; DPS releases per message.
+//
+//dps:noalloc via ExecuteSync
 func (s *Slot[T]) Release() { s.toggle.Store(0) }
 
 // Ring is a fixed-depth buffer of slots for one sender/receiver channel.
@@ -129,6 +142,8 @@ type Ring[T any] struct {
 	// claimFault, when set, makes TryClaim artificially fail — the
 	// fault-injection hook for dropped/starved serve claims. The nil guard
 	// is the only cost when no fault layer is installed.
+	//
+	//dps:hook
 	claimFault func() bool
 }
 
@@ -146,10 +161,14 @@ func (r *Ring[T]) Slot(i int) *Slot[T] { return &r.slots[i] }
 // SendSlot returns the slot at the send cursor. The sender checks
 // availability itself (Pending plus any sender-private reuse condition) and
 // calls AdvanceSend once it decides to use the slot. Sender-side only.
+//
+//dps:noalloc via ExecuteSync
 func (r *Ring[T]) SendSlot() *Slot[T] { return &r.slots[r.sendIdx] }
 
 // AdvanceSend moves the send cursor past the slot SendSlot returned.
 // Sender-side only.
+//
+//dps:noalloc via ExecuteSync
 func (r *Ring[T]) AdvanceSend() {
 	r.sendIdx++
 	if r.sendIdx == len(r.slots) {
@@ -167,6 +186,8 @@ func (r *Ring[T]) SetClaimFault(f func() bool) { r.claimFault = f }
 
 // TryClaim attempts to acquire the serve token without blocking. On success
 // the caller owns the receive cursor until Unclaim.
+//
+//dps:noalloc via ExecuteSync
 func (r *Ring[T]) TryClaim() bool {
 	if r.claimFault != nil && r.claimFault() {
 		return false
@@ -178,20 +199,29 @@ func (r *Ring[T]) TryClaim() bool {
 // It is used by the rescue path, where the caller must win the ring to
 // guarantee liveness; the wait is bounded by the claim holder's current
 // drain batch.
+//
+//dps:noalloc via ExecuteSync
 func (r *Ring[T]) Claim() {
+	//dps:spin-ok bounded by the claim holder's current drain batch
 	for !r.claim.CompareAndSwap(0, 1) {
 		runtime.Gosched()
 	}
 }
 
 // Unclaim releases the serve token acquired by TryClaim or Claim.
+//
+//dps:noalloc via ExecuteSync
 func (r *Ring[T]) Unclaim() { r.claim.Store(0) }
 
 // Head returns the slot at the receive cursor. Claim must be held.
+//
+//dps:noalloc via ExecuteSync
 func (r *Ring[T]) Head() *Slot[T] { return &r.slots[r.cursor] }
 
 // AdvanceHead moves the receive cursor forward one slot. Claim must be
 // held.
+//
+//dps:noalloc via ExecuteSync
 func (r *Ring[T]) AdvanceHead() {
 	r.cursor++
 	if r.cursor == len(r.slots) {
@@ -206,6 +236,8 @@ func (r *Ring[T]) AdvanceHead() {
 // batch keeps one claim from monopolizing a busy ring: the server
 // republishes its own liveness (completion checks, claim hand-off) every
 // max messages, mirroring ffwd's response batching.
+//
+//dps:noalloc via ExecuteSync
 func (r *Ring[T]) Drain(max int, serve func(*Slot[T])) int {
 	served := 0
 	for served < max {
@@ -236,3 +268,19 @@ func (r *Ring[T]) Occupancy() int {
 	}
 	return n
 }
+
+// Compile-time layout asserts on the ring header (the payload-dependent
+// slot-size asserts live with each payload type; dpslint's padcheck rule
+// re-checks them at every instantiation). Both expressions are constants:
+// a non-zero remainder or a negative difference overflows and fails the
+// build.
+//
+// The receive-side state must start on its own stride so a serve-side
+// cursor/claim update never invalidates the sender's line...
+const _ = -(unsafe.Offsetof(Ring[uint64]{}.cursor) % Stride)
+
+// ...and must sit in exactly the stride after the send cursor's — the
+// padding between them is one stride, no more (false-sharing safety
+// without wasting a line).
+const _ = uint64(unsafe.Offsetof(Ring[uint64]{}.cursor)/Stride) -
+	uint64(unsafe.Offsetof(Ring[uint64]{}.sendIdx)/Stride) - 1
