@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint chaos bench bench-compare
+.PHONY: build test check lint chaos bench bench-compare bench-json
 
 build:
 	$(GO) build ./...
@@ -43,3 +43,16 @@ bench:
 bench-compare:
 	$(GO) test -run '^$$' -bench 'BenchmarkDelegation' -benchmem ./internal/core/
 	$(GO) test -run '^$$' -bench 'BenchmarkFig3DelegationRoundTrip|BenchmarkAblationPeerServe' -benchmem -benchtime=0.5s .
+
+# bench-json runs the delegation transport benchmarks (the core latency
+# variants plus the idle-sender doorbell scaling set) and archives the
+# numbers — ns/op, allocs/op, and the async variant's ops/slot burst
+# occupancy — as BENCH_delegation.json via cmd/benchjson. CI runs it with
+# BENCHTIME=1x as a smoke test that the benchmarks and the parser stay
+# alive; real measurement runs use the default benchtime.
+BENCHTIME ?= 1s
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkDelegation|BenchmarkServePass' -benchmem -benchtime=$(BENCHTIME) ./internal/core/ > bench_delegation.out
+	$(GO) run ./cmd/benchjson -o BENCH_delegation.json bench_delegation.out
+	@rm bench_delegation.out
+	@echo wrote BENCH_delegation.json

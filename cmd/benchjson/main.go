@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document, so benchmark runs can be archived and diffed by machines (CI,
+// EXPERIMENTS.md tooling) instead of eyeballed. It understands the standard
+// benchmark line format — name, iteration count, then (value, unit) pairs —
+// which covers ns/op, B/op, allocs/op and custom b.ReportMetric units such
+// as the transport's ops/slot burst-occupancy ratio.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkDelegation -benchmem ./internal/core/ > bench.out
+//	benchjson -o BENCH_delegation.json bench.out
+//
+// With no file argument it reads stdin; with no -o it writes stdout.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. Metrics maps unit → value (e.g. "ns/op":
+// 2179, "ops/slot": 4). GOMAXPROCS suffixes ("-8") are kept in Name so two
+// runs on different hosts never silently merge.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted document: the parsed benchmark lines plus the
+// trailing goos/goarch/pkg header lines when present.
+type Report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "benchjson: at most one input file")
+		return 2
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+
+	rep, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		return 1
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return 0
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	return 0
+}
+
+func parse(in io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses "BenchmarkX-8  1000  123 ns/op  4.00 ops/slot ...":
+// a name, an iteration count, then (value, unit) pairs.
+func parseLine(line string) (Result, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Result{}, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("bad iteration count in %q: %v", line, err)
+	}
+	r := Result{Name: f[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("bad metric value in %q: %v", line, err)
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	return r, nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dps/internal/core
+cpu: whatever
+BenchmarkDelegation/sync-4         	  500000	      2179 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDelegation/async-4        	 2500000	       468.3 ns/op	         3.500 ops/slot	       0 B/op	       0 allocs/op
+PASS
+ok  	dps/internal/core	3.1s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "dps/internal/core" {
+		t.Fatalf("header = %q %q %q", rep.Goos, rep.Goarch, rep.Pkg)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(rep.Results))
+	}
+	sync := rep.Results[0]
+	if sync.Name != "BenchmarkDelegation/sync-4" || sync.Iterations != 500000 {
+		t.Fatalf("sync = %+v", sync)
+	}
+	if sync.Metrics["ns/op"] != 2179 || sync.Metrics["allocs/op"] != 0 {
+		t.Fatalf("sync metrics = %v", sync.Metrics)
+	}
+	async := rep.Results[1]
+	if async.Metrics["ops/slot"] != 3.5 || async.Metrics["ns/op"] != 468.3 {
+		t.Fatalf("async metrics = %v", async.Metrics)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX-4 notanumber 12 ns/op",
+		"BenchmarkX-4 100 12",      // dangling value with no unit
+		"BenchmarkX-4 100 x ns/op", // non-numeric metric
+	} {
+		if _, err := parse(strings.NewReader(line)); err == nil {
+			t.Errorf("parse(%q) accepted malformed input", line)
+		}
+	}
+}

@@ -30,8 +30,11 @@
 //
 // See Thread for the full operation API: Execute/Ready (asynchronous
 // completion records), ExecuteSync, ExecuteAsync (fire-and-forget with
-// Drain barriers), ExecuteLocal (run read-only ops on the caller), and
-// ExecuteAll (broadcast/range operations with user aggregation).
+// Flush publication and Drain barriers), ExecuteLocal (run read-only ops
+// on the caller), and ExecuteAll (broadcast/range operations with user
+// aggregation). Consecutive same-partition operations from one thread are
+// burst-packed into shared delegation slots; any blocking call (or Flush)
+// publishes the open burst.
 package dps
 
 import "dps/internal/core"
@@ -72,11 +75,15 @@ type (
 	// Snapshot is the structured view returned by Runtime.Metrics:
 	// Totals (the Metrics aggregate), PerPartition (the §5.2 partition
 	// breakdown: who executed, who delegated, queue back-pressure per
-	// locality), and Latency (delegation-latency histograms, the
-	// per-channel queueing delay §5.1 sweeps). Use Snapshot.Delta for
-	// interval reporting and Snapshot.String (or JSON marshalling) for
-	// tooling.
+	// locality), Latency (delegation-latency histograms, the per-channel
+	// queueing delay §5.1 sweeps), and Bursts (slot-occupancy summary of
+	// burst packing). Use Snapshot.Delta for interval reporting and
+	// Snapshot.String (or JSON marshalling) for tooling.
 	Snapshot = core.Snapshot
+	// BurstSummary is Snapshot.Bursts: how densely senders packed
+	// operations into published delegation slots (ops/slot is the
+	// amortization ratio burst packing is judged by).
+	BurstSummary = core.BurstSummary
 	// PartitionMetrics is one partition's slice of a Snapshot: the same
 	// counters attributed to the partition (sends by destination, serves
 	// by serving locality), plus Workers and RingOccupancy gauges — the

@@ -68,6 +68,18 @@ type Config struct {
 	// when a slot is free, forcing the §4.4 back-pressure path (serve,
 	// back off, retry) far more often than real occupancy would.
 	RingFullProb float64
+
+	// DropDoorbellProb makes a sender publish a slot WITHOUT ringing the
+	// destination locality's doorbell — the lost-wakeup fault. Correctness
+	// then rests entirely on the serve loop's periodic full-scan fallback
+	// (and the rescue machinery) finding the silent ring.
+	DropDoorbellProb float64
+
+	// SplitBurstProb makes a sender close its open burst early, so an
+	// operation that would have packed into the current slot claims a
+	// fresh one. It degrades burst occupancy toward one op per slot,
+	// exercising the same slot boundaries single-op traffic would.
+	SplitBurstProb float64
 }
 
 // Counts reports how many times each fault has fired.
@@ -77,6 +89,8 @@ type Counts struct {
 	OpDelays      uint64
 	OpPanics      uint64
 	RingFulls     uint64
+	DoorbellsLost uint64
+	BurstsSplit   uint64
 }
 
 // Injector makes fault decisions for one runtime. It is safe for
@@ -87,11 +101,11 @@ type Injector struct {
 
 	// thresholds precomputed from the Config probabilities so a draw is
 	// one hash and one compare, no floating point.
-	dropClaim, serveDelay, opDelay, opPanic, ringFull uint64
+	dropClaim, serveDelay, opDelay, opPanic, ringFull, dropBell, splitBurst uint64
 
 	serveDelayDur, opDelayDur time.Duration
 
-	claimsDropped, serveDelays, opDelays, opPanics, ringFulls atomic.Uint64
+	claimsDropped, serveDelays, opDelays, opPanics, ringFulls, doorbellsLost, burstsSplit atomic.Uint64
 }
 
 // New builds an injector from cfg.
@@ -103,6 +117,8 @@ func New(cfg Config) *Injector {
 		opDelay:       threshold(cfg.OpDelayProb),
 		opPanic:       threshold(cfg.OpPanicProb),
 		ringFull:      threshold(cfg.RingFullProb),
+		dropBell:      threshold(cfg.DropDoorbellProb),
+		splitBurst:    threshold(cfg.SplitBurstProb),
 		serveDelayDur: cfg.ServeDelay,
 		opDelayDur:    cfg.OpDelay,
 	}
@@ -184,6 +200,26 @@ func (i *Injector) RingFull() bool {
 	return true
 }
 
+// DropDoorbell reports whether a publish should skip ringing the
+// destination doorbell, simulating a lost wakeup.
+func (i *Injector) DropDoorbell() bool {
+	if !i.roll(i.dropBell) {
+		return false
+	}
+	i.doorbellsLost.Add(1)
+	return true
+}
+
+// SplitBurst reports whether a sender should close its open burst early
+// instead of packing the next operation into it.
+func (i *Injector) SplitBurst() bool {
+	if !i.roll(i.splitBurst) {
+		return false
+	}
+	i.burstsSplit.Add(1)
+	return true
+}
+
 // Counts snapshots how many times each fault has fired so far.
 func (i *Injector) Counts() Counts {
 	return Counts{
@@ -192,5 +228,7 @@ func (i *Injector) Counts() Counts {
 		OpDelays:      i.opDelays.Load(),
 		OpPanics:      i.opPanics.Load(),
 		RingFulls:     i.ringFulls.Load(),
+		DoorbellsLost: i.doorbellsLost.Load(),
+		BurstsSplit:   i.burstsSplit.Load(),
 	}
 }

@@ -238,8 +238,8 @@ func TestChaosStorm(t *testing.T) {
 	// threads each, under -race in CI. The invariant is total conservation:
 	// every add lands exactly once.
 	rt, inj := newChaosRuntime(t, 4, chaos.Config{
-		Seed:          16,
-		DropClaimProb: 0.2,
+		Seed:           16,
+		DropClaimProb:  0.2,
 		ServeDelayProb: 0.01, ServeDelay: 100 * time.Microsecond,
 		OpDelayProb: 0.005, OpDelay: 100 * time.Microsecond,
 		RingFullProb: 0.1,
@@ -440,14 +440,15 @@ func TestRescueRevivingServerGapBranch(t *testing.T) {
 	r := p.rings[t0.id].Load()
 	s1 := r.Slot(1)
 	m := s1.Payload()
-	m.op = opPut
-	m.key = keyFor(t, rt, 1)
-	m.args = Args{U: [4]uint64{1}}
 	m.part = p
-	m.consumed = false
+	m.n = 1
+	m.ops[0].op = opPut
+	m.ops[0].key = keyFor(t, rt, 1)
+	m.ops[0].args = Args{U: [4]uint64{1}}
+	m.ops[0].fire = true
 	s1.Publish()
 
-	t0.rescue(s1)      // blocking-claim rescue: must hit the gap and return
+	t0.rescue(s1)         // blocking-claim rescue: must hit the gap and return
 	t0.forceRescue(p, s1) // stall-escalation rescue: same gap, same bail-out
 	if !s1.Pending() {
 		t.Fatal("rescue served past the gap")
@@ -457,8 +458,70 @@ func TestRescueRevivingServerGapBranch(t *testing.T) {
 	}
 
 	// Undo the staged state so the ring is coherent for Unregister.
-	m.op = nil
+	m.ops[0].op = nil
 	m.part = nil
-	m.consumed = true
+	m.n = 0
 	s1.Release()
+}
+
+func TestChaosDoorbellLossFallback(t *testing.T) {
+	t.Parallel()
+	// Every doorbell ring is lost: senders publish slots but the server
+	// never sees a bit set, so the doorbell-driven serve pass finds
+	// nothing. The periodic full-scan fallback (serveFullScanEvery) must
+	// still drain the rings and complete every operation.
+	rt, inj := newChaosRuntime(t, 2, chaos.Config{Seed: 31, DropDoorbellProb: 1}, nil)
+	t0, err := rt.RegisterAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Unregister()
+	stop := startServer(t, rt, 1)
+	defer stop()
+
+	key := keyFor(t, rt, 1)
+	const n = 300
+	for i := 0; i < n; i++ {
+		if res := t0.ExecuteSync(key, opAdd, Args{U: [4]uint64{1}}); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	if res := t0.ExecuteSync(key, opGet, Args{}); res.U != n {
+		t.Fatalf("value = %d, want %d", res.U, n)
+	}
+	if c := inj.Counts(); c.DoorbellsLost == 0 {
+		t.Fatal("injector never dropped a doorbell ring")
+	}
+}
+
+func TestChaosSplitBurstsStillComplete(t *testing.T) {
+	t.Parallel()
+	// Every burst-join attempt is refused, so each operation that could
+	// have packed into the open burst is forced into its own slot instead.
+	// Correctness must not depend on packing: every async op still lands,
+	// and the burst histogram records only single-op slots.
+	rt, inj := newChaosRuntime(t, 2, chaos.Config{Seed: 32, SplitBurstProb: 1}, nil)
+	t0, err := rt.RegisterAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Unregister()
+	stop := startServer(t, rt, 1)
+	defer stop()
+
+	key := keyFor(t, rt, 1)
+	const n = 200
+	for i := 0; i < n; i++ {
+		t0.ExecuteAsync(key, opAdd, Args{U: [4]uint64{1}})
+	}
+	t0.Drain()
+	if res := t0.ExecuteSync(key, opGet, Args{}); res.U != n {
+		t.Fatalf("value = %d, want %d", res.U, n)
+	}
+	if c := inj.Counts(); c.BurstsSplit == 0 {
+		t.Fatal("injector never split a burst")
+	}
+	if b := rt.Metrics().Bursts; b.Slots != b.Ops {
+		t.Fatalf("bursts = %+v: split-everything run must publish only single-op slots", b)
+	}
 }

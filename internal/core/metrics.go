@@ -17,6 +17,9 @@ type (
 	HistogramSummary = obs.HistogramSummary
 	// LatencySummaries groups the runtime's three latency histograms.
 	LatencySummaries = obs.LatencySummaries
+	// BurstSummary aggregates the burst-occupancy histogram: how many
+	// operations each published delegation slot carried (Snapshot.Bursts).
+	BurstSummary = obs.BurstSummary
 	// Tracer is the pluggable per-event hook interface (Config.Tracer).
 	Tracer = obs.Tracer
 	// NopTracer is a Tracer that ignores every event; embed it to
@@ -37,9 +40,11 @@ func (rt *Runtime) Metrics() Snapshot {
 	return s
 }
 
-// ringOccupancy counts requests currently pending in the partition's rings
-// across all sender threads. It reads each slot's toggle without claiming
-// the rings, so the result is a racy gauge — exact only in quiescence.
+// ringOccupancy counts delegation slots currently in flight in the
+// partition's rings across all sender threads (each slot carries up to a
+// burst of operations; open unpublished bursts are not in flight). It reads
+// each slot's toggle without claiming the rings, so the result is a racy
+// gauge — exact only in quiescence.
 func (p *Partition) ringOccupancy() int {
 	n := 0
 	for i := range p.rings {

@@ -46,6 +46,8 @@ func TestPerPartitionAttribution(t *testing.T) {
 		sum.Served += pm.Served
 		sum.RingFullWaits += pm.RingFullWaits
 		sum.Rescued += pm.Rescued
+		sum.RingScansSkipped += pm.RingScansSkipped
+		sum.DoorbellWakes += pm.DoorbellWakes
 	}
 	if sum != s.Totals {
 		t.Fatalf("per-partition sum %+v != totals %+v", sum, s.Totals)
@@ -125,6 +127,8 @@ func TestAttributionUnderChurn(t *testing.T) {
 		sum.Served += pm.Served
 		sum.RingFullWaits += pm.RingFullWaits
 		sum.Rescued += pm.Rescued
+		sum.RingScansSkipped += pm.RingScansSkipped
+		sum.DoorbellWakes += pm.DoorbellWakes
 	}
 	if sum != s.Totals {
 		t.Fatalf("per-partition sum %+v != totals %+v", sum, s.Totals)
@@ -263,7 +267,9 @@ func TestHotPathAllocations(t *testing.T) {
 func TestRingOccupancyGauge(t *testing.T) {
 	t.Parallel()
 	// Fill a ring with async sends while nobody serves the destination:
-	// until the ring is full, occupancy must match the number in flight.
+	// until the ring is full, occupancy must count the slots in flight —
+	// burstSize ops pack per slot, and the trailing open burst is not in
+	// flight until it is flushed.
 	rt, err := New(Config{Partitions: 2, RingDepth: 8, Init: newCounterInit()})
 	if err != nil {
 		t.Fatal(err)
@@ -282,12 +288,17 @@ func TestRingOccupancyGauge(t *testing.T) {
 	for rt.PartitionForKey(key).ID() != 1 {
 		key++
 	}
-	for i := 0; i < 5; i++ {
+	const ops = burstSize + 1 // one full slot plus a one-op open burst
+	for i := 0; i < ops; i++ {
 		t0.ExecuteAsync(key, opAdd, Args{U: [4]uint64{1}})
 	}
+	if got := rt.Metrics().PerPartition[1].RingOccupancy; got != 1 {
+		t.Errorf("partition 1 ring occupancy = %d, want 1 (open burst not in flight)", got)
+	}
+	t0.Flush()
 	s := rt.Metrics()
-	if got := s.PerPartition[1].RingOccupancy; got != 5 {
-		t.Errorf("partition 1 ring occupancy = %d, want 5", got)
+	if got := s.PerPartition[1].RingOccupancy; got != 2 {
+		t.Errorf("partition 1 ring occupancy after flush = %d, want 2", got)
 	}
 	if got := s.PerPartition[0].RingOccupancy; got != 0 {
 		t.Errorf("partition 0 ring occupancy = %d, want 0", got)

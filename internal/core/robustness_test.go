@@ -79,6 +79,7 @@ func TestAsyncPanicCrashPolicy(t *testing.T) {
 	defer t1.Unregister()
 
 	t0.ExecuteAsync(keyFor(t, rt, 1), opPanic, Args{})
+	t0.Flush() // publish the open burst without blocking on its completion
 	defer func() {
 		rec := recover()
 		info, ok := rec.(PanicInfo)

@@ -206,6 +206,11 @@ type Partition struct {
 	// lazily when the thread registers.
 	rings []atomic.Pointer[dring]
 
+	// bell is the partition's doorbell: bit tid is set when thread tid
+	// published work into rings[tid], so a serve pass visits only the
+	// rings of active senders instead of scanning the whole table.
+	bell *ring.Doorbell
+
 	// workers counts threads currently registered to this locality. When
 	// it is zero, Execute falls back to inline execution (there is nobody
 	// to serve the ring — see Thread.Execute).
@@ -296,6 +301,7 @@ func New(cfg Config) (*Runtime, error) {
 			hi:    hi,
 			rt:    rt,
 			rings: make([]atomic.Pointer[dring], cfg.MaxThreads),
+			bell:  ring.NewDoorbell(cfg.MaxThreads),
 		}
 		rt.parts[i] = p
 	}

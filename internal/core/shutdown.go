@@ -123,8 +123,10 @@ func (t *Thread) sweepPartition(p *Partition) int {
 		if r == nil || !r.TryClaim() {
 			continue
 		}
-		n += r.Drain(r.Depth(), func(s *slot) {
-			t.executeMessage(p, s)
+		// Bound in operations: a full ring of maximally packed bursts is
+		// Depth()*burstSize ops, and the sweep wants all of them per claim.
+		n += r.Drain(r.Depth()*burstSize, func(s *slot) int {
+			return t.executeMessage(p, s)
 		})
 		r.Unclaim()
 	}

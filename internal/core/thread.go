@@ -6,6 +6,7 @@ import (
 	"dps/internal/chaos"
 	"dps/internal/obs"
 	"dps/internal/parsec"
+	"dps/internal/ring"
 )
 
 // Thread is a registered DPS participant. All data-structure operations go
@@ -24,19 +25,34 @@ type Thread struct {
 	id       int
 	locality int
 
-	// outstanding tracks fire-and-forget async messages so Drain and
-	// Unregister can wait for them.
+	// open is the thread's open burst: a claimed, not-yet-published slot
+	// (always the most recently claimed slot of openPart's ring, so the
+	// server side never observes a gap) that consecutive same-partition
+	// operations pack into. flushOpen publishes it; every blocking entry
+	// point flushes before waiting so packed operations cannot be held
+	// back by an idle sender.
+	open     *slot
+	openPart *Partition
+
+	// outstanding tracks slots carrying fire-and-forget async messages so
+	// Drain and Unregister can wait for them (one entry per slot, however
+	// many async operations the burst packs).
 	outstanding []*slot
 
-	// abandoned holds slots of synchronous operations whose completion
+	// abandoned holds entries of synchronous operations whose completion
 	// timed out: the request is still in flight (or its unread result
-	// still occupies the slot), so the slot cannot be reused until the
-	// server releases it and reapAbandoned reclaims it.
-	abandoned []*slot
+	// still occupies the entry), so the slot cannot be reclaimed until the
+	// server releases it and reapAbandoned consumes the entry.
+	abandoned []abandonedRef
 
-	// serveCursor rotates the starting ring so a locality's threads tend
-	// to scan different senders first.
+	// serveCursor rotates the starting ring of the full-scan pass so a
+	// locality's threads tend to scan different senders first.
 	serveCursor int
+
+	// servePass counts serve passes; every serveFullScanEvery-th pass
+	// ignores the doorbell and scans the whole ring table, so a doorbell
+	// bit lost to a fault delays service instead of wedging it.
+	servePass uint64
 
 	smr *parsec.Thread
 
@@ -51,6 +67,18 @@ type Thread struct {
 	unregistered bool
 }
 
+// abandonedRef names one timed-out synchronous entry: the slot it rode in
+// and its index within the burst.
+type abandonedRef struct {
+	s   *slot
+	idx int
+}
+
+// serveFullScanEvery is the doorbell fallback cadence: one serve pass in
+// this many scans every registered ring regardless of doorbell state.
+// Power of two so the pass test is a mask.
+const serveFullScanEvery = 64
+
 // Completion is the completion record returned by Execute (§3.1). Ready
 // reports (and Result returns) the operation's outcome once the owning
 // locality has executed it.
@@ -64,6 +92,8 @@ type Completion struct {
 	// (local execution), in which case res already holds the result.
 	slot *slot
 	t    *Thread
+	// idx is the operation's entry index within the slot's burst.
+	idx  int
 	res  Result
 	done bool
 	// sent is the send-side clock stamp for the send→completion latency
@@ -150,6 +180,10 @@ func (t *Thread) runLocal(p *Partition, key uint64, op Op, args *Args) Result {
 // peer thread there executes it; the caller should poll it with Ready (or
 // block with Result), both of which serve requests delegated to this
 // thread's locality in the meantime.
+//
+// Consecutive Executes to the same partition pack into one burst slot; the
+// burst is published at the latest when any completion is polled, another
+// partition is targeted, or the burst fills.
 func (t *Thread) Execute(key uint64, op Op, args Args) *Completion {
 	t.checkLive()
 	p := t.partitionFor(key)
@@ -162,18 +196,20 @@ func (t *Thread) Execute(key uint64, op Op, args Args) *Completion {
 		return &Completion{t: t, res: t.execInline(p, key, op, &a), done: true}
 	}
 	sent := t.rt.rec.Start()
-	s := t.send(p, key, op, args, true)
+	s, idx := t.pack(p, key, op, args, false, time.Time{})
 	if s == nil {
 		return &Completion{t: t, res: Result{Err: ErrClosed}, done: true}
 	}
 	t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
-	return &Completion{slot: s, t: t, sent: sent}
+	return &Completion{slot: s, idx: idx, t: t, sent: sent}
 }
 
 // ExecuteSync is Execute followed by completion (§3.1 notes the synchronous
 // API "directly following execute with a loop on await_completion"). The
 // completion record lives on the caller's stack, so a remote synchronous
-// delegation allocates nothing.
+// delegation allocates nothing. A synchronous operation joins the open
+// burst when one targets the same partition — one slot claim covers the
+// whole run — and the burst is published before the await.
 //
 //dps:noalloc
 func (t *Thread) ExecuteSync(key uint64, op Op, args Args) Result {
@@ -184,12 +220,13 @@ func (t *Thread) ExecuteSync(key uint64, op Op, args Args) Result {
 		return t.execInline(p, key, op, &a)
 	}
 	sent := t.rt.rec.Start()
-	s := t.send(p, key, op, args, true)
+	s, idx := t.pack(p, key, op, args, false, time.Time{})
 	if s == nil {
 		return Result{Err: ErrClosed}
 	}
+	t.flushOpen()
 	t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
-	c := Completion{slot: s, t: t, sent: sent}
+	c := Completion{slot: s, idx: idx, t: t, sent: sent}
 	return c.Result()
 }
 
@@ -199,11 +236,11 @@ func (t *Thread) ExecuteSync(key uint64, op Op, args Args) Result {
 // returns ErrTimeout when the deadline expires first. A timed-out
 // operation may still execute later — the runtime then discards its result
 // and routes any panic it raises through the panic policy — but it holds
-// its ring slot until the owning locality releases it, so a locality that
-// stays wedged past every timeout eventually exerts ring-full
-// back-pressure on new sends. Local keys execute inline as plain function
-// calls and are not subject to the deadline. ErrClosed is returned if the
-// runtime shuts down during the wait.
+// its burst entry until the owning locality releases the slot, so a
+// locality that stays wedged past every timeout eventually exerts
+// ring-full back-pressure on new sends. Local keys execute inline as plain
+// function calls and are not subject to the deadline. ErrClosed is
+// returned if the runtime shuts down during the wait.
 func (t *Thread) ExecuteSyncTimeout(key uint64, op Op, args Args, timeout time.Duration) (Result, error) {
 	t.checkLive()
 	p := t.partitionFor(key)
@@ -213,23 +250,28 @@ func (t *Thread) ExecuteSyncTimeout(key uint64, op Op, args Args, timeout time.D
 	}
 	deadline := time.Now().Add(timeout)
 	sent := t.rt.rec.Start()
-	s := t.sendDeadline(p, key, op, args, true, deadline)
+	s, idx := t.pack(p, key, op, args, false, deadline)
 	if s == nil {
 		if t.rt.down.Load() {
 			return Result{Err: ErrClosed}, ErrClosed
 		}
 		return Result{}, ErrTimeout
 	}
+	t.flushOpen()
 	t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
-	c := Completion{slot: s, t: t, sent: sent}
+	c := Completion{slot: s, idx: idx, t: t, sent: sent}
 	return c.resultDeadline(deadline)
 }
 
 // ExecuteAsync delegates op without a completion record (§4.4): it returns
-// as soon as the request is in the destination ring. Results are discarded;
-// ordering to the same partition is preserved (the ring is FIFO), so
-// read-your-writes and monotonic-writes hold for subsequent operations from
-// this thread. Use Drain as the barrier before depending on completion.
+// as soon as the request is packed into a burst slot of the destination
+// ring. Consecutive asynchronous operations to the same partition share one
+// slot claim; the burst is published when it fills, when a different
+// partition (or a blocking call) intervenes, and at the latest by Drain.
+// Results are discarded; ordering to the same partition is preserved (the
+// ring is FIFO and bursts execute in pack order), so read-your-writes and
+// monotonic-writes hold for subsequent operations from this thread. Use
+// Drain as the barrier before depending on completion.
 //
 //dps:noalloc
 func (t *Thread) ExecuteAsync(key uint64, op Op, args Args) {
@@ -240,7 +282,7 @@ func (t *Thread) ExecuteAsync(key uint64, op Op, args Args) {
 		t.execInline(p, key, op, &a)
 		return
 	}
-	s := t.send(p, key, op, args, false)
+	s, _ := t.pack(p, key, op, args, true, time.Time{})
 	if s == nil {
 		// Shutdown raced the send; the operation is dropped, and the drop
 		// is visible in the Abandoned counter.
@@ -248,11 +290,6 @@ func (t *Thread) ExecuteAsync(key uint64, op Op, args Args) {
 		return
 	}
 	t.rt.rec.Add(t.id, p.id, obs.AsyncSend, 1)
-	//dps:alloc-ok amortized growth of the outstanding list is the documented 1-alloc baseline
-	t.outstanding = append(t.outstanding, s)
-	if len(t.outstanding) >= cap(t.outstanding) && len(t.outstanding) >= 32 {
-		t.compactOutstanding()
-	}
 }
 
 // ExecuteLocal runs op on the calling thread regardless of which locality
@@ -280,12 +317,13 @@ func (t *Thread) ExecutePartition(part int, key uint64, op Op, args Args) Result
 		return t.execInline(p, key, op, &a)
 	}
 	sent := t.rt.rec.Start()
-	s := t.send(p, key, op, args, true)
+	s, idx := t.pack(p, key, op, args, false, time.Time{})
 	if s == nil {
 		return Result{Err: ErrClosed}
 	}
+	t.flushOpen()
 	t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
-	c := Completion{slot: s, t: t, sent: sent}
+	c := Completion{slot: s, idx: idx, t: t, sent: sent}
 	return c.Result()
 }
 
@@ -305,13 +343,14 @@ func (t *Thread) ExecuteAll(op Op, args Args, agg func(results []Result) Result)
 			continue
 		}
 		sent := t.rt.rec.Start()
-		s := t.send(p, p.lo, op, args, true)
+		s, idx := t.pack(p, p.lo, op, args, false, time.Time{})
 		if s == nil {
 			completions[i] = Completion{t: t, res: Result{Err: ErrClosed}, done: true}
 			continue
 		}
+		t.flushOpen()
 		t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
-		completions[i] = Completion{slot: s, t: t, sent: sent}
+		completions[i] = Completion{slot: s, idx: idx, t: t, sent: sent}
 	}
 	results := make([]Result, n)
 	for i, p := range t.rt.parts {
@@ -334,16 +373,35 @@ func (t *Thread) ExecuteAll(op Op, args Args, agg func(results []Result) Result)
 	return agg(results)
 }
 
-// Drain blocks until every fire-and-forget asynchronous operation issued by
-// this thread has been executed, serving delegated requests while it waits.
-// It is the completion barrier §4.4 requires between dependent asynchronous
-// operations. Drain also reclaims the slots of timed-out synchronous
-// operations once their servers release them, so after Drain returns the
-// thread's rings are fully reusable (Unregister relies on this before
-// recycling the thread id). If the runtime shuts down mid-drain, Drain
-// stops waiting — the shutdown sweep owns the rings from then on.
+// Flush publishes the thread's open burst, if any, without blocking:
+// packed operations become visible to the destination locality and its
+// doorbell is rung. Execute and ExecuteAsync leave a burst open so
+// consecutive same-partition operations share one slot; every blocking
+// call (completion await, Drain, Serve) flushes implicitly, so Flush is
+// only needed when a sender goes quiet without ever blocking — e.g. a
+// producer that issues a few fire-and-forget operations and then leaves
+// the runtime alone.
+//
+//dps:noalloc via ExecuteSync
+func (t *Thread) Flush() {
+	t.checkLive()
+	t.flushOpen()
+}
+
+// Drain publishes any open burst, then blocks until every fire-and-forget
+// asynchronous operation issued by this thread has been executed, serving
+// delegated requests while it waits. It is the completion barrier §4.4
+// requires between dependent asynchronous operations. Drain also reclaims
+// the entries of timed-out synchronous operations once their servers
+// release them, so after Drain returns the thread's rings are fully
+// reusable (Unregister relies on this before recycling the thread id). If
+// the runtime shuts down mid-drain, Drain stops waiting — the shutdown
+// sweep owns the rings from then on.
+//
+//dps:noalloc
 func (t *Thread) Drain() {
 	t.checkLive()
+	t.flushOpen()
 	for _, s := range t.outstanding {
 		t.awaitServed(s)
 	}
@@ -352,7 +410,7 @@ func (t *Thread) Drain() {
 	}
 	t.outstanding = t.outstanding[:0]
 	for len(t.abandoned) > 0 {
-		t.awaitServed(t.abandoned[0])
+		t.awaitServed(t.abandoned[0].s)
 		if t.reapAbandoned() == 0 && t.rt.down.Load() {
 			break
 		}
@@ -383,11 +441,13 @@ func (t *Thread) awaitServed(s *slot) {
 	}
 }
 
-// compactOutstanding drops already-completed async messages.
+// compactOutstanding drops slots whose bursts have already been served.
+// The open slot is kept even though it is not yet pending: its async
+// entries still owe the Drain barrier a wait once it is published.
 func (t *Thread) compactOutstanding() {
 	kept := t.outstanding[:0]
 	for _, s := range t.outstanding {
-		if s.Pending() {
+		if s.Pending() || s == t.open {
 			kept = append(kept, s)
 		}
 	}
@@ -397,64 +457,157 @@ func (t *Thread) compactOutstanding() {
 	t.outstanding = kept
 }
 
-// send places a request in this thread's ring to partition p, serving its
-// own locality while the ring is full. Publishing the slot transfers
-// ownership to the server side (all payload writes happen-before). Returns
-// nil only if the runtime shuts down while the ring is full.
+// pack stages one operation toward partition p: it joins the open burst
+// when one targets p and has room, otherwise it publishes the open burst
+// (if any) and claims a fresh slot, waiting out ring-full back-pressure.
+// The returned slot is not yet published — the caller either leaves the
+// burst open for successors (Execute, ExecuteAsync) or calls flushOpen
+// before awaiting. A full burst is published immediately. Returns a nil
+// slot only if the runtime shut down (or the deadline expired) while the
+// ring was full — the operation was never staged.
+//
+// Invariant: the open slot is always the most recently claimed slot of its
+// ring, so the server side never observes a published slot behind an
+// unpublished one (Drain would stop at the gap and strand it).
 //
 //dps:noalloc via ExecuteSync
-func (t *Thread) send(p *Partition, key uint64, op Op, args Args, sync bool) *slot {
-	return t.sendDeadline(p, key, op, args, sync, time.Time{})
+func (t *Thread) pack(p *Partition, key uint64, op Op, args Args, fire bool, deadline time.Time) (*slot, int) {
+	if t.open != nil {
+		m := t.open.Payload()
+		if t.openPart == p && int(m.n) < burstSize &&
+			(t.chaos == nil || !t.chaos.SplitBurst()) {
+			s := t.open
+			idx := int(m.n)
+			t.fillEntry(m, idx, key, op, args, fire)
+			m.n++
+			if fire && !m.tracked {
+				m.tracked = true
+				t.noteOutstanding(s)
+			}
+			if t.rt.tracing {
+				t.rt.tracer.OnSend(t.id, p.id, key, !fire)
+			}
+			if int(m.n) == burstSize {
+				t.flushOpen()
+			}
+			return s, idx
+		}
+		t.flushOpen()
+	}
+	s := t.claimSlot(p, deadline)
+	if s == nil {
+		return nil, 0
+	}
+	m := s.Payload()
+	m.part = p
+	m.n = 1
+	m.tracked = false
+	t.fillEntry(m, 0, key, op, args, fire)
+	// The open pointer must be set before the outstanding note: noting can
+	// trigger compaction, and compaction keeps an unpublished slot only by
+	// recognizing it as the open burst. Noting first would let compaction
+	// silently drop the slot from the Drain barrier.
+	t.open, t.openPart = s, p
+	if fire {
+		m.tracked = true
+		t.noteOutstanding(s)
+	}
+	if t.rt.tracing {
+		t.rt.tracer.OnSend(t.id, p.id, key, !fire)
+	}
+	if burstSize == 1 {
+		t.flushOpen()
+	}
+	return s, 0
 }
 
-// sendDeadline is send with an optional enqueue deadline (zero means
-// none): a nil return means the ring stayed full until the deadline
-// expired or the runtime shut down — the request was never published.
+// fillEntry writes one operation into entry idx of a sender-owned burst.
 //
 //dps:noalloc via ExecuteSync
-func (t *Thread) sendDeadline(p *Partition, key uint64, op Op, args Args, sync bool, deadline time.Time) *slot {
+func (t *Thread) fillEntry(m *msg, idx int, key uint64, op Op, args Args, fire bool) {
+	e := &m.ops[idx]
+	e.op = op
+	e.key = key
+	e.args = args
+	e.res = Result{}
+	e.panicVal = nil
+	e.fire = fire
+	if !fire {
+		m.live++
+	}
+}
+
+// noteOutstanding registers a slot carrying fire-and-forget entries with
+// the Drain barrier, compacting the list when it grows.
+//
+//dps:noalloc via ExecuteSync
+func (t *Thread) noteOutstanding(s *slot) {
+	//dps:alloc-ok amortized growth of the outstanding list is the documented 1-alloc baseline
+	t.outstanding = append(t.outstanding, s)
+	if len(t.outstanding) >= cap(t.outstanding) && len(t.outstanding) >= 32 {
+		t.compactOutstanding()
+	}
+}
+
+// flushOpen publishes the thread's open burst, transferring the slot to
+// the server side (all entry writes happen-before) and ringing the
+// destination locality's doorbell so serving threads find the ring without
+// a full scan. No-op without an open burst.
+//
+//dps:noalloc via ExecuteSync
+func (t *Thread) flushOpen() {
+	s := t.open
+	if s == nil {
+		return
+	}
+	p := t.openPart
+	n := int(s.Payload().n)
+	t.open, t.openPart = nil, nil
+	s.Publish()
+	if t.chaos == nil || !t.chaos.DropDoorbell() {
+		p.bell.Set(t.id)
+	}
+	t.rt.rec.ObserveBurst(t.id, n)
+}
+
+// claimSlot acquires the next free slot of this thread's ring to partition
+// p, serving its own locality while the ring is full (§4.4: "the thread
+// waits for an available request slot, while performing operations
+// delegated to it"). The caller must have no open burst. A slot is free
+// once the server side has finished with it (toggle clear) and every
+// synchronous result it carried has been consumed (live == 0). Returns nil
+// only if the runtime shuts down — or the optional deadline (zero means
+// none) expires — while the ring is full.
+//
+//dps:noalloc via ExecuteSync
+func (t *Thread) claimSlot(p *Partition, deadline time.Time) *slot {
 	rt := t.rt
 	r := p.rings[t.id].Load()
 	var w waiter
 	for {
 		s := r.SendSlot()
 		m := s.Payload()
-		// A slot is free once the server side has finished with it
-		// (toggle clear) and its previous result, if any, has been
-		// consumed by its completion record. The chaos hook simulates a
-		// full ring to exercise the back-pressure path.
-		if !s.Pending() && m.consumed && (t.chaos == nil || !t.chaos.RingFull()) {
+		// The chaos hook simulates a full ring to exercise the
+		// back-pressure path.
+		if !s.Pending() && m.free() && (t.chaos == nil || !t.chaos.RingFull()) {
 			r.AdvanceSend()
-			m.op = op
-			m.key = key
-			m.args = args
-			m.res = Result{}
-			m.panicVal = nil
-			m.part = p
-			m.consumed = !sync
-			s.Publish()
-			if rt.tracing {
-				rt.tracer.OnSend(t.id, p.id, key, sync)
-			}
 			return s
 		}
 		if w.t == nil {
 			w = newWaiter(t, p)
 		}
-		// Ring full (next slot still owned by the server side, or its
-		// result unconsumed): serve our own locality instead of
-		// spinning (§4.4: "the thread waits for an available request
-		// slot, while performing operations delegated to it").
-		t.rt.rec.Add(t.id, p.id, obs.RingFull, 1)
-		if t.rt.tracing {
-			t.rt.tracer.OnRingFull(t.id, p.id)
+		// Ring full (next slot still owned by the server side, or a
+		// result unconsumed): serve our own locality instead of spinning.
+		rt.rec.Add(t.id, p.id, obs.RingFull, 1)
+		if rt.tracing {
+			rt.tracer.OnRingFull(t.id, p.id)
 		}
-		// A released-but-unconsumed slot belongs to a timed-out
-		// completion; reclaiming it may free the ring immediately.
+		// A released slot with unconsumed entries belongs to timed-out
+		// completions; reclaiming them may free the ring immediately.
 		if t.reapAbandoned() > 0 {
 			continue
 		}
-		if t.rt.down.Load() {
+		if rt.down.Load() {
 			return nil
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
@@ -471,16 +624,69 @@ func (t *Thread) sendDeadline(p *Partition, key uint64, op Op, args Args, sync b
 	}
 }
 
-// serve scans the rings of this thread's locality and executes pending
-// requests. It returns the number of requests executed. Each ring is
-// guarded by its claim token, so concurrent serving threads (or the
-// designated poller, §4.4) skip a claimed ring rather than contend; within
-// a ring, requests are executed in FIFO order, which preserves per-sender
-// ordering (read-your-writes, §3.3).
+// serve executes requests pending on this thread's locality and returns
+// how many operations it executed. Most passes are doorbell-driven — visit
+// only the sender rings whose bits are set, so the pass costs O(active
+// senders) — with every serveFullScanEvery-th pass falling back to a full
+// ring-table scan so the stall/rescue machinery (and any ring whose
+// doorbell bit was lost to a fault) is still found without a doorbell.
 //
 //dps:noalloc via ExecuteSync
 func (t *Thread) serve() int {
 	p := t.rt.parts[t.locality]
+	t.servePass++
+	if t.servePass&(serveFullScanEvery-1) == 0 {
+		return t.serveScan(p)
+	}
+	return t.serveBell(p)
+}
+
+// serveBell is the doorbell-driven serve pass: snapshot-and-clear each
+// bitmap word, visit only the rings whose bits were set, and re-arm the
+// bit for any ring left with work behind (claim held elsewhere, batch
+// bound hit) so the next pass returns to it.
+//
+//dps:noalloc via ExecuteSync
+func (t *Thread) serveBell(p *Partition) int {
+	served, visited := 0, 0
+	words := p.bell.Words()
+	for w := 0; w < words; w++ {
+		pending := p.bell.Collect(w)
+		for pending != 0 {
+			idx := ring.PopBit(w, &pending)
+			r := p.rings[idx].Load()
+			if r == nil {
+				// A bit with no ring: rung by a thread id whose rings were
+				// never created. Cannot happen today (rings outlive
+				// registration); drop defensively.
+				continue
+			}
+			visited++
+			n, more := t.serveRing(p, r)
+			served += n
+			if more {
+				p.bell.Set(idx)
+			}
+		}
+	}
+	t.rt.rec.Add(t.id, p.id, obs.RingScansSkipped, uint64(len(p.rings)-visited))
+	if visited > 0 {
+		t.rt.rec.Add(t.id, p.id, obs.DoorbellWakes, uint64(visited))
+	}
+	if served > 0 {
+		t.rt.rec.Add(t.id, p.id, obs.Served, uint64(served))
+	}
+	return served
+}
+
+// serveScan is the full-scan serve pass: visit every registered ring of
+// the locality in rotated order. It is the pre-doorbell behaviour, kept as
+// the periodic fallback that guarantees a ring is served even when its
+// doorbell bit was lost (chaos.DropDoorbell, or a server that died between
+// Collect and drain).
+//
+//dps:noalloc via ExecuteSync
+func (t *Thread) serveScan(p *Partition) int {
 	n := len(p.rings)
 	served := 0
 	t.serveCursor++
@@ -490,7 +696,8 @@ func (t *Thread) serve() int {
 		if r == nil {
 			continue
 		}
-		served += t.serveRing(p, r)
+		srv, _ := t.serveRing(p, r)
+		served += srv
 	}
 	if served > 0 {
 		t.rt.rec.Add(t.id, p.id, obs.Served, uint64(served))
@@ -498,25 +705,27 @@ func (t *Thread) serve() int {
 	return served
 }
 
-// serveRing drains up to Config.ServeBatch pending requests from one ring
-// in FIFO order under the ring's claim token. Bounding the batch keeps one
-// claim from monopolizing a busy ring: the server returns to polling its
-// own completions (and other senders' rings) every batch, mirroring ffwd's
-// response batching.
+// serveRing drains up to Config.ServeBatch pending operations from one
+// ring in FIFO order under the ring's claim token, and reports whether the
+// ring was left with visible work (so a doorbell-driven caller re-arms its
+// bit). Bounding the batch keeps one claim from monopolizing a busy ring:
+// the server returns to polling its own completions (and other senders'
+// rings) every batch of operations, mirroring ffwd's response batching.
 //
 //dps:noalloc via ExecuteSync
-func (t *Thread) serveRing(p *Partition, r *dring) int {
+func (t *Thread) serveRing(p *Partition, r *dring) (int, bool) {
 	if t.chaos != nil {
 		t.chaos.BeforeServe()
 	}
 	if !r.TryClaim() {
-		return 0
+		return 0, true
 	}
 	defer r.Unclaim()
 	//dps:alloc-ok the drain callback does not escape Drain; the remote 0-alloc pin proves it stays on the stack
-	return r.Drain(t.rt.cfg.ServeBatch, func(s *slot) {
-		t.executeMessage(p, s)
+	n := r.Drain(t.rt.cfg.ServeBatch, func(s *slot) int {
+		return t.executeMessage(p, s)
 	})
+	return n, r.Head().Pending()
 }
 
 // rescue handles the abandoned-locality case: if every thread of s's
@@ -559,7 +768,7 @@ func (t *Thread) forceRescue(p *Partition, s *slot) {
 // p, claimed by the caller — until s has been served or a gap shows a
 // reviving server took over.
 func (t *Thread) rescueDrain(p *Partition, r *dring, s *slot) {
-	//dps:spin-ok every iteration serves one request or returns at a gap, so progress is guaranteed
+	//dps:spin-ok every iteration serves one burst or returns at a gap, so progress is guaranteed
 	for s.Pending() {
 		h := r.Head()
 		if !h.Pending() {
@@ -567,67 +776,87 @@ func (t *Thread) rescueDrain(p *Partition, r *dring, s *slot) {
 			// reviving server must have taken over; let it finish.
 			return
 		}
-		t.executeMessage(p, h)
-		t.rt.rec.Add(t.id, p.id, obs.Rescued, 1)
+		n := t.executeMessage(p, h)
+		t.rt.rec.Add(t.id, p.id, obs.Rescued, uint64(n))
 		r.AdvanceHead()
 	}
 }
 
-// executeMessage runs a delegated request and publishes its completion.
-// The execution time lands in the served histogram (covering the rescue
-// path too) and fires Tracer.OnServe. Panics inside the operation are
-// captured, never raised on the serving thread: a live synchronous awaiter
-// re-raises the panic on its own thread via Completion.finish; a
-// fire-and-forget panic (which no completion will ever observe) routes
-// through the configured panic policy; a timed-out synchronous request's
-// panic routes through the policy when its sender reaps the slot.
+// executeMessage runs a delegated burst — every operation the slot packs,
+// in pack order — publishes the results and releases the slot once, and
+// returns the number of operations executed. Each operation's execution
+// time lands in the served histogram (covering the rescue path too) and
+// fires Tracer.OnServe. Panics inside an operation are captured per entry,
+// never raised on the serving thread — and never abort the rest of the
+// burst: a live synchronous awaiter re-raises its entry's panic on its own
+// thread via Completion.finish; a fire-and-forget panic (which no
+// completion will ever observe) routes through the configured panic
+// policy; a timed-out synchronous request's panic routes through the
+// policy when its sender reaps the entry.
 //
 //dps:noalloc via ExecuteSync
-func (t *Thread) executeMessage(p *Partition, s *slot) {
+func (t *Thread) executeMessage(p *Partition, s *slot) int {
 	m := s.Payload()
-	fireAndForget := m.consumed
-	key := m.key
-	start := t.rt.rec.Start()
-	func() {
-		defer func() {
-			if rec := recover(); rec != nil {
-				m.panicVal = rec
-				t.rt.rec.Add(t.id, p.id, obs.Panics, 1)
+	n := int(m.n)
+	// Fire-and-forget panics are copied out and routed only AFTER the
+	// release below: deliverPanic may itself panic (PanicCrash), and the
+	// slot must return to its sender either way or the sender's drain
+	// barrier wedges on a permanently-pending slot.
+	var orphaned [burstSize]PanicInfo
+	norphaned := 0
+	for i := 0; i < n; i++ {
+		e := &m.ops[i]
+		fire := e.fire
+		key := e.key
+		start := t.rt.rec.Start()
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					e.panicVal = rec
+					t.rt.rec.Add(t.id, p.id, obs.Panics, 1)
+				}
+			}()
+			if t.chaos != nil {
+				t.chaos.BeforeOp()
 			}
+			e.res = t.runLocal(p, e.key, e.op, &e.args)
 		}()
-		if t.chaos != nil {
-			t.chaos.BeforeOp()
+		d := t.rt.rec.Since(start)
+		pv := e.panicVal
+		e.op = nil
+		e.args.P = nil
+		if fire {
+			// Nobody will read a fire-and-forget result: drop its
+			// references before the release so the slot doesn't pin the
+			// op's result (and any captured panic) for GC until the
+			// sender happens to reuse it.
+			e.res = Result{}
+			e.panicVal = nil
+			if pv != nil {
+				orphaned[norphaned] = PanicInfo{Value: pv, ThreadID: t.id, Partition: p.id, Key: key, Async: true}
+				norphaned++
+			}
 		}
-		m.res = t.runLocal(p, m.key, m.op, &m.args)
-	}()
-	d := t.rt.rec.Since(start)
-	pv := m.panicVal
-	m.op = nil
-	m.args.P = nil
-	if fireAndForget {
-		// Nobody will read a fire-and-forget result: drop its references
-		// before the release so the slot doesn't pin the op's result (and
-		// any captured panic) for GC until the sender happens to reuse it.
-		m.res = Result{}
-		m.panicVal = nil
+		t.rt.rec.Observe(t.id, obs.HistServed, d)
+		if t.rt.tracing {
+			t.rt.tracer.OnServe(t.id, p.id, key, d)
+		}
 	}
 	s.Release()
-	t.rt.rec.Observe(t.id, obs.HistServed, d)
-	if t.rt.tracing {
-		t.rt.tracer.OnServe(t.id, p.id, key, d)
+	for i := 0; i < norphaned; i++ {
+		t.rt.deliverPanic(orphaned[i])
 	}
-	if fireAndForget && pv != nil {
-		t.rt.deliverPanic(PanicInfo{Value: pv, ThreadID: t.id, Partition: p.id, Key: key, Async: true})
-	}
+	return n
 }
 
-// Serve processes requests pending on the calling thread's locality and
-// returns how many were executed. It implements the liveness interface from
-// §4.4: an application can devote a thread (or a periodic callback) to
-// Serve so delegations complete even when all other locality threads are
-// blocked outside DPS.
+// Serve publishes any open burst, then processes requests pending on the
+// calling thread's locality and returns how many operations were executed.
+// It implements the liveness interface from §4.4: an application can
+// devote a thread (or a periodic callback) to Serve so delegations
+// complete even when all other locality threads are blocked outside DPS.
 func (t *Thread) Serve() int {
 	t.checkLive()
+	t.flushOpen()
 	return t.serve()
 }
 
@@ -635,7 +864,9 @@ func (t *Thread) Serve() int {
 // result and true if the operation has executed. While the operation is
 // still pending, Ready serves CheckRatio passes' worth of requests delegated
 // to the calling thread's locality — the overlap that lets all cores make
-// progress on data-structure work (§4.3) — and returns false.
+// progress on data-structure work (§4.3) — and returns false. Polling a
+// completion publishes the thread's open burst first, so a packed
+// operation can always be awaited.
 //
 // Ready panics with ErrUnregistered when the issuing thread has been
 // unregistered while the completion was pending: the completion's serving
@@ -652,6 +883,7 @@ func (c *Completion) Ready() (Result, bool) {
 	if c.t.unregistered {
 		panic(ErrUnregistered)
 	}
+	c.t.flushOpen()
 	for i := 0; i < c.t.rt.cfg.CheckRatio; i++ {
 		if !c.slot.Pending() {
 			c.finish()
@@ -701,8 +933,8 @@ func (c *Completion) Result() Result {
 // operation completed, ErrTimeout when the deadline expired first, or
 // ErrClosed when the runtime shut down during the wait. On ErrTimeout the
 // completion is abandoned: it is done (Err == ErrTimeout), the operation
-// may still execute later, its result is discarded, and its ring slot is
-// reclaimed by the issuing thread once the server releases it.
+// may still execute later, its result is discarded, and its burst entry is
+// reclaimed by the issuing thread once the server releases the slot.
 func (c *Completion) ResultTimeout(timeout time.Duration) (Result, error) {
 	return c.resultDeadline(time.Now().Add(timeout))
 }
@@ -737,67 +969,72 @@ func closedErr(res Result) error {
 
 // abandon gives up on a pending completion after a timeout. The in-flight
 // request cannot be recalled — the server side may execute it at any
-// moment — and its slot cannot be reused until the server releases it, so
-// the slot moves to the thread's abandoned list for reapAbandoned to
-// reclaim later. The completion itself resolves to ErrTimeout.
+// moment — and its entry cannot be reclaimed until the server releases the
+// slot, so the (slot, index) pair moves to the thread's abandoned list for
+// reapAbandoned to consume later. The completion itself resolves to
+// ErrTimeout.
 func (c *Completion) abandon() {
-	c.t.abandoned = append(c.t.abandoned, c.slot)
+	c.t.abandoned = append(c.t.abandoned, abandonedRef{s: c.slot, idx: c.idx})
 	c.t.rt.rec.Add(c.t.id, c.slot.Payload().part.id, obs.Abandoned, 1)
 	c.slot = nil
 	c.res = Result{Err: ErrTimeout}
 	c.done = true
 }
 
-// reapAbandoned reclaims abandoned slots whose servers have finished with
-// them: the stale result is discarded, a captured panic routes through the
-// panic policy (no completion will ever re-raise it), and the slot becomes
-// sendable again. Slots still pending stay on the list. Returns how many
-// slots were reclaimed.
+// reapAbandoned reclaims abandoned entries whose servers have finished
+// with them: the stale result is discarded, a captured panic routes
+// through the panic policy (no completion will ever re-raise it), and the
+// entry's slot moves one step closer to sendable (live reaches zero once
+// every entry is consumed). Entries in slots still pending stay on the
+// list. Returns how many entries were reclaimed.
 func (t *Thread) reapAbandoned() int {
 	if len(t.abandoned) == 0 {
 		return 0
 	}
 	kept := t.abandoned[:0]
 	reaped := 0
-	for _, s := range t.abandoned {
-		if s.Pending() {
-			kept = append(kept, s)
+	for _, a := range t.abandoned {
+		if a.s.Pending() {
+			kept = append(kept, a)
 			continue
 		}
-		m := s.Payload()
-		pv := m.panicVal
+		m := a.s.Payload()
+		e := &m.ops[a.idx]
+		pv := e.panicVal
 		part := m.part
-		key := m.key
-		m.res = Result{}
-		m.panicVal = nil
-		m.consumed = true
+		key := e.key
+		e.res = Result{}
+		e.panicVal = nil
+		m.live--
 		reaped++
 		if pv != nil {
 			t.rt.deliverPanic(PanicInfo{Value: pv, ThreadID: t.id, Partition: part.id, Key: key, Async: false})
 		}
 	}
 	for i := len(kept); i < len(t.abandoned); i++ {
-		t.abandoned[i] = nil
+		t.abandoned[i] = abandonedRef{}
 	}
 	t.abandoned = kept
 	return reaped
 }
 
-// finish copies the result out of the ring slot, clears the slot's
-// references (so it doesn't pin the result for GC until reuse), releases
-// the slot to the sender, records the send→completion latency, and
-// re-raises any panic captured from the operation.
+// finish copies the result out of the completion's burst entry, clears the
+// entry's references (so it doesn't pin the result for GC until reuse),
+// consumes the entry (the slot becomes claimable once its last live entry
+// is consumed), records the send→completion latency, and re-raises any
+// panic captured from the operation.
 //
 //dps:noalloc via ExecuteSync
 func (c *Completion) finish() {
 	m := c.slot.Payload()
-	c.res = m.res
-	pv := m.panicVal
+	e := &m.ops[c.idx]
+	c.res = e.res
+	pv := e.panicVal
 	part := m.part
-	key := m.key
-	m.res = Result{}
-	m.panicVal = nil
-	m.consumed = true
+	key := e.key
+	e.res = Result{}
+	e.panicVal = nil
+	m.live--
 	c.done = true
 	c.slot = nil
 	rt := c.t.rt

@@ -189,11 +189,14 @@ func TestAsyncSlotDropsResult(t *testing.T) {
 	r := rt.parts[1].rings[th.ID()].Load()
 	for i := 0; i < r.Depth(); i++ {
 		m := r.Slot(i).Payload()
-		if m.res.P != nil || m.res.U != 0 {
-			t.Errorf("slot %d retains async result %+v after release", i, m.res)
-		}
-		if m.panicVal != nil {
-			t.Errorf("slot %d retains panic value after release", i)
+		for j := range m.ops {
+			e := &m.ops[j]
+			if e.res.P != nil || e.res.U != 0 {
+				t.Errorf("slot %d entry %d retains async result %+v after release", i, j, e.res)
+			}
+			if e.panicVal != nil {
+				t.Errorf("slot %d entry %d retains panic value after release", i, j)
+			}
 		}
 	}
 	th.Unregister()
@@ -224,6 +227,144 @@ func TestRemoteExecuteSyncZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("remote ExecuteSync allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestPackedAsyncZeroAlloc pins the packed send path: a full burst of
+// remote fire-and-forget operations plus the Drain barrier — pack, claim,
+// publish, doorbell, await, reap — allocates nothing once the outstanding
+// list has warmed up.
+func TestPackedAsyncZeroAlloc(t *testing.T) {
+	rt := twoPartRuntime(t, DefaultRingDepth)
+	stop := startServer(t, rt, 1)
+	defer stop()
+
+	th, err := rt.RegisterAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Unregister()
+
+	for i := uint64(0); i < 100; i++ {
+		th.ExecuteAsync(1000+i%7, opNop, Args{U: [4]uint64{i}})
+	}
+	th.Drain()
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := uint64(0); i < burstSize; i++ {
+			th.ExecuteAsync(1000+i, opNop, Args{U: [4]uint64{i}})
+		}
+		th.Drain()
+	})
+	if allocs != 0 {
+		t.Errorf("packed ExecuteAsync+Drain allocated %.1f objects/burst, want 0", allocs)
+	}
+}
+
+// TestBurstPacksAsyncOps checks the packing arithmetic end to end: a dense
+// run of same-partition fire-and-forget operations must share slots at
+// burstSize ops each (the flush-at-full rule makes the split deterministic),
+// and the burst-occupancy snapshot must account for every operation.
+func TestBurstPacksAsyncOps(t *testing.T) {
+	t.Parallel()
+	rt := twoPartRuntime(t, DefaultRingDepth)
+	stop := startServer(t, rt, 1)
+	defer stop()
+
+	th, err := rt.RegisterAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Unregister()
+
+	const n = 10 // burstSize*2 full slots + one partial
+	for i := 0; i < n; i++ {
+		th.ExecuteAsync(1500, opAdd, Args{U: [4]uint64{1}})
+	}
+	th.Drain()
+	if res := th.ExecuteSync(1500, opGet, Args{}); res.U != n {
+		t.Fatalf("counter = %d, want %d", res.U, n)
+	}
+
+	bs := rt.Metrics().Bursts
+	// The trailing ExecuteSync is its own single-op burst.
+	wantSlots := uint64(n/burstSize + 1 + 1)
+	if bs.Slots != wantSlots || bs.Ops != n+1 {
+		t.Fatalf("bursts = %+v, want %d slots carrying %d ops", bs, wantSlots, n+1)
+	}
+	if bs.Buckets[burstSize] != n/burstSize {
+		t.Fatalf("full bursts = %d, want %d (%+v)", bs.Buckets[burstSize], n/burstSize, bs)
+	}
+	if got := bs.OpsPerSlot(); got <= 1 {
+		t.Fatalf("ops/slot = %.2f, want > 1", got)
+	}
+}
+
+// TestBurstWraparoundDepthOne drives packed bursts through a depth-1 ring:
+// every burst reuses the single slot, so entry state (results, live count,
+// fire flags) must be fully reset between claims, and synchronous
+// completions must read the right entry of the recycled slot.
+func TestBurstWraparoundDepthOne(t *testing.T) {
+	t.Parallel()
+	rt := twoPartRuntime(t, 1)
+	stop := startServer(t, rt, 1)
+	defer stop()
+
+	th, err := rt.RegisterAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Unregister()
+
+	const rounds = 100
+	for i := uint64(0); i < rounds; i++ {
+		// Full async burst through the single slot...
+		for j := 0; j < burstSize; j++ {
+			th.ExecuteAsync(1500, opAdd, Args{U: [4]uint64{1}})
+		}
+		// ...then a sync op that must claim the same slot after the burst
+		// fully recycles.
+		res := th.ExecuteSync(1000+i%7, opNop, Args{U: [4]uint64{i}})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if want := 1000 + i%7 + i; res.U != want {
+			t.Fatalf("round %d: got %d, want %d", i, res.U, want)
+		}
+	}
+	th.Drain()
+	if res := th.ExecuteSync(1500, opGet, Args{}); res.U != rounds*burstSize {
+		t.Fatalf("counter = %d, want %d", res.U, rounds*burstSize)
+	}
+}
+
+// TestMixedBurstCompletions packs several synchronous Executes into one
+// burst (Execute leaves the burst open) and checks each completion reads
+// its own entry — results must not smear across entries of a shared slot.
+func TestMixedBurstCompletions(t *testing.T) {
+	t.Parallel()
+	rt := twoPartRuntime(t, DefaultRingDepth)
+	stop := startServer(t, rt, 1)
+	defer stop()
+
+	th, err := rt.RegisterAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Unregister()
+
+	var cs [3]*Completion
+	for i := range cs {
+		cs[i] = th.Execute(1000+uint64(i), opNop, Args{U: [4]uint64{uint64(i) * 10}})
+	}
+	if cs[0].slot != cs[1].slot || cs[1].slot != cs[2].slot {
+		t.Fatal("consecutive same-partition Executes did not share a slot")
+	}
+	// Await in reverse order to exercise out-of-order entry consumption.
+	for i := len(cs) - 1; i >= 0; i-- {
+		res := cs[i].Result()
+		if want := 1000 + uint64(i) + uint64(i)*10; res.U != want {
+			t.Fatalf("completion %d: got %d, want %d", i, res.U, want)
+		}
 	}
 }
 
@@ -292,6 +433,50 @@ func BenchmarkDelegation(b *testing.B) {
 				th.ExecuteAsync(1000+uint64(i)%7, opNop, Args{U: [4]uint64{uint64(i)}})
 			}
 			th.Drain()
+			if s := th.rt.Metrics(); s.Bursts.Slots > 0 {
+				b.ReportMetric(s.Bursts.OpsPerSlot(), "ops/slot")
+			}
 		})
 	})
+}
+
+// TestDrainCoversBurstOpenDuringCompaction reproduces the outstanding-list
+// compaction hazard: with async-only traffic every burst's first entry notes
+// the freshly claimed slot, so the 32nd burst's claim-path note lands exactly
+// when len == cap == 32 and triggers compactOutstanding while the slot is
+// still unpublished. Compaction must recognize it as the open burst and keep
+// it — dropping it silently removes the trailing burst from the Drain
+// barrier and its fire-and-forget ops execute after Drain returns. The
+// destination locality has a registered but never-serving worker, so the
+// bursts execute only through Drain's own stall escalation: a concurrent
+// server cannot mask a dropped slot.
+func TestDrainCoversBurstOpenDuringCompaction(t *testing.T) {
+	t.Parallel()
+	rt := twoPartRuntime(t, 64)
+
+	idle, err := rt.RegisterAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Unregister()
+
+	th, err := rt.RegisterAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Unregister()
+
+	const n = 32 * burstSize // 32 bursts; the 32nd note compacts
+	for i := 0; i < n; i++ {
+		th.ExecuteAsync(1500, opAdd, Args{U: [4]uint64{1}})
+	}
+	th.Drain()
+
+	res := th.ExecuteLocal(1500, opGet, Args{})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.U != n {
+		t.Fatalf("after Drain: counter = %d, want %d (a burst escaped the drain barrier)", res.U, n)
+	}
 }

@@ -107,7 +107,7 @@ func (t *Thread) stalledOn(p *Partition, s *slot) {
 	if t.rt.tracing {
 		var key uint64
 		if s != nil {
-			key = s.Payload().key
+			key = s.Payload().ops[0].key
 		}
 		t.rt.tracer.OnStall(t.id, p.id, key)
 	}

@@ -124,6 +124,13 @@ func collectPins(fset *token.FileSet, f *ast.File, pinned map[string]token.Posit
 		// builtins
 		"len": true, "cap": true, "make": true, "new": true, "append": true,
 		"copy": true, "delete": true, "panic": true, "print": true, "println": true,
+		// predeclared types: a conversion like uint64(i) parses as a call
+		// but pins nothing.
+		"bool": true, "byte": true, "rune": true, "string": true,
+		"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
+		"uint": true, "uint8": true, "uint16": true, "uint32": true, "uint64": true,
+		"uintptr": true, "float32": true, "float64": true,
+		"complex64": true, "complex128": true, "any": true, "error": true,
 	}
 	ast.Inspect(f, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)

@@ -58,6 +58,13 @@ const (
 	// deadline expiry or runtime shutdown — whose results, if any, were
 	// discarded.
 	Abandoned
+	// RingScansSkipped counts sender rings a doorbell-driven serve pass did
+	// NOT visit (registered rings minus rung rings). It is the work the
+	// doorbell saves: the pre-doorbell loop polled every one of these.
+	RingScansSkipped
+	// DoorbellWakes counts sender rings visited because their doorbell bit
+	// was set (including re-armed bits for rings left with work behind).
+	DoorbellWakes
 	// NumCounters is the number of counters per block.
 	NumCounters
 )
@@ -131,6 +138,28 @@ type histShard struct {
 
 const histPad = (blockStride - (8*(NumBuckets+1))%blockStride) % blockStride
 
+// BurstBuckets sizes the burst-occupancy histogram: bucket n counts slots
+// published carrying exactly n operations (bucket 0 is unused; the last
+// bucket absorbs larger bursts if the transport's burst capacity ever
+// exceeds it). Sized so the shard's bucket array is half a stride and the
+// padded shard exactly one.
+const BurstBuckets = 8
+
+// burstShard is one thread's shard of the burst-occupancy histogram,
+// padded like the counter blocks so publishing threads never false-share.
+//
+//dps:cacheline=128
+type burstShard struct {
+	buckets [BurstBuckets]atomic.Uint64
+	_       [blockStride - 8*BurstBuckets]byte
+}
+
+// Compile-time assert: a burst shard is exactly one stride.
+const (
+	_ = blockStride - unsafe.Sizeof(burstShard{})
+	_ = unsafe.Sizeof(burstShard{}) - blockStride
+)
+
 // BucketOf returns the histogram bucket index for a duration.
 func BucketOf(d time.Duration) int {
 	ns := d.Nanoseconds()
@@ -173,6 +202,7 @@ type Recorder struct {
 	timed   bool
 	blocks  []block
 	hists   []histShard
+	bursts  []burstShard
 }
 
 // NewRecorder sizes the recording arrays for a runtime with the given
@@ -184,6 +214,7 @@ func NewRecorder(maxThreads, partitions int) *Recorder {
 		timed:   true,
 		blocks:  make([]block, maxThreads*partitions),
 		hists:   make([]histShard, maxThreads*int(NumHists)),
+		bursts:  make([]burstShard, maxThreads),
 	}
 }
 
@@ -268,6 +299,19 @@ func (r *Recorder) Observe(tid int, h Hist, d time.Duration) {
 	}
 }
 
+// ObserveBurst records that thread tid published a delegation slot packing
+// n operations. Unlike Observe it is not gated on timing — burst occupancy
+// is a count, not a latency, and the ops/slot ratio is the number the
+// packing optimization is judged by.
+//
+//dps:noalloc
+func (r *Recorder) ObserveBurst(tid, n int) {
+	if n >= BurstBuckets {
+		n = BurstBuckets - 1
+	}
+	r.bursts[tid].buckets[n].Add(1)
+}
+
 // Snapshot aggregates the recorder's counters and histograms. The caller
 // (Runtime.Metrics) fills in the gauge fields the recorder cannot know
 // (workers, ring occupancy).
@@ -289,6 +333,8 @@ func (r *Recorder) Snapshot() Snapshot {
 			pm.Stalls += b.c[Stalls].Load()
 			pm.Panics += b.c[Panics].Load()
 			pm.Abandoned += b.c[Abandoned].Load()
+			pm.RingScansSkipped += b.c[RingScansSkipped].Load()
+			pm.DoorbellWakes += b.c[DoorbellWakes].Load()
 		}
 	}
 	for _, pm := range s.PerPartition {
@@ -301,10 +347,21 @@ func (r *Recorder) Snapshot() Snapshot {
 		s.Totals.Stalls += pm.Stalls
 		s.Totals.Panics += pm.Panics
 		s.Totals.Abandoned += pm.Abandoned
+		s.Totals.RingScansSkipped += pm.RingScansSkipped
+		s.Totals.DoorbellWakes += pm.DoorbellWakes
 	}
 	s.Latency.LocalExec = r.summary(HistLocalExec)
 	s.Latency.SyncDelegation = r.summary(HistSyncDelegation)
 	s.Latency.Served = r.summary(HistServed)
+	for tid := 0; tid < r.threads; tid++ {
+		sh := &r.bursts[tid]
+		for n := 1; n < BurstBuckets; n++ {
+			c := sh.buckets[n].Load()
+			s.Bursts.Buckets[n] += c
+			s.Bursts.Slots += c
+			s.Bursts.Ops += c * uint64(n)
+		}
+	}
 	return s
 }
 

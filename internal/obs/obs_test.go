@@ -153,10 +153,17 @@ func TestSnapshotDelta(t *testing.T) {
 	r := NewRecorder(1, 2)
 	r.Add(0, 0, LocalExec, 10)
 	r.Observe(0, HistLocalExec, time.Microsecond)
+	r.Add(0, 0, RingScansSkipped, 100)
+	r.ObserveBurst(0, 1)
 	prev := r.Snapshot()
 
 	r.Add(0, 0, LocalExec, 4)
 	r.Add(0, 1, RemoteSend, 6)
+	r.Add(0, 0, RingScansSkipped, 40)
+	r.Add(0, 0, DoorbellWakes, 5)
+	r.ObserveBurst(0, 4)
+	r.ObserveBurst(0, 4)
+	r.ObserveBurst(0, 2)
 	r.Observe(0, HistLocalExec, 4*time.Microsecond)
 	r.Observe(0, HistLocalExec, 4*time.Microsecond)
 	cur := r.Snapshot()
@@ -171,6 +178,15 @@ func TestSnapshotDelta(t *testing.T) {
 	}
 	if d.PerPartition[1].Workers != 3 {
 		t.Errorf("delta dropped gauge: workers = %d", d.PerPartition[1].Workers)
+	}
+	if d.Totals.RingScansSkipped != 40 || d.Totals.DoorbellWakes != 5 {
+		t.Errorf("delta serving counters = %+v", d.Totals)
+	}
+	if b := d.Bursts; b.Slots != 3 || b.Ops != 10 || b.Buckets[4] != 2 || b.Buckets[2] != 1 {
+		t.Errorf("delta bursts = %+v, want 3 slots / 10 ops", b)
+	}
+	if got := d.Bursts.OpsPerSlot(); got < 3.3 || got > 3.4 {
+		t.Errorf("delta ops/slot = %v, want 10/3", got)
 	}
 	if d.Latency.LocalExec.Count != 2 {
 		t.Errorf("delta histogram count = %d, want 2", d.Latency.LocalExec.Count)
@@ -263,6 +279,11 @@ func TestRecordingDoesNotAllocate(t *testing.T) {
 		r.Observe(1, HistSyncDelegation, 3*time.Microsecond)
 	}); n != 0 {
 		t.Errorf("Observe allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		r.ObserveBurst(1, 3)
+	}); n != 0 {
+		t.Errorf("ObserveBurst allocates %v per op", n)
 	}
 }
 

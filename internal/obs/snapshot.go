@@ -36,6 +36,13 @@ type Totals struct {
 	// Abandoned counts requests their sender gave up on (deadline expiry
 	// or runtime shutdown).
 	Abandoned uint64
+	// RingScansSkipped counts sender rings serve passes did not have to
+	// visit because their doorbell bit was clear — the polling work the
+	// doorbell saves relative to a full ring-table scan.
+	RingScansSkipped uint64
+	// DoorbellWakes counts sender rings serve passes visited because their
+	// doorbell bit was set.
+	DoorbellWakes uint64
 }
 
 func (t Totals) sub(prev Totals) Totals {
@@ -49,7 +56,49 @@ func (t Totals) sub(prev Totals) Totals {
 		Stalls:        t.Stalls - prev.Stalls,
 		Panics:        t.Panics - prev.Panics,
 		Abandoned:     t.Abandoned - prev.Abandoned,
+
+		RingScansSkipped: t.RingScansSkipped - prev.RingScansSkipped,
+		DoorbellWakes:    t.DoorbellWakes - prev.DoorbellWakes,
 	}
+}
+
+// BurstSummary aggregates the burst-occupancy histogram: how many
+// operations each published delegation slot carried. OpsPerSlot is the
+// amortization ratio the burst-packing optimization is judged by — 1.0
+// means no packing, burstSize means every slot went out full.
+type BurstSummary struct {
+	// Buckets[n] counts slots published carrying exactly n operations
+	// (bucket 0 is unused; the last bucket absorbs larger bursts).
+	Buckets [BurstBuckets]uint64
+	// Slots is the total number of slots published.
+	Slots uint64
+	// Ops is the total number of operations those slots carried.
+	Ops uint64
+}
+
+// OpsPerSlot returns the mean operations per published slot (0 with no
+// slots published).
+func (bs BurstSummary) OpsPerSlot() float64 {
+	if bs.Slots == 0 {
+		return 0
+	}
+	return float64(bs.Ops) / float64(bs.Slots)
+}
+
+// Delta returns the burst activity recorded since prev.
+func (bs BurstSummary) Delta(prev BurstSummary) BurstSummary {
+	var d BurstSummary
+	for i := range d.Buckets {
+		d.Buckets[i] = bs.Buckets[i] - prev.Buckets[i]
+	}
+	d.Slots = bs.Slots - prev.Slots
+	d.Ops = bs.Ops - prev.Ops
+	return d
+}
+
+// String renders the summary as "slots=… ops=… ops/slot=…".
+func (bs BurstSummary) String() string {
+	return fmt.Sprintf("slots=%d ops=%d ops/slot=%.2f", bs.Slots, bs.Ops, bs.OpsPerSlot())
 }
 
 // PartitionMetrics is one partition's slice of a Snapshot. The embedded
@@ -63,10 +112,12 @@ type PartitionMetrics struct {
 	// Workers is the number of threads registered to the partition's
 	// locality at snapshot time (a gauge; Delta keeps the current value).
 	Workers int
-	// RingOccupancy is the number of in-flight requests sitting in the
-	// partition's rings at snapshot time, summed over sender threads (a
-	// gauge; Delta keeps the current value). Sustained occupancy near
-	// workers × ring depth means the locality is the bottleneck.
+	// RingOccupancy is the number of in-flight delegation slots sitting in
+	// the partition's rings at snapshot time, summed over sender threads
+	// (a gauge; Delta keeps the current value). Each slot carries up to a
+	// burst of operations; a sender's open (unpublished) burst is not in
+	// flight yet. Sustained occupancy near workers × ring depth means the
+	// locality is the bottleneck.
 	RingOccupancy int
 }
 
@@ -161,6 +212,9 @@ type Snapshot struct {
 	// Latency summarizes the local-exec, sync-delegation and served
 	// histograms.
 	Latency LatencySummaries
+	// Bursts summarizes burst occupancy: how densely senders packed
+	// operations into published delegation slots.
+	Bursts BurstSummary
 }
 
 // Delta returns the activity recorded between prev and s (prev must be an
@@ -181,6 +235,7 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	d.Latency.LocalExec = s.Latency.LocalExec.Delta(prev.Latency.LocalExec)
 	d.Latency.SyncDelegation = s.Latency.SyncDelegation.Delta(prev.Latency.SyncDelegation)
 	d.Latency.Served = s.Latency.Served.Delta(prev.Latency.Served)
+	d.Bursts = s.Bursts.Delta(prev.Bursts)
 	return d
 }
 
@@ -219,6 +274,8 @@ func (s Snapshot) String() string {
 	t := s.Totals
 	fmt.Fprintf(&b, "totals: local=%d remote=%d async=%d served=%d ringfull=%d rescued=%d stalls=%d panics=%d abandoned=%d\n",
 		t.LocalExecs, t.RemoteSends, t.AsyncSends, t.Served, t.RingFullWaits, t.Rescued, t.Stalls, t.Panics, t.Abandoned)
+	fmt.Fprintf(&b, "serving: wakes=%d scans-skipped=%d\n", t.DoorbellWakes, t.RingScansSkipped)
+	fmt.Fprintf(&b, "bursts: %s\n", s.Bursts)
 	fmt.Fprintf(&b, "latency sync-delegation: %s\n", s.Latency.SyncDelegation)
 	fmt.Fprintf(&b, "latency local-exec:      %s\n", s.Latency.LocalExec)
 	fmt.Fprintf(&b, "latency served:          %s\n", s.Latency.Served)

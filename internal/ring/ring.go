@@ -229,24 +229,27 @@ func (r *Ring[T]) AdvanceHead() {
 	}
 }
 
-// Drain serves up to max pending slots from the receive cursor in FIFO
-// order and returns how many it served. Claim must be held. serve must
+// Drain serves pending slots from the receive cursor in FIFO order until
+// the ring runs dry or at least max operations have been served, and
+// returns how many operations that was. Claim must be held. serve must
 // complete the slot protocol — publish the response and Release — before
-// returning; Drain advances the cursor after each callback. Bounding the
-// batch keeps one claim from monopolizing a busy ring: the server
-// republishes its own liveness (completion checks, claim hand-off) every
-// max messages, mirroring ffwd's response batching.
+// returning, and reports how many operations the slot carried (1 for
+// plain slots, the burst size for packed slots); Drain advances the cursor
+// after each callback. Bounding the batch in operations rather than slots
+// keeps one claim from monopolizing a busy ring regardless of how densely
+// senders pack: the server republishes its own liveness (completion
+// checks, claim hand-off) every max operations, mirroring ffwd's response
+// batching.
 //
 //dps:noalloc via ExecuteSync
-func (r *Ring[T]) Drain(max int, serve func(*Slot[T])) int {
+func (r *Ring[T]) Drain(max int, serve func(*Slot[T]) int) int {
 	served := 0
 	for served < max {
 		s := &r.slots[r.cursor]
 		if !s.Pending() {
 			break
 		}
-		serve(s)
-		served++
+		served += serve(s)
 		r.cursor++
 		if r.cursor == len(r.slots) {
 			r.cursor = 0

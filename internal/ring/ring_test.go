@@ -60,9 +60,10 @@ func TestWraparoundDepthOne(t *testing.T) {
 		if !r.TryClaim() {
 			t.Fatal("claim unavailable with no contention")
 		}
-		n := r.Drain(DefaultBatch, func(s *Slot[payload]) {
+		n := r.Drain(DefaultBatch, func(s *Slot[payload]) int {
 			got = append(got, s.Payload().seq)
 			s.Release()
+			return 1
 		})
 		r.Unclaim()
 		if n != 1 {
@@ -110,9 +111,10 @@ func TestDrainBatchBound(t *testing.T) {
 		s.Publish()
 	}
 	var got []uint64
-	serve := func(s *Slot[payload]) {
+	serve := func(s *Slot[payload]) int {
 		got = append(got, s.Payload().seq)
 		s.Release()
+		return 1
 	}
 	if !r.TryClaim() {
 		t.Fatal("claim failed")
@@ -214,10 +216,11 @@ func TestConcurrentSendServe(t *testing.T) {
 			runtime.Gosched()
 			continue
 		}
-		if r.Drain(DefaultBatch, func(s *Slot[payload]) {
+		if r.Drain(DefaultBatch, func(s *Slot[payload]) int {
 			sum += s.Payload().val
 			served++
 			s.Release()
+			return 1
 		}) == 0 {
 			runtime.Gosched()
 		}
