@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint chaos bench bench-compare bench-json
+.PHONY: build test check lint chaos bench bench-compare bench-json serve-smoke
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,14 @@ lint:
 # shutdown under load). Run it after touching any delegation wait loop.
 chaos:
 	$(GO) test -race -timeout 120s ./internal/chaos/...
-	$(GO) test -race -timeout 120s -run 'TestChaos|TestRescue' -v ./internal/core/...
+	$(GO) test -race -timeout 120s -run 'TestChaos|TestRescue' -v ./internal/core/... ./internal/server/...
+
+# serve-smoke is the network front door's end-to-end gate: build
+# cmd/mcdserver, start it, drive it for ~2s with the loadgen over real
+# sockets (mcdbench -net exits nonzero on any protocol error), then
+# SIGTERM and assert a clean drain. See scripts/serve_smoke.sh.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 bench:
 	$(GO) run ./cmd/dpsbench -all

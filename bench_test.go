@@ -442,14 +442,14 @@ func BenchmarkFig13Memcached(b *testing.B) {
 		}
 		defer h.Unregister()
 		for k := uint64(1); k <= items; k++ {
-			h.Set(k, val)
+			h.SetAsync(k, val)
 		}
 		h.Drain()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			j := i % len(trace.Keys)
 			if trace.Sets[j] {
-				h.Set(trace.Keys[j], val) // async, as in §5.3
+				h.SetAsync(trace.Keys[j], val) // async, as in §5.3
 			} else {
 				h.Get(trace.Keys[j])
 			}

@@ -1,12 +1,22 @@
 // Command mcdbench replays YCSB-style Zipfian traces (§5.3) against the
 // repository's real memcached variants on the host machine and reports
-// throughput and tail latency.
+// throughput and tail latency. Variants are selected by name through the
+// unified mcd.Open / mcd.Store API.
 //
 // Usage:
 //
 //	mcdbench -variant stock -threads 4 -items 100000 -set 0.01 -value 128
 //	mcdbench -variant dps -partitions 4 -threads 8
 //	mcdbench -variant dps-parsec -threads 8
+//
+// With -net the trace runs over real sockets instead: an in-process
+// memcached-protocol server fronts the variant and internal/server/loadgen
+// drives it with -conns concurrent connections, reporting the p50/p99/p999
+// SLO table per op class. With -addr the load targets an already-running
+// external server (e.g. cmd/mcdserver) and no in-process store is built.
+//
+//	mcdbench -net -variant dps -conns 1000 -reqs 200000
+//	mcdbench -net -addr 127.0.0.1:11211 -conns 1000
 package main
 
 import (
@@ -15,18 +25,14 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
-	"dps"
 	"dps/internal/mcd"
+	"dps/internal/server"
+	"dps/internal/server/loadgen"
 	"dps/internal/workload"
 )
-
-// client is the per-worker operation surface of any variant.
-type client interface {
-	Get(key uint64) ([]byte, bool)
-	Set(key uint64, val []byte) error
-}
 
 func main() {
 	os.Exit(run())
@@ -35,14 +41,24 @@ func main() {
 func run() int {
 	var (
 		variant    = flag.String("variant", "stock", "stock, parsec, ffwd, dps, dps-parsec")
-		threads    = flag.Int("threads", 4, "worker goroutines")
+		threads    = flag.Int("threads", 4, "worker goroutines (in-process mode)")
 		items      = flag.Int("items", 100000, "pre-populated items")
 		reqs       = flag.Int("reqs", 400000, "total requests in the trace")
 		setRatio   = flag.Float64("set", 0.01, "set fraction")
 		valueBytes = flag.Int("value", 128, "value size in bytes")
 		partitions = flag.Int("partitions", 4, "DPS partitions")
+		netMode    = flag.Bool("net", false, "drive the variant over real sockets via an in-process server")
+		addr       = flag.String("addr", "", "with -net: target an external server instead (host:port)")
+		conns      = flag.Int("conns", 64, "with -net: concurrent client connections")
+		pipeline   = flag.Int("pipeline", 8, "with -net: in-flight requests per connection")
+		sessions   = flag.Int("sessions", server.DefaultSessions, "with -net: server session pool size")
+		duration   = flag.Duration("duration", 0, "with -net: stop after this long instead of -reqs")
 	)
 	flag.Parse()
+
+	if *netMode || *addr != "" {
+		return runNet(*variant, *addr, *conns, *pipeline, *sessions, *items, *reqs, *setRatio, *valueBytes, *partitions, *duration)
+	}
 
 	val := make([]byte, *valueBytes)
 	for i := range val {
@@ -50,96 +66,38 @@ func run() int {
 	}
 	memLimit := int64(*items) * int64(*valueBytes+256) * 2
 
-	// mkClient returns a per-worker client plus its cleanup; populate
-	// seeds the cache through one client.
-	var mkClient func() (client, func())
-	var cleanup func()
-	var dpsCache *mcd.DPS
-	switch *variant {
-	case "stock":
-		c, err := mcd.NewStock(mcd.StockConfig{MemLimit: memLimit, Buckets: *items})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mcdbench:", err)
-			return 1
-		}
-		mkClient = func() (client, func()) { return stockClient{c}, func() {} }
-		cleanup = func() {}
-	case "parsec":
-		c, err := mcd.NewParSec(mcd.ParSecConfig{MemLimit: memLimit, Buckets: *items})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mcdbench:", err)
-			return 1
-		}
-		mkClient = func() (client, func()) { return parsecClient{c}, func() {} }
-		cleanup = func() {}
-	case "ffwd":
-		shard, err := mcd.NewStock(mcd.StockConfig{MemLimit: memLimit, Buckets: *items})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mcdbench:", err)
-			return 1
-		}
-		f, err := mcd.NewFFWD(shard)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mcdbench:", err)
-			return 1
-		}
-		mkClient = func() (client, func()) {
-			h, err := f.Register()
-			if err != nil {
-				panic(err)
-			}
-			return ffwdClient{h}, h.Unregister
-		}
-		cleanup = f.Close
-	case "dps", "dps-parsec":
-		cfg := mcd.DPSConfig{Partitions: *partitions, MaxThreads: *threads + 2}
-		if *variant == "dps-parsec" {
-			cfg.LocalGets = true
-			cfg.NewShard = func() (mcd.Cache, error) {
-				return mcd.NewParSec(mcd.ParSecConfig{MemLimit: memLimit / int64(*partitions), Buckets: *items / *partitions})
-			}
-		} else {
-			cfg.NewShard = func() (mcd.Cache, error) {
-				return mcd.NewStock(mcd.StockConfig{MemLimit: memLimit / int64(*partitions), Buckets: *items / *partitions})
-			}
-		}
-		d, err := mcd.NewDPS(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mcdbench:", err)
-			return 1
-		}
-		dpsCache = d
-		mkClient = func() (client, func()) {
-			h, err := d.Register()
-			if err != nil {
-				panic(err)
-			}
-			return dpsClient{h}, h.Unregister
-		}
-		cleanup = func() {}
-	default:
-		fmt.Fprintf(os.Stderr, "mcdbench: unknown variant %q\n", *variant)
+	store, err := mcd.Open(*variant, mcd.Config{
+		Partitions: *partitions,
+		MemLimit:   memLimit,
+		Buckets:    *items,
+		MaxThreads: *threads + 2,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcdbench:", err)
 		return 1
 	}
-	defer cleanup()
+	defer store.Close()
 
 	// Pre-populate (Zipf traces assume the working set exists, §5.3).
 	{
-		c, done := mkClient()
+		sess, err := store.Session()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcdbench:", err)
+			return 1
+		}
 		for k := 1; k <= *items; k++ {
-			if err := c.Set(uint64(k), val); err != nil {
+			if err := sess.Set(uint64(k), val); err != nil {
+				sess.Close()
 				fmt.Fprintln(os.Stderr, "mcdbench: populate:", err)
 				return 1
 			}
 		}
-		done()
+		sess.Close()
 	}
 
-	// Baseline snapshot so the DPS metrics report excludes population.
-	var base dps.Snapshot
-	if dpsCache != nil {
-		base = dpsCache.Runtime().Metrics()
-	}
+	// Baseline snapshot so the metrics report excludes population (zero
+	// for the variants without a DPS runtime).
+	base := store.Metrics()
 
 	tr, err := workload.NewTrace(*reqs, workload.NewZipf(uint64(*items), workload.DefaultTheta, 42), *setRatio, 43)
 	if err != nil {
@@ -154,18 +112,23 @@ func run() int {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			c, done := mkClient()
-			defer done()
+			sess, err := store.Session()
+			if err != nil {
+				panic(err)
+			}
+			defer sess.Close()
 			lo, hi := tr.Slice(tid, *threads)
 			sample := make([]time.Duration, 0, (hi-lo)/16+1)
 			for i := lo; i < hi; i++ {
 				t0 := time.Now()
 				if tr.Sets[i] {
-					if err := c.Set(tr.Keys[i], val); err != nil {
+					if err := sess.Set(tr.Keys[i], val); err != nil {
 						panic(err)
 					}
 				} else {
-					c.Get(tr.Keys[i])
+					if _, _, err := sess.Get(tr.Keys[i]); err != nil {
+						panic(err)
+					}
 				}
 				if i%16 == 0 {
 					sample = append(sample, time.Since(t0))
@@ -194,29 +157,104 @@ func run() int {
 	fmt.Printf("requests=%d elapsed=%v throughput=%.3f Mops/s\n",
 		*reqs, elapsed.Round(time.Millisecond), float64(*reqs)/elapsed.Seconds()/1e6)
 	fmt.Printf("latency p50=%v p99=%v p999=%v\n", p(0.50), p(0.99), p(0.999))
-	if dpsCache != nil {
-		fmt.Printf("\nruntime metrics (measurement interval):\n%s\n",
-			dpsCache.Runtime().Metrics().Delta(base))
+	if m := store.Metrics(); len(m.PerPartition) > 0 {
+		fmt.Printf("\nruntime metrics (measurement interval):\n%s\n", m.Delta(base))
 	}
 	return 0
 }
 
-type stockClient struct{ c *mcd.Stock }
+// runNet drives the load over real sockets: against an in-process server
+// when addr is empty, or an external one otherwise. The exit code is
+// nonzero when any protocol error is observed — the property the CI smoke
+// job asserts.
+func runNet(variant, addr string, conns, pipeline, sessions, items, reqs int, setRatio float64, valueBytes, partitions int, duration time.Duration) int {
+	raiseNoFile(uint64(conns) + 256)
 
-func (s stockClient) Get(k uint64) ([]byte, bool)  { return s.c.Get(k) }
-func (s stockClient) Set(k uint64, v []byte) error { return s.c.Set(k, v) }
+	target := addr
+	var srv *server.Server
+	var store mcd.Store
+	if target == "" {
+		memLimit := int64(items) * int64(valueBytes+256) * 2
+		var err error
+		store, err = mcd.Open(variant, mcd.Config{
+			Partitions: partitions,
+			MemLimit:   memLimit,
+			Buckets:    items,
+			MaxThreads: sessions + 2,
+			OpTimeout:  5 * time.Second,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcdbench:", err)
+			return 1
+		}
+		srv, err = server.New(server.Config{Store: store, Sessions: sessions, MaxConns: conns + 64})
+		if err != nil {
+			store.Close()
+			fmt.Fprintln(os.Stderr, "mcdbench:", err)
+			return 1
+		}
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			store.Close()
+			fmt.Fprintln(os.Stderr, "mcdbench:", err)
+			return 1
+		}
+		target = srv.Addr().String()
+		fmt.Printf("in-process server: variant=%s addr=%s sessions=%d\n", variant, target, sessions)
+	}
 
-type parsecClient struct{ c *mcd.ParSec }
+	rep, err := loadgen.Run(loadgen.Config{
+		Addr:        target,
+		Conns:       conns,
+		Requests:    reqs,
+		Duration:    duration,
+		SetRatio:    setRatio,
+		ValueSize:   valueBytes,
+		Keys:        uint64(items),
+		Pipeline:    pipeline,
+		Prepopulate: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcdbench: loadgen:", err)
+		if srv != nil {
+			_ = srv.Shutdown(5 * time.Second)
+			store.Close()
+		}
+		return 1
+	}
 
-func (s parsecClient) Get(k uint64) ([]byte, bool)  { return s.c.Get(k) }
-func (s parsecClient) Set(k uint64, v []byte) error { return s.c.Set(k, v) }
+	fmt.Printf("net: conns=%d pipeline=%d set=%.2f value=%dB\n", conns, pipeline, setRatio, valueBytes)
+	fmt.Println(rep)
+	if srv != nil {
+		fmt.Printf("\nserver metrics:\n%s\n", srv.Metrics().Server)
+		if err := srv.Shutdown(10 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "mcdbench: shutdown:", err)
+			return 1
+		}
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mcdbench: store close:", err)
+			return 1
+		}
+	}
+	if rep.Errors() > 0 {
+		fmt.Fprintf(os.Stderr, "mcdbench: %d protocol/connection errors\n", rep.Errors())
+		return 1
+	}
+	return 0
+}
 
-type ffwdClient struct{ h *mcd.FFWDHandle }
-
-func (s ffwdClient) Get(k uint64) ([]byte, bool)  { return s.h.Get(k) }
-func (s ffwdClient) Set(k uint64, v []byte) error { return s.h.Set(k, v) }
-
-type dpsClient struct{ h *mcd.DPSHandle }
-
-func (s dpsClient) Get(k uint64) ([]byte, bool)  { return s.h.Get(k) }
-func (s dpsClient) Set(k uint64, v []byte) error { return s.h.SetSync(k, v) }
+// raiseNoFile lifts RLIMIT_NOFILE toward need (best effort): each client
+// connection costs a descriptor on both ends.
+func raiseNoFile(need uint64) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return
+	}
+	if lim.Cur >= need {
+		return
+	}
+	lim.Cur = need
+	if lim.Cur > lim.Max {
+		lim.Cur = lim.Max
+	}
+	_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+}

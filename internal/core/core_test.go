@@ -699,3 +699,49 @@ func TestManyThreadsStress(t *testing.T) {
 		t.Fatalf("shard sum = %d, want %d", sum, parts*perLoc*opsEach)
 	}
 }
+
+// TestRegisterChurnKeepsBudget hammers Register/Unregister from concurrent
+// goroutines and then verifies the full thread budget is still available —
+// the registration path must release every claim it makes, even under
+// contention (the rollback added for partial registration failures must not
+// eat slots on the success path either).
+func TestRegisterChurnKeepsBudget(t *testing.T) {
+	t.Parallel()
+	const maxThreads = 8
+	rt, err := New(Config{Partitions: 2, MaxThreads: maxThreads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				th, err := rt.Register()
+				if err != nil {
+					// Transient exhaustion is fine under churn; a leak is
+					// caught by the full-budget check below.
+					continue
+				}
+				th.Unregister()
+			}
+		}()
+	}
+	wg.Wait()
+	// Every slot must still be claimable.
+	threads := make([]*Thread, 0, maxThreads)
+	for i := 0; i < maxThreads; i++ {
+		th, err := rt.Register()
+		if err != nil {
+			t.Fatalf("slot %d unavailable after churn: %v", i, err)
+		}
+		threads = append(threads, th)
+	}
+	for _, th := range threads {
+		th.Unregister()
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -399,11 +399,30 @@ func (rt *Runtime) registerLocked(loc int) (*Thread, error) {
 	}
 	rt.nlive++
 
+	// Every step past the id claim must either complete or give the claim
+	// back: a panic in SMR registration or ring allocation (injected faults,
+	// allocation failure) would otherwise leak the thread slot forever and
+	// eventually exhaust MaxThreads. The caller still holds rt.mu when this
+	// defer runs, so the rollback is race-free.
+	ok := false
+	var smrTh *parsec.Thread
+	defer func() {
+		if ok {
+			return
+		}
+		if smrTh != nil {
+			smrTh.Unregister()
+		}
+		rt.freeTID = append(rt.freeTID, tid)
+		rt.nlive--
+	}()
+
+	smrTh = rt.smr.Register()
 	t := &Thread{
 		rt:       rt,
 		id:       tid,
 		locality: loc,
-		smr:      rt.smr.Register(),
+		smr:      smrTh,
 		chaos:    rt.chaos,
 	}
 	// Create this thread's rings (one per remote partition), allocated on
@@ -418,6 +437,7 @@ func (rt *Runtime) registerLocked(loc int) (*Thread, error) {
 		}
 	}
 	rt.parts[loc].workers.Add(1)
+	ok = true
 	return t, nil
 }
 

@@ -176,7 +176,14 @@ func (sys *System) ServerFor(key uint64) int {
 // Close stops the servers and waits for them to exit. Outstanding client
 // calls complete first (servers drain their lines before exiting).
 func (sys *System) Close() {
-	if sys.closed.Swap(true) {
+	// The swap happens under mu so it serializes with Register: any
+	// Register that wins the lock first completes before the close; any
+	// that loses observes closed and returns ErrClosed instead of handing
+	// out a client on a system whose servers are exiting.
+	sys.mu.Lock()
+	already := sys.closed.Swap(true)
+	sys.mu.Unlock()
+	if already {
 		return
 	}
 	sys.wg.Wait()
@@ -287,11 +294,15 @@ type Client struct {
 
 // Register adds a client.
 func (sys *System) Register() (*Client, error) {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	// Checked under mu: a bare pre-lock check could interleave with Close
+	// and hand out an id on a system whose servers are already exiting,
+	// leaking the slot (the caller would never Unregister a handle it was
+	// never given, but the id was already popped from freeIDs).
 	if sys.closed.Load() {
 		return nil, ErrClosed
 	}
-	sys.mu.Lock()
-	defer sys.mu.Unlock()
 	var id int
 	if n := len(sys.freeIDs); n > 0 {
 		id = sys.freeIDs[n-1]

@@ -299,3 +299,39 @@ func TestCallServerZeroAlloc(t *testing.T) {
 		t.Errorf("CallServer allocated %.1f objects/op, want 0", n)
 	}
 }
+
+// TestRegisterCloseRace: Register is serialized with Close under the system
+// lock, so a racing Register either completes before the close or reports
+// ErrClosed — it never hands out a client on a system whose servers are
+// exiting, and it never leaks an id.
+func TestRegisterCloseRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		sys, err := New(Config{Servers: 1, MaxClients: 8, ShardInit: func(int) any { return mapShard{} }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		results := make([]error, 8)
+		clients := make([]*Client, 8)
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				clients[i], results[i] = sys.Register()
+			}(i)
+		}
+		sys.Close()
+		wg.Wait()
+		for i, err := range results {
+			switch {
+			case err == nil:
+				// Registered before the close linearized: the handle is
+				// real and its id must be releasable.
+				clients[i].Unregister()
+			case errors.Is(err, ErrClosed):
+			default:
+				t.Fatalf("round %d: Register = %v, want nil or ErrClosed", round, err)
+			}
+		}
+	}
+}

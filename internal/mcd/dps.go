@@ -2,7 +2,9 @@ package mcd
 
 import (
 	"fmt"
+	"time"
 
+	"dps/internal/chaos"
 	"dps/internal/core"
 	"dps/internal/ffwd"
 )
@@ -34,6 +36,9 @@ type DPSConfig struct {
 	LocalGets bool
 	// MaxThreads bounds registered handles.
 	MaxThreads int
+	// Chaos installs a fault injector on the runtime's delegation paths
+	// (tests only).
+	Chaos *chaos.Injector
 }
 
 // NewDPS creates the partitioned cache.
@@ -45,6 +50,7 @@ func NewDPS(cfg DPSConfig) (*DPS, error) {
 	rt, err := core.New(core.Config{
 		Partitions: cfg.Partitions,
 		MaxThreads: cfg.MaxThreads,
+		Chaos:      cfg.Chaos,
 		Init: func(p *core.Partition) any {
 			c, err := cfg.NewShard()
 			if err != nil && shardErr == nil {
@@ -57,6 +63,9 @@ func NewDPS(cfg DPSConfig) (*DPS, error) {
 		return nil, err
 	}
 	if shardErr != nil {
+		// Release the runtime the failed construction claimed — callers
+		// only ever see the error, so they cannot close it themselves.
+		_ = rt.Close()
 		return nil, fmt.Errorf("mcd: shard init: %w", shardErr)
 	}
 	return &DPS{rt: rt, localGets: cfg.LocalGets}, nil
@@ -141,23 +150,71 @@ func (h *DPSHandle) Get(key uint64) ([]byte, bool) {
 	return res.P.([]byte), true
 }
 
-// Set stores key->val asynchronously (fire-and-forget delegation). Ordering
-// to the same partition is FIFO, so this handle's later Get of the same key
-// observes the Set (§3.3 read-your-writes). Errors from asynchronous sets
-// (cache full, oversized value) surface as panics on the serving thread;
-// use SetSync when the caller must observe them.
-func (h *DPSHandle) Set(key uint64, val []byte) {
+// GetTimeout is Get bounded by timeout: it returns core.ErrTimeout when the
+// owning locality does not execute the lookup in time and core.ErrClosed
+// during shutdown. In LocalGets mode the lookup is local and cannot time
+// out.
+func (h *DPSHandle) GetTimeout(key uint64, timeout time.Duration) ([]byte, bool, error) {
+	if h.d.localGets {
+		v, ok := valOK(h.t.ExecuteLocal(key, opGet, core.Args{}))
+		return v, ok, nil
+	}
+	res, err := h.t.ExecuteSyncTimeout(key, opGet, core.Args{}, timeout)
+	if err != nil {
+		return nil, false, err
+	}
+	v, ok := valOK(res)
+	return v, ok, nil
+}
+
+func valOK(res core.Result) ([]byte, bool) {
+	if res.U == 0 {
+		return nil, false
+	}
+	return res.P.([]byte), true
+}
+
+// Set stores key->val and waits for the result (synchronous delegation).
+func (h *DPSHandle) Set(key uint64, val []byte) error {
+	return h.t.ExecuteSync(key, opSet, core.Args{P: val}).Err
+}
+
+// SetTimeout is Set bounded by timeout (core.ErrTimeout / core.ErrClosed).
+func (h *DPSHandle) SetTimeout(key uint64, val []byte, timeout time.Duration) error {
+	res, err := h.t.ExecuteSyncTimeout(key, opSet, core.Args{P: val}, timeout)
+	if err != nil {
+		return err
+	}
+	return res.Err
+}
+
+// SetAsync stores key->val asynchronously (fire-and-forget delegation).
+// Ordering to the same partition is FIFO, so this handle's later Get of the
+// same key observes the set (§3.3 read-your-writes). Errors from
+// asynchronous sets (cache full, oversized value) are dropped; use Set when
+// the caller must observe them. Flush publishes buffered sets, Drain awaits
+// them.
+func (h *DPSHandle) SetAsync(key uint64, val []byte) {
 	h.t.ExecuteAsync(key, opSet, core.Args{P: val})
 }
 
-// SetSync stores key->val and waits for the result.
-func (h *DPSHandle) SetSync(key uint64, val []byte) error {
-	return h.t.ExecuteSync(key, opSet, core.Args{P: val}).Err
-}
+// Flush publishes this handle's buffered asynchronous sets without waiting
+// for their execution.
+func (h *DPSHandle) Flush() { h.t.Flush() }
 
 // Delete removes key (synchronous).
 func (h *DPSHandle) Delete(key uint64) bool {
 	return h.t.ExecuteSync(key, opDelete, core.Args{}).U == 1
+}
+
+// DeleteTimeout is Delete bounded by timeout (core.ErrTimeout /
+// core.ErrClosed).
+func (h *DPSHandle) DeleteTimeout(key uint64, timeout time.Duration) (bool, error) {
+	res, err := h.t.ExecuteSyncTimeout(key, opDelete, core.Args{}, timeout)
+	if err != nil {
+		return false, err
+	}
+	return res.U == 1, nil
 }
 
 // Len sums shard sizes with a broadcast.
@@ -223,6 +280,14 @@ func ffwdSet(shard any, key uint64, args *ffwd.Args) ffwd.Result {
 	return ffwd.Result{}
 }
 
+func ffwdDelete(shard any, key uint64, _ *ffwd.Args) ffwd.Result {
+	return ffwd.Result{U: boolU(shard.(Cache).Delete(key))}
+}
+
+func ffwdLen(shard any, _ uint64, _ *ffwd.Args) ffwd.Result {
+	return ffwd.Result{U: uint64(shard.(Cache).Len())}
+}
+
 // Get fetches key through the server.
 func (h *FFWDHandle) Get(key uint64) ([]byte, bool) {
 	res := h.c.Call(key, ffwdGet, ffwd.Args{})
@@ -235,4 +300,28 @@ func (h *FFWDHandle) Get(key uint64) ([]byte, bool) {
 // Set stores key->val through the server.
 func (h *FFWDHandle) Set(key uint64, val []byte) error {
 	return h.c.Call(key, ffwdSet, ffwd.Args{P: val}).Err
+}
+
+// SetAsync mirrors DPSHandle.SetAsync on the ffwd variant. The ffwd channel
+// is a single synchronous request slot per client, so the call completes
+// before returning; the error is dropped to match the asynchronous
+// contract.
+func (h *FFWDHandle) SetAsync(key uint64, val []byte) {
+	_ = h.c.Call(key, ffwdSet, ffwd.Args{P: val})
+}
+
+// Flush is a no-op: ffwd calls complete synchronously.
+func (h *FFWDHandle) Flush() {}
+
+// Drain is a no-op: ffwd calls complete synchronously.
+func (h *FFWDHandle) Drain() {}
+
+// Delete removes key through the server.
+func (h *FFWDHandle) Delete(key uint64) bool {
+	return h.c.Call(key, ffwdDelete, ffwd.Args{}).U == 1
+}
+
+// Len reports the shard's item count through the server.
+func (h *FFWDHandle) Len() int {
+	return int(h.c.Call(0, ffwdLen, ffwd.Args{}).U)
 }

@@ -246,7 +246,7 @@ func TestDPSStockVariant(t *testing.T) {
 
 	const n = 300
 	for i := 0; i < n; i++ {
-		h.Set(uint64(i), val(i))
+		h.SetAsync(uint64(i), val(i))
 	}
 	h.Drain()
 	for i := 0; i < n; i++ {
@@ -282,7 +282,7 @@ func TestDPSReadYourWritesAcrossAsyncSets(t *testing.T) {
 	}
 	defer h.Unregister()
 	for i := 0; i < 200; i++ {
-		h.Set(42, val(i))
+		h.SetAsync(42, val(i))
 		if v, ok := h.Get(42); !ok || !bytes.Equal(v, val(i)) {
 			t.Fatalf("iteration %d: read-your-writes violated: (%q,%v)", i, v, ok)
 		}
@@ -306,7 +306,7 @@ func TestDPSParSecLocalGets(t *testing.T) {
 	}
 	defer h.Unregister()
 	for i := 0; i < 100; i++ {
-		if err := h.SetSync(uint64(i), val(i)); err != nil {
+		if err := h.Set(uint64(i), val(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -378,7 +378,7 @@ func TestTraceReplayAcrossVariants(t *testing.T) {
 			if err := stock.Set(key, v); err != nil {
 				t.Fatal(err)
 			}
-			if err := h.SetSync(key, v); err != nil {
+			if err := h.Set(key, v); err != nil {
 				t.Fatal(err)
 			}
 			written[key] = true

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ServerStats is the network front door's live counter block: lock-free
+// atomics bumped on the accept and per-connection serve paths, snapshotted
+// into a ServerMetrics for reporting. One instance per server; the fields
+// are written from many connection goroutines, so they are individual
+// atomics rather than a mutex-guarded struct.
+type ServerStats struct {
+	// ConnsAccepted counts connections admitted past the max-conns gate.
+	ConnsAccepted atomic.Uint64
+	// ConnsRejected counts connections refused by the max-conns gate.
+	ConnsRejected atomic.Uint64
+	// CurrConns is the number of currently open connections (a gauge).
+	CurrConns atomic.Int64
+	// CmdGet / CmdSet / CmdDelete / CmdOther count protocol commands by
+	// class (get and gets are CmdGet; set and add are CmdSet; version,
+	// stats and quit are CmdOther).
+	CmdGet    atomic.Uint64
+	CmdSet    atomic.Uint64
+	CmdDelete atomic.Uint64
+	CmdOther  atomic.Uint64
+	// GetHits / GetMisses split gets by outcome.
+	GetHits   atomic.Uint64
+	GetMisses atomic.Uint64
+	// ProtocolErrors counts malformed requests answered with ERROR,
+	// CLIENT_ERROR or SERVER_ERROR.
+	ProtocolErrors atomic.Uint64
+	// BytesIn / BytesOut count payload bytes moved over accepted
+	// connections.
+	BytesIn  atomic.Uint64
+	BytesOut atomic.Uint64
+	// Batches counts pipelined batches flushed into the runtime; BatchedOps
+	// counts the commands those batches carried. BatchedOps/Batches is the
+	// observed pipeline depth — the network-side analogue of ops/slot.
+	Batches    atomic.Uint64
+	BatchedOps atomic.Uint64
+}
+
+// Snapshot captures the counters into a plain ServerMetrics value.
+func (s *ServerStats) Snapshot() ServerMetrics {
+	return ServerMetrics{
+		ConnsAccepted:  s.ConnsAccepted.Load(),
+		ConnsRejected:  s.ConnsRejected.Load(),
+		CurrConns:      s.CurrConns.Load(),
+		CmdGet:         s.CmdGet.Load(),
+		CmdSet:         s.CmdSet.Load(),
+		CmdDelete:      s.CmdDelete.Load(),
+		CmdOther:       s.CmdOther.Load(),
+		GetHits:        s.GetHits.Load(),
+		GetMisses:      s.GetMisses.Load(),
+		ProtocolErrors: s.ProtocolErrors.Load(),
+		BytesIn:        s.BytesIn.Load(),
+		BytesOut:       s.BytesOut.Load(),
+		Batches:        s.Batches.Load(),
+		BatchedOps:     s.BatchedOps.Load(),
+	}
+}
+
+// ServerMetrics is the plain-data view of a server's activity, carried on
+// Snapshot.Server. The zero value means "no server attached".
+type ServerMetrics struct {
+	ConnsAccepted  uint64
+	ConnsRejected  uint64
+	CurrConns      int64
+	CmdGet         uint64
+	CmdSet         uint64
+	CmdDelete      uint64
+	CmdOther       uint64
+	GetHits        uint64
+	GetMisses      uint64
+	ProtocolErrors uint64
+	BytesIn        uint64
+	BytesOut       uint64
+	Batches        uint64
+	BatchedOps     uint64
+}
+
+// Commands sums the per-class command counters.
+func (m ServerMetrics) Commands() uint64 {
+	return m.CmdGet + m.CmdSet + m.CmdDelete + m.CmdOther
+}
+
+// PipelineDepth is the mean commands per flushed batch (0 with no batches).
+func (m ServerMetrics) PipelineDepth() float64 {
+	if m.Batches == 0 {
+		return 0
+	}
+	return float64(m.BatchedOps) / float64(m.Batches)
+}
+
+// Zero reports whether no server activity was ever recorded (the zero
+// value; String omits the server line in that case).
+func (m ServerMetrics) Zero() bool {
+	return m == ServerMetrics{}
+}
+
+func (m ServerMetrics) sub(prev ServerMetrics) ServerMetrics {
+	return ServerMetrics{
+		ConnsAccepted:  m.ConnsAccepted - prev.ConnsAccepted,
+		ConnsRejected:  m.ConnsRejected - prev.ConnsRejected,
+		CurrConns:      m.CurrConns, // gauge: Delta keeps the current value
+		CmdGet:         m.CmdGet - prev.CmdGet,
+		CmdSet:         m.CmdSet - prev.CmdSet,
+		CmdDelete:      m.CmdDelete - prev.CmdDelete,
+		CmdOther:       m.CmdOther - prev.CmdOther,
+		GetHits:        m.GetHits - prev.GetHits,
+		GetMisses:      m.GetMisses - prev.GetMisses,
+		ProtocolErrors: m.ProtocolErrors - prev.ProtocolErrors,
+		BytesIn:        m.BytesIn - prev.BytesIn,
+		BytesOut:       m.BytesOut - prev.BytesOut,
+		Batches:        m.Batches - prev.Batches,
+		BatchedOps:     m.BatchedOps - prev.BatchedOps,
+	}
+}
+
+// String renders the metrics as two compact report lines.
+func (m ServerMetrics) String() string {
+	return fmt.Sprintf(
+		"conns: curr=%d accepted=%d rejected=%d bytes-in=%d bytes-out=%d\n"+
+			"cmds: get=%d (hit=%d miss=%d) set=%d delete=%d other=%d proto-errors=%d pipeline-depth=%.2f",
+		m.CurrConns, m.ConnsAccepted, m.ConnsRejected, m.BytesIn, m.BytesOut,
+		m.CmdGet, m.GetHits, m.GetMisses, m.CmdSet, m.CmdDelete, m.CmdOther,
+		m.ProtocolErrors, m.PipelineDepth())
+}

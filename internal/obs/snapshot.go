@@ -215,6 +215,10 @@ type Snapshot struct {
 	// Bursts summarizes burst occupancy: how densely senders packed
 	// operations into published delegation slots.
 	Bursts BurstSummary
+	// Server carries the network front door's counters when a server
+	// fronts the runtime (internal/server fills it in Metrics); the zero
+	// value otherwise.
+	Server ServerMetrics
 }
 
 // Delta returns the activity recorded between prev and s (prev must be an
@@ -236,6 +240,7 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	d.Latency.SyncDelegation = s.Latency.SyncDelegation.Delta(prev.Latency.SyncDelegation)
 	d.Latency.Served = s.Latency.Served.Delta(prev.Latency.Served)
 	d.Bursts = s.Bursts.Delta(prev.Bursts)
+	d.Server = s.Server.sub(prev.Server)
 	return d
 }
 
@@ -276,6 +281,9 @@ func (s Snapshot) String() string {
 		t.LocalExecs, t.RemoteSends, t.AsyncSends, t.Served, t.RingFullWaits, t.Rescued, t.Stalls, t.Panics, t.Abandoned)
 	fmt.Fprintf(&b, "serving: wakes=%d scans-skipped=%d\n", t.DoorbellWakes, t.RingScansSkipped)
 	fmt.Fprintf(&b, "bursts: %s\n", s.Bursts)
+	if !s.Server.Zero() {
+		fmt.Fprintf(&b, "server %s\n", s.Server)
+	}
 	fmt.Fprintf(&b, "latency sync-delegation: %s\n", s.Latency.SyncDelegation)
 	fmt.Fprintf(&b, "latency local-exec:      %s\n", s.Latency.LocalExec)
 	fmt.Fprintf(&b, "latency served:          %s\n", s.Latency.Served)

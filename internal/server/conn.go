@@ -1,0 +1,425 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"strconv"
+	"time"
+
+	"dps/internal/core"
+	"dps/internal/mcd"
+)
+
+// Canonical response lines.
+var (
+	respStored      = []byte("STORED\r\n")
+	respNotStored   = []byte("NOT_STORED\r\n")
+	respDeleted     = []byte("DELETED\r\n")
+	respNotFound    = []byte("NOT_FOUND\r\n")
+	respEnd         = []byte("END\r\n")
+	respError       = []byte("ERROR\r\n")
+	respCRLF        = []byte("\r\n")
+	respBadFormat   = []byte("CLIENT_ERROR bad command line format\r\n")
+	respBadKey      = []byte("CLIENT_ERROR bad key\r\n")
+	respTooManyKeys = []byte("CLIENT_ERROR too many keys\r\n")
+	respBadChunk    = []byte("CLIENT_ERROR bad data chunk\r\n")
+	respTooLarge    = []byte("SERVER_ERROR object too large for cache\r\n")
+	respBackendBusy = []byte("SERVER_ERROR backend timeout\r\n")
+	respLineTooLong = []byte("CLIENT_ERROR line too long\r\n")
+)
+
+// errConnClose signals the serve loop to close the connection without
+// logging (quit, store shutdown, unrecoverable protocol desync).
+var errConnClose = errors.New("server: close connection")
+
+// conn serves one accepted connection. The loop alternates between reading
+// a pipelined batch — every command already buffered — and a batch
+// boundary, where pending asynchronous writes are drained, the borrowed
+// session goes back to the pool, and buffered responses flush in one
+// syscall. The session is only held while commands are in hand, so
+// thousands of mostly-idle connections share a handful of store sessions.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	cc  *countingConn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	cmd *command
+	// sess is the pool session held for the current batch (nil between
+	// batches); ops counts the commands it has executed this batch.
+	sess mcd.Session
+	ops  uint64
+	// scratch assembles entry buffers and response headers.
+	scratch []byte
+}
+
+func (c *conn) serve() {
+	defer func() {
+		c.releaseSession()
+		_ = c.nc.Close()
+		c.srv.stats.CurrConns.Add(-1)
+		c.srv.conns.remove(c)
+		c.srv.wg.Done()
+	}()
+	for {
+		if err := c.armReadDeadline(); err != nil {
+			return
+		}
+		line, err := c.readLine()
+		if err != nil {
+			c.handleReadError(err)
+			return
+		}
+		if len(line) == 0 {
+			continue // stray empty line between commands
+		}
+		if err := c.dispatch(line); err != nil {
+			// Protocol desync or store shutdown: flush what the client
+			// already earned, then close.
+			c.endBatch()
+			return
+		}
+		if c.br.Buffered() == 0 {
+			if !c.endBatch() {
+				return
+			}
+			if c.srv.draining.Load() {
+				return
+			}
+		}
+	}
+}
+
+// armReadDeadline sets the idle read deadline — shortened by Shutdown so
+// draining connections stop waiting for quiet clients.
+func (c *conn) armReadDeadline() error {
+	d := c.srv.cfg.ReadTimeout
+	if c.srv.draining.Load() {
+		d = c.srv.drainGrace
+	}
+	return c.nc.SetReadDeadline(time.Now().Add(d))
+}
+
+// handleReadError classifies the read failure. EOF and deadline expiry are
+// normal connection lifecycle; anything else is a peer reset. In every case
+// any batched responses were already flushed (reads only happen at batch
+// boundaries or mid-command, and mid-command failures abandon the command).
+func (c *conn) handleReadError(err error) {
+	if errors.Is(err, bufio.ErrBufferFull) {
+		c.srv.stats.ProtocolErrors.Add(1)
+		_, _ = c.bw.Write(respLineTooLong)
+		c.endBatch()
+	}
+}
+
+// readLine reads one CRLF-terminated line, stripping the terminator. A line
+// longer than the read buffer is a protocol violation (bufio.ErrBufferFull).
+func (c *conn) readLine() ([]byte, error) {
+	line, err := c.br.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	n := len(line) - 1
+	if n > 0 && line[n-1] == '\r' {
+		n--
+	}
+	return line[:n], nil
+}
+
+// session returns the batch's store session, borrowing from the pool on
+// first use. Borrowing blocks when every session is busy — back-pressure
+// from the store outward to the sockets.
+func (c *conn) session() (mcd.Session, error) {
+	if c.sess == nil {
+		select {
+		case s := <-c.srv.pool:
+			c.sess = s
+			c.ops = 0
+		case <-c.srv.closed:
+			return nil, errConnClose
+		}
+	}
+	return c.sess, nil
+}
+
+// releaseSession drains pending asynchronous writes and returns the session
+// to the pool. The drain is what makes a batch's noreply sets visible to
+// every later borrower — cross-connection read-your-writes at batch
+// granularity.
+func (c *conn) releaseSession() {
+	if c.sess == nil {
+		return
+	}
+	c.sess.Drain()
+	c.srv.stats.Batches.Add(1)
+	c.srv.stats.BatchedOps.Add(c.ops)
+	c.srv.pool <- c.sess
+	c.sess = nil
+	c.ops = 0
+}
+
+// endBatch closes a pipelined batch: release the session, flush buffered
+// responses under the write deadline. Returns false when the flush fails
+// (peer gone) and the connection should close.
+func (c *conn) endBatch() bool {
+	c.releaseSession()
+	if c.bw.Buffered() == 0 {
+		return true
+	}
+	if c.srv.cfg.WriteTimeout > 0 {
+		_ = c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+	}
+	return c.bw.Flush() == nil
+}
+
+// dispatch parses and executes one command line. A non-nil return closes
+// the connection; protocol errors are answered in-band and return nil.
+func (c *conn) dispatch(line []byte) error {
+	if c.srv.chaos != nil {
+		c.srv.chaos.BeforeOp()
+	}
+	if err := parseCommand(line, c.cmd); err != nil {
+		return c.commandError(err)
+	}
+	switch c.cmd.op {
+	case opGet, opGets:
+		return c.doGet(c.cmd.op == opGets)
+	case opSet, opAdd:
+		return c.doStore()
+	case opDelete:
+		return c.doDelete()
+	case opStats:
+		c.srv.stats.CmdOther.Add(1)
+		return c.doStats()
+	case opVersion:
+		c.srv.stats.CmdOther.Add(1)
+		_, _ = c.bw.WriteString("VERSION " + c.srv.cfg.Version + "\r\n")
+		return nil
+	case opQuit:
+		c.srv.stats.CmdOther.Add(1)
+		return errConnClose
+	default:
+		return c.commandError(errUnknownCommand)
+	}
+}
+
+// commandError answers a malformed command. The stream stays aligned (the
+// offending line was fully consumed), so the connection survives.
+func (c *conn) commandError(err error) error {
+	c.srv.stats.ProtocolErrors.Add(1)
+	switch {
+	case errors.Is(err, errUnknownCommand):
+		_, _ = c.bw.Write(respError)
+	case errors.Is(err, errBadKey):
+		_, _ = c.bw.Write(respBadKey)
+	case errors.Is(err, errTooManyKeys):
+		_, _ = c.bw.Write(respTooManyKeys)
+	default:
+		_, _ = c.bw.Write(respBadFormat)
+	}
+	return nil
+}
+
+// storeError answers a failed store operation: delegation timeouts are the
+// back-pressure signal (the client may retry), shutdown closes.
+func (c *conn) storeError(err error) error {
+	if errors.Is(err, core.ErrClosed) {
+		return errConnClose
+	}
+	c.srv.stats.ProtocolErrors.Add(1)
+	if errors.Is(err, core.ErrTimeout) {
+		_, _ = c.bw.Write(respBackendBusy)
+		return nil
+	}
+	_, _ = c.bw.WriteString("SERVER_ERROR ")
+	_, _ = c.bw.WriteString(err.Error())
+	_, _ = c.bw.Write(respCRLF)
+	return nil
+}
+
+// doGet serves get/gets: one VALUE block per present key, END last. Keys
+// whose stored entry embeds a different protocol key (FNV collision) are
+// reported as misses rather than leaking a foreign value.
+func (c *conn) doGet(withCAS bool) error {
+	sess, err := c.session()
+	if err != nil {
+		return err
+	}
+	for _, key := range c.cmd.keys {
+		c.srv.stats.CmdGet.Add(1)
+		c.ops++
+		entry, ok, err := sess.Get(hashKey(key))
+		if err != nil {
+			if err2 := c.storeError(err); err2 != nil {
+				return err2
+			}
+			continue
+		}
+		flags, storedKey, data, valid := decodeEntry(entry)
+		if !ok || !valid || !bytesEqual(storedKey, key) {
+			c.srv.stats.GetMisses.Add(1)
+			continue
+		}
+		c.srv.stats.GetHits.Add(1)
+		c.writeValue(key, flags, data, withCAS, entryCAS(entry))
+	}
+	_, _ = c.bw.Write(respEnd)
+	return nil
+}
+
+// writeValue emits one "VALUE <key> <flags> <bytes> [<cas>]\r\n<data>\r\n"
+// block, assembling the header in the connection's scratch buffer.
+func (c *conn) writeValue(key []byte, flags uint32, data []byte, withCAS bool, cas uint64) {
+	h := append(c.scratch[:0], "VALUE "...)
+	h = append(h, key...)
+	h = append(h, ' ')
+	h = strconv.AppendUint(h, uint64(flags), 10)
+	h = append(h, ' ')
+	h = strconv.AppendUint(h, uint64(len(data)), 10)
+	if withCAS {
+		h = append(h, ' ')
+		h = strconv.AppendUint(h, cas, 10)
+	}
+	h = append(h, '\r', '\n')
+	c.scratch = h[:0]
+	_, _ = c.bw.Write(h)
+	_, _ = c.bw.Write(data)
+	_, _ = c.bw.Write(respCRLF)
+}
+
+// doStore serves set/add: read the data block into a fresh entry buffer
+// (the buffer outlives the command — asynchronous delegation applies it
+// later — so it cannot be pooled), then store through the session. noreply
+// sets take the asynchronous burst path; replied sets are synchronous so
+// STORED is truthful.
+func (c *conn) doStore() error {
+	key := c.cmd.keys[0]
+	c.srv.stats.CmdSet.Add(1)
+	if c.cmd.bytes > c.srv.cfg.MaxValue {
+		return c.discardOversized()
+	}
+	entry := make([]byte, entrySize(len(key), c.cmd.bytes))
+	off := putEntryHeader(entry, c.cmd.flags, key)
+	if _, err := io.ReadFull(c.br, entry[off:]); err != nil {
+		return errConnClose
+	}
+	var crlf [2]byte
+	if _, err := io.ReadFull(c.br, crlf[:]); err != nil {
+		return errConnClose
+	}
+	if crlf[0] != '\r' || crlf[1] != '\n' {
+		// The stream is misaligned past recovery: answer and close.
+		c.srv.stats.ProtocolErrors.Add(1)
+		_, _ = c.bw.Write(respBadChunk)
+		return errConnClose
+	}
+	sess, err := c.session()
+	if err != nil {
+		return err
+	}
+	c.ops++
+	hk := hashKey(key)
+	if c.cmd.op == opAdd {
+		// add stores only when absent. The check and the store are two
+		// delegations, so concurrent adds of one key can both report
+		// STORED (last write wins) — acceptable for a cache, documented
+		// here rather than hidden.
+		prev, ok, err := sess.Get(hk)
+		if err != nil {
+			return c.storeError(err)
+		}
+		if _, storedKey, _, valid := decodeEntry(prev); ok && valid && bytesEqual(storedKey, key) {
+			if !c.cmd.noreply {
+				_, _ = c.bw.Write(respNotStored)
+			}
+			return nil
+		}
+	}
+	if c.cmd.noreply {
+		sess.SetAsync(hk, entry)
+		return nil
+	}
+	if err := sess.Set(hk, entry); err != nil {
+		return c.storeError(err)
+	}
+	_, _ = c.bw.Write(respStored)
+	return nil
+}
+
+// discardOversized swallows an oversized data block (keeping the stream
+// aligned) and answers SERVER_ERROR, as memcached does.
+func (c *conn) discardOversized() error {
+	c.srv.stats.ProtocolErrors.Add(1)
+	if _, err := io.CopyN(io.Discard, c.br, int64(c.cmd.bytes)+2); err != nil {
+		return errConnClose
+	}
+	if !c.cmd.noreply {
+		_, _ = c.bw.Write(respTooLarge)
+	}
+	return nil
+}
+
+// doDelete serves delete, with the same collision guard as doGet: a stored
+// entry under the same uint64 key but a different protocol key is left
+// alone and reported NOT_FOUND.
+func (c *conn) doDelete() error {
+	key := c.cmd.keys[0]
+	c.srv.stats.CmdDelete.Add(1)
+	sess, err := c.session()
+	if err != nil {
+		return err
+	}
+	c.ops++
+	hk := hashKey(key)
+	entry, ok, err := sess.Get(hk)
+	if err != nil {
+		return c.storeError(err)
+	}
+	_, storedKey, _, valid := decodeEntry(entry)
+	if !ok || !valid || !bytesEqual(storedKey, key) {
+		if !c.cmd.noreply {
+			_, _ = c.bw.Write(respNotFound)
+		}
+		return nil
+	}
+	if _, err := sess.Delete(hk); err != nil {
+		return c.storeError(err)
+	}
+	if !c.cmd.noreply {
+		_, _ = c.bw.Write(respDeleted)
+	}
+	return nil
+}
+
+// doStats emits the server's counter block in the protocol's STAT format.
+func (c *conn) doStats() error {
+	m := c.srv.stats.Snapshot()
+	c.statLine("curr_connections", uint64(m.CurrConns))
+	c.statLine("total_connections", m.ConnsAccepted)
+	c.statLine("rejected_connections", m.ConnsRejected)
+	c.statLine("cmd_get", m.CmdGet)
+	c.statLine("cmd_set", m.CmdSet)
+	c.statLine("cmd_delete", m.CmdDelete)
+	c.statLine("get_hits", m.GetHits)
+	c.statLine("get_misses", m.GetMisses)
+	c.statLine("protocol_errors", m.ProtocolErrors)
+	c.statLine("bytes_read", m.BytesIn)
+	c.statLine("bytes_written", m.BytesOut)
+	c.statLine("batches", m.Batches)
+	c.statLine("batched_ops", m.BatchedOps)
+	c.statLine("curr_items", uint64(c.srv.cfg.Store.Len()))
+	_, _ = c.bw.Write(respEnd)
+	return nil
+}
+
+func (c *conn) statLine(name string, v uint64) {
+	h := append(c.scratch[:0], "STAT "...)
+	h = append(h, name...)
+	h = append(h, ' ')
+	h = strconv.AppendUint(h, v, 10)
+	h = append(h, '\r', '\n')
+	c.scratch = h[:0]
+	_, _ = c.bw.Write(h)
+}

@@ -1,0 +1,435 @@
+// Package loadgen drives a memcached-protocol server over real sockets:
+// many concurrent connections, Zipfian keys from internal/workload, and a
+// windowed pipeline per connection. It verifies every response byte-for-
+// byte class (STORED / VALUE / END / …), so a passing run certifies zero
+// protocol errors, and reports per-op-class latency percentiles — the SLO
+// columns mcdbench prints.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"dps/internal/workload"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Conns is the connection count (default 64).
+	Conns int
+	// Requests is the total request budget across connections (default
+	// 100k). Duration, when set, stops the run early instead.
+	Requests int
+	// Duration optionally bounds the run's wall clock (0: run the full
+	// request budget).
+	Duration time.Duration
+	// SetRatio is the write fraction in [0,1] (default 0.1).
+	SetRatio float64
+	// ValueSize is the set payload size in bytes (default 128).
+	ValueSize int
+	// Keys is the key-space size (default 16384).
+	Keys uint64
+	// Theta is the Zipfian exponent (default workload.DefaultTheta).
+	Theta float64
+	// Pipeline is the number of in-flight requests per connection
+	// (default 8): the generator writes a window of requests, then reads
+	// and verifies the window's responses.
+	Pipeline int
+	// Prepopulate stores every ValueSize-byte key before timing begins so
+	// gets hit (default true via New; zero value of the struct leaves it
+	// off).
+	Prepopulate bool
+	// Seed selects the key streams (default 1).
+	Seed int64
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.Conns == 0 {
+		c.Conns = 64
+	}
+	if c.Requests == 0 {
+		c.Requests = 100_000
+	}
+	if c.SetRatio == 0 {
+		c.SetRatio = 0.1
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 128
+	}
+	if c.Keys == 0 {
+		c.Keys = 16384
+	}
+	if c.Theta == 0 {
+		c.Theta = workload.DefaultTheta
+	}
+	if c.Pipeline == 0 {
+		c.Pipeline = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+}
+
+// ClassReport is one op class's latency summary. Latency is measured per
+// pipeline window: from writing the window's first byte to reading that
+// request's full response, so it includes the queueing a pipelined client
+// actually experiences.
+type ClassReport struct {
+	// Count is the number of requests issued in the class.
+	Count int
+	// Errors counts protocol-level failures (unexpected response class,
+	// wrong value length, ERROR lines).
+	Errors int
+	// P50, P99, P999 are latency percentiles; Max the slowest request.
+	P50, P99, P999, Max time.Duration
+}
+
+// Report is a run's outcome.
+type Report struct {
+	// Gets and Sets are the per-class summaries.
+	Gets ClassReport
+	Sets ClassReport
+	// Hits and Misses split get responses.
+	Hits, Misses int
+	// Elapsed is the measured wall clock; Throughput is requests/second
+	// over it.
+	Elapsed time.Duration
+	// ConnErrors counts connections that failed outright (dial or fatal
+	// read/write error mid-run).
+	ConnErrors int
+}
+
+// Errors sums protocol errors across classes.
+func (r *Report) Errors() int { return r.Gets.Errors + r.Sets.Errors + r.ConnErrors }
+
+// Throughput is requests per second over the measured wall clock.
+func (r *Report) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Gets.Count+r.Sets.Count) / r.Elapsed.Seconds()
+}
+
+// connResult is one connection's tally, merged after the run.
+type connResult struct {
+	getLat, setLat []time.Duration
+	getErrs        int
+	setErrs        int
+	hits, misses   int
+	connErr        bool
+}
+
+// Run executes the configured load against cfg.Addr.
+func Run(cfg Config) (*Report, error) {
+	cfg.setDefaults()
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("loadgen: Addr is required")
+	}
+	if cfg.Prepopulate {
+		if err := prepopulate(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	perConn := cfg.Requests / cfg.Conns
+	if perConn == 0 {
+		perConn = 1
+	}
+	var deadline time.Time
+	if cfg.Duration > 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+	results := make([]connResult, cfg.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Conns; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			runConn(&cfg, id, perConn, deadline, &results[id])
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{Elapsed: elapsed}
+	var getLat, setLat []time.Duration
+	for i := range results {
+		r := &results[i]
+		getLat = append(getLat, r.getLat...)
+		setLat = append(setLat, r.setLat...)
+		rep.Gets.Errors += r.getErrs
+		rep.Sets.Errors += r.setErrs
+		rep.Hits += r.hits
+		rep.Misses += r.misses
+		if r.connErr {
+			rep.ConnErrors++
+		}
+	}
+	rep.Gets = summarizeClass(getLat, rep.Gets.Errors)
+	rep.Sets = summarizeClass(setLat, rep.Sets.Errors)
+	return rep, nil
+}
+
+func summarizeClass(lat []time.Duration, errs int) ClassReport {
+	cr := ClassReport{Count: len(lat), Errors: errs}
+	if len(lat) == 0 {
+		return cr
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(lat)-1))
+		return lat[i]
+	}
+	cr.P50, cr.P99, cr.P999 = at(0.50), at(0.99), at(0.999)
+	cr.Max = lat[len(lat)-1]
+	return cr
+}
+
+// prepopulate stores every key once over a few plain connections so the
+// timed run measures a warm cache.
+func prepopulate(cfg *Config) error {
+	const writers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			nc, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer nc.Close()
+			br := bufio.NewReaderSize(nc, 1<<14)
+			bw := bufio.NewWriterSize(nc, 1<<16)
+			val := bytes.Repeat([]byte{'v'}, cfg.ValueSize)
+			buf := make([]byte, 0, 64)
+			for k := uint64(w) + 1; k <= cfg.Keys; k += writers {
+				buf = appendSet(buf[:0], k, cfg.ValueSize, true)
+				if _, err := bw.Write(buf); err != nil {
+					errs[w] = err
+					return
+				}
+				bw.Write(val)
+				bw.WriteString("\r\n")
+			}
+			// One replied get closes the pipeline so we know every
+			// noreply set was consumed.
+			fmt.Fprintf(bw, "get %s\r\n", keyName(buf[:0], uint64(w)+1))
+			if err := bw.Flush(); err != nil {
+				errs[w] = err
+				return
+			}
+			if err := readUntilEnd(br); err != nil {
+				errs[w] = err
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("loadgen: prepopulate: %w", err)
+		}
+	}
+	return nil
+}
+
+func readUntilEnd(br *bufio.Reader) error {
+	for {
+		line, err := br.ReadSlice('\n')
+		if err != nil {
+			return err
+		}
+		if bytes.HasPrefix(line, []byte("END")) {
+			return nil
+		}
+		if bytes.HasPrefix(line, []byte("ERROR")) || bytes.Contains(line, []byte("_ERROR")) {
+			return fmt.Errorf("loadgen: server error: %q", bytes.TrimSpace(line))
+		}
+	}
+}
+
+// keyName renders key k as its protocol name ("k<decimal>").
+func keyName(dst []byte, k uint64) []byte {
+	dst = append(dst, 'k')
+	return strconv.AppendUint(dst, k, 10)
+}
+
+// appendSet appends a "set" command line (without the data block) for key
+// k; noreply selects the asynchronous form.
+func appendSet(dst []byte, k uint64, size int, noreply bool) []byte {
+	dst = append(dst, "set "...)
+	dst = keyName(dst, k)
+	dst = append(dst, " 0 0 "...)
+	dst = strconv.AppendUint(dst, uint64(size), 10)
+	if noreply {
+		dst = append(dst, " noreply"...)
+	}
+	dst = append(dst, '\r', '\n')
+	return dst
+}
+
+// pendingOp is one in-flight pipelined request awaiting its response.
+type pendingOp struct {
+	isSet bool
+	key   []byte
+	sent  time.Time
+}
+
+// runConn is one client connection: windowed pipelining with full response
+// verification. All requests are replied (no noreply) so every request's
+// response can be matched and verified.
+func runConn(cfg *Config, id, budget int, deadline time.Time, res *connResult) {
+	nc, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+	if err != nil {
+		res.connErr = true
+		return
+	}
+	defer nc.Close()
+	br := bufio.NewReaderSize(nc, 1<<15)
+	bw := bufio.NewWriterSize(nc, 1<<14)
+	zipf := workload.NewZipf(cfg.Keys, cfg.Theta, cfg.Seed+int64(id)*7919)
+	opRng := workload.NewUniform(1_000_000, cfg.Seed^int64(id)*104729)
+	setThreshold := uint64(cfg.SetRatio * 1_000_000)
+	val := bytes.Repeat([]byte{'v'}, cfg.ValueSize)
+	window := make([]pendingOp, 0, cfg.Pipeline)
+	keyBufs := make([][]byte, cfg.Pipeline)
+	for i := range keyBufs {
+		keyBufs[i] = make([]byte, 0, 24)
+	}
+	line := make([]byte, 0, 64)
+
+	issued := 0
+	for issued < budget {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		// Fill and write one window.
+		window = window[:0]
+		n := cfg.Pipeline
+		if rem := budget - issued; rem < n {
+			n = rem
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			k := zipf.Next()
+			key := keyName(keyBufs[i][:0], k)
+			keyBufs[i] = key[:0]
+			isSet := opRng.Next() <= setThreshold
+			if isSet {
+				line = appendSet(line[:0], k, cfg.ValueSize, false)
+				bw.Write(line)
+				bw.Write(val)
+				bw.WriteString("\r\n")
+			} else {
+				line = append(line[:0], "get "...)
+				line = append(line, key...)
+				line = append(line, '\r', '\n')
+				bw.Write(line)
+			}
+			window = append(window, pendingOp{isSet: isSet, key: key, sent: start})
+		}
+		if err := bw.Flush(); err != nil {
+			res.connErr = true
+			return
+		}
+		issued += n
+		// Read and verify the window's responses.
+		for i := range window {
+			op := &window[i]
+			if err := readResponse(br, op, res); err != nil {
+				res.connErr = true
+				return
+			}
+			lat := time.Since(op.sent)
+			if op.isSet {
+				res.setLat = append(res.setLat, lat)
+			} else {
+				res.getLat = append(res.getLat, lat)
+			}
+		}
+	}
+}
+
+// readResponse consumes one request's full response, verifying its class.
+func readResponse(br *bufio.Reader, op *pendingOp, res *connResult) error {
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		return err
+	}
+	if op.isSet {
+		if !bytes.HasPrefix(line, []byte("STORED")) {
+			res.setErrs++
+		}
+		return nil
+	}
+	switch {
+	case bytes.HasPrefix(line, []byte("END")):
+		res.misses++
+		return nil
+	case bytes.HasPrefix(line, []byte("VALUE ")):
+		// "VALUE <key> <flags> <bytes>\r\n<data>\r\nEND\r\n"
+		fields := bytes.Fields(line)
+		if len(fields) < 4 || !bytes.Equal(fields[1], op.key) {
+			res.getErrs++
+			return skipValue(br, fields)
+		}
+		res.hits++
+		return skipValue(br, fields)
+	default:
+		res.getErrs++
+		return nil
+	}
+}
+
+// skipValue consumes a VALUE block's data and the END line.
+func skipValue(br *bufio.Reader, fields [][]byte) error {
+	if len(fields) < 4 {
+		return fmt.Errorf("loadgen: short VALUE line")
+	}
+	size, err := strconv.Atoi(string(fields[3]))
+	if err != nil {
+		return fmt.Errorf("loadgen: bad VALUE size: %w", err)
+	}
+	if _, err := br.Discard(size + 2); err != nil {
+		return err
+	}
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		return err
+	}
+	if !bytes.HasPrefix(line, []byte("END")) {
+		return fmt.Errorf("loadgen: missing END after VALUE, got %q", bytes.TrimSpace(line))
+	}
+	return nil
+}
+
+// String renders the report as the SLO table mcdbench prints.
+func (r *Report) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%-5s %9s %7s %10s %10s %10s %10s\n",
+		"class", "count", "errors", "p50", "p99", "p999", "max")
+	row := func(name string, cr ClassReport) {
+		fmt.Fprintf(&b, "%-5s %9d %7d %10v %10v %10v %10v\n",
+			name, cr.Count, cr.Errors, cr.P50, cr.P99, cr.P999, cr.Max)
+	}
+	row("get", r.Gets)
+	row("set", r.Sets)
+	fmt.Fprintf(&b, "hits=%d misses=%d conn-errors=%d throughput=%.0f req/s elapsed=%v",
+		r.Hits, r.Misses, r.ConnErrors, r.Throughput(), r.Elapsed.Round(time.Millisecond))
+	return b.String()
+}

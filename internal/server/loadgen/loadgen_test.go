@@ -1,0 +1,62 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"dps/internal/mcd"
+	"dps/internal/server"
+)
+
+// TestLoadgenSmoke runs the generator against an in-process server and
+// asserts zero protocol errors and full verification of every response.
+func TestLoadgenSmoke(t *testing.T) {
+	store, err := mcd.Open("dps", mcd.Config{
+		Partitions: 2,
+		MemLimit:   16 << 20,
+		MaxThreads: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv, err := server.New(server.Config{Store: store, Sessions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(5 * time.Second)
+
+	rep, err := Run(Config{
+		Addr:        srv.Addr().String(),
+		Conns:       16,
+		Requests:    4000,
+		SetRatio:    0.2,
+		ValueSize:   64,
+		Keys:        512,
+		Pipeline:    4,
+		Prepopulate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors() != 0 {
+		t.Fatalf("protocol/connection errors: %d\n%s", rep.Errors(), rep)
+	}
+	total := rep.Gets.Count + rep.Sets.Count
+	if total < 4000-16 { // per-conn rounding can shave a few
+		t.Fatalf("issued %d requests, want ~4000", total)
+	}
+	if rep.Hits == 0 {
+		t.Fatalf("no hits after prepopulate:\n%s", rep)
+	}
+	if rep.Gets.Count > 0 && rep.Gets.P50 <= 0 {
+		t.Fatalf("missing latency percentiles:\n%s", rep)
+	}
+	// The server agrees nothing went wrong.
+	if pe := srv.Stats().ProtocolErrors.Load(); pe != 0 {
+		t.Fatalf("server counted %d protocol errors", pe)
+	}
+}

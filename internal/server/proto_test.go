@@ -1,0 +1,149 @@
+package server
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseCommandGet(t *testing.T) {
+	cmd := newCommand()
+	if err := parseCommand([]byte("get foo"), cmd); err != nil {
+		t.Fatal(err)
+	}
+	if cmd.op != opGet || len(cmd.keys) != 1 || string(cmd.keys[0]) != "foo" {
+		t.Fatalf("parsed %+v", cmd)
+	}
+	if err := parseCommand([]byte("gets a b  c"), cmd); err != nil {
+		t.Fatal(err)
+	}
+	if cmd.op != opGets || len(cmd.keys) != 3 || string(cmd.keys[2]) != "c" {
+		t.Fatalf("parsed %+v", cmd)
+	}
+}
+
+func TestParseCommandStorage(t *testing.T) {
+	cmd := newCommand()
+	if err := parseCommand([]byte("set foo 123 0 10"), cmd); err != nil {
+		t.Fatal(err)
+	}
+	if cmd.op != opSet || string(cmd.keys[0]) != "foo" || cmd.flags != 123 || cmd.bytes != 10 || cmd.noreply {
+		t.Fatalf("parsed %+v", cmd)
+	}
+	if err := parseCommand([]byte("set foo 0 0 5 noreply"), cmd); err != nil {
+		t.Fatal(err)
+	}
+	if !cmd.noreply {
+		t.Fatalf("noreply not parsed: %+v", cmd)
+	}
+	if err := parseCommand([]byte("add bar 7 3600 2"), cmd); err != nil {
+		t.Fatal(err)
+	}
+	if cmd.op != opAdd || cmd.exptime != 3600 {
+		t.Fatalf("parsed %+v", cmd)
+	}
+}
+
+func TestParseCommandErrors(t *testing.T) {
+	cmd := newCommand()
+	cases := []struct {
+		line string
+		want error
+	}{
+		{"bogus foo", errUnknownCommand},
+		{"", errUnknownCommand},
+		{"get", errBadFormat},
+		{"set foo 0 0", errBadFormat},
+		{"set foo x 0 5", errBadFormat},
+		{"set foo 0 0 5 nope", errBadFormat},
+		{"set foo 0 0 5 noreply extra", errBadFormat},
+		{"delete", errBadKey},
+		{"set " + string(make([]byte, 251)), errBadKey},
+		{"get ke\x01y", errBadKey},
+	}
+	for _, tc := range cases {
+		if err := parseCommand([]byte(tc.line), cmd); !errors.Is(err, tc.want) {
+			t.Errorf("parseCommand(%q) = %v, want %v", tc.line, err, tc.want)
+		}
+	}
+	// Too many keys on one get line.
+	line := []byte("get")
+	for i := 0; i <= maxGetKeys; i++ {
+		line = append(line, " k"...)
+	}
+	if err := parseCommand(line, cmd); !errors.Is(err, errTooManyKeys) {
+		t.Errorf("oversized multi-get: %v, want %v", err, errTooManyKeys)
+	}
+}
+
+func TestParseUint(t *testing.T) {
+	if v, ok := parseUint([]byte("18446744073709551615")); !ok || v != ^uint64(0) {
+		t.Fatalf("max uint64: %d %v", v, ok)
+	}
+	for _, bad := range []string{"", "18446744073709551616", "1x", "-1", "999999999999999999999"} {
+		if _, ok := parseUint([]byte(bad)); ok {
+			t.Errorf("parseUint(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	key := []byte("hello")
+	data := []byte("world!")
+	buf := make([]byte, entrySize(len(key), len(data)))
+	off := putEntryHeader(buf, 0xdeadbeef, key)
+	copy(buf[off:], data)
+	flags, k, d, ok := decodeEntry(buf)
+	if !ok || flags != 0xdeadbeef || string(k) != "hello" || string(d) != "world!" {
+		t.Fatalf("decoded flags=%#x key=%q data=%q ok=%v", flags, k, d, ok)
+	}
+	// Foreign byte blobs under a colliding hash must not decode as entries.
+	if _, _, _, ok := decodeEntry([]byte{1, 2}); ok {
+		t.Fatal("short buffer decoded")
+	}
+	if _, _, _, ok := decodeEntry([]byte{0, 0, 0, 0, 0xff, 0xff, 'x'}); ok {
+		t.Fatal("truncated key decoded")
+	}
+}
+
+func TestEntryCASDeterministic(t *testing.T) {
+	a := []byte("same bytes")
+	if entryCAS(a) != entryCAS(append([]byte(nil), a...)) {
+		t.Fatal("cas not content-determined")
+	}
+	if entryCAS([]byte("a")) == entryCAS([]byte("b")) {
+		t.Fatal("cas collision on trivial inputs")
+	}
+}
+
+// TestParseCommandAllocs is the AllocsPerRun pin backing parseCommand's
+// //dps:noalloc marker (and, via it, the tokenizer helpers).
+func TestParseCommandAllocs(t *testing.T) {
+	cmd := newCommand()
+	lines := [][]byte{
+		[]byte("get foo bar baz"),
+		[]byte("set key 1 0 128 noreply"),
+		[]byte("delete key noreply"),
+		[]byte("gets a b c d e f"),
+	}
+	n := testing.AllocsPerRun(200, func() {
+		for _, line := range lines {
+			if err := parseCommand(line, cmd); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if n != 0 {
+		t.Fatalf("parseCommand allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestHashKeyAllocs pins hashKey's //dps:noalloc marker.
+func TestHashKeyAllocs(t *testing.T) {
+	key := []byte("some-protocol-key")
+	var sink uint64
+	n := testing.AllocsPerRun(200, func() { sink += hashKey(key) })
+	if n != 0 {
+		t.Fatalf("hashKey allocates %.1f/op, want 0", n)
+	}
+	_ = sink
+}
