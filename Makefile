@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint chaos bench bench-compare bench-json serve-smoke
+.PHONY: build test check lint chaos bench bench-compare bench-json bench-gate serve-smoke peer-smoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,14 @@ chaos:
 serve-smoke:
 	bash scripts/serve_smoke.sh
 
+# peer-smoke is the wire tier's end-to-end gate: two dpsnode processes
+# with split partition ownership over real TCP, verifying cross-process
+# read-your-writes clean and under chaos link faults, with a
+# lost-completion watchdog (exit 2) and a clean serving-node drain.
+# See scripts/peer_smoke.sh.
+peer-smoke:
+	bash scripts/peer_smoke.sh
+
 bench:
 	$(GO) run ./cmd/dpsbench -all
 
@@ -63,3 +71,17 @@ bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_delegation.json bench_delegation.out
 	@rm bench_delegation.out
 	@echo wrote BENCH_delegation.json
+
+# bench-gate re-runs the delegation benchmarks and gates them against the
+# committed BENCH_delegation.json baseline: any benchmark more than
+# GATE_PCT percent slower (ns/op), or allocating where the baseline was
+# 0 B/op, fails the build (benchjson exits 3). The gate runs -count=3 and
+# benchjson keeps each benchmark's best run (min ns/op, max B/op), so a
+# single noisy sample on a shared host does not fail the build. Refresh
+# the baseline with `make bench-json` when a change legitimately moves
+# the numbers, and commit the diff so the movement is visible in review.
+GATE_PCT ?= 10
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkDelegation' -benchmem -benchtime=$(BENCHTIME) -count=3 ./internal/core/ > bench_gate.out
+	$(GO) run ./cmd/benchjson -against BENCH_delegation.json -threshold $(GATE_PCT) bench_gate.out
+	@rm bench_gate.out

@@ -11,6 +11,16 @@
 //	benchjson -o BENCH_delegation.json bench.out
 //
 // With no file argument it reads stdin; with no -o it writes stdout.
+//
+// With -against it becomes the regression gate instead of the archiver:
+// the input run is compared to a committed baseline JSON, and the exit
+// status is 3 when any benchmark present in both regresses beyond
+// -threshold percent ns/op, or allocates where the baseline was 0 B/op
+// (the delegation fast path's contract). Names are compared with the
+// GOMAXPROCS suffix stripped, so a baseline recorded on one host gates
+// runs on another; the ns/op threshold absorbs host-speed noise.
+//
+//	benchjson -against BENCH_delegation.json -threshold 10 bench.out
 package main
 
 import (
@@ -48,6 +58,8 @@ func main() {
 
 func run() int {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	against := flag.String("against", "", "baseline JSON to gate the input run against (exit 3 on regression)")
+	threshold := flag.Float64("threshold", 10, "max ns/op regression percent tolerated by -against")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -75,6 +87,15 @@ func run() int {
 		return 1
 	}
 
+	if *against != "" {
+		base, err := loadBaseline(*against)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 1
+		}
+		return compare(rep, base, *threshold)
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -89,6 +110,127 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 1
 	}
+	return 0
+}
+
+func loadBaseline(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// collapse folds -count=N repeats of one benchmark into a single entry:
+// min ns/op (the run least disturbed by the host — standard
+// noise-floor practice) and max B/op / allocs/op (an allocation in any
+// run is real). Gating on min-of-N instead of a single sample is what
+// keeps a 10% threshold usable on shared, noisy CI hosts.
+func collapse(results []Result) map[string]Result {
+	out := make(map[string]Result, len(results))
+	for _, r := range results {
+		name := baseName(r.Name)
+		prev, ok := out[name]
+		if !ok {
+			out[name] = r
+			continue
+		}
+		for unit, v := range r.Metrics {
+			pv, have := prev.Metrics[unit]
+			switch {
+			case !have:
+				prev.Metrics[unit] = v
+			case unit == "B/op" || unit == "allocs/op":
+				if v > pv {
+					prev.Metrics[unit] = v
+				}
+			default:
+				if v < pv {
+					prev.Metrics[unit] = v
+				}
+			}
+		}
+		out[name] = prev
+	}
+	return out
+}
+
+// collapseList is collapse preserving first-seen order.
+func collapseList(results []Result) []Result {
+	byName := collapse(results)
+	var out []Result
+	seen := make(map[string]bool, len(byName))
+	for _, r := range results {
+		name := baseName(r.Name)
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, byName[name])
+		}
+	}
+	return out
+}
+
+// baseName strips the trailing GOMAXPROCS suffix ("-8") so baselines
+// gate runs recorded on hosts with a different core count.
+func baseName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// compare gates the new run against the baseline: exit 0 when every
+// shared benchmark holds its ns/op within threshold percent and its
+// 0 B/op contract, 3 otherwise. Baseline entries absent from the run are
+// reported but do not fail — gates routinely run a -bench subset of the
+// archived set.
+func compare(newRep, base *Report, threshold float64) int {
+	baseline := collapse(base.Results)
+	matched, bad := 0, 0
+	for _, r := range collapseList(newRep.Results) {
+		b, ok := baseline[baseName(r.Name)]
+		if !ok {
+			fmt.Printf("  new     %-50s (no baseline)\n", baseName(r.Name))
+			continue
+		}
+		matched++
+		delete(baseline, baseName(r.Name))
+		oldNS, haveOld := b.Metrics["ns/op"]
+		newNS, haveNew := r.Metrics["ns/op"]
+		if haveOld && haveNew && oldNS > 0 {
+			pct := (newNS - oldNS) / oldNS * 100
+			verdict := "ok      "
+			if newNS > oldNS*(1+threshold/100) {
+				verdict = "REGRESS "
+				bad++
+			}
+			fmt.Printf("  %s%-50s %12.1f -> %12.1f ns/op  %+6.1f%%\n", verdict, baseName(r.Name), oldNS, newNS, pct)
+		}
+		if oldB, ok := b.Metrics["B/op"]; ok && oldB == 0 {
+			if newB := r.Metrics["B/op"]; newB > 0 {
+				fmt.Printf("  ALLOC   %-50s %12.0f -> %12.0f B/op (baseline is allocation-free)\n", baseName(r.Name), oldB, newB)
+				bad++
+			}
+		}
+	}
+	for name := range baseline {
+		fmt.Printf("  absent  %-50s (in baseline, not in this run)\n", name)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark in the run matches the baseline; refresh it with `make bench-json`")
+		return 3
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%% (or broke 0 B/op)\n", bad, threshold)
+		return 3
+	}
+	fmt.Printf("benchjson: %d benchmark(s) within %.0f%% of baseline\n", matched, threshold)
 	return 0
 }
 

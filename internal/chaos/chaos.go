@@ -80,6 +80,24 @@ type Config struct {
 	// fresh one. It degrades burst occupancy toward one op per slot,
 	// exercising the same slot boundaries single-op traffic would.
 	SplitBurstProb float64
+
+	// DropFrameProb makes the cross-process transport (internal/wire)
+	// silently discard an encoded request frame instead of writing it to
+	// the peer connection — the lost-packet fault. Correctness then rests
+	// on the sender's deadline machinery: every operation in the dropped
+	// burst must resolve with ErrTimeout, never hang.
+	DropFrameProb float64
+
+	// SlowLinkProb delays a frame write by SlowLinkDelay, simulating a
+	// congested or high-latency link between peer processes.
+	SlowLinkProb float64
+	// SlowLinkDelay is the sleep applied when SlowLinkProb fires.
+	SlowLinkDelay time.Duration
+
+	// PeerDownProb makes the transport sever the peer connection before a
+	// frame write — the crashed-peer fault. In-flight completions on the
+	// link must resolve with ErrClosed and the client must reconnect.
+	PeerDownProb float64
 }
 
 // Counts reports how many times each fault has fired.
@@ -91,6 +109,9 @@ type Counts struct {
 	RingFulls     uint64
 	DoorbellsLost uint64
 	BurstsSplit   uint64
+	FramesDropped uint64
+	LinkDelays    uint64
+	PeerDrops     uint64
 }
 
 // Injector makes fault decisions for one runtime. It is safe for
@@ -102,10 +123,12 @@ type Injector struct {
 	// thresholds precomputed from the Config probabilities so a draw is
 	// one hash and one compare, no floating point.
 	dropClaim, serveDelay, opDelay, opPanic, ringFull, dropBell, splitBurst uint64
+	dropFrame, slowLink, peerDown                                           uint64
 
-	serveDelayDur, opDelayDur time.Duration
+	serveDelayDur, opDelayDur, slowLinkDur time.Duration
 
 	claimsDropped, serveDelays, opDelays, opPanics, ringFulls, doorbellsLost, burstsSplit atomic.Uint64
+	framesDropped, linkDelays, peerDrops                                                  atomic.Uint64
 }
 
 // New builds an injector from cfg.
@@ -119,8 +142,12 @@ func New(cfg Config) *Injector {
 		ringFull:      threshold(cfg.RingFullProb),
 		dropBell:      threshold(cfg.DropDoorbellProb),
 		splitBurst:    threshold(cfg.SplitBurstProb),
+		dropFrame:     threshold(cfg.DropFrameProb),
+		slowLink:      threshold(cfg.SlowLinkProb),
+		peerDown:      threshold(cfg.PeerDownProb),
 		serveDelayDur: cfg.ServeDelay,
 		opDelayDur:    cfg.OpDelay,
+		slowLinkDur:   cfg.SlowLinkDelay,
 	}
 }
 
@@ -220,6 +247,36 @@ func (i *Injector) SplitBurst() bool {
 	return true
 }
 
+// DropFrame reports whether the wire transport should silently discard
+// the request frame it is about to write, simulating packet loss the
+// kernel never reports.
+func (i *Injector) DropFrame() bool {
+	if !i.roll(i.dropFrame) {
+		return false
+	}
+	i.framesDropped.Add(1)
+	return true
+}
+
+// SlowLink runs before a frame write, injecting the congested-link delay.
+func (i *Injector) SlowLink() {
+	if !i.roll(i.slowLink) {
+		return
+	}
+	i.linkDelays.Add(1)
+	time.Sleep(i.slowLinkDur)
+}
+
+// PeerDown reports whether the wire transport should sever the peer
+// connection before the next frame write, simulating a peer crash.
+func (i *Injector) PeerDown() bool {
+	if !i.roll(i.peerDown) {
+		return false
+	}
+	i.peerDrops.Add(1)
+	return true
+}
+
 // Counts snapshots how many times each fault has fired so far.
 func (i *Injector) Counts() Counts {
 	return Counts{
@@ -230,5 +287,8 @@ func (i *Injector) Counts() Counts {
 		RingFulls:     i.ringFulls.Load(),
 		DoorbellsLost: i.doorbellsLost.Load(),
 		BurstsSplit:   i.burstsSplit.Load(),
+		FramesDropped: i.framesDropped.Load(),
+		LinkDelays:    i.linkDelays.Load(),
+		PeerDrops:     i.peerDrops.Load(),
 	}
 }

@@ -37,6 +37,9 @@ func (rt *Runtime) Metrics() Snapshot {
 		s.PerPartition[i].Workers = int(p.workers.Load())
 		s.PerPartition[i].RingOccupancy = p.ringOccupancy()
 	}
+	for _, wp := range rt.peers {
+		s.Peers = append(s.Peers, wp.Stats())
+	}
 	return s
 }
 

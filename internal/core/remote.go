@@ -1,0 +1,497 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"time"
+	"unsafe"
+
+	"dps/internal/obs"
+	"dps/internal/ring"
+	"dps/internal/wire"
+)
+
+// This file is the runtime's second delegation tier: partitions owned by
+// peer processes. The key→locality map stays the single router — a key
+// whose partition carries a peer pointer delegates process→process over
+// internal/wire instead of thread→thread over a shared-memory ring, with
+// the same completion semantics (and the same ErrTimeout/ErrClosed
+// sentinels) the in-process tier has. The in-process hot path pays one
+// predictable nil-check (p.peer) for the capability.
+
+// Peer declares one peer process owning a subset of the partitions.
+type Peer struct {
+	// Addr is the peer's wire listen address (host:port).
+	Addr string
+	// Parts are the global partition indices the peer owns. They must be
+	// disjoint from every other peer's and leave at least one partition
+	// local (threads register into local localities).
+	Parts []int
+	// Conns is the connection pool size toward the peer (0: wire
+	// default). Sender threads are pinned to one pooled connection, which
+	// is what carries read-your-writes across the process boundary.
+	Conns int
+	// Timeout bounds wire completions with no explicit deadline (0: wire
+	// default). It is the liveness backstop — no rescue path can reach
+	// into a peer process, so every wire await must have a bound.
+	Timeout time.Duration
+}
+
+// ErrOpNotRegistered is returned when an operation is delegated toward a
+// peer-owned partition but was never registered with RegisterOp: a
+// function pointer cannot cross a process boundary, only a registered
+// code can.
+var ErrOpNotRegistered = errors.New("dps: op not registered for remote delegation")
+
+// ErrRemoteArgs is returned when an operation delegated toward a
+// peer-owned partition carries a reference argument that is neither nil
+// nor a []byte — the only reference form that can cross a process
+// boundary.
+var ErrRemoteArgs = errors.New("dps: remote delegation requires Args.P nil or []byte")
+
+// errRemoteResult reports a remote op returning a non-byte reference
+// result; it travels back as an operation error.
+var errRemoteResult = errors.New("dps: remote op returned non-[]byte reference result")
+
+// opTable is the immutable op registry snapshot: code→op for the serving
+// side, funcval→code for the sending side. RegisterOp swaps in a new
+// snapshot (copy-on-write), so hot-path lookups are two lock-free map
+// reads on a frozen map.
+type opTable struct {
+	byCode map[uint16]Op
+	byPtr  map[uintptr]uint16
+}
+
+// fnptr returns the func value's funcval pointer — a stable identity for
+// top-level functions, which is why RegisterOp requires them (each
+// closure evaluation mints a fresh funcval, so closures would alias or
+// miss).
+//
+//dps:noalloc
+func fnptr(op Op) uintptr {
+	return *(*uintptr)(unsafe.Pointer(&op))
+}
+
+// RegisterOp names op with a wire code so it can be delegated to (and
+// served for) peer processes. Both sides of a cluster must register the
+// same code→op mapping. op must be a top-level function (not a closure
+// or bound method): the sending side resolves ops to codes by function
+// identity, and only top-level functions have a stable one. Codes and
+// ops must be bijective; re-registering an existing pair is a no-op.
+func (rt *Runtime) RegisterOp(code uint16, op Op) error {
+	if op == nil {
+		return fmt.Errorf("dps: RegisterOp(%d): nil op", code)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	old := rt.optab.Load()
+	if prev, ok := old.byCode[code]; ok {
+		if fnptr(prev) == fnptr(op) {
+			return nil
+		}
+		return fmt.Errorf("dps: op code %d already registered to a different op", code)
+	}
+	if prev, ok := old.byPtr[fnptr(op)]; ok {
+		return fmt.Errorf("dps: op already registered under code %d", prev)
+	}
+	next := &opTable{
+		byCode: make(map[uint16]Op, len(old.byCode)+1),
+		byPtr:  make(map[uintptr]uint16, len(old.byPtr)+1),
+	}
+	for c, o := range old.byCode {
+		next.byCode[c] = o
+	}
+	for p, c := range old.byPtr {
+		next.byPtr[p] = c
+	}
+	next.byCode[code] = op
+	next.byPtr[fnptr(op)] = code
+	rt.optab.Store(next)
+	return nil
+}
+
+// opByCode resolves a wire code to its registered op (nil if unknown).
+//
+//dps:noalloc
+func (rt *Runtime) opByCode(code uint16) Op {
+	return rt.optab.Load().byCode[code]
+}
+
+// codeOf resolves an op to its wire code.
+//
+//dps:noalloc
+func (rt *Runtime) codeOf(op Op) (uint16, bool) {
+	c, ok := rt.optab.Load().byPtr[fnptr(op)]
+	return c, ok
+}
+
+// Remote reports whether the partition is owned by a peer process.
+func (p *Partition) Remote() bool { return p.peer != nil }
+
+// wireRef pairs an outstanding wire token with its destination partition
+// for the Drain barrier's accounting.
+type wireRef struct {
+	tok wire.Tok
+	p   *Partition
+}
+
+// stageRemote stages one operation toward peer-owned partition p on the
+// thread's link to that peer, flushing any open burst on a different
+// link first (one open wire burst per thread, mirroring the one open
+// ring burst). The staged bytes are copied immediately; args may be
+// reused when stageRemote returns.
+//
+//dps:noalloc via ExecuteSync
+func (t *Thread) stageRemote(p *Partition, key uint64, op Op, args *Args, fire bool) (wire.Tok, error) {
+	code, ok := t.rt.codeOf(op)
+	if !ok {
+		return wire.Tok{}, ErrOpNotRegistered
+	}
+	var data []byte
+	if args.P != nil {
+		if data, ok = args.P.([]byte); !ok {
+			return wire.Tok{}, ErrRemoteArgs
+		}
+	}
+	l := t.links[p.peerIdx]
+	if t.wopen != nil && t.wopen != l {
+		t.wopen.Flush()
+	}
+	tok, err := l.Stage(ring.StagedOp{
+		Part: p.id,
+		Code: code,
+		Key:  key,
+		U:    args.U,
+		Data: data,
+		Fire: fire,
+	})
+	if err != nil {
+		t.wopen = nil
+		return wire.Tok{}, err
+	}
+	t.wopen = l
+	t.rt.rec.Add(t.id, p.id, obs.RemoteOps, 1)
+	t.rt.rec.Add(t.id, p.id, obs.RemoteBytes, uint64(47+len(data)))
+	if t.rt.tracing {
+		t.rt.tracer.OnSend(t.id, p.id, key, !fire)
+	}
+	return tok, nil
+}
+
+// flushWire publishes the thread's open wire burst, if any.
+//
+//dps:noalloc via ExecuteSync
+func (t *Thread) flushWire() {
+	l := t.wopen
+	t.wopen = nil
+	if l != nil {
+		l.Flush()
+	}
+}
+
+// awaitTok blocks until a wire token resolves, serving the caller's own
+// locality meanwhile — the §4.3 overlap holds across tiers: a thread
+// waiting on a peer process still executes work delegated to it. It does
+// not use the in-process waiter: that escalation samples the destination
+// partition's serving-progress clock, which never advances for a
+// partition served in another process, and its remedy (forced rescue)
+// cannot cross the boundary. The wire's remedies are the deadline (zero
+// means the peer's configured timeout — wire waits are never unbounded)
+// and the link's own failure detection; a stall window with no frame
+// counts PeerStalls.
+func (t *Thread) awaitTok(tok wire.Tok, deadline time.Time, p *Partition) (Result, error) {
+	if deadline.IsZero() {
+		deadline = time.Now().Add(p.peer.Timeout())
+	}
+	idle := 0
+	//dps:spin-ok bounded by the deadline above (zero deadline takes the peer timeout); escalates Gosched → exponential sleep
+	for {
+		if res, ok := tok.Ready(); ok {
+			tok.Finish()
+			return res, closedErr(res)
+		}
+		if t.rt.down.Load() {
+			tok.Finish()
+			return Result{Err: ErrClosed}, ErrClosed
+		}
+		if t.serve() > 0 {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle <= waitSpinYield {
+			runtime.Gosched()
+			continue
+		}
+		if time.Now().After(deadline) {
+			tok.Finish()
+			t.rt.rec.Add(t.id, p.id, obs.Abandoned, 1)
+			return Result{Err: ErrTimeout}, ErrTimeout
+		}
+		if idle%waitStallWindow == 0 {
+			t.rt.rec.Add(t.id, p.id, obs.PeerStalls, 1)
+			if t.rt.tracing {
+				t.rt.tracer.OnStall(t.id, p.id, 0)
+			}
+		}
+		shift := (idle - waitSpinYield) / waitSleepStep
+		if shift > waitMaxSleepShift {
+			shift = waitMaxSleepShift
+		}
+		time.Sleep(time.Microsecond << shift)
+	}
+}
+
+// remoteSync delegates one synchronous operation across the process
+// boundary and awaits it. Zero deadline applies the peer's timeout.
+func (t *Thread) remoteSync(p *Partition, key uint64, op Op, args *Args, deadline time.Time) (Result, error) {
+	sent := t.rt.rec.Start()
+	tok, err := t.stageRemote(p, key, op, args, false)
+	if err != nil {
+		return Result{Err: err}, err
+	}
+	t.flushOpen()
+	res, err := t.awaitTok(tok, deadline, p)
+	d := t.rt.rec.Since(sent)
+	t.rt.rec.Observe(t.id, obs.HistSyncDelegation, d)
+	if t.rt.tracing {
+		t.rt.tracer.OnComplete(t.id, p.id, key, d)
+	}
+	return res, err
+}
+
+// remoteAsync delegates one fire-and-forget operation across the process
+// boundary. The token joins the Drain barrier: completion frames (even
+// for fire ops) are how the sender learns the peer consumed the burst.
+func (t *Thread) remoteAsync(p *Partition, key uint64, op Op, args *Args) {
+	tok, err := t.stageRemote(p, key, op, args, true)
+	if err != nil {
+		t.rt.rec.Add(t.id, p.id, obs.Abandoned, 1)
+		return
+	}
+	//dps:alloc-ok amortized growth of the wire outstanding list, same budget as noteOutstanding
+	t.woutstanding = append(t.woutstanding, wireRef{tok: tok, p: p})
+	if len(t.woutstanding) >= wireDrainHighWater {
+		t.drainWire()
+	}
+}
+
+// wireDrainHighWater bounds the outstanding wire-token list: past it the
+// sender collects completions before staging more, the wire tier's
+// back-pressure (the analogue of the ring-full wait).
+const wireDrainHighWater = 4 * wire.MaxBurst
+
+// drainWire awaits every outstanding wire token. Timeouts and closed
+// links resolve the tokens with errors — the barrier never wedges on a
+// dead peer; awaitTok's deadline (the peer's timeout) bounds each wait
+// and the whole list is finite.
+func (t *Thread) drainWire() {
+	t.flushWire()
+	for i := range t.woutstanding {
+		r := &t.woutstanding[i]
+		t.awaitTok(r.tok, time.Time{}, r.p)
+		*r = wireRef{}
+	}
+	t.woutstanding = t.woutstanding[:0]
+}
+
+// PeerServer is the accept side of the wire tier for one runtime: it
+// serves this process's local partitions to remote senders by decoding
+// request bursts and applying them through the normal serve path —
+// registered threads, quiescence sections, served-work attribution, the
+// panic policy's counters — so a cross-process operation is
+// indistinguishable from a cross-locality one by the time it touches a
+// shard.
+type PeerServer struct {
+	rt    *Runtime
+	srv   *wire.Server
+	pools []chan *Thread // indexed by partition id; nil for remote partitions
+	all   []*Thread
+}
+
+// NewPeerServer wraps ln with a wire server for rt's local partitions.
+// perPart is how many serving threads to register per local partition
+// (minimum 1); concurrent connections borrow them per burst. Call Serve
+// to accept; Close before (or after) Runtime.Shutdown.
+func (rt *Runtime) NewPeerServer(ln net.Listener, perPart int) (*PeerServer, error) {
+	if perPart < 1 {
+		perPart = 1
+	}
+	ps := &PeerServer{rt: rt, pools: make([]chan *Thread, len(rt.parts))}
+	var owned []int
+	for _, p := range rt.parts {
+		if p.peer != nil {
+			continue
+		}
+		owned = append(owned, p.id)
+		pool := make(chan *Thread, perPart)
+		for i := 0; i < perPart; i++ {
+			t, err := rt.RegisterAt(p.id)
+			if err != nil {
+				ps.unregisterAll()
+				return nil, err
+			}
+			pool <- t
+			ps.all = append(ps.all, t)
+		}
+		ps.pools[p.id] = pool
+	}
+	if len(owned) == 0 {
+		ps.unregisterAll()
+		return nil, fmt.Errorf("dps: peer server needs at least one local partition")
+	}
+	ps.srv = wire.NewServer(ln, len(rt.parts), owned, ps)
+	return ps, nil
+}
+
+// Serve accepts peer connections until Close (see wire.Server.Serve).
+func (ps *PeerServer) Serve() error { return ps.srv.Serve() }
+
+// Addr returns the server's listen address.
+func (ps *PeerServer) Addr() net.Addr { return ps.srv.Addr() }
+
+// Close stops the listener, severs peer connections, and unregisters the
+// serving threads.
+func (ps *PeerServer) Close() error {
+	err := ps.srv.Close()
+	ps.unregisterAll()
+	return err
+}
+
+func (ps *PeerServer) unregisterAll() {
+	for _, t := range ps.all {
+		t.Unregister()
+	}
+	ps.all = nil
+}
+
+// Apply executes one decoded burst against partition part — the wire
+// tier's serve step. Results mirror executeMessage's contract: per-entry
+// panic capture (a panic crosses back as an operation error and counts
+// toward Panics), fire results dropped, Served/HistServed attribution on
+// the borrowed serving thread.
+func (ps *PeerServer) Apply(part int, req []wire.ReqOp, resp []wire.RespOp) []wire.RespOp {
+	if part < 0 || part >= len(ps.pools) || ps.pools[part] == nil {
+		for range req {
+			resp = append(resp, wire.RespOp{Err: "dps: partition not served here"})
+		}
+		return resp
+	}
+	t := <-ps.pools[part]
+	defer func() { ps.pools[part] <- t }()
+	p := ps.rt.parts[part]
+	for i := range req {
+		resp = append(resp, ps.applyOne(t, p, &req[i]))
+	}
+	if n := len(req); n > 0 {
+		ps.rt.rec.Add(t.id, part, obs.Served, uint64(n))
+	}
+	return resp
+}
+
+// applyOne runs a single decoded operation on the borrowed thread.
+func (ps *PeerServer) applyOne(t *Thread, p *Partition, r *wire.ReqOp) wire.RespOp {
+	if ps.rt.down.Load() {
+		return wire.RespOp{Err: ErrClosed.Error()}
+	}
+	op := ps.rt.opByCode(r.Code)
+	if op == nil {
+		return wire.RespOp{Err: ErrOpNotRegistered.Error()}
+	}
+	args := Args{U: r.U}
+	if len(r.Data) > 0 {
+		args.P = r.Data
+	}
+	var res Result
+	start := ps.rt.rec.Start()
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				ps.rt.rec.Add(t.id, p.id, obs.Panics, 1)
+				res = Result{Err: OpPanicError{Value: rec}}
+			}
+		}()
+		if t.chaos != nil {
+			t.chaos.BeforeOp()
+		}
+		res = t.runLocal(p, r.Key, op, &args)
+	}()
+	d := ps.rt.rec.Since(start)
+	ps.rt.rec.Observe(t.id, obs.HistServed, d)
+	if ps.rt.tracing {
+		ps.rt.tracer.OnServe(t.id, p.id, r.Key, d)
+	}
+	out := wire.RespOp{U: res.U}
+	if r.Fire {
+		// Nobody reads a fire result; send the completion toggle only.
+		out.U = 0
+		return out
+	}
+	if res.P != nil {
+		b, ok := res.P.([]byte)
+		if !ok {
+			return wire.RespOp{Err: errRemoteResult.Error()}
+		}
+		out.Data, out.HasData = b, true
+	}
+	if res.Err != nil {
+		out.Err = res.Err.Error()
+	}
+	return out
+}
+
+// OpPanicError carries a delegated operation's panic back across the
+// process boundary as an error (identity cannot cross; the rendered
+// value does).
+type OpPanicError struct{ Value any }
+
+func (e OpPanicError) Error() string { return fmt.Sprintf("dps: remote op panicked: %v", e.Value) }
+
+// peersFromConfig validates Config.Peers and binds peer-owned
+// partitions. Called by New with all partitions constructed.
+func (rt *Runtime) peersFromConfig() error {
+	owner := make(map[int]int)
+	for i, pc := range rt.cfg.Peers {
+		wp, err := wire.NewPeer(i, wire.PeerConfig{
+			Addr:       pc.Addr,
+			Parts:      pc.Parts,
+			Conns:      pc.Conns,
+			Timeout:    pc.Timeout,
+			Partitions: len(rt.parts),
+			Chaos:      rt.chaos,
+		})
+		if err != nil {
+			return err
+		}
+		for _, id := range pc.Parts {
+			if prev, dup := owner[id]; dup {
+				return fmt.Errorf("dps: partition %d claimed by peers %d and %d", id, prev, i)
+			}
+			owner[id] = i
+			rt.parts[id].peer = wp
+			rt.parts[id].peerIdx = i
+		}
+		rt.peers = append(rt.peers, wp)
+	}
+	if len(owner) == len(rt.parts) {
+		return fmt.Errorf("dps: all %d partitions are peer-owned; at least one must be local", len(rt.parts))
+	}
+	return nil
+}
+
+// closePeers severs every peer link (Shutdown's final step): in-flight
+// wire completions resolve with ErrClosed immediately instead of riding
+// out their timeouts.
+func (rt *Runtime) closePeers() {
+	for _, wp := range rt.peers {
+		wp.Close()
+	}
+}
+
+// Peers returns the number of configured peer processes.
+func (rt *Runtime) Peers() int { return len(rt.peers) }
+
+// PeerStats snapshots peer i's link counters.
+func (rt *Runtime) PeerStats(i int) obs.PeerMetrics { return rt.peers[i].Stats() }

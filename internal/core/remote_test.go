@@ -1,0 +1,434 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"dps/internal/chaos"
+	"dps/internal/ring"
+)
+
+// The remote tests run a two-node cluster inside one test process: a
+// "server" runtime owning every partition locally behind a PeerServer,
+// and a "client" runtime that owns a local subset and delegates the rest
+// over TCP loopback.
+
+const rtParts = 4
+
+// rtHash routes key k to partition k mod rtParts, so tests pick their
+// destination partition by key.
+func rtHash(k uint64) uint64 { return (k % rtParts) * (DefaultNamespaceSize / rtParts) }
+
+// The shared test ops. Top-level functions: RegisterOp requires a stable
+// function identity, and both runtimes must register the same codes.
+const (
+	codePut uint16 = 1
+	codeGet uint16 = 2
+	codeLen uint16 = 3
+)
+
+// remotePut stores a copy of the value: the wire hands ops a decode
+// buffer that is reused after the op returns.
+func remotePut(p *Partition, key uint64, a *Args) Result {
+	m := p.Data().(map[uint64][]byte)
+	m[key] = append([]byte(nil), a.P.([]byte)...)
+	return Result{U: uint64(len(m))}
+}
+
+func remoteGet(p *Partition, key uint64, a *Args) Result {
+	m := p.Data().(map[uint64][]byte)
+	v, ok := m[key]
+	if !ok {
+		return Result{U: 0}
+	}
+	return Result{U: 1, P: v}
+}
+
+func remoteLen(p *Partition, key uint64, a *Args) Result {
+	return Result{U: uint64(len(p.Data().(map[uint64][]byte)))}
+}
+
+func registerTestOps(t *testing.T, rt *Runtime) {
+	t.Helper()
+	for _, r := range []struct {
+		code uint16
+		op   Op
+	}{{codePut, remotePut}, {codeGet, remoteGet}, {codeLen, remoteLen}} {
+		if err := rt.RegisterOp(r.code, r.op); err != nil {
+			t.Fatalf("RegisterOp(%d): %v", r.code, err)
+		}
+	}
+}
+
+func mapInit(p *Partition) any { return make(map[uint64][]byte) }
+
+// startCluster builds the pair. The client owns partitions 0..1 locally
+// and delegates 2..3 to the server. Returned cleanup order matters: the
+// test closes client before server.
+func startCluster(t *testing.T, clientCfg func(*Config)) (client *Runtime, clientThread *Thread) {
+	t.Helper()
+	server, err := New(Config{Partitions: rtParts, Hash: rtHash, Init: mapInit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerTestOps(t, server)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := server.NewPeerServer(ln, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ps.Serve()
+	t.Cleanup(func() {
+		ps.Close()
+		server.Shutdown(time.Second)
+	})
+
+	cfg := Config{
+		Partitions: rtParts,
+		Hash:       rtHash,
+		Init:       mapInit,
+		Peers: []Peer{{
+			Addr:    ps.Addr().String(),
+			Parts:   []int{2, 3},
+			Timeout: 2 * time.Second,
+		}},
+	}
+	if clientCfg != nil {
+		clientCfg(&cfg)
+	}
+	client, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerTestOps(t, client)
+	th, err := client.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if !th.unregistered {
+			th.Unregister()
+		}
+		client.Shutdown(time.Second)
+	})
+	return client, th
+}
+
+func TestRemoteSyncReadYourWrites(t *testing.T) {
+	_, th := startCluster(t, nil)
+	// Keys 2 and 6 both live on remote partition 2; key 1 is local.
+	val := []byte("over-the-wire")
+	res := th.ExecuteSync(2, remotePut, Args{P: val})
+	if res.Err != nil {
+		t.Fatalf("remote put: %v", res.Err)
+	}
+	got := th.ExecuteSync(2, remoteGet, Args{})
+	if got.Err != nil || got.U != 1 {
+		t.Fatalf("remote get: U=%d err=%v", got.U, got.Err)
+	}
+	if !bytes.Equal(got.P.([]byte), val) {
+		t.Fatalf("remote get returned %q, want %q", got.P, val)
+	}
+	// Async put then sync get on the same link must observe the put:
+	// both ride one pinned connection in stage order.
+	th.ExecuteAsync(6, remotePut, Args{P: []byte("async")})
+	got = th.ExecuteSync(6, remoteGet, Args{})
+	if got.U != 1 || !bytes.Equal(got.P.([]byte), []byte("async")) {
+		t.Fatalf("read-your-writes across async: U=%d P=%q err=%v", got.U, got.P, got.Err)
+	}
+	// Local keys stay local.
+	if res := th.ExecuteSync(1, remotePut, Args{P: []byte("local")}); res.Err != nil {
+		t.Fatalf("local put: %v", res.Err)
+	}
+	th.Drain()
+}
+
+func TestRemoteErrorIdentity(t *testing.T) {
+	_, th := startCluster(t, nil)
+	// remoteGet on a missing key is not an error; use an unregistered op
+	// to provoke one. opMissing is top-level but never registered.
+	res := th.ExecuteSync(2, opMissing, Args{})
+	if !errors.Is(res.Err, ErrOpNotRegistered) {
+		t.Fatalf("unregistered op: %v", res.Err)
+	}
+}
+
+func opMissing(p *Partition, key uint64, a *Args) Result { return Result{} }
+
+func TestRemoteAsyncDrain(t *testing.T) {
+	_, th := startCluster(t, nil)
+	const n = 100
+	for i := 0; i < n; i++ {
+		th.ExecuteAsync(uint64(2+4*i), remotePut, Args{P: []byte{byte(i)}})
+	}
+	th.Drain()
+	res := th.ExecuteSync(2, remoteLen, Args{})
+	if res.Err != nil || res.U != n {
+		t.Fatalf("after drain: partition 2 holds %d keys (err=%v), want %d", res.U, res.Err, n)
+	}
+}
+
+func TestRemoteExecuteAll(t *testing.T) {
+	_, th := startCluster(t, nil)
+	for k := uint64(0); k < rtParts; k++ {
+		if res := th.ExecuteSync(k, remotePut, Args{P: []byte("x")}); res.Err != nil {
+			t.Fatalf("put key %d: %v", k, res.Err)
+		}
+	}
+	res := th.ExecuteAll(remoteLen, Args{}, func(results []Result) Result {
+		var total uint64
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("partition %d: %v", i, r.Err)
+			}
+			total += r.U
+		}
+		return Result{U: total}
+	})
+	if res.U != rtParts {
+		t.Fatalf("ExecuteAll total = %d, want %d", res.U, rtParts)
+	}
+}
+
+func TestRemoteCompletionPolling(t *testing.T) {
+	_, th := startCluster(t, nil)
+	c := th.Execute(3, remotePut, Args{P: []byte("poll")})
+	for {
+		if res, ok := c.Ready(); ok {
+			if res.Err != nil {
+				t.Fatalf("polled completion: %v", res.Err)
+			}
+			break
+		}
+	}
+	res, err := th.ExecuteSyncTimeout(3, remoteGet, Args{}, time.Second)
+	if err != nil || res.U != 1 {
+		t.Fatalf("timed get: U=%d err=%v", res.U, err)
+	}
+}
+
+func TestRemoteRegistrationRules(t *testing.T) {
+	client, th := startCluster(t, nil)
+	if th.Locality() >= 2 {
+		t.Fatalf("Register picked remote locality %d", th.Locality())
+	}
+	if _, err := client.RegisterAt(2); err == nil {
+		t.Fatal("RegisterAt on a peer-owned partition succeeded")
+	}
+	if !client.Partition(2).Remote() || client.Partition(0).Remote() {
+		t.Fatal("Remote() misreports ownership")
+	}
+}
+
+func TestRemotePeerUnreachable(t *testing.T) {
+	// A peer that never answers: the dial fails, so the operation fails
+	// fast with ErrClosed rather than hanging.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	rt, err := New(Config{
+		Partitions: rtParts,
+		Hash:       rtHash,
+		Init:       mapInit,
+		Peers:      []Peer{{Addr: addr, Parts: []int{2, 3}, Timeout: 300 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerTestOps(t, rt)
+	th, err := rt.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		th.Unregister()
+		rt.Shutdown(time.Second)
+	}()
+	res := th.ExecuteSync(2, remoteGet, Args{})
+	if !errors.Is(res.Err, ErrClosed) {
+		t.Fatalf("unreachable peer: err=%v, want ErrClosed", res.Err)
+	}
+}
+
+func TestRemoteDropFrameTimesOut(t *testing.T) {
+	inj := chaos.New(chaos.Config{Seed: 1, DropFrameProb: 1.0})
+	_, th := startCluster(t, func(cfg *Config) {
+		cfg.Chaos = inj
+		cfg.Peers[0].Timeout = 250 * time.Millisecond
+	})
+	start := time.Now()
+	res, err := th.ExecuteSyncTimeout(2, remoteGet, Args{}, 250*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) || !errors.Is(res.Err, ErrTimeout) {
+		t.Fatalf("dropped frame: res.Err=%v err=%v, want ErrTimeout", res.Err, err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("timeout took %v", d)
+	}
+	if c := inj.Counts(); c.FramesDropped == 0 {
+		t.Fatal("injector dropped no frames")
+	}
+}
+
+func TestRemoteMetrics(t *testing.T) {
+	client, th := startCluster(t, nil)
+	th.ExecuteSync(2, remotePut, Args{P: []byte("m")})
+	th.ExecuteSync(2, remoteGet, Args{})
+	m := client.Metrics()
+	if m.Totals.RemoteOps < 2 {
+		t.Fatalf("RemoteOps = %d, want >= 2", m.Totals.RemoteOps)
+	}
+	if m.Totals.RemoteBytes == 0 {
+		t.Fatal("RemoteBytes = 0")
+	}
+	if len(m.Peers) != 1 {
+		t.Fatalf("Peers metrics length %d, want 1", len(m.Peers))
+	}
+	pm := m.Peers[0]
+	if pm.FramesSent == 0 || pm.FramesRecvd == 0 || pm.Ops < 2 {
+		t.Fatalf("peer metrics not accounted: %+v", pm)
+	}
+	if pm.Pending != 0 {
+		t.Fatalf("peer has %d pending bursts after sync ops", pm.Pending)
+	}
+}
+
+// TestTransportConformance drives the in-process and wire tiers through
+// the shared ring.Transport contract and expects identical behavior.
+func TestTransportConformance(t *testing.T) {
+	_, th := startCluster(t, nil)
+	tr := th.Transport()
+	for name, part := range map[string]int{"local": 0, "wire": 2} {
+		key := uint64(part)
+		val := []byte(fmt.Sprintf("conform-%s", name))
+		tok, err := tr.Stage(ring.StagedOp{Part: part, Code: codePut, Key: key, Data: val})
+		if err != nil {
+			t.Fatalf("%s stage put: %v", name, err)
+		}
+		if err := tr.Flush(); err != nil {
+			t.Fatalf("%s flush: %v", name, err)
+		}
+		if _, err := tok.Await(time.Time{}); err != nil {
+			t.Fatalf("%s await put: %v", name, err)
+		}
+		tok, err = tr.Stage(ring.StagedOp{Part: part, Code: codeGet, Key: key})
+		if err != nil {
+			t.Fatalf("%s stage get: %v", name, err)
+		}
+		tr.Flush()
+		res, err := tok.Await(time.Now().Add(2 * time.Second))
+		if err != nil || res.U != 1 {
+			t.Fatalf("%s await get: U=%d err=%v", name, res.U, err)
+		}
+		if got := res.P.([]byte); !bytes.Equal(got, val) {
+			t.Fatalf("%s get = %q, want %q", name, got, val)
+		}
+		if _, err := tr.Stage(ring.StagedOp{Part: part, Code: 999}); !errors.Is(err, ErrOpNotRegistered) {
+			t.Fatalf("%s unknown code: %v", name, err)
+		}
+	}
+}
+
+// TestRemoteShutdownWithHungPeer ensures Shutdown's budget holds when a
+// peer stops answering: the blocked sender unwinds via the peer timeout
+// or the shutdown's ErrClosed, and Shutdown itself returns on time.
+func TestRemoteShutdownWithHungPeer(t *testing.T) {
+	// A listener that accepts and then ignores the connection entirely
+	// (never even sends a hello): ensureConn fails, ops fail fast.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = c // hold the conn open, say nothing
+		}
+	}()
+	rt, err := New(Config{
+		Partitions: rtParts,
+		Hash:       rtHash,
+		Init:       mapInit,
+		Peers:      []Peer{{Addr: ln.Addr().String(), Parts: []int{3}, Timeout: 200 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerTestOps(t, rt)
+	th, err := rt.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := th.ExecuteSync(3, remoteGet, Args{})
+	if res.Err == nil {
+		t.Fatal("op against hung peer succeeded")
+	}
+	th.Unregister()
+	start := time.Now()
+	if _, err := rt.Shutdown(2 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("shutdown took %v with a hung peer", d)
+	}
+}
+
+func TestPeerConfigValidation(t *testing.T) {
+	base := Config{Partitions: rtParts, Hash: rtHash}
+	cases := []struct {
+		name  string
+		peers []Peer
+	}{
+		{"overlap", []Peer{
+			{Addr: "127.0.0.1:1", Parts: []int{1, 2}},
+			{Addr: "127.0.0.1:2", Parts: []int{2, 3}},
+		}},
+		{"all-remote", []Peer{{Addr: "127.0.0.1:1", Parts: []int{0, 1, 2, 3}}}},
+		{"no-addr", []Peer{{Parts: []int{1}}}},
+		{"out-of-range", []Peer{{Addr: "127.0.0.1:1", Parts: []int{7}}}},
+		{"empty-parts", []Peer{{Addr: "127.0.0.1:1"}}},
+	}
+	for _, tc := range cases {
+		cfg := base
+		cfg.Peers = tc.peers
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: New accepted invalid peer config", tc.name)
+		}
+	}
+}
+
+func TestRegisterOpRules(t *testing.T) {
+	rt, err := New(Config{Partitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.RegisterOp(1, remotePut); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RegisterOp(1, remotePut); err != nil {
+		t.Fatalf("idempotent re-register: %v", err)
+	}
+	if err := rt.RegisterOp(1, remoteGet); err == nil {
+		t.Fatal("code collision accepted")
+	}
+	if err := rt.RegisterOp(2, remotePut); err == nil {
+		t.Fatal("op re-registered under second code")
+	}
+	if err := rt.RegisterOp(3, nil); err == nil {
+		t.Fatal("nil op accepted")
+	}
+}

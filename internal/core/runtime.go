@@ -31,6 +31,7 @@ import (
 	"dps/internal/obs"
 	"dps/internal/parsec"
 	"dps/internal/ring"
+	"dps/internal/wire"
 )
 
 // Defaults for Config fields left zero.
@@ -44,8 +45,11 @@ const (
 	DefaultServeBatch = ring.DefaultBatch
 )
 
-// ErrClosed is returned by operations on a closed runtime.
-var ErrClosed = errors.New("dps: runtime closed")
+// ErrClosed is returned by operations on a closed runtime. It is the same
+// sentinel the transport layers use (ring.ErrClosed), so a cross-process
+// operation that fails because the peer link is down reports the identical
+// error identity as one that fails because this runtime shut down.
+var ErrClosed = ring.ErrClosed
 
 // ErrTooManyThreads is returned by Register when MaxThreads thread handles
 // are already live.
@@ -61,8 +65,9 @@ var ErrUnregistered = errors.New("dps: thread used after Unregister")
 // Completion.ResultTimeout, Thread.ExecuteSyncTimeout) when the deadline
 // expires before the operation completes. A timed-out operation may still
 // execute later; the runtime discards its result and routes any panic it
-// raises through the panic policy.
-var ErrTimeout = errors.New("dps: operation timed out")
+// raises through the panic policy. Shared with the transport layers
+// (ring.ErrTimeout) for the same reason as ErrClosed.
+var ErrTimeout = ring.ErrTimeout
 
 // Config parameterizes a Runtime. It mirrors the arguments of the paper's
 // create call: partition count, namespace size and hash function (§3.1),
@@ -150,6 +155,15 @@ type Config struct {
 	// per hook site in the hot paths. Intended for tests and chaos
 	// benchmarking, not production configurations.
 	Chaos *chaos.Injector
+
+	// Peers declares partitions owned by peer processes: operations on
+	// keys hashing into a peer's partitions delegate over TCP
+	// (internal/wire) instead of over a shared-memory ring. Partition
+	// ownership must be disjoint across peers and leave at least one
+	// partition local. Every process in a cluster must configure the same
+	// Partitions, NamespaceSize and Hash, and register the same op codes
+	// (RegisterOp). Optional.
+	Peers []Peer
 }
 
 func (c *Config) setDefaults() error {
@@ -215,6 +229,13 @@ type Partition struct {
 	// it is zero, Execute falls back to inline execution (there is nobody
 	// to serve the ring — see Thread.Execute).
 	workers atomic.Int32
+
+	// peer is non-nil when the partition is owned by a peer process
+	// (Config.Peers): no local shard, no rings, no doorbell — operations
+	// route over the wire via the peer link at peerIdx. The in-process
+	// hot path pays exactly one nil-check on this field.
+	peer    *wire.Peer
+	peerIdx int
 }
 
 // ID returns the partition's index in [0, Partitions).
@@ -264,6 +285,14 @@ type Runtime struct {
 	//
 	//dps:hook
 	chaos *chaos.Injector
+
+	// peers are the configured peer-process links, in Config.Peers order.
+	peers []*wire.Peer
+
+	// optab is the immutable op registry snapshot (RegisterOp swaps it
+	// copy-on-write), mapping wire codes to ops and back for the
+	// cross-process tier.
+	optab atomic.Pointer[opTable]
 }
 
 // New creates a DPS runtime. It is the analogue of the paper's
@@ -293,22 +322,32 @@ func New(cfg Config) (*Runtime, error) {
 	if rt.tracer == nil {
 		rt.tracer = obs.NopTracer{}
 	}
+	rt.optab.Store(&opTable{})
 	for i := range rt.parts {
 		lo, hi := ns.Range(i)
-		p := &Partition{
-			id:    i,
-			lo:    lo,
-			hi:    hi,
-			rt:    rt,
-			rings: make([]atomic.Pointer[dring], cfg.MaxThreads),
-			bell:  ring.NewDoorbell(cfg.MaxThreads),
+		rt.parts[i] = &Partition{id: i, lo: lo, hi: hi, rt: rt}
+	}
+	// Bind peer-owned partitions before allocating local serving state:
+	// a remote partition gets neither rings nor a doorbell nor a shard —
+	// its serve side lives in another process.
+	if err := rt.peersFromConfig(); err != nil {
+		return nil, err
+	}
+	for _, p := range rt.parts {
+		if p.peer != nil {
+			continue
 		}
-		rt.parts[i] = p
+		p.rings = make([]atomic.Pointer[dring], cfg.MaxThreads)
+		p.bell = ring.NewDoorbell(cfg.MaxThreads)
 	}
 	// Init runs after all partitions exist so initializers may inspect
-	// sibling partitions (e.g. to share configuration).
+	// sibling partitions (e.g. to share configuration). Remote partitions
+	// are skipped: their shard belongs to the owning process.
 	if cfg.Init != nil {
 		for _, p := range rt.parts {
+			if p.peer != nil {
+				continue
+			}
 			p.data = cfg.Init(p)
 		}
 	}
@@ -352,16 +391,25 @@ func (rt *Runtime) Close() error {
 // locality with the fewest threads so registration alone balances workers
 // across partitions. The scan and the worker-count bump happen under the
 // runtime lock, so concurrent Registers cannot pick the same least-loaded
-// partition and skew the balance. The returned Thread must be used by one
-// goroutine at a time and unregistered when done.
+// partition and skew the balance. Peer-owned partitions are not
+// localities of this process and never receive workers. The returned
+// Thread must be used by one goroutine at a time and unregistered when
+// done.
 func (rt *Runtime) Register() (*Thread, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	best, min := 0, int(^uint(0)>>1)
+	best, min := -1, int(^uint(0)>>1)
 	for i, p := range rt.parts {
+		if p.peer != nil {
+			continue
+		}
 		if w := int(p.workers.Load()); w < min {
 			best, min = i, w
 		}
+	}
+	if best < 0 {
+		// Unreachable under New's at-least-one-local validation.
+		return nil, fmt.Errorf("dps: no local partition to register into")
 	}
 	return rt.registerLocked(best)
 }
@@ -373,6 +421,9 @@ func (rt *Runtime) Register() (*Thread, error) {
 func (rt *Runtime) RegisterAt(loc int) (*Thread, error) {
 	if loc < 0 || loc >= len(rt.parts) {
 		return nil, fmt.Errorf("dps: locality %d out of range [0,%d)", loc, len(rt.parts))
+	}
+	if rt.parts[loc].peer != nil {
+		return nil, fmt.Errorf("dps: partition %d is owned by peer %s", loc, rt.parts[loc].peer.Addr())
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -425,15 +476,26 @@ func (rt *Runtime) registerLocked(loc int) (*Thread, error) {
 		smr:      smrTh,
 		chaos:    rt.chaos,
 	}
-	// Create this thread's rings (one per remote partition), allocated on
-	// first registration of the thread id and reused across re-register.
+	// Create this thread's rings (one per cross-locality partition),
+	// allocated on first registration of the thread id and reused across
+	// re-register. Peer-owned partitions have no rings here — their
+	// transport is the wire link below.
 	for _, p := range rt.parts {
+		if p.peer != nil {
+			continue
+		}
 		if p.rings[tid].Load() == nil {
 			r := newRing(rt.cfg.RingDepth)
 			if rt.chaos != nil {
 				r.SetClaimFault(rt.chaos.DropClaim)
 			}
 			p.rings[tid].Store(r)
+		}
+	}
+	if len(rt.peers) > 0 {
+		t.links = make([]*wire.Link, len(rt.peers))
+		for i, wp := range rt.peers {
+			t.links[i] = wp.NewLink(tid)
 		}
 	}
 	rt.parts[loc].workers.Add(1)

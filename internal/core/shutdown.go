@@ -59,6 +59,12 @@ func (rt *Runtime) Shutdown(timeout time.Duration) (ShutdownReport, error) {
 		timedOut = true
 	}
 	rt.down.Store(true)
+	// Sever the peer links after the down mark: senders blocked on wire
+	// completions resolve with ErrClosed immediately instead of riding
+	// out their timeouts, so a hung peer cannot wedge the drain past the
+	// timeout budget — wire waits are bounded by the peer timeout and cut
+	// short here.
+	rt.closePeers()
 
 	rt.mu.Lock()
 	nlive := rt.nlive
@@ -90,6 +96,11 @@ func (rt *Runtime) shutdownSweep(deadline time.Time, drained *atomic.Int64, done
 	for time.Now().Before(deadline) {
 		n := 0
 		for _, p := range rt.parts {
+			if p.peer != nil {
+				// Peer-owned: no local rings to drain, and nothing this
+				// process could execute on the peer's behalf.
+				continue
+			}
 			n += admin.sweepPartition(p)
 		}
 		if n > 0 {

@@ -7,6 +7,7 @@ import (
 	"dps/internal/obs"
 	"dps/internal/parsec"
 	"dps/internal/ring"
+	"dps/internal/wire"
 )
 
 // Thread is a registered DPS participant. All data-structure operations go
@@ -54,6 +55,20 @@ type Thread struct {
 	// bit lost to a fault delays service instead of wedging it.
 	servePass uint64
 
+	// links[i] is this thread's sender link to peer i (Config.Peers
+	// order), pinned to one pooled connection so the thread's wire
+	// bursts stay ordered. Nil when no peers are configured.
+	links []*wire.Link
+
+	// wopen is the link holding the thread's open wire burst, nil when
+	// none — the cross-process analogue of open/openPart, flushed at the
+	// same flush points.
+	wopen *wire.Link
+
+	// woutstanding tracks wire tokens of fire-and-forget operations
+	// delegated to peers, awaited by the Drain barrier.
+	woutstanding []wireRef
+
 	smr *parsec.Thread
 
 	// chaos caches rt.chaos (immutable after New) so the serve scan and
@@ -99,6 +114,12 @@ type Completion struct {
 	// sent is the send-side clock stamp for the send→completion latency
 	// histogram (zero for inline completions or with timing disabled).
 	sent obs.Stamp
+
+	// wtok/wp carry a cross-process completion: when wtok is non-zero the
+	// operation rode the wire tier to peer-owned partition wp and slot is
+	// nil. The polling and blocking paths dispatch on it.
+	wtok wire.Tok
+	wp   *Partition
 }
 
 // ID returns the thread's runtime-unique id.
@@ -187,6 +208,15 @@ func (t *Thread) runLocal(p *Partition, key uint64, op Op, args *Args) Result {
 func (t *Thread) Execute(key uint64, op Op, args Args) *Completion {
 	t.checkLive()
 	p := t.partitionFor(key)
+	if p.peer != nil {
+		sent := t.rt.rec.Start()
+		a := args
+		tok, err := t.stageRemote(p, key, op, &a, false)
+		if err != nil {
+			return &Completion{t: t, res: Result{Err: err}, done: true}
+		}
+		return &Completion{t: t, wtok: tok, wp: p, sent: sent}
+	}
 	if p.id == t.locality || p.workers.Load() == 0 {
 		// Local key — or a locality with no threads to serve it, where
 		// inline execution (a remote-memory access in the paper's
@@ -215,6 +245,11 @@ func (t *Thread) Execute(key uint64, op Op, args Args) *Completion {
 func (t *Thread) ExecuteSync(key uint64, op Op, args Args) Result {
 	t.checkLive()
 	p := t.partitionFor(key)
+	if p.peer != nil {
+		a := args
+		res, _ := t.remoteSync(p, key, op, &a, time.Time{})
+		return res
+	}
 	if p.id == t.locality || p.workers.Load() == 0 {
 		a := args
 		return t.execInline(p, key, op, &a)
@@ -244,6 +279,10 @@ func (t *Thread) ExecuteSync(key uint64, op Op, args Args) Result {
 func (t *Thread) ExecuteSyncTimeout(key uint64, op Op, args Args, timeout time.Duration) (Result, error) {
 	t.checkLive()
 	p := t.partitionFor(key)
+	if p.peer != nil {
+		a := args
+		return t.remoteSync(p, key, op, &a, time.Now().Add(timeout))
+	}
 	if p.id == t.locality || p.workers.Load() == 0 {
 		a := args
 		return t.execInline(p, key, op, &a), nil
@@ -277,6 +316,11 @@ func (t *Thread) ExecuteSyncTimeout(key uint64, op Op, args Args, timeout time.D
 func (t *Thread) ExecuteAsync(key uint64, op Op, args Args) {
 	t.checkLive()
 	p := t.partitionFor(key)
+	if p.peer != nil {
+		a := args
+		t.remoteAsync(p, key, op, &a)
+		return
+	}
 	if p.id == t.locality || p.workers.Load() == 0 {
 		a := args
 		t.execInline(p, key, op, &a)
@@ -301,7 +345,14 @@ func (t *Thread) ExecuteAsync(key uint64, op Op, args Args) {
 //dps:noalloc
 func (t *Thread) ExecuteLocal(key uint64, op Op, args Args) Result {
 	t.checkLive()
-	return t.execInline(t.partitionFor(key), key, op, &args)
+	p := t.partitionFor(key)
+	if p.peer != nil {
+		// The shard lives in another process; local execution is
+		// impossible, so the operation delegates like ExecuteSync.
+		res, _ := t.remoteSync(p, key, op, &args, time.Time{})
+		return res
+	}
+	return t.execInline(p, key, op, &args)
 }
 
 // ExecutePartition performs op on an explicit partition instead of routing
@@ -312,6 +363,11 @@ func (t *Thread) ExecuteLocal(key uint64, op Op, args Args) Result {
 func (t *Thread) ExecutePartition(part int, key uint64, op Op, args Args) Result {
 	t.checkLive()
 	p := t.rt.parts[part]
+	if p.peer != nil {
+		a := args
+		res, _ := t.remoteSync(p, key, op, &a, time.Time{})
+		return res
+	}
 	if p.id == t.locality || p.workers.Load() == 0 {
 		a := args
 		return t.execInline(p, key, op, &a)
@@ -339,6 +395,17 @@ func (t *Thread) ExecuteAll(op Op, args Args, agg func(results []Result) Result)
 	// Delegate to remote partitions first so they proceed in parallel
 	// with our local share. A nil slot marks "not delegated".
 	for i, p := range t.rt.parts {
+		if p.peer != nil {
+			sent := t.rt.rec.Start()
+			a := args
+			tok, err := t.stageRemote(p, p.lo, op, &a, false)
+			if err != nil {
+				completions[i] = Completion{t: t, res: Result{Err: err}, done: true}
+				continue
+			}
+			completions[i] = Completion{t: t, wtok: tok, wp: p, sent: sent}
+			continue
+		}
 		if p.id == t.locality || p.workers.Load() == 0 {
 			continue
 		}
@@ -352,16 +419,19 @@ func (t *Thread) ExecuteAll(op Op, args Args, agg func(results []Result) Result)
 		t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
 		completions[i] = Completion{slot: s, idx: idx, t: t, sent: sent}
 	}
+	// Publish any open wire burst so peer shares proceed while the local
+	// share executes.
+	t.flushWire()
 	results := make([]Result, n)
 	for i, p := range t.rt.parts {
-		if completions[i].slot == nil && !completions[i].done {
+		if completions[i].slot == nil && completions[i].wtok.Zero() && !completions[i].done {
 			a := args
 			results[i] = t.execInline(p, p.lo, op, &a)
 		}
 	}
 	for i := range completions {
 		switch {
-		case completions[i].slot != nil:
+		case completions[i].slot != nil || !completions[i].wtok.Zero():
 			results[i] = completions[i].Result()
 		case completions[i].done:
 			results[i] = completions[i].res
@@ -414,6 +484,9 @@ func (t *Thread) Drain() {
 		if t.reapAbandoned() == 0 && t.rt.down.Load() {
 			break
 		}
+	}
+	if len(t.woutstanding) > 0 {
+		t.drainWire()
 	}
 }
 
@@ -556,6 +629,11 @@ func (t *Thread) noteOutstanding(s *slot) {
 //
 //dps:noalloc via ExecuteSync
 func (t *Thread) flushOpen() {
+	if t.wopen != nil {
+		// The open wire burst flushes at the same points the open ring
+		// burst does; cross-tier operations cannot be held back either.
+		t.flushWire()
+	}
 	s := t.open
 	if s == nil {
 		return
@@ -884,6 +962,9 @@ func (c *Completion) Ready() (Result, bool) {
 		panic(ErrUnregistered)
 	}
 	c.t.flushOpen()
+	if !c.wtok.Zero() {
+		return c.readyWire()
+	}
 	for i := 0; i < c.t.rt.cfg.CheckRatio; i++ {
 		if !c.slot.Pending() {
 			c.finish()
@@ -920,6 +1001,10 @@ func (c *Completion) Result() Result {
 	if res, ok := c.Ready(); ok {
 		return res
 	}
+	if !c.wtok.Zero() {
+		res, _ := c.resultWire(time.Time{})
+		return res
+	}
 	w := newWaiter(c.t, c.slot.Payload().part)
 	for {
 		w.pause(c.slot)
@@ -946,6 +1031,9 @@ func (c *Completion) resultDeadline(deadline time.Time) (Result, error) {
 	if res, ok := c.Ready(); ok {
 		return res, closedErr(res)
 	}
+	if !c.wtok.Zero() {
+		return c.resultWire(deadline)
+	}
 	w := newWaiter(c.t, c.slot.Payload().part)
 	for {
 		if !deadline.IsZero() && time.Now().After(deadline) {
@@ -956,6 +1044,59 @@ func (c *Completion) resultDeadline(deadline time.Time) (Result, error) {
 		if res, ok := c.Ready(); ok {
 			return res, closedErr(res)
 		}
+	}
+}
+
+// readyWire polls a cross-process completion, serving the caller's
+// locality between polls — Ready's contract, dispatched on the wire
+// token. The in-process rescue has no wire analogue; liveness there is
+// the deadline machinery's job (resultWire, remoteSync).
+func (c *Completion) readyWire() (Result, bool) {
+	for i := 0; i < c.t.rt.cfg.CheckRatio; i++ {
+		if res, ok := c.wtok.Ready(); ok {
+			c.finishWire(res)
+			return c.res, true
+		}
+		c.t.serve()
+	}
+	if c.t.rt.down.Load() {
+		c.wtok.Finish()
+		c.wtok = wire.Tok{}
+		c.res = Result{Err: ErrClosed}
+		c.done = true
+		return c.res, true
+	}
+	return Result{}, false
+}
+
+// resultWire awaits a cross-process completion (Result/resultDeadline's
+// wire arm). A zero deadline applies the peer's timeout: wire awaits are
+// never unbounded.
+func (c *Completion) resultWire(deadline time.Time) (Result, error) {
+	res, err := c.t.awaitTok(c.wtok, deadline, c.wp)
+	c.wtok = wire.Tok{}
+	c.res = res
+	c.done = true
+	rt := c.t.rt
+	d := rt.rec.Since(c.sent)
+	rt.rec.Observe(c.t.id, obs.HistSyncDelegation, d)
+	if rt.tracing {
+		rt.tracer.OnComplete(c.t.id, c.wp.id, 0, d)
+	}
+	return res, err
+}
+
+// finishWire resolves a cross-process completion from a polled result.
+func (c *Completion) finishWire(res Result) {
+	c.wtok.Finish()
+	c.wtok = wire.Tok{}
+	c.res = res
+	c.done = true
+	rt := c.t.rt
+	d := rt.rec.Since(c.sent)
+	rt.rec.Observe(c.t.id, obs.HistSyncDelegation, d)
+	if rt.tracing {
+		rt.tracer.OnComplete(c.t.id, c.wp.id, 0, d)
 	}
 }
 

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dps/internal/ring"
+)
+
+// This file adapts the in-process tier to the ring.Transport contract.
+// The runtime's own hot paths do NOT go through the interface — Execute
+// and friends keep the concrete slot/burst machinery so the idle-sender
+// delegation path stays allocation-free and branch-predictable — but the
+// adapter lets partition-agnostic callers (and the cross-tier
+// conformance suite) drive both tiers through one contract.
+
+// Transport returns the thread's ring.Transport view. Operations are
+// resolved through the op registry (RegisterOp), so only registered ops
+// can be staged — the same constraint the wire tier has, which is what
+// makes a Transport caller oblivious to where the partition lives: a
+// StagedOp toward a peer-owned partition rides the thread's wire link,
+// all others ride the thread's rings (or execute inline, per the normal
+// routing rules).
+//
+// Like the Thread itself, the returned Transport must be used by one
+// goroutine at a time.
+func (t *Thread) Transport() ring.Transport { return localTransport{t} }
+
+type localTransport struct{ t *Thread }
+
+// Stage stages one operation by partition index. Fire-and-forget is
+// expressed through the token — the in-process tier stages Fire
+// operations as normal entries whose token the caller may simply Await
+// at its barrier, mirroring the wire tier where even fire bursts get a
+// completion frame. StagedOp.Data is copied before Stage returns.
+func (lt localTransport) Stage(op ring.StagedOp) (ring.Token, error) {
+	t := lt.t
+	t.checkLive()
+	if op.Part < 0 || op.Part >= len(t.rt.parts) {
+		return nil, fmt.Errorf("dps: partition %d out of range [0,%d)", op.Part, len(t.rt.parts))
+	}
+	o := t.rt.opByCode(op.Code)
+	if o == nil {
+		return nil, ErrOpNotRegistered
+	}
+	p := t.rt.parts[op.Part]
+	args := Args{U: op.U}
+	if op.Data != nil {
+		args.P = append([]byte(nil), op.Data...)
+	}
+	if p.peer != nil {
+		tok, err := t.stageRemote(p, op.Key, o, &args, op.Fire)
+		if err != nil {
+			return nil, err
+		}
+		return tok, nil
+	}
+	if p.id == t.locality || p.workers.Load() == 0 {
+		return doneToken{res: t.execInline(p, op.Key, o, &args)}, nil
+	}
+	sent := t.rt.rec.Start()
+	s, idx := t.pack(p, op.Key, o, args, false, time.Time{})
+	if s == nil {
+		return nil, ErrClosed
+	}
+	return &Completion{slot: s, idx: idx, t: t, sent: sent}, nil
+}
+
+// Flush publishes the thread's open bursts on both tiers.
+func (lt localTransport) Flush() error {
+	lt.t.flushOpen()
+	return nil
+}
+
+// Close flushes; the thread's lifetime belongs to Register/Unregister.
+func (lt localTransport) Close() error {
+	lt.t.flushOpen()
+	return nil
+}
+
+// Await blocks for the completion with an optional deadline (zero:
+// unbounded — the in-process tier's rescue machinery guarantees
+// progress), making *Completion a ring.Token.
+func (c *Completion) Await(deadline time.Time) (Result, error) {
+	return c.resultDeadline(deadline)
+}
+
+var _ ring.Token = (*Completion)(nil)
+
+// doneToken is an already-resolved token: inline execution completed
+// before Stage returned.
+type doneToken struct{ res Result }
+
+func (d doneToken) Ready() (ring.Result, bool)           { return d.res, true }
+func (d doneToken) Await(time.Time) (ring.Result, error) { return d.res, closedErr(d.res) }

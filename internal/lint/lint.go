@@ -33,14 +33,19 @@
 //	//dps:hook [guard=G]   (field) hookguard: every call through the field
 //	                       must be dominated by a nil check of the field (or
 //	                       by a check of the sibling boolean field G).
+//	//dps:wire-cold <why>  (func)  wirealloc: acknowledges a function that
+//	                       touches the wire byte layout but sits off the
+//	                       per-op hot path (handshake, per-burst publish).
 //	//dps:check r1 r2 ...  (package) opts the package in to the whole-package
-//	                       rules atomicmix and spinloop.
+//	                       rules atomicmix, spinloop and wirealloc.
 //
 // padcheck, noalloc and hookguard need no package opt-in: their markers
-// are the opt-in. atomicmix and spinloop inspect unmarked code, so they
-// run only in packages carrying a //dps:check marker — the lock-free
-// baseline structures (internal/list, internal/skiplist, ...) spin and mix
-// accesses per their published algorithms and deliberately stay out.
+// are the opt-in. atomicmix, spinloop and wirealloc inspect unmarked
+// code, so they run only in packages carrying a //dps:check marker — the
+// lock-free baseline structures (internal/list, internal/skiplist, ...)
+// spin and mix accesses per their published algorithms and deliberately
+// stay out, and wirealloc's byte-layout heuristic only means "wire hot
+// path" inside the wire tier.
 package lint
 
 import (
@@ -70,6 +75,7 @@ func Run(m *Module) []Diagnostic {
 	diags = append(diags, noalloc(m)...)
 	diags = append(diags, spinloop(m)...)
 	diags = append(diags, hookguard(m)...)
+	diags = append(diags, wirealloc(m)...)
 	sortDiags(diags)
 	return diags
 }

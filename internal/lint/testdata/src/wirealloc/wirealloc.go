@@ -1,0 +1,49 @@
+// Package wirealloc seeds violations for dpslint's wirealloc rule:
+// functions touching the wire byte layout (calls into encoding/binary)
+// must carry //dps:noalloc or acknowledge a cold path with
+// //dps:wire-cold <why>.
+package wirealloc
+
+//dps:check wirealloc
+
+import "encoding/binary"
+
+func badEncode(b []byte, v uint32) { // want wirealloc "badEncode touches the wire byte layout"
+	binary.BigEndian.PutUint32(b, v)
+}
+
+type frame struct{ buf []byte }
+
+func (f *frame) badDecode() uint32 { // want wirealloc "frame.badDecode touches the wire byte layout"
+	return binary.BigEndian.Uint32(f.buf)
+}
+
+//dps:wire-cold
+func badColdNoWhy(b []byte, v uint64) { // want wirealloc "wire-cold needs a justification"
+	binary.BigEndian.PutUint64(b, v)
+}
+
+// okMarked is on the hot path and says so; the noalloc body check and
+// the pinsync pin requirement take over from here.
+//
+//dps:noalloc
+func okMarked(b []byte, v uint32) {
+	binary.BigEndian.PutUint32(b, v)
+}
+
+// okVia rides okMarked's pin.
+//
+//dps:noalloc via okMarked
+func okVia(b []byte, v uint32) {
+	binary.BigEndian.PutUint32(b[4:], v)
+}
+
+// okCold is a handshake encoder: off the per-op path, and it says why.
+//
+//dps:wire-cold once per connection, rides the dial
+func okCold(b []byte, v uint32) {
+	binary.BigEndian.PutUint32(b, v)
+}
+
+// okPlain never touches the byte layout.
+func okPlain(b []byte) int { return len(b) }

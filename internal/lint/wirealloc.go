@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// wirealloc closes the gap between the wire codec's hot path and the
+// noalloc/pinsync machinery: a function that touches the wire byte
+// layout is, by construction, on the encode/decode/publish path, and the
+// alloc discipline there is load-bearing — a stray allocation per op
+// turns a frame-per-burst protocol into a garbage-per-op one. The rule
+// makes the discipline structural instead of reviewer-enforced: any
+// function in an opted-in package that calls into encoding/binary must
+// either
+//
+//   - carry a //dps:noalloc marker (directly — which also demands an
+//     AllocsPerRun pin via pinsync — or "via F", riding a directly
+//     pinned caller's coverage), or
+//   - carry a //dps:wire-cold <why> marker acknowledging it is off the
+//     per-op hot path (handshakes, per-burst publish, diagnostics).
+//
+// New codec code therefore cannot land unmarked: the author either pins
+// it allocation-free or writes down why it does not need to be.
+//
+// The rule inspects unmarked code, so it runs only in packages opted in
+// with //dps:check wirealloc.
+func wirealloc(m *Module) []Diagnostic {
+	const rule = "wirealloc"
+	var diags []Diagnostic
+	for _, pkg := range m.Pkgs {
+		if !pkg.Checks[rule] {
+			continue
+		}
+		funcBodies(pkg, func(fd *ast.FuncDecl, _ *ast.File) {
+			if cold, ok := findMarker("wire-cold", fd.Doc); ok {
+				if cold.Args == "" {
+					diags = append(diags, Diagnostic{
+						Pos:  m.Fset.Position(fd.Pos()),
+						Rule: rule,
+						Msg:  fmt.Sprintf("%s: //dps:wire-cold needs a justification", funcName(fd)),
+					})
+				}
+				return
+			}
+			if _, ok := findMarker("noalloc", fd.Doc); ok {
+				return
+			}
+			if touched := binaryCallIn(pkg.Info, fd.Body); touched != "" {
+				diags = append(diags, Diagnostic{
+					Pos:  m.Fset.Position(fd.Pos()),
+					Rule: rule,
+					Msg: fmt.Sprintf("%s touches the wire byte layout (%s) but carries no //dps:noalloc marker; mark it (pinning it through pinsync) or acknowledge a cold path with //dps:wire-cold <why>",
+						funcName(fd), touched),
+				})
+			}
+		})
+	}
+	sortDiags(diags)
+	return diags
+}
+
+// binaryCallIn names the first call into encoding/binary under n — the
+// structural signal that a function reads or writes wire-format bytes.
+func binaryCallIn(info *types.Info, n ast.Node) string {
+	found := ""
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(info, call); fn != nil && isBinaryPkg(fn.Pkg()) {
+				found = "binary." + fn.Name()
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isBinaryPkg reports whether pkg is encoding/binary.
+func isBinaryPkg(pkg *types.Package) bool {
+	return pkg != nil && pkg.Path() == "encoding/binary"
+}
+
+// funcName renders a declaration's name with its receiver type, matching
+// how readers grep for it.
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if s, ok := selectorPath(recvBase(t)); ok {
+		return s + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// recvBase strips pointer and generic decoration off a receiver type
+// expression.
+func recvBase(t ast.Expr) ast.Expr {
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.IndexExpr:
+			t = e.X
+		case *ast.IndexListExpr:
+			t = e.X
+		default:
+			return t
+		}
+	}
+}

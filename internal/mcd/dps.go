@@ -36,10 +36,26 @@ type DPSConfig struct {
 	LocalGets bool
 	// MaxThreads bounds registered handles.
 	MaxThreads int
+	// Peers hands ownership of some partitions to peer processes: their
+	// shards live in the owning process, and operations on their keys
+	// travel the wire tier. Every process in the cluster must use the
+	// same Partitions count (the hello handshake verifies it) and the
+	// default key hash.
+	Peers []core.Peer
 	// Chaos installs a fault injector on the runtime's delegation paths
 	// (tests only).
 	Chaos *chaos.Injector
 }
+
+// Wire codes of the cache operations, identical in every process of a
+// cluster (NewDPS registers them unconditionally, so any two DPS caches
+// interoperate).
+const (
+	opCodeGet    uint16 = 1
+	opCodeSet    uint16 = 2
+	opCodeDelete uint16 = 3
+	opCodeLen    uint16 = 4
+)
 
 // NewDPS creates the partitioned cache.
 func NewDPS(cfg DPSConfig) (*DPS, error) {
@@ -50,6 +66,7 @@ func NewDPS(cfg DPSConfig) (*DPS, error) {
 	rt, err := core.New(core.Config{
 		Partitions: cfg.Partitions,
 		MaxThreads: cfg.MaxThreads,
+		Peers:      cfg.Peers,
 		Chaos:      cfg.Chaos,
 		Init: func(p *core.Partition) any {
 			c, err := cfg.NewShard()
@@ -67,6 +84,19 @@ func NewDPS(cfg DPSConfig) (*DPS, error) {
 		// only ever see the error, so they cannot close it themselves.
 		_ = rt.Close()
 		return nil, fmt.Errorf("mcd: shard init: %w", shardErr)
+	}
+	// Register the cache ops under their wire codes so this cache can
+	// delegate to peers and serve for them. Registration is idempotent
+	// and cheap, so it is unconditional — single-process caches just
+	// never use the table.
+	for _, reg := range []struct {
+		code uint16
+		op   core.Op
+	}{{opCodeGet, opGet}, {opCodeSet, opSet}, {opCodeDelete, opDelete}, {opCodeLen, opLen}} {
+		if err := rt.RegisterOp(reg.code, reg.op); err != nil {
+			_ = rt.Close()
+			return nil, fmt.Errorf("mcd: registering op %d: %w", reg.code, err)
+		}
 	}
 	return &DPS{rt: rt, localGets: cfg.LocalGets}, nil
 }
@@ -114,7 +144,11 @@ func opGet(p *core.Partition, key uint64, _ *core.Args) core.Result {
 }
 
 func opSet(p *core.Partition, key uint64, args *core.Args) core.Result {
-	if err := p.Data().(Cache).Set(key, args.P.([]byte)); err != nil {
+	// Tolerate a nil payload: a zero-length value arrives from the wire
+	// tier with args.P unset (the frame cannot distinguish nil from
+	// empty, and the cache stores both as empty).
+	val, _ := args.P.([]byte)
+	if err := p.Data().(Cache).Set(key, val); err != nil {
 		return core.Result{Err: err}
 	}
 	return core.Result{}

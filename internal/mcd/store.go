@@ -2,12 +2,14 @@ package mcd
 
 import (
 	"fmt"
+	"net"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"dps/internal/chaos"
+	"dps/internal/core"
 	"dps/internal/obs"
 	"dps/internal/parsec"
 )
@@ -103,9 +105,25 @@ type Config struct {
 	// LocalGets forces the DPS-ParSec local-get configuration; implied by
 	// the "dps-parsec" variant name.
 	LocalGets bool
+	// Peers hands ownership of some partitions to peer processes (dps
+	// variants only): operations on their keys are delegated over TCP
+	// through the wire tier. Every process in a cluster must configure
+	// the same Partitions count.
+	Peers []core.Peer
+	// PeerListen, when non-empty, is a host:port this store listens on to
+	// serve its locally-owned partitions to peer processes (dps variants
+	// only). Use ":0" for an ephemeral port and read it back through the
+	// PeerListener interface.
+	PeerListen string
 	// Chaos installs a fault injector on the dps variants' delegation
 	// paths (tests only).
 	Chaos *chaos.Injector
+}
+
+// PeerListener is implemented by stores serving partitions to peer
+// processes (Config.PeerListen); PeerAddr reports the bound address.
+type PeerListener interface {
+	PeerAddr() string
 }
 
 func (c *Config) setDefaults() {
@@ -264,11 +282,16 @@ func openDPS(localGets bool, cfg Config) (Store, error) {
 		Partitions: parts,
 		LocalGets:  localGets,
 		MaxThreads: cfg.MaxThreads,
+		Peers:      cfg.Peers,
 		Chaos:      cfg.Chaos,
+	}
+	localParts := parts
+	for _, p := range cfg.Peers {
+		localParts -= len(p.Parts)
 	}
 	servers := cfg.Servers
 	if servers == 0 {
-		servers = parts
+		servers = localParts
 	}
 	if servers < 0 {
 		servers = 0
@@ -276,8 +299,12 @@ func openDPS(localGets bool, cfg Config) (Store, error) {
 	if dcfg.MaxThreads == 0 {
 		dcfg.MaxThreads = 128
 	}
-	// The dedicated servers ride on top of the caller's session budget.
+	// The dedicated servers — and the peer server's per-partition applier
+	// threads — ride on top of the caller's session budget.
 	dcfg.MaxThreads += servers
+	if cfg.PeerListen != "" {
+		dcfg.MaxThreads += localParts
+	}
 	perShardMem := cfg.MemLimit / int64(parts)
 	perShardBuckets := cfg.Buckets / parts
 	if perShardBuckets == 0 {
@@ -302,17 +329,44 @@ func openDPS(localGets bool, cfg Config) (Store, error) {
 		drainTimeout: cfg.DrainTimeout,
 		stop:         make(chan struct{}),
 	}
+	// The serving crew binds to locally-owned partitions only — a peer's
+	// partitions have no shard (or ring) in this process to serve.
+	rt := d.Runtime()
+	var local []int
+	for i := 0; i < rt.Partitions(); i++ {
+		if !rt.Partition(i).Remote() {
+			local = append(local, i)
+		}
+	}
+	if cfg.PeerListen != "" {
+		ln, err := net.Listen("tcp", cfg.PeerListen)
+		if err != nil {
+			_ = rt.Close()
+			return nil, fmt.Errorf("mcd: peer listen: %w", err)
+		}
+		ps, err := rt.NewPeerServer(ln, 1)
+		if err != nil {
+			ln.Close()
+			_ = rt.Close()
+			return nil, fmt.Errorf("mcd: peer server: %w", err)
+		}
+		st.ps = ps
+		go ps.Serve()
+	}
 	// Register the dedicated serving handles synchronously — before any
 	// session exists — so every partition has a worker from the first
 	// operation on (otherwise early operations take the empty-locality
 	// inline fallback, a scheduling hazard on small machines). A partial
 	// failure releases the handles already claimed.
 	handles := make([]*DPSHandle, 0, servers)
-	for i := 0; i < servers; i++ {
-		h, err := d.RegisterAt(i % parts)
+	for i := 0; i < servers && len(local) > 0; i++ {
+		h, err := d.RegisterAt(local[i%len(local)])
 		if err != nil {
 			for _, prev := range handles {
 				prev.Unregister()
+			}
+			if st.ps != nil {
+				st.ps.Close()
 			}
 			return nil, fmt.Errorf("mcd: registering serving thread %d: %w", i, err)
 		}
@@ -332,12 +386,22 @@ func openDPS(localGets bool, cfg Config) (Store, error) {
 // would stall every remote operation until the stall detector trips).
 type dpsStore struct {
 	d            *DPS
+	ps           *core.PeerServer
 	opTimeout    time.Duration
 	drainTimeout time.Duration
 	stop         chan struct{}
 	wg           sync.WaitGroup
 	closeOnce    sync.Once
 	closeErr     error
+}
+
+// PeerAddr reports the bound peer-serving address ("" when the store was
+// opened without PeerListen).
+func (s *dpsStore) PeerAddr() string {
+	if s.ps == nil {
+		return ""
+	}
+	return s.ps.Addr().String()
 }
 
 // serveLoop is one dedicated serving thread: doorbell-driven serve passes
@@ -375,23 +439,31 @@ func (s *dpsStore) Session() (Session, error) {
 
 // Len sums shard item counts directly (quiescent use, like Cache.Len): a
 // registration-free gauge read that cannot fail at the thread budget.
+// Peer-owned partitions have no shard here and are skipped — Len counts
+// this process's items; cluster totals go through a Session broadcast.
 func (s *dpsStore) Len() int {
 	n := 0
 	rt := s.d.Runtime()
 	for i := 0; i < rt.Partitions(); i++ {
-		n += rt.Partition(i).Data().(Cache).Len()
+		if p := rt.Partition(i); !p.Remote() {
+			n += p.Data().(Cache).Len()
+		}
 	}
 	return n
 }
 
 func (s *dpsStore) Metrics() obs.Snapshot { return s.d.Runtime().Metrics() }
 
-// Close stops the serving crew, then shuts the runtime down gracefully —
-// draining in-flight delegations within DrainTimeout.
+// Close stops the serving crew and the peer server, then shuts the
+// runtime down gracefully — draining in-flight delegations within
+// DrainTimeout.
 func (s *dpsStore) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.stop)
 		s.wg.Wait()
+		if s.ps != nil {
+			s.ps.Close()
+		}
 		_, err := s.d.Runtime().Shutdown(s.drainTimeout)
 		s.closeErr = err
 	})

@@ -65,6 +65,19 @@ const (
 	// DoorbellWakes counts sender rings visited because their doorbell bit
 	// was set (including re-armed bits for rings left with work behind).
 	DoorbellWakes
+	// RemoteOps counts operations delegated across a process boundary to a
+	// peer-owned partition (the wire tier), attributed to the destination
+	// partition. Disjoint from RemoteSend/AsyncSend, which count in-process
+	// ring delegations only.
+	RemoteOps
+	// RemoteBytes counts encoded frame bytes written toward peer-owned
+	// partitions (request frames only; the peer accounts its responses).
+	RemoteBytes
+	// PeerStalls counts wire-tier waits that crossed a stall window with no
+	// completion frame arriving — the cross-process analogue of Stalls,
+	// where the remedy is the deadline machinery rather than rescue (a
+	// sender cannot reach into a peer process's shard).
+	PeerStalls
 	// NumCounters is the number of counters per block.
 	NumCounters
 )
@@ -335,6 +348,9 @@ func (r *Recorder) Snapshot() Snapshot {
 			pm.Abandoned += b.c[Abandoned].Load()
 			pm.RingScansSkipped += b.c[RingScansSkipped].Load()
 			pm.DoorbellWakes += b.c[DoorbellWakes].Load()
+			pm.RemoteOps += b.c[RemoteOps].Load()
+			pm.RemoteBytes += b.c[RemoteBytes].Load()
+			pm.PeerStalls += b.c[PeerStalls].Load()
 		}
 	}
 	for _, pm := range s.PerPartition {
@@ -349,6 +365,9 @@ func (r *Recorder) Snapshot() Snapshot {
 		s.Totals.Abandoned += pm.Abandoned
 		s.Totals.RingScansSkipped += pm.RingScansSkipped
 		s.Totals.DoorbellWakes += pm.DoorbellWakes
+		s.Totals.RemoteOps += pm.RemoteOps
+		s.Totals.RemoteBytes += pm.RemoteBytes
+		s.Totals.PeerStalls += pm.PeerStalls
 	}
 	s.Latency.LocalExec = r.summary(HistLocalExec)
 	s.Latency.SyncDelegation = r.summary(HistSyncDelegation)

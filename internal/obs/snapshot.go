@@ -43,6 +43,15 @@ type Totals struct {
 	// DoorbellWakes counts sender rings serve passes visited because their
 	// doorbell bit was set.
 	DoorbellWakes uint64
+	// RemoteOps counts operations delegated across a process boundary to
+	// peer-owned partitions (the wire tier; disjoint from RemoteSends).
+	RemoteOps uint64
+	// RemoteBytes counts encoded request-frame bytes written toward
+	// peer-owned partitions.
+	RemoteBytes uint64
+	// PeerStalls counts wire-tier waits that crossed a stall window with no
+	// completion frame arriving.
+	PeerStalls uint64
 }
 
 func (t Totals) sub(prev Totals) Totals {
@@ -59,6 +68,9 @@ func (t Totals) sub(prev Totals) Totals {
 
 		RingScansSkipped: t.RingScansSkipped - prev.RingScansSkipped,
 		DoorbellWakes:    t.DoorbellWakes - prev.DoorbellWakes,
+		RemoteOps:        t.RemoteOps - prev.RemoteOps,
+		RemoteBytes:      t.RemoteBytes - prev.RemoteBytes,
+		PeerStalls:       t.PeerStalls - prev.PeerStalls,
 	}
 }
 
@@ -219,6 +231,10 @@ type Snapshot struct {
 	// fronts the runtime (internal/server fills it in Metrics); the zero
 	// value otherwise.
 	Server ServerMetrics
+	// Peers carries one entry per configured peer process (the wire tier's
+	// link-level counters, filled by Runtime.Metrics from the transport);
+	// nil when the runtime owns every partition locally.
+	Peers []PeerMetrics
 }
 
 // Delta returns the activity recorded between prev and s (prev must be an
@@ -241,6 +257,15 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	d.Latency.Served = s.Latency.Served.Delta(prev.Latency.Served)
 	d.Bursts = s.Bursts.Delta(prev.Bursts)
 	d.Server = s.Server.sub(prev.Server)
+	if len(s.Peers) > 0 {
+		d.Peers = make([]PeerMetrics, len(s.Peers))
+		copy(d.Peers, s.Peers)
+		for i := range d.Peers {
+			if i < len(prev.Peers) {
+				d.Peers[i] = s.Peers[i].sub(prev.Peers[i])
+			}
+		}
+	}
 	return d
 }
 
@@ -281,6 +306,13 @@ func (s Snapshot) String() string {
 		t.LocalExecs, t.RemoteSends, t.AsyncSends, t.Served, t.RingFullWaits, t.Rescued, t.Stalls, t.Panics, t.Abandoned)
 	fmt.Fprintf(&b, "serving: wakes=%d scans-skipped=%d\n", t.DoorbellWakes, t.RingScansSkipped)
 	fmt.Fprintf(&b, "bursts: %s\n", s.Bursts)
+	if t.RemoteOps+t.RemoteBytes+t.PeerStalls > 0 || len(s.Peers) > 0 {
+		fmt.Fprintf(&b, "wire: remote-ops=%d remote-bytes=%d peer-stalls=%d\n",
+			t.RemoteOps, t.RemoteBytes, t.PeerStalls)
+	}
+	for _, pm := range s.Peers {
+		fmt.Fprintf(&b, "peer %s\n", pm)
+	}
 	if !s.Server.Zero() {
 		fmt.Fprintf(&b, "server %s\n", s.Server)
 	}

@@ -1,0 +1,319 @@
+package wire
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"dps/internal/ring"
+)
+
+// Canonical sentinel texts: the wire carries errors as strings, and
+// these two rehydrate to their canonical identities (ring.ErrClosed,
+// ring.ErrTimeout) on the receiving side so errors.Is keeps working
+// across the process boundary.
+var (
+	closedText  = ring.ErrClosed.Error()
+	timeoutText = ring.ErrTimeout.Error()
+)
+
+// errString flattens an operation error for the wire.
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// toError rehydrates a wire error string, mapping the canonical sentinel
+// texts back to their identities.
+func toError(s string) error {
+	switch s {
+	case "":
+		return nil
+	case closedText:
+		return ring.ErrClosed
+	case timeoutText:
+		return ring.ErrTimeout
+	}
+	return OpError(s)
+}
+
+// Pending is one in-flight burst: the sender-private completion record
+// the response frame (or a link failure) resolves. It is the wire tier's
+// analogue of the in-process tier's published slot — results ride back
+// in the same container the burst went out in.
+type Pending struct {
+	pc  *pconn
+	seq uint32
+	gen uint64
+
+	// n is the number of operations in the burst; res[:n] receive their
+	// results when the burst resolves.
+	n   int32
+	res [MaxBurst]ring.Result
+
+	// state is 0 while in flight and 1 once resolved; done is closed at
+	// resolve time for blocking awaiters. Results are published before
+	// state flips, so a Ready poll that observes state==1 may read res.
+	state atomic.Uint32
+	done  chan struct{}
+
+	// consumed counts tokens whose Await has returned. When all n have
+	// been consumed and the burst never resolved (a lost frame), the
+	// burst is forgotten so the pending table cannot grow without bound.
+	consumed atomic.Int32
+}
+
+// resolve publishes the response frame's results and wakes awaiters.
+func (p *Pending) resolve(f *Frame) {
+	n := int(p.n)
+	if len(f.Resp) < n {
+		n = len(f.Resp) // short response: missing entries keep zero Results
+	}
+	for i := 0; i < n; i++ {
+		r := &f.Resp[i]
+		p.res[i].U = r.U
+		if r.HasData {
+			// The frame's Data sub-slices the connection read buffer,
+			// which the reader reuses for the next frame; the result
+			// must own its bytes.
+			p.res[i].P = append([]byte(nil), r.Data...)
+		} else {
+			p.res[i].P = nil
+		}
+		p.res[i].Err = toError(r.Err)
+	}
+	p.state.Store(1)
+	close(p.done)
+}
+
+// fail resolves every operation in the burst with err.
+func (p *Pending) fail(err error) {
+	for i := range p.res[:p.n] {
+		p.res[i] = ring.Result{Err: err}
+	}
+	p.state.Store(1)
+	close(p.done)
+}
+
+// Tok is one staged operation's completion handle — the concrete type
+// core stores so the await hot path costs no interface boxing. It
+// implements ring.Token.
+type Tok struct {
+	p *Pending
+	i int32
+}
+
+// Zero reports whether the token is the zero Tok (no staged operation).
+func (t Tok) Zero() bool { return t.p == nil }
+
+// Ready polls the burst without blocking.
+func (t Tok) Ready() (ring.Result, bool) {
+	if t.p.state.Load() == 0 {
+		return ring.Result{}, false
+	}
+	return t.p.res[t.i], true
+}
+
+// Finish records that the caller is done with this token — it polled a
+// result via Ready, timed out, or is abandoning the wait. Exactly one of
+// Finish or Await must be called per token; the last finisher of a burst
+// that never resolved forgets it so the pending table stays bounded
+// under lost frames.
+func (t Tok) Finish() { t.consume() }
+
+// consume records that this token's await has returned; the last
+// consumer of a burst that never resolved forgets it.
+func (t Tok) consume() {
+	p := t.p
+	if p.consumed.Add(1) == p.n && p.state.Load() == 0 && p.pc != nil {
+		p.pc.forget(uint64(p.seq))
+	}
+}
+
+// Await blocks until the burst resolves or the deadline expires. A zero
+// deadline applies the peer's default timeout (the liveness backstop —
+// wire awaits are never unbounded, because no rescue path can reach into
+// a peer process's shard). Each token must be awaited exactly once; the
+// runtime's sync and drain paths do so.
+//
+// The wait spins briefly — responses to an attentive peer commonly
+// return in microseconds — then parks on the resolve channel.
+func (t Tok) Await(deadline time.Time) (ring.Result, error) {
+	p := t.p
+	for spin := 0; spin < 64; spin++ {
+		if p.state.Load() != 0 {
+			t.consume()
+			return p.res[t.i], p.res[t.i].Err
+		}
+		runtime.Gosched()
+	}
+	var timeout time.Duration
+	if deadline.IsZero() {
+		timeout = p.pconnTimeout()
+	} else {
+		timeout = time.Until(deadline)
+	}
+	if timeout <= 0 {
+		timeout = time.Nanosecond
+	}
+	tm := time.NewTimer(timeout)
+	defer tm.Stop()
+	select {
+	case <-p.done:
+		t.consume()
+		return p.res[t.i], p.res[t.i].Err
+	case <-tm.C:
+		if p.state.Load() != 0 {
+			t.consume()
+			return p.res[t.i], p.res[t.i].Err
+		}
+		if p.pc != nil {
+			p.pc.peer.timeouts.Add(1)
+		}
+		t.consume()
+		return ring.Result{Err: ring.ErrTimeout}, ring.ErrTimeout
+	}
+}
+
+// pconnTimeout returns the owning peer's default completion bound.
+func (p *Pending) pconnTimeout() time.Duration {
+	if p.pc == nil {
+		return DefaultTimeout
+	}
+	return p.pc.peer.cfg.Timeout
+}
+
+// Link is one sender thread's view of a peer: a pinned connection and at
+// most one open burst, mirroring the in-process tier's open slot. Links
+// are not safe for concurrent use — like a core Thread, each belongs to
+// one goroutine.
+type Link struct {
+	peer *Peer
+	pc   *pconn
+
+	// The open burst: a partially encoded request frame (buf) targeting
+	// part, its completion record, and the count packed so far. part is
+	// -1 when no burst is open.
+	buf  []byte
+	part int
+	n    int
+	pend *Pending
+}
+
+// NewLink builds a sender view pinned to connection tid mod pool. All
+// bursts from one link ride one connection in order, which the peer
+// applies in order — that is what makes a sync write followed by a read
+// on the same link read-your-writes across the process boundary.
+func (pr *Peer) NewLink(tid int) *Link {
+	return &Link{
+		peer: pr,
+		pc:   pr.conns[tid%len(pr.conns)],
+		part: -1,
+	}
+}
+
+// Open reports whether the link holds an open (unpublished) burst.
+func (l *Link) Open() bool { return l.part >= 0 }
+
+// Stage packs op into the link's open burst, flushing first when the
+// open burst targets a different partition or is full, and claims a
+// fresh burst when none is open. The op's Data is copied into the frame
+// immediately; the caller may reuse it when Stage returns. The returned
+// token must be awaited exactly once (fire-and-forget included — that
+// await is the drain barrier).
+//
+//dps:noalloc
+func (l *Link) Stage(op ring.StagedOp) (Tok, error) {
+	if l.peer.closed.Load() {
+		return Tok{}, ring.ErrClosed
+	}
+	if l.part >= 0 && (l.part != op.Part || l.n == MaxBurst) {
+		l.Flush()
+	}
+	if l.part < 0 {
+		l.claim(op.Part)
+	}
+	// Pack one request entry; mirrors AppendRequest's wire layout.
+	off := len(l.buf)
+	l.buf = grow(l.buf, reqOpFixed+len(op.Data))
+	binary.BigEndian.PutUint16(l.buf[off:], op.Code)
+	flags := byte(0)
+	if op.Fire {
+		flags = 1
+	}
+	l.buf[off+2] = flags
+	binary.BigEndian.PutUint64(l.buf[off+3:], op.Key)
+	binary.BigEndian.PutUint64(l.buf[off+11:], op.U[0])
+	binary.BigEndian.PutUint64(l.buf[off+19:], op.U[1])
+	binary.BigEndian.PutUint64(l.buf[off+27:], op.U[2])
+	binary.BigEndian.PutUint64(l.buf[off+35:], op.U[3])
+	binary.BigEndian.PutUint32(l.buf[off+43:], uint32(len(op.Data)))
+	copy(l.buf[off+reqOpFixed:], op.Data)
+	tok := Tok{p: l.pend, i: int32(l.n)}
+	l.n++
+	return tok, nil
+}
+
+// claim opens a fresh burst toward part: the frame header is reserved
+// (seq and part backfilled at publish) and a completion record
+// allocated. The one steady-state allocation of the wire send path is
+// this record — amortized over the burst, and the price of results that
+// must survive until whenever the sender collects them.
+func (l *Link) claim(part int) {
+	l.buf = grow(l.buf[:0], 4+hdrSize)
+	l.buf[4] = FrameRequest
+	l.part = part
+	l.n = 0
+	l.pend = &Pending{done: make(chan struct{})}
+}
+
+// Flush publishes the open burst, if any: the frame's length and op
+// count are finalized and the single write hits the peer connection.
+// Errors are already resolved into the burst's tokens (ErrClosed); the
+// return value is informational.
+//
+//dps:wire-cold per burst, amortized over up to MaxBurst staged ops; the socket write dominates
+func (l *Link) Flush() error {
+	if l.part < 0 {
+		return nil
+	}
+	binary.BigEndian.PutUint32(l.buf, uint32(len(l.buf)-4))
+	binary.BigEndian.PutUint16(l.buf[13:], uint16(l.n))
+	p := l.pend
+	p.n = int32(l.n)
+	part := uint32(l.part)
+	l.part, l.n, l.pend = -1, 0, nil
+	return l.pc.publish(l.buf, part, p)
+}
+
+// Close flushes and detaches the link. The underlying peer (shared by
+// all links) is closed by its owner, not here.
+func (l *Link) Close() error {
+	return l.Flush()
+}
+
+// Tok satisfies ring.Token, so wire completions flow through the same
+// contract as in-process ones.
+var _ ring.Token = Tok{}
+
+// Transport returns the link's ring.Transport view — the interface the
+// conformance suite (and partition-agnostic callers) program against.
+// The runtime's hot paths keep the concrete Link/Tok types; the adapter
+// exists for the contract, not the fast path.
+func (l *Link) Transport() ring.Transport { return linkTransport{l} }
+
+type linkTransport struct{ l *Link }
+
+func (lt linkTransport) Stage(op ring.StagedOp) (ring.Token, error) {
+	tok, err := lt.l.Stage(op)
+	if err != nil {
+		return nil, err
+	}
+	return tok, nil
+}
+
+func (lt linkTransport) Flush() error { return lt.l.Flush() }
+func (lt linkTransport) Close() error { return lt.l.Close() }

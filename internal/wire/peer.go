@@ -1,0 +1,415 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dps/internal/chaos"
+	"dps/internal/obs"
+	"dps/internal/ring"
+)
+
+// Defaults for PeerConfig fields left zero.
+const (
+	// DefaultTimeout bounds a completion await with no explicit deadline.
+	// It is the wire tier's liveness backstop: a dropped frame or wedged
+	// peer resolves as ErrTimeout instead of hanging a drain forever.
+	DefaultTimeout = 2 * time.Second
+	// DefaultDialTimeout bounds connection establishment (initial and
+	// lazy reconnect after a link failure).
+	DefaultDialTimeout = time.Second
+	// DefaultConns is the connection pool size per peer. Senders are
+	// pinned to one connection (tid mod pool), so per-sender ordering —
+	// and therefore read-your-writes — holds within a connection while
+	// distinct senders still spread over the pool.
+	DefaultConns = 2
+)
+
+// PeerConfig describes one peer process that owns partitions on this
+// runtime's behalf.
+type PeerConfig struct {
+	// Addr is the peer's listen address (host:port).
+	Addr string
+	// Parts are the global partition indices the peer owns. Required,
+	// non-empty, disjoint from every other peer's and from the local set.
+	Parts []int
+	// Conns is the connection pool size. Defaults to DefaultConns.
+	Conns int
+	// Timeout is the default completion bound (zero-deadline awaits).
+	// Defaults to DefaultTimeout.
+	Timeout time.Duration
+	// DialTimeout bounds dials. Defaults to DefaultDialTimeout.
+	DialTimeout time.Duration
+	// Partitions is the total partition count of the cluster, validated
+	// against the peer's hello. Required.
+	Partitions int
+	// Chaos injects link faults (DropFrame, SlowLink, PeerDown) on the
+	// send path. Nil outside chaos tests.
+	//
+	//dps:hook
+	Chaos *chaos.Injector
+}
+
+// Peer is the client side of one peer process's link: a small pool of
+// TCP connections, each with pipelined in-flight bursts matched to
+// response frames by sequence number. Connections are established
+// lazily and re-established lazily after failures; while a link is down,
+// staged bursts fail fast with ErrClosed instead of queueing.
+type Peer struct {
+	cfg    PeerConfig
+	idx    int
+	conns  []*pconn
+	closed atomic.Bool
+
+	framesSent    atomic.Uint64
+	framesRecvd   atomic.Uint64
+	bytesSent     atomic.Uint64
+	bytesRecvd    atomic.Uint64
+	ops           atomic.Uint64
+	timeouts      atomic.Uint64
+	failed        atomic.Uint64
+	reconnects    atomic.Uint64
+	framesDropped atomic.Uint64
+}
+
+// NewPeer validates cfg and builds the (unconnected) peer. idx is the
+// peer's position in the runtime's configuration order, echoed in Stats.
+func NewPeer(idx int, cfg PeerConfig) (*Peer, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("wire: peer %d has no address", idx)
+	}
+	if len(cfg.Parts) == 0 {
+		return nil, fmt.Errorf("wire: peer %d (%s) owns no partitions", idx, cfg.Addr)
+	}
+	if cfg.Partitions < 1 {
+		return nil, fmt.Errorf("wire: peer %d (%s): total partition count not set", idx, cfg.Addr)
+	}
+	for _, p := range cfg.Parts {
+		if p < 0 || p >= cfg.Partitions {
+			return nil, fmt.Errorf("wire: peer %d (%s): partition %d out of range [0,%d)", idx, cfg.Addr, p, cfg.Partitions)
+		}
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = DefaultConns
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	pr := &Peer{cfg: cfg, idx: idx, conns: make([]*pconn, cfg.Conns)}
+	for i := range pr.conns {
+		pr.conns[i] = &pconn{peer: pr}
+	}
+	return pr, nil
+}
+
+// Addr returns the peer's dial address.
+func (pr *Peer) Addr() string { return pr.cfg.Addr }
+
+// Owns returns the partitions the peer owns.
+func (pr *Peer) Owns() []int { return pr.cfg.Parts }
+
+// Timeout returns the default completion bound.
+func (pr *Peer) Timeout() time.Duration { return pr.cfg.Timeout }
+
+// Close severs every connection. In-flight bursts fail with ErrClosed;
+// subsequent stages fail fast the same way.
+func (pr *Peer) Close() error {
+	pr.closed.Store(true)
+	for _, pc := range pr.conns {
+		pc.shutdown(ring.ErrClosed)
+	}
+	return nil
+}
+
+// Stats snapshots the link counters.
+func (pr *Peer) Stats() obs.PeerMetrics {
+	pending := 0
+	for _, pc := range pr.conns {
+		pc.pmu.Lock()
+		pending += len(pc.pending)
+		pc.pmu.Unlock()
+	}
+	return obs.PeerMetrics{
+		Peer:          pr.idx,
+		Addr:          pr.cfg.Addr,
+		Parts:         len(pr.cfg.Parts),
+		FramesSent:    pr.framesSent.Load(),
+		FramesRecvd:   pr.framesRecvd.Load(),
+		BytesSent:     pr.bytesSent.Load(),
+		BytesRecvd:    pr.bytesRecvd.Load(),
+		Ops:           pr.ops.Load(),
+		Timeouts:      pr.timeouts.Load(),
+		Failed:        pr.failed.Load(),
+		Reconnects:    pr.reconnects.Load(),
+		FramesDropped: pr.framesDropped.Load(),
+		Pending:       pending,
+	}
+}
+
+// pconn is one pooled connection: a mutex-serialized writer, a reader
+// goroutine resolving pendings by sequence number, and lazy (re)dialing
+// under the writer lock.
+type pconn struct {
+	peer *Peer
+
+	// mu serializes the write side: dialing, sequence assignment,
+	// pending registration and the frame write happen under it, so
+	// sequence numbers hit the socket in order.
+	mu     sync.Mutex
+	c      net.Conn
+	seq    uint32
+	dialed bool // a dial has succeeded at least once (reconnects count from here)
+
+	// pmu guards pending. Separate from mu so the reader resolving
+	// completions never contends with a sender mid-write.
+	pmu     sync.Mutex
+	pending map[uint32]*Pending
+	gen     uint64 // bumped per established connection; the reader exits when it changes
+}
+
+// ensureConn returns the live connection, dialing if necessary. Caller
+// holds pc.mu.
+func (pc *pconn) ensureConn() (net.Conn, error) {
+	if pc.c != nil {
+		return pc.c, nil
+	}
+	if pc.peer.closed.Load() {
+		return nil, ring.ErrClosed
+	}
+	cfg := &pc.peer.cfg
+	c, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, ring.ErrClosed
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	// Validate the peer's hello before exposing the connection: version
+	// and cluster shape mismatches are configuration errors and must not
+	// look like transient link failures.
+	if err := pc.readHello(c); err != nil {
+		c.Close()
+		return nil, err
+	}
+	if pc.dialed {
+		pc.peer.reconnects.Add(1)
+	}
+	pc.dialed = true
+	pc.pmu.Lock()
+	pc.gen++
+	gen := pc.gen
+	if pc.pending == nil {
+		pc.pending = make(map[uint32]*Pending)
+	}
+	pc.pmu.Unlock()
+	pc.c = c
+	go pc.readLoop(c, gen)
+	return c, nil
+}
+
+// readHello reads and validates the hello frame the serving side leads
+// with.
+func (pc *pconn) readHello(c net.Conn) error {
+	cfg := &pc.peer.cfg
+	c.SetReadDeadline(time.Now().Add(cfg.DialTimeout))
+	defer c.SetReadDeadline(time.Time{})
+	var buf [4 + hdrSize + 8 + 4*256]byte
+	var f Frame
+	n, err := readFrame(c, buf[:0], &f)
+	if err != nil || f.Type != FrameHello {
+		return ring.ErrClosed
+	}
+	_ = n
+	if f.Hello.Version != Version {
+		return fmt.Errorf("wire: peer %s speaks protocol v%d, want v%d", cfg.Addr, f.Hello.Version, Version)
+	}
+	if int(f.Hello.Partitions) != cfg.Partitions {
+		return fmt.Errorf("wire: peer %s has %d partitions, want %d", cfg.Addr, f.Hello.Partitions, cfg.Partitions)
+	}
+	owned := make(map[uint32]bool, len(f.Hello.Owned))
+	for _, p := range f.Hello.Owned {
+		owned[p] = true
+	}
+	for _, p := range cfg.Parts {
+		if !owned[uint32(p)] {
+			return fmt.Errorf("wire: peer %s does not own partition %d", cfg.Addr, p)
+		}
+	}
+	return nil
+}
+
+// readFrame reads one complete frame from c into buf and decodes it.
+// buf's capacity is reused; the decoded frame sub-slices it.
+func readFrame(c net.Conn, buf []byte, f *Frame) ([]byte, error) {
+	buf = grow(buf[:0], 4)
+	if err := readFull(c, buf); err != nil {
+		return buf, err
+	}
+	total, err := FrameLen(buf)
+	if err != nil {
+		return buf, err
+	}
+	buf = grow(buf, total-4)
+	if err := readFull(c, buf[4:]); err != nil {
+		return buf, err
+	}
+	if _, err := DecodeFrame(buf, f); err != nil {
+		return buf, err
+	}
+	return buf, nil
+}
+
+// readFull fills b from c (io.ReadFull without the interface hop).
+func readFull(c net.Conn, b []byte) error {
+	for len(b) > 0 {
+		n, err := c.Read(b)
+		if err != nil {
+			return err
+		}
+		b = b[n:]
+	}
+	return nil
+}
+
+// readLoop resolves in-flight bursts as their response frames arrive.
+// One goroutine per established connection; it exits when the connection
+// dies (failing every pending) or is superseded.
+func (pc *pconn) readLoop(c net.Conn, gen uint64) {
+	var buf []byte
+	var f Frame
+	for {
+		var err error
+		buf, err = readFrame(c, buf, &f)
+		if err != nil {
+			pc.connBroke(c, gen)
+			return
+		}
+		pc.peer.framesRecvd.Add(1)
+		pc.peer.bytesRecvd.Add(uint64(len(buf)))
+		if f.Type != FrameResponse {
+			pc.connBroke(c, gen)
+			return
+		}
+		pc.pmu.Lock()
+		p := pc.pending[f.Seq]
+		delete(pc.pending, f.Seq)
+		pc.pmu.Unlock()
+		if p == nil {
+			continue // abandoned burst: its awaiters already timed out
+		}
+		p.resolve(&f)
+	}
+}
+
+// connBroke tears down a dead connection and fails its in-flight bursts
+// with ErrClosed. Safe to call from the reader and the writer; only the
+// call matching the live generation acts.
+func (pc *pconn) connBroke(c net.Conn, gen uint64) {
+	c.Close()
+	pc.mu.Lock()
+	if pc.c == c {
+		pc.c = nil
+	}
+	pc.mu.Unlock()
+	pc.failPending(gen, ring.ErrClosed)
+}
+
+// failPending resolves every pending burst of generation gen with err.
+func (pc *pconn) failPending(gen uint64, err error) {
+	pc.pmu.Lock()
+	if gen != 0 && gen != pc.gen {
+		pc.pmu.Unlock()
+		return
+	}
+	var failed []*Pending
+	for seq, p := range pc.pending {
+		failed = append(failed, p)
+		delete(pc.pending, seq)
+	}
+	pc.pmu.Unlock()
+	for _, p := range failed {
+		pc.peer.failed.Add(uint64(p.n))
+		p.fail(err)
+	}
+}
+
+// shutdown severs the connection (if any) and fails all pendings.
+func (pc *pconn) shutdown(err error) {
+	pc.mu.Lock()
+	c := pc.c
+	pc.c = nil
+	pc.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	pc.failPending(0, err)
+}
+
+// forget drops an abandoned burst from the pending table once every one
+// of its tokens has been consumed without a response (the lost-frame
+// path); a response arriving later finds nothing and is discarded.
+func (pc *pconn) forget(seq uint64) {
+	pc.pmu.Lock()
+	delete(pc.pending, uint32(seq))
+	pc.pmu.Unlock()
+}
+
+// publish assigns the burst's sequence number, registers p, backfills
+// the frame header and writes the frame — the wire tier's
+// publish+doorbell, with chaos faults injected at the link. Transport
+// failures (and injected PeerDown) resolve p with ErrClosed before
+// returning; injected frame drops leave p to the deadline machinery.
+//
+//dps:wire-cold per burst; registers the completion record and pays the syscall either way
+func (pc *pconn) publish(frame []byte, part uint32, p *Pending) error {
+	inj := pc.peer.cfg.Chaos
+	pc.mu.Lock()
+	c, err := pc.ensureConn()
+	if err != nil {
+		pc.mu.Unlock()
+		pc.peer.failed.Add(uint64(p.n))
+		p.fail(err)
+		return err
+	}
+	pc.seq++
+	seq := pc.seq
+	binary.BigEndian.PutUint32(frame[5:], seq)
+	binary.BigEndian.PutUint32(frame[9:], part)
+	p.pc, p.seq, p.gen = pc, seq, pc.gen
+	pc.pmu.Lock()
+	pc.pending[seq] = p
+	pc.pmu.Unlock()
+
+	if inj != nil {
+		if inj.PeerDown() {
+			pc.mu.Unlock()
+			pc.peer.framesDropped.Add(1)
+			pc.connBroke(c, p.gen)
+			return ring.ErrClosed
+		}
+		if inj.DropFrame() {
+			pc.mu.Unlock()
+			pc.peer.framesDropped.Add(1)
+			return nil // burst stays pending; its awaiters time out
+		}
+		inj.SlowLink()
+	}
+
+	_, werr := c.Write(frame)
+	pc.mu.Unlock()
+	if werr != nil {
+		pc.connBroke(c, p.gen)
+		return ring.ErrClosed
+	}
+	pc.peer.framesSent.Add(1)
+	pc.peer.bytesSent.Add(uint64(len(frame)))
+	pc.peer.ops.Add(uint64(p.n))
+	return nil
+}

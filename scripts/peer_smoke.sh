@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# peer_smoke.sh — end-to-end smoke test of the wire tier: build
+# cmd/dpsnode, start one node serving every partition on an ephemeral
+# port, then run a second process that keeps partitions 0,1 local and
+# delegates 2,3 to the first over TCP. The dialing node verifies sync
+# sets, gets, async-overwrite read-your-writes, and — pass two — does it
+# again under injected link chaos (dropped frames, slow links, severed
+# connections). dpsnode exits 2 if any value comes back wrong, any
+# read-your-writes ordering is violated, or any delegated completion is
+# neither resolved nor timed out after the final drain (the
+# lost-completion watchdog); the serving node must then drain cleanly
+# under SIGTERM. Run via `make peer-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OPS="${PEER_SMOKE_OPS:-500}"
+CHAOS_OPS="${PEER_SMOKE_CHAOS_OPS:-300}"
+BIN="$(mktemp -d)"
+ADDR_FILE="$BIN/dpsnode.addr"
+trap 'rm -rf "$BIN"' EXIT
+
+echo "peer-smoke: building"
+go build -o "$BIN/dpsnode" ./cmd/dpsnode
+
+echo "peer-smoke: starting serving node"
+"$BIN/dpsnode" -listen 127.0.0.1:0 -addr-file "$ADDR_FILE" -serve-for 120s &
+SERVER_PID=$!
+trap 'kill -9 $SERVER_PID 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+for i in $(seq 1 100); do
+  [ -f "$ADDR_FILE" ] && break
+  if ! kill -0 $SERVER_PID 2>/dev/null; then
+    echo "peer-smoke: serving node died during startup" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ ! -f "$ADDR_FILE" ]; then
+  echo "peer-smoke: serving node never published its address" >&2
+  exit 1
+fi
+ADDR="$(cat "$ADDR_FILE")"
+echo "peer-smoke: serving node at $ADDR"
+
+echo "peer-smoke: pass 1 — clean link, $OPS keys"
+"$BIN/dpsnode" -peer "$ADDR=2,3" -ops "$OPS"
+
+echo "peer-smoke: pass 2 — chaos link (drops, delays, severed peers), $CHAOS_OPS keys"
+"$BIN/dpsnode" -peer "$ADDR=2,3" -ops "$CHAOS_OPS" -op-timeout 250ms \
+  -chaos-drop 0.02 -chaos-slow 0.05 -chaos-slow-delay 1ms -chaos-peerdown 0.005
+
+echo "peer-smoke: SIGTERM serving node, expecting clean drain"
+kill -TERM $SERVER_PID
+DRAIN_OK=1
+for i in $(seq 1 150); do
+  if ! kill -0 $SERVER_PID 2>/dev/null; then
+    DRAIN_OK=0
+    break
+  fi
+  sleep 0.1
+done
+if [ "$DRAIN_OK" -ne 0 ]; then
+  echo "peer-smoke: serving node failed to exit within 15s of SIGTERM" >&2
+  exit 1
+fi
+set +e
+wait $SERVER_PID
+STATUS=$?
+set -e
+if [ "$STATUS" -ne 0 ]; then
+  echo "peer-smoke: serving node exited $STATUS (drain not clean)" >&2
+  exit "$STATUS"
+fi
+echo "peer-smoke: OK"
