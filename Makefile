@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint chaos bench bench-compare bench-json bench-gate serve-smoke peer-smoke
+.PHONY: build test check lint chaos chaos-peer bench bench-compare bench-json bench-gate serve-smoke peer-smoke
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,17 @@ lint:
 chaos:
 	$(GO) test -race -timeout 120s ./internal/chaos/...
 	$(GO) test -race -timeout 120s -run 'TestChaos|TestRescue' -v ./internal/core/... ./internal/server/...
+
+# chaos-peer runs the peer-link fault suite under the race detector: the
+# wire transport's full suite (reconnect after server restart, heartbeat
+# dead-link detection, the breaker cycle, severed/slowed links via the
+# DropFrame/SlowLink/PeerDown injector hooks) plus the core tier's
+# remote/peer tests, including the kill/restart convergence proof (zero
+# lost, zero duplicated completions) and the dedup-window replays. Run it
+# after touching the retry, heartbeat, dedup, or breaker paths.
+chaos-peer:
+	$(GO) test -race -timeout 300s ./internal/wire/...
+	$(GO) test -race -timeout 300s -run 'TestPeer|TestRemote' -v ./internal/core/...
 
 # serve-smoke is the network front door's end-to-end gate: build
 # cmd/mcdserver, start it, drive it for ~2s with the loadgen over real

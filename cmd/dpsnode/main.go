@@ -68,19 +68,21 @@ func main() {
 
 func run() int {
 	var (
-		partitions = flag.Int("partitions", 4, "cluster-wide partition count (identical on every node)")
-		variant    = flag.String("variant", "dps", "cache variant: dps or dps-parsec")
-		listen     = flag.String("listen", "", "serve locally-owned partitions on this host:port (\":0\" for ephemeral)")
-		addrFile   = flag.String("addr-file", "", "write the bound -listen address to this file once serving")
-		serveFor   = flag.Duration("serve-for", 0, "serving role: exit cleanly after this long (0 = until signalled)")
-		opTimeout  = flag.Duration("op-timeout", 2*time.Second, "per-operation delegation timeout")
-		ops        = flag.Int("ops", 0, "dialing role: run the verification workload over this many keys")
-		chaosDrop  = flag.Float64("chaos-drop", 0, "probability a delegated frame is silently dropped")
-		chaosSlow  = flag.Float64("chaos-slow", 0, "probability a frame write is delayed")
-		chaosDelay = flag.Duration("chaos-slow-delay", 2*time.Millisecond, "delay applied when -chaos-slow fires")
-		chaosDown  = flag.Float64("chaos-peerdown", 0, "probability the peer link is severed before a write")
-		chaosSeed  = flag.Uint64("chaos-seed", 1, "chaos decision-stream seed")
-		verbose    = flag.Bool("v", false, "log per-phase progress")
+		partitions  = flag.Int("partitions", 4, "cluster-wide partition count (identical on every node)")
+		variant     = flag.String("variant", "dps", "cache variant: dps or dps-parsec")
+		listen      = flag.String("listen", "", "serve locally-owned partitions on this host:port (\":0\" for ephemeral)")
+		addrFile    = flag.String("addr-file", "", "write the bound -listen address to this file once serving")
+		serveFor    = flag.Duration("serve-for", 0, "serving role: exit cleanly after this long (0 = until signalled)")
+		bounceAfter = flag.Duration("bounce-after", 0, "serving role: restart the peer listener after this long (0 = never)")
+		bounceDown  = flag.Duration("bounce-down", 250*time.Millisecond, "how long the listener stays dark during a -bounce-after restart")
+		opTimeout   = flag.Duration("op-timeout", 2*time.Second, "per-operation delegation timeout")
+		ops         = flag.Int("ops", 0, "dialing role: run the verification workload over this many keys")
+		chaosDrop   = flag.Float64("chaos-drop", 0, "probability a delegated frame is silently dropped")
+		chaosSlow   = flag.Float64("chaos-slow", 0, "probability a frame write is delayed")
+		chaosDelay  = flag.Duration("chaos-slow-delay", 2*time.Millisecond, "delay applied when -chaos-slow fires")
+		chaosDown   = flag.Float64("chaos-peerdown", 0, "probability the peer link is severed before a write")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "chaos decision-stream seed")
+		verbose     = flag.Bool("v", false, "log per-phase progress")
 	)
 	var peers peerFlag
 	flag.Var(&peers, "peer", "peer process owning partitions, as host:port=part,part (repeatable)")
@@ -139,6 +141,20 @@ func run() int {
 	if *listen != "" && *ops == 0 {
 		// Pure serving role: park until the duration elapses or a signal
 		// arrives. Serving itself happens on the store's internal threads.
+		// With -bounce-after set, the park demos a mid-run peer restart:
+		// the listener goes dark, peers ride it out on retry + redial, and
+		// the dedup window keeps their retransmissions idempotent.
+		if *bounceAfter > 0 {
+			go func() {
+				time.Sleep(*bounceAfter)
+				fmt.Printf("dpsnode: bouncing peer listener (dark for %v)\n", *bounceDown)
+				if err := st.(mcd.PeerListener).BouncePeer(*bounceDown); err != nil {
+					fmt.Fprintf(os.Stderr, "dpsnode: bounce: %v\n", err)
+					return
+				}
+				fmt.Println("dpsnode: peer listener back up")
+			}()
+		}
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		if *serveFor > 0 {
@@ -182,7 +198,8 @@ func workload(st mcd.Store, n int, chaosOn bool, verbose bool) int {
 		return 2
 	}
 	opErr := func(phase string, key uint64, err error) (int, bool) {
-		if chaosOn && (errors.Is(err, core.ErrTimeout) || errors.Is(err, core.ErrClosed)) {
+		if chaosOn && (errors.Is(err, core.ErrTimeout) || errors.Is(err, core.ErrClosed) ||
+			errors.Is(err, core.ErrPeerDown)) {
 			logf("%s %d: injected fault: %v", phase, key, err)
 			return 0, true
 		}
@@ -272,8 +289,7 @@ func workload(st mcd.Store, n int, chaosOn bool, verbose bool) int {
 
 	m := st.Metrics()
 	for _, pm := range m.Peers {
-		fmt.Printf("dpsnode: peer %d %s: frames %d/%d, ops %d, timeouts %d, failed %d, dropped %d, reconnects %d\n",
-			pm.Peer, pm.Addr, pm.FramesSent, pm.FramesRecvd, pm.Ops, pm.Timeouts, pm.Failed, pm.FramesDropped, pm.Reconnects)
+		fmt.Printf("dpsnode: peer %s\n", pm)
 	}
 	if chaosOn {
 		fmt.Printf("dpsnode: survived %d injected faults\n", faults)

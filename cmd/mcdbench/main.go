@@ -236,7 +236,12 @@ func runNet(variant, addr string, conns, pipeline, sessions, items, reqs int, se
 		}
 	}
 	if rep.Errors() > 0 {
-		fmt.Fprintf(os.Stderr, "mcdbench: %d protocol/connection errors\n", rep.Errors())
+		fmt.Fprintf(os.Stderr, "mcdbench: %d errors (timeout=%d peer-down=%d protocol=%d conn=%d)\n",
+			rep.Errors(),
+			rep.Gets.Timeouts+rep.Sets.Timeouts,
+			rep.Gets.PeerDowns+rep.Sets.PeerDowns,
+			rep.Gets.ProtocolErrors()+rep.Sets.ProtocolErrors(),
+			rep.ConnErrors)
 		return 1
 	}
 	return 0

@@ -141,6 +141,12 @@ var (
 	// Completion.ResultTimeout, Thread.ExecuteSyncTimeout — when the
 	// deadline expires first.
 	ErrTimeout = core.ErrTimeout
+	// ErrPeerDown is returned by operations delegated to a peer process
+	// whose link is down when the burst was never delivered (every dial
+	// failed, the circuit breaker was open, or the degrade policy chose
+	// fail-fast): zero side effects exist anywhere, so retrying is always
+	// safe. Contrast ErrTimeout, which leaves the outcome unknown.
+	ErrPeerDown = core.ErrPeerDown
 )
 
 // New creates a DPS runtime, the analogue of the paper's create call

@@ -97,6 +97,11 @@ func TestRobustnessSurface(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = dps.PanicCrash // the fail-stop policy is part of the surface
+	// The wire tier's never-delivered sentinel is part of the surface
+	// and must stay distinct from the local lifecycle errors.
+	if errors.Is(dps.ErrPeerDown, dps.ErrClosed) || errors.Is(dps.ErrPeerDown, dps.ErrTimeout) {
+		t.Fatal("dps.ErrPeerDown must be distinct from ErrClosed/ErrTimeout")
+	}
 
 	t0, err := rt.RegisterAt(0)
 	if err != nil {

@@ -1,0 +1,134 @@
+package chaos
+
+// Storm scripts a kill/restart schedule against one target — typically a
+// peer process modeled by stopping and rebinding its listener. Where the
+// Injector perturbs individual operations probabilistically, a Storm
+// drives the coarse failure timeline deterministically: the target stays
+// up for Up(+jitter), goes down via Kill, stays dark for Down(+jitter),
+// comes back via Restart, and repeats for Cycles rounds. Tests run it
+// concurrently with load and then assert convergence: every completion
+// accounted for, no side effect applied twice.
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// StormConfig scripts the kill/restart timeline.
+type StormConfig struct {
+	// Seed selects the jitter stream; the phase order itself is fixed.
+	Seed uint64
+	// Cycles is the number of kill→restart rounds. Zero means one round.
+	Cycles int
+	// Up is how long the target stays up before each kill.
+	Up time.Duration
+	// Down is how long the target stays dark before the restart.
+	Down time.Duration
+	// Jitter is the maximum extra delay added to each phase, drawn
+	// per-phase from the seeded stream. Zero disables jitter.
+	Jitter time.Duration
+}
+
+// Storm runs a StormConfig against Kill/Restart hooks. Use NewStorm;
+// the zero Storm is invalid.
+type Storm struct {
+	cfg     StormConfig
+	kill    func() error
+	restart func() error
+	rng     uint64
+
+	kills    atomic.Uint64
+	restarts atomic.Uint64
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StormCounts reports a storm's progress.
+type StormCounts struct {
+	Kills    uint64
+	Restarts uint64
+}
+
+// NewStorm builds a storm. kill takes the target down; restart brings it
+// back. Both run on the storm's goroutine once Run starts.
+func NewStorm(cfg StormConfig, kill, restart func() error) *Storm {
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = 1
+	}
+	rng := mix64(cfg.Seed + 0x9e3779b97f4a7c15)
+	if rng == 0 {
+		rng = 1
+	}
+	return &Storm{
+		cfg:     cfg,
+		kill:    kill,
+		restart: restart,
+		rng:     rng,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Run executes the script synchronously and returns the first hook error
+// (after attempting a final restart so the target is not left dark).
+// Callers wanting it concurrent run `go storm.Run()` and Wait later.
+func (s *Storm) Run() error {
+	defer close(s.done)
+	for i := 0; i < s.cfg.Cycles; i++ {
+		if s.sleep(s.cfg.Up) {
+			return nil
+		}
+		if err := s.kill(); err != nil {
+			return err
+		}
+		s.kills.Add(1)
+		if s.sleep(s.cfg.Down) {
+			// Stopped mid-darkness: bring the target back before exiting.
+			if err := s.restart(); err != nil {
+				return err
+			}
+			s.restarts.Add(1)
+			return nil
+		}
+		if err := s.restart(); err != nil {
+			return err
+		}
+		s.restarts.Add(1)
+	}
+	return nil
+}
+
+// Stop asks a running storm to wind down early; Run still restarts the
+// target if it was mid-darkness. Safe to call once.
+func (s *Storm) Stop() { close(s.stop) }
+
+// Wait blocks until Run returns.
+func (s *Storm) Wait() { <-s.done }
+
+// Counts snapshots the storm's progress; safe while Run is executing.
+func (s *Storm) Counts() StormCounts {
+	return StormCounts{Kills: s.kills.Load(), Restarts: s.restarts.Load()}
+}
+
+// sleep waits d plus jitter, returning true if Stop fired first.
+func (s *Storm) sleep(d time.Duration) bool {
+	if j := s.cfg.Jitter; j > 0 {
+		x := s.rng
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		s.rng = x
+		d += time.Duration(x % uint64(j+1))
+	}
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-s.stop:
+		return true
+	case <-t.C:
+		return false
+	}
+}

@@ -228,8 +228,44 @@ func TestRemoteRegistrationRules(t *testing.T) {
 }
 
 func TestRemotePeerUnreachable(t *testing.T) {
-	// A peer that never answers: the dial fails, so the operation fails
-	// fast with ErrClosed rather than hanging.
+	// A peer that never answers: the dial fails. Under DegradeFailFast
+	// the operation fails immediately with ErrPeerDown instead of
+	// burning the retry budget.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	rt, err := New(Config{
+		Partitions: rtParts,
+		Hash:       rtHash,
+		Init:       mapInit,
+		Peers:      []Peer{{Addr: addr, Parts: []int{2, 3}, Timeout: 300 * time.Millisecond}},
+		Degrade:    func(code uint16, fire bool) Degrade { return DegradeFailFast },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerTestOps(t, rt)
+	th, err := rt.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		th.Unregister()
+		rt.Shutdown(time.Second)
+	}()
+	res := th.ExecuteSync(2, remoteGet, Args{})
+	if !errors.Is(res.Err, ErrPeerDown) {
+		t.Fatalf("unreachable peer: err=%v, want ErrPeerDown", res.Err)
+	}
+}
+
+// TestRemoteRetryUntilDeadline keeps the default policy against an
+// unreachable peer: the op rides the retry queue until its deadline and
+// surfaces ErrPeerDown (never sent, so retrying elsewhere is safe).
+func TestRemoteRetryUntilDeadline(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -252,11 +288,18 @@ func TestRemotePeerUnreachable(t *testing.T) {
 	}
 	defer func() {
 		th.Unregister()
-		rt.Shutdown(time.Second)
+		rt.Shutdown(2 * time.Second)
 	}()
+	start := time.Now()
 	res := th.ExecuteSync(2, remoteGet, Args{})
-	if !errors.Is(res.Err, ErrClosed) {
-		t.Fatalf("unreachable peer: err=%v, want ErrClosed", res.Err)
+	if res.Err == nil {
+		t.Fatal("op against unreachable peer succeeded")
+	}
+	if !errors.Is(res.Err, ErrPeerDown) && !errors.Is(res.Err, ErrTimeout) {
+		t.Fatalf("unreachable peer under retry: err=%v, want ErrPeerDown or ErrTimeout", res.Err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("retry-until-deadline took %v", d)
 	}
 }
 

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dps/internal/chaos"
+	"dps/internal/wire"
+)
+
+// The resilience suite proves the tentpole property end to end: remote
+// delegation survives link loss and peer restarts with unchanged
+// completion semantics — no lost completions, no duplicated side
+// effects.
+
+const codeIncr uint16 = 4
+
+// remoteIncr appends one byte to the key's value, so len(m[key]) counts
+// exactly how many times the op executed — the duplicate detector.
+func remoteIncr(p *Partition, key uint64, a *Args) Result {
+	m := p.Data().(map[uint64][]byte)
+	m[key] = append(m[key], 1)
+	return Result{U: uint64(len(m[key]))}
+}
+
+// TestRemotePeerRestartConvergence is the kill/restart storm: a scripted
+// chaos.Storm stops and rebinds the PeerServer's listener while client
+// threads hammer the remote partitions with unique-key increments. After
+// the storm, every completion is audited against the server's state:
+//
+//   - success  → the increment applied exactly once (lost if 0, dup if >1)
+//   - ErrTimeout → at most once (the burst may or may not have landed)
+//   - ErrPeerDown → exactly zero times (the burst was never delivered)
+func TestRemotePeerRestartConvergence(t *testing.T) {
+	server, err := New(Config{Partitions: rtParts, Hash: rtHash, Init: mapInit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerTestOps(t, server)
+	if err := server.RegisterOp(codeIncr, remoteIncr); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := server.NewPeerServer(ln, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ps.Serve()
+	addr := ps.Addr().String()
+	t.Cleanup(func() {
+		ps.Close()
+		server.Shutdown(time.Second)
+	})
+
+	client, err := New(Config{
+		Partitions: rtParts,
+		Hash:       rtHash,
+		Init:       mapInit,
+		Peers: []Peer{{
+			Addr:  addr,
+			Parts: []int{2, 3},
+			// Generous budget: ops issued mid-darkness must survive a
+			// full down window plus redial backoff.
+			Timeout:           3 * time.Second,
+			HeartbeatInterval: 25 * time.Millisecond,
+			HeartbeatMisses:   2,
+			RetryBackoff:      5 * time.Millisecond,
+			RetryBackoffMax:   50 * time.Millisecond,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerTestOps(t, client)
+	if err := client.RegisterOp(codeIncr, remoteIncr); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 2
+	ths := make([]*Thread, workers)
+	for i := range ths {
+		if ths[i], err = client.Register(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() { client.Shutdown(3 * time.Second) })
+
+	storm := chaos.NewStorm(
+		chaos.StormConfig{
+			Seed:   42,
+			Cycles: 3,
+			Up:     70 * time.Millisecond,
+			Down:   50 * time.Millisecond,
+			Jitter: 20 * time.Millisecond,
+		},
+		func() error { return ps.Stop() },
+		func() error {
+			ln, err := net.Listen("tcp", addr)
+			if err != nil {
+				return err
+			}
+			if err := ps.Rebind(ln); err != nil {
+				return err
+			}
+			go ps.Serve()
+			return nil
+		},
+	)
+
+	type outcome struct {
+		key uint64
+		err error
+	}
+	results := make([][]outcome, workers)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int, th *Thread) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Unique per (worker, i); lands on remote partition 2 or 3.
+				key := uint64(4*(w*1_000_000+i) + 2 + i%2)
+				res := th.ExecuteSync(key, remoteIncr, Args{})
+				results[w] = append(results[w], outcome{key, res.Err})
+			}
+		}(w, ths[w])
+	}
+
+	go storm.Run()
+	storm.Wait()
+	close(stop)
+	wg.Wait()
+
+	// The storm always restarts the target, so the link must recover:
+	// one final op per thread proves it end to end.
+	for _, th := range ths {
+		if res := th.ExecuteSync(2, remoteLen, Args{}); res.Err != nil {
+			t.Fatalf("post-storm op: %v", res.Err)
+		}
+	}
+
+	// Audit every completion against the server's actual state. The
+	// audit threads register at the remote-owned partitions so the reads
+	// execute inline — the PeerServer's pool threads only serve borrowed
+	// bursts, not a locality ring.
+	audit := make(map[uint64]*Thread)
+	for _, part := range []int{2, 3} {
+		ath, err := server.RegisterAt(part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ath.Unregister()
+		audit[uint64(part)] = ath
+	}
+	var ok, timeouts, peerDowns int
+	for w := range results {
+		for _, o := range results[w] {
+			res := audit[o.key%rtParts].ExecuteSync(o.key, remoteGet, Args{})
+			if res.Err != nil {
+				t.Fatalf("audit key %d: %v", o.key, res.Err)
+			}
+			applied := 0
+			if res.U == 1 {
+				applied = len(res.P.([]byte))
+			}
+			switch {
+			case o.err == nil:
+				ok++
+				if applied != 1 {
+					t.Errorf("key %d: completed OK but applied %d times", o.key, applied)
+				}
+			case errors.Is(o.err, ErrTimeout):
+				timeouts++
+				if applied > 1 {
+					t.Errorf("key %d: timed out but applied %d times", o.key, applied)
+				}
+			case errors.Is(o.err, ErrPeerDown):
+				peerDowns++
+				if applied != 0 {
+					t.Errorf("key %d: reported never-delivered but applied %d times", o.key, applied)
+				}
+			default:
+				t.Errorf("key %d: unexpected error class %v", o.key, o.err)
+			}
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no op completed successfully under the storm")
+	}
+	if c := storm.Counts(); c.Kills != 3 || c.Restarts != 3 {
+		t.Fatalf("storm ran %d kills / %d restarts, want 3/3", c.Kills, c.Restarts)
+	}
+	pm := client.PeerStats(0)
+	if pm.Reconnects == 0 {
+		t.Errorf("no reconnect recorded across 3 restarts: %+v", pm)
+	}
+	t.Logf("storm audit: %d ok, %d timeouts, %d peer-downs; retries=%d reconnects=%d replays(server)=%d",
+		ok, timeouts, peerDowns, pm.Retries, pm.Reconnects, server.Metrics().Totals.DedupReplays)
+}
+
+// TestPeerServerDedupReplay drives the dedup window directly: the same
+// (link, seq) burst applied twice executes once and replays the cached
+// responses the second time.
+func TestPeerServerDedupReplay(t *testing.T) {
+	server, err := New(Config{Partitions: rtParts, Hash: rtHash, Init: mapInit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.RegisterOp(codeIncr, remoteIncr); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := server.NewPeerServer(ln, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ps.Close()
+		server.Shutdown(time.Second)
+	})
+
+	req := []wire.ReqOp{{Code: codeIncr, Key: 2}}
+	r1 := ps.Apply(77, 1, 2, req, nil)
+	if len(r1) != 1 || r1[0].Err != "" || r1[0].U != 1 {
+		t.Fatalf("first apply: %+v", r1)
+	}
+	// Retransmission: same link identity, same seq. Must not re-execute.
+	r2 := ps.Apply(77, 1, 2, req, nil)
+	if len(r2) != 1 || r2[0].U != 1 {
+		t.Fatalf("replayed apply: %+v", r2)
+	}
+	if n := server.Metrics().Totals.DedupReplays; n != 1 {
+		t.Fatalf("DedupReplays = %d, want 1", n)
+	}
+	// A fresh seq on the same link executes again.
+	r3 := ps.Apply(77, 2, 2, req, nil)
+	if len(r3) != 1 || r3[0].U != 2 {
+		t.Fatalf("fresh seq: %+v", r3)
+	}
+	// src 0 means "no identity": dedup is bypassed entirely.
+	r4 := ps.Apply(0, 2, 2, req, nil)
+	if len(r4) != 1 || r4[0].U != 3 {
+		t.Fatalf("anonymous apply: %+v", r4)
+	}
+	if n := server.Metrics().Totals.DedupReplays; n != 1 {
+		t.Fatalf("DedupReplays after fresh/anonymous = %d, want still 1", n)
+	}
+}
+
+// TestPeerServerDedupSurvivesRestart pins the property the convergence
+// test relies on: Stop/Rebind keeps the dedup window, so a retransmit
+// that straddles a listener restart still replays instead of
+// re-executing.
+func TestPeerServerDedupSurvivesRestart(t *testing.T) {
+	server, err := New(Config{Partitions: rtParts, Hash: rtHash, Init: mapInit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.RegisterOp(codeIncr, remoteIncr); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := server.NewPeerServer(ln, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ps.Addr().String()
+	t.Cleanup(func() {
+		ps.Close()
+		server.Shutdown(time.Second)
+	})
+
+	req := []wire.ReqOp{{Code: codeIncr, Key: 3}}
+	if r := ps.Apply(99, 7, 3, req, nil); r[0].U != 1 {
+		t.Fatalf("pre-restart apply: %+v", r)
+	}
+	if err := ps.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Rebind(ln2); err != nil {
+		t.Fatal(err)
+	}
+	if r := ps.Apply(99, 7, 3, req, nil); r[0].U != 1 {
+		t.Fatalf("post-restart retransmit re-executed: %+v", r)
+	}
+	if n := server.Metrics().Totals.DedupReplays; n != 1 {
+		t.Fatalf("DedupReplays = %d, want 1", n)
+	}
+}

@@ -46,10 +46,18 @@ const (
 )
 
 // ErrClosed is returned by operations on a closed runtime. It is the same
-// sentinel the transport layers use (ring.ErrClosed), so a cross-process
-// operation that fails because the peer link is down reports the identical
-// error identity as one that fails because this runtime shut down.
+// sentinel the transport layers use (ring.ErrClosed); a cross-process
+// operation that fails because the *peer's* link is down reports
+// ErrPeerDown instead, so callers can tell "we shut down" from "they
+// went away".
 var ErrClosed = ring.ErrClosed
+
+// ErrPeerDown is returned by operations delegated toward a peer process
+// whose link is down: the dial failed, the connection died before the
+// burst could be (re)sent within its retry budget, or the peer's circuit
+// breaker is open. The operation was never delivered, so it is always
+// safe to retry. Shared with the transport layers (ring.ErrPeerDown).
+var ErrPeerDown = ring.ErrPeerDown
 
 // ErrTooManyThreads is returned by Register when MaxThreads thread handles
 // are already live.
@@ -164,6 +172,12 @@ type Config struct {
 	// Partitions, NamespaceSize and Hash, and register the same op codes
 	// (RegisterOp). Optional.
 	Peers []Peer
+
+	// Degrade chooses what a delegated operation does while its peer's
+	// link is down: retry until the op deadline (the default) or fail
+	// fast with ErrPeerDown. Nil means DegradeRetry for every op.
+	// Optional.
+	Degrade DegradePolicy
 }
 
 func (c *Config) setDefaults() error {

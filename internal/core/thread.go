@@ -1100,10 +1100,14 @@ func (c *Completion) finishWire(res Result) {
 	}
 }
 
-// closedErr maps the shutdown-synthesized result to its error return.
+// closedErr maps a transport-synthesized result (shutdown or a dead
+// peer link) to its error return; op-level errors stay in the Result.
 func closedErr(res Result) error {
-	if res.Err == ErrClosed {
+	switch res.Err {
+	case ErrClosed:
 		return ErrClosed
+	case ErrPeerDown:
+		return ErrPeerDown
 	}
 	return nil
 }

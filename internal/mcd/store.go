@@ -122,8 +122,13 @@ type Config struct {
 
 // PeerListener is implemented by stores serving partitions to peer
 // processes (Config.PeerListen); PeerAddr reports the bound address.
+// BouncePeer is the controlled peer-restart used by resilience demos: it
+// stops the listener, keeps it dark for the given duration, then rebinds
+// the same address and resumes serving — local state and the dedup window
+// survive, so peers' retried bursts replay instead of re-executing.
 type PeerListener interface {
 	PeerAddr() string
+	BouncePeer(down time.Duration) error
 }
 
 func (c *Config) setDefaults() {
@@ -402,6 +407,29 @@ func (s *dpsStore) PeerAddr() string {
 		return ""
 	}
 	return s.ps.Addr().String()
+}
+
+// BouncePeer restarts the peer listener on its own address after holding
+// it down for the given duration (see PeerListener).
+func (s *dpsStore) BouncePeer(down time.Duration) error {
+	if s.ps == nil {
+		return fmt.Errorf("mcd: no peer listener configured")
+	}
+	addr := s.ps.Addr().String()
+	if err := s.ps.Stop(); err != nil {
+		return err
+	}
+	time.Sleep(down)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("mcd: peer rebind %s: %w", addr, err)
+	}
+	if err := s.ps.Rebind(ln); err != nil {
+		ln.Close()
+		return err
+	}
+	go s.ps.Serve()
+	return nil
 }
 
 // serveLoop is one dedicated serving thread: doorbell-driven serve passes

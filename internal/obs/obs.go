@@ -78,6 +78,10 @@ const (
 	// where the remedy is the deadline machinery rather than rescue (a
 	// sender cannot reach into a peer process's shard).
 	PeerStalls
+	// DedupReplays counts retransmitted bursts the peer-serving side
+	// answered from its dedup window instead of re-executing — each one
+	// is a duplicate side effect the window prevented.
+	DedupReplays
 	// NumCounters is the number of counters per block.
 	NumCounters
 )
@@ -351,6 +355,7 @@ func (r *Recorder) Snapshot() Snapshot {
 			pm.RemoteOps += b.c[RemoteOps].Load()
 			pm.RemoteBytes += b.c[RemoteBytes].Load()
 			pm.PeerStalls += b.c[PeerStalls].Load()
+			pm.DedupReplays += b.c[DedupReplays].Load()
 		}
 	}
 	for _, pm := range s.PerPartition {
@@ -368,6 +373,7 @@ func (r *Recorder) Snapshot() Snapshot {
 		s.Totals.RemoteOps += pm.RemoteOps
 		s.Totals.RemoteBytes += pm.RemoteBytes
 		s.Totals.PeerStalls += pm.PeerStalls
+		s.Totals.DedupReplays += pm.DedupReplays
 	}
 	s.Latency.LocalExec = r.summary(HistLocalExec)
 	s.Latency.SyncDelegation = r.summary(HistSyncDelegation)

@@ -30,6 +30,10 @@ type ServerStats struct {
 	// ProtocolErrors counts malformed requests answered with ERROR,
 	// CLIENT_ERROR or SERVER_ERROR.
 	ProtocolErrors atomic.Uint64
+	// PeerDownErrors counts commands refused because the backing peer's
+	// link was down (SERVER_ERROR peer down) — degradation, not protocol
+	// failure, so it is tracked apart from ProtocolErrors.
+	PeerDownErrors atomic.Uint64
 	// BytesIn / BytesOut count payload bytes moved over accepted
 	// connections.
 	BytesIn  atomic.Uint64
@@ -54,6 +58,7 @@ func (s *ServerStats) Snapshot() ServerMetrics {
 		GetHits:        s.GetHits.Load(),
 		GetMisses:      s.GetMisses.Load(),
 		ProtocolErrors: s.ProtocolErrors.Load(),
+		PeerDownErrors: s.PeerDownErrors.Load(),
 		BytesIn:        s.BytesIn.Load(),
 		BytesOut:       s.BytesOut.Load(),
 		Batches:        s.Batches.Load(),
@@ -74,6 +79,7 @@ type ServerMetrics struct {
 	GetHits        uint64
 	GetMisses      uint64
 	ProtocolErrors uint64
+	PeerDownErrors uint64
 	BytesIn        uint64
 	BytesOut       uint64
 	Batches        uint64
@@ -111,6 +117,7 @@ func (m ServerMetrics) sub(prev ServerMetrics) ServerMetrics {
 		GetHits:        m.GetHits - prev.GetHits,
 		GetMisses:      m.GetMisses - prev.GetMisses,
 		ProtocolErrors: m.ProtocolErrors - prev.ProtocolErrors,
+		PeerDownErrors: m.PeerDownErrors - prev.PeerDownErrors,
 		BytesIn:        m.BytesIn - prev.BytesIn,
 		BytesOut:       m.BytesOut - prev.BytesOut,
 		Batches:        m.Batches - prev.Batches,
@@ -122,8 +129,8 @@ func (m ServerMetrics) sub(prev ServerMetrics) ServerMetrics {
 func (m ServerMetrics) String() string {
 	return fmt.Sprintf(
 		"conns: curr=%d accepted=%d rejected=%d bytes-in=%d bytes-out=%d\n"+
-			"cmds: get=%d (hit=%d miss=%d) set=%d delete=%d other=%d proto-errors=%d pipeline-depth=%.2f",
+			"cmds: get=%d (hit=%d miss=%d) set=%d delete=%d other=%d proto-errors=%d peer-down=%d pipeline-depth=%.2f",
 		m.CurrConns, m.ConnsAccepted, m.ConnsRejected, m.BytesIn, m.BytesOut,
 		m.CmdGet, m.GetHits, m.GetMisses, m.CmdSet, m.CmdDelete, m.CmdOther,
-		m.ProtocolErrors, m.PipelineDepth())
+		m.ProtocolErrors, m.PeerDownErrors, m.PipelineDepth())
 }

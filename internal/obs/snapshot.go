@@ -52,6 +52,9 @@ type Totals struct {
 	// PeerStalls counts wire-tier waits that crossed a stall window with no
 	// completion frame arriving.
 	PeerStalls uint64
+	// DedupReplays counts retransmitted bursts answered from the peer
+	// server's dedup window instead of re-executed.
+	DedupReplays uint64
 }
 
 func (t Totals) sub(prev Totals) Totals {
@@ -71,6 +74,7 @@ func (t Totals) sub(prev Totals) Totals {
 		RemoteOps:        t.RemoteOps - prev.RemoteOps,
 		RemoteBytes:      t.RemoteBytes - prev.RemoteBytes,
 		PeerStalls:       t.PeerStalls - prev.PeerStalls,
+		DedupReplays:     t.DedupReplays - prev.DedupReplays,
 	}
 }
 
@@ -306,9 +310,9 @@ func (s Snapshot) String() string {
 		t.LocalExecs, t.RemoteSends, t.AsyncSends, t.Served, t.RingFullWaits, t.Rescued, t.Stalls, t.Panics, t.Abandoned)
 	fmt.Fprintf(&b, "serving: wakes=%d scans-skipped=%d\n", t.DoorbellWakes, t.RingScansSkipped)
 	fmt.Fprintf(&b, "bursts: %s\n", s.Bursts)
-	if t.RemoteOps+t.RemoteBytes+t.PeerStalls > 0 || len(s.Peers) > 0 {
-		fmt.Fprintf(&b, "wire: remote-ops=%d remote-bytes=%d peer-stalls=%d\n",
-			t.RemoteOps, t.RemoteBytes, t.PeerStalls)
+	if t.RemoteOps+t.RemoteBytes+t.PeerStalls+t.DedupReplays > 0 || len(s.Peers) > 0 {
+		fmt.Fprintf(&b, "wire: remote-ops=%d remote-bytes=%d peer-stalls=%d dedup-replays=%d\n",
+			t.RemoteOps, t.RemoteBytes, t.PeerStalls, t.DedupReplays)
 	}
 	for _, pm := range s.Peers {
 		fmt.Fprintf(&b, "peer %s\n", pm)

@@ -10,6 +10,7 @@ import (
 
 	"dps/internal/core"
 	"dps/internal/mcd"
+	"dps/internal/obs"
 )
 
 // Canonical response lines.
@@ -27,6 +28,7 @@ var (
 	respBadChunk    = []byte("CLIENT_ERROR bad data chunk\r\n")
 	respTooLarge    = []byte("SERVER_ERROR object too large for cache\r\n")
 	respBackendBusy = []byte("SERVER_ERROR backend timeout\r\n")
+	respPeerDown    = []byte("SERVER_ERROR peer down\r\n")
 	respLineTooLong = []byte("CLIENT_ERROR line too long\r\n")
 )
 
@@ -223,10 +225,17 @@ func (c *conn) commandError(err error) error {
 }
 
 // storeError answers a failed store operation: delegation timeouts are the
-// back-pressure signal (the client may retry), shutdown closes.
+// back-pressure signal (the client may retry), a down peer is reported as
+// its own degradation class (the key range is unreachable, the client may
+// fail over), shutdown closes.
 func (c *conn) storeError(err error) error {
 	if errors.Is(err, core.ErrClosed) {
 		return errConnClose
+	}
+	if errors.Is(err, core.ErrPeerDown) {
+		c.srv.stats.PeerDownErrors.Add(1)
+		_, _ = c.bw.Write(respPeerDown)
+		return nil
 	}
 	c.srv.stats.ProtocolErrors.Add(1)
 	if errors.Is(err, core.ErrTimeout) {
@@ -405,13 +414,34 @@ func (c *conn) doStats() error {
 	c.statLine("get_hits", m.GetHits)
 	c.statLine("get_misses", m.GetMisses)
 	c.statLine("protocol_errors", m.ProtocolErrors)
+	c.statLine("peer_down_errors", m.PeerDownErrors)
 	c.statLine("bytes_read", m.BytesIn)
 	c.statLine("bytes_written", m.BytesOut)
 	c.statLine("batches", m.Batches)
 	c.statLine("batched_ops", m.BatchedOps)
 	c.statLine("curr_items", uint64(c.srv.cfg.Store.Len()))
+	for _, pm := range c.srv.cfg.Store.Metrics().Peers {
+		c.peerStatLines(pm)
+	}
 	_, _ = c.bw.Write(respEnd)
 	return nil
+}
+
+// peerStatLines emits one STAT block per configured peer link (prefix
+// peer_<idx>_) so `stats` exposes the wire tier's health alongside the
+// front door's counters.
+func (c *conn) peerStatLines(pm obs.PeerMetrics) {
+	p := "peer_" + strconv.Itoa(pm.Peer) + "_"
+	c.statLine(p+"ops", pm.Ops)
+	c.statLine(p+"timeouts", pm.Timeouts)
+	c.statLine(p+"failed", pm.Failed)
+	c.statLine(p+"reconnects", pm.Reconnects)
+	c.statLine(p+"retries", pm.Retries)
+	c.statLine(p+"heartbeats_sent", pm.HeartbeatsSent)
+	c.statLine(p+"heartbeats_missed", pm.HeartbeatsMissed)
+	c.statLine(p+"breaker_opens", pm.BreakerOpens)
+	c.statLine(p+"breaker_state", uint64(pm.BreakerState))
+	c.statLine(p+"pending", uint64(pm.Pending))
 }
 
 func (c *conn) statLine(name string, v uint64) {

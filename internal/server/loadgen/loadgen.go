@@ -90,12 +90,21 @@ func (c *Config) setDefaults() {
 type ClassReport struct {
 	// Count is the number of requests issued in the class.
 	Count int
-	// Errors counts protocol-level failures (unexpected response class,
-	// wrong value length, ERROR lines).
-	Errors int
+	// Errors counts failed requests in the class. Timeouts and PeerDowns
+	// break the total down by degradation class (the server's
+	// "SERVER_ERROR backend timeout" and "SERVER_ERROR peer down"
+	// responses); the remainder are genuine protocol failures (unexpected
+	// response class, wrong value length, ERROR lines).
+	Errors    int
+	Timeouts  int
+	PeerDowns int
 	// P50, P99, P999 are latency percentiles; Max the slowest request.
 	P50, P99, P999, Max time.Duration
 }
+
+// ProtocolErrors is the part of Errors that is neither a timeout nor a
+// down peer — the failures that indicate a bug rather than degradation.
+func (cr ClassReport) ProtocolErrors() int { return cr.Errors - cr.Timeouts - cr.PeerDowns }
 
 // Report is a run's outcome.
 type Report struct {
@@ -123,11 +132,38 @@ func (r *Report) Throughput() float64 {
 	return float64(r.Gets.Count+r.Sets.Count) / r.Elapsed.Seconds()
 }
 
+// errClasses buckets one op class's failures: the server's two
+// degradation responses are counted apart from genuine protocol errors,
+// so a run under peer churn shows its shape instead of a flat total.
+type errClasses struct {
+	timeouts, peerDowns, proto int
+}
+
+func (e errClasses) total() int { return e.timeouts + e.peerDowns + e.proto }
+
+func (e *errClasses) add(o errClasses) {
+	e.timeouts += o.timeouts
+	e.peerDowns += o.peerDowns
+	e.proto += o.proto
+}
+
+// bucket classifies one failure line into its class.
+func (e *errClasses) bucket(line []byte) {
+	switch {
+	case bytes.HasPrefix(line, []byte("SERVER_ERROR backend timeout")):
+		e.timeouts++
+	case bytes.HasPrefix(line, []byte("SERVER_ERROR peer down")):
+		e.peerDowns++
+	default:
+		e.proto++
+	}
+}
+
 // connResult is one connection's tally, merged after the run.
 type connResult struct {
 	getLat, setLat []time.Duration
-	getErrs        int
-	setErrs        int
+	getErrs        errClasses
+	setErrs        errClasses
 	hits, misses   int
 	connErr        bool
 }
@@ -166,25 +202,31 @@ func Run(cfg Config) (*Report, error) {
 
 	rep := &Report{Elapsed: elapsed}
 	var getLat, setLat []time.Duration
+	var getErrs, setErrs errClasses
 	for i := range results {
 		r := &results[i]
 		getLat = append(getLat, r.getLat...)
 		setLat = append(setLat, r.setLat...)
-		rep.Gets.Errors += r.getErrs
-		rep.Sets.Errors += r.setErrs
+		getErrs.add(r.getErrs)
+		setErrs.add(r.setErrs)
 		rep.Hits += r.hits
 		rep.Misses += r.misses
 		if r.connErr {
 			rep.ConnErrors++
 		}
 	}
-	rep.Gets = summarizeClass(getLat, rep.Gets.Errors)
-	rep.Sets = summarizeClass(setLat, rep.Sets.Errors)
+	rep.Gets = summarizeClass(getLat, getErrs)
+	rep.Sets = summarizeClass(setLat, setErrs)
 	return rep, nil
 }
 
-func summarizeClass(lat []time.Duration, errs int) ClassReport {
-	cr := ClassReport{Count: len(lat), Errors: errs}
+func summarizeClass(lat []time.Duration, errs errClasses) ClassReport {
+	cr := ClassReport{
+		Count:     len(lat),
+		Errors:    errs.total(),
+		Timeouts:  errs.timeouts,
+		PeerDowns: errs.peerDowns,
+	}
 	if len(lat) == 0 {
 		return cr
 	}
@@ -373,7 +415,7 @@ func readResponse(br *bufio.Reader, op *pendingOp, res *connResult) error {
 	}
 	if op.isSet {
 		if !bytes.HasPrefix(line, []byte("STORED")) {
-			res.setErrs++
+			res.setErrs.bucket(line)
 		}
 		return nil
 	}
@@ -385,13 +427,13 @@ func readResponse(br *bufio.Reader, op *pendingOp, res *connResult) error {
 		// "VALUE <key> <flags> <bytes>\r\n<data>\r\nEND\r\n"
 		fields := bytes.Fields(line)
 		if len(fields) < 4 || !bytes.Equal(fields[1], op.key) {
-			res.getErrs++
+			res.getErrs.proto++
 			return skipValue(br, fields)
 		}
 		res.hits++
 		return skipValue(br, fields)
 	default:
-		res.getErrs++
+		res.getErrs.bucket(line)
 		return nil
 	}
 }
@@ -421,11 +463,12 @@ func skipValue(br *bufio.Reader, fields [][]byte) error {
 // String renders the report as the SLO table mcdbench prints.
 func (r *Report) String() string {
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "%-5s %9s %7s %10s %10s %10s %10s\n",
-		"class", "count", "errors", "p50", "p99", "p999", "max")
+	fmt.Fprintf(&b, "%-5s %9s %7s %7s %8s %7s %10s %10s %10s %10s\n",
+		"class", "count", "errors", "tmo", "peerdown", "proto", "p50", "p99", "p999", "max")
 	row := func(name string, cr ClassReport) {
-		fmt.Fprintf(&b, "%-5s %9d %7d %10v %10v %10v %10v\n",
-			name, cr.Count, cr.Errors, cr.P50, cr.P99, cr.P999, cr.Max)
+		fmt.Fprintf(&b, "%-5s %9d %7d %7d %8d %7d %10v %10v %10v %10v\n",
+			name, cr.Count, cr.Errors, cr.Timeouts, cr.PeerDowns, cr.ProtocolErrors(),
+			cr.P50, cr.P99, cr.P999, cr.Max)
 	}
 	row("get", r.Gets)
 	row("set", r.Sets)

@@ -14,8 +14,9 @@ import (
 // ring.ErrTimeout) on the receiving side so errors.Is keeps working
 // across the process boundary.
 var (
-	closedText  = ring.ErrClosed.Error()
-	timeoutText = ring.ErrTimeout.Error()
+	closedText   = ring.ErrClosed.Error()
+	timeoutText  = ring.ErrTimeout.Error()
+	peerDownText = ring.ErrPeerDown.Error()
 )
 
 // errString flattens an operation error for the wire.
@@ -36,6 +37,8 @@ func toError(s string) error {
 		return ring.ErrClosed
 	case timeoutText:
 		return ring.ErrTimeout
+	case peerDownText:
+		return ring.ErrPeerDown
 	}
 	return OpError(s)
 }
@@ -48,6 +51,21 @@ type Pending struct {
 	pc  *pconn
 	seq uint32
 	gen uint64
+
+	// frame is the fully encoded request frame, owned by the burst from
+	// Flush until it resolves (a link failure may need to retransmit it
+	// verbatim — same seq, same bytes). part mirrors the header's
+	// partition field for re-publication.
+	frame []byte
+	part  uint32
+
+	// deadline is the retry budget: publish time + the peer's Timeout.
+	// A queued burst past it fails instead of retransmitting. retryable
+	// is the degrade policy's verdict over every op in the burst;
+	// attempts counts transmissions (mu-guarded, like the queue).
+	deadline  time.Time
+	retryable bool
+	attempts  int
 
 	// n is the number of operations in the burst; res[:n] receive their
 	// results when the burst resolves.
@@ -124,13 +142,23 @@ func (t Tok) Ready() (ring.Result, bool) {
 // under lost frames.
 func (t Tok) Finish() { t.consume() }
 
-// consume records that this token's await has returned; the last
-// consumer of a burst that never resolved forgets it.
+// consume records that this token's await has returned. The last
+// consumer of a resolved burst recycles its frame buffer (nothing can
+// retransmit a resolved burst, so the consumer is the sole owner); the
+// last consumer of a burst that never resolved forgets it so the
+// pending table stays bounded under lost frames.
 func (t Tok) consume() {
 	p := t.p
-	if p.consumed.Add(1) == p.n && p.state.Load() == 0 && p.pc != nil {
-		p.pc.forget(uint64(p.seq))
+	if p.consumed.Add(1) != p.n || p.pc == nil {
+		return
 	}
+	if p.state.Load() == 0 {
+		p.pc.forget(uint64(p.seq))
+		return
+	}
+	f := p.frame
+	p.frame = nil
+	p.pc.putBuf(f)
 }
 
 // Await blocks until the burst resolves or the deadline expires. A zero
@@ -196,11 +224,15 @@ type Link struct {
 
 	// The open burst: a partially encoded request frame (buf) targeting
 	// part, its completion record, and the count packed so far. part is
-	// -1 when no burst is open.
-	buf  []byte
-	part int
-	n    int
-	pend *Pending
+	// -1 when no burst is open. retryOK holds the degrade policy's AND
+	// over the staged ops; Flush transfers buf's ownership to the
+	// completion record (retransmission may outlive the link's next
+	// claim), which takes a recycled buffer from the connection.
+	buf     []byte
+	part    int
+	n       int
+	retryOK bool
+	pend    *Pending
 }
 
 // NewLink builds a sender view pinned to connection tid mod pool. All
@@ -236,6 +268,11 @@ func (l *Link) Stage(op ring.StagedOp) (Tok, error) {
 	if l.part < 0 {
 		l.claim(op.Part)
 	}
+	if l.retryOK {
+		if f := l.peer.cfg.Retryable; f != nil && !f(op.Code, op.Fire) {
+			l.retryOK = false
+		}
+	}
 	// Pack one request entry; mirrors AppendRequest's wire layout.
 	off := len(l.buf)
 	l.buf = grow(l.buf, reqOpFixed+len(op.Data))
@@ -259,21 +296,30 @@ func (l *Link) Stage(op ring.StagedOp) (Tok, error) {
 
 // claim opens a fresh burst toward part: the frame header is reserved
 // (seq and part backfilled at publish) and a completion record
-// allocated. The one steady-state allocation of the wire send path is
-// this record — amortized over the burst, and the price of results that
-// must survive until whenever the sender collects them.
+// allocated. Flush hands the previous buffer to its burst (which may
+// have to retransmit it), so claim draws a recycled one from the
+// connection's freelist. The steady-state allocation of the wire send
+// path is the completion record — amortized over the burst, and the
+// price of results that must survive until whenever the sender
+// collects them.
 func (l *Link) claim(part int) {
+	if l.buf == nil {
+		l.buf = l.pc.takeBuf()
+	}
 	l.buf = grow(l.buf[:0], 4+hdrSize)
 	l.buf[4] = FrameRequest
 	l.part = part
 	l.n = 0
+	l.retryOK = true
 	l.pend = &Pending{done: make(chan struct{})}
 }
 
 // Flush publishes the open burst, if any: the frame's length and op
-// count are finalized and the single write hits the peer connection.
-// Errors are already resolved into the burst's tokens (ErrClosed); the
-// return value is informational.
+// count are finalized, the buffer's ownership transfers to the burst
+// (retransmission may need it after this link has moved on), and the
+// single write hits the peer connection. Errors are already resolved
+// into the burst's tokens (ErrClosed / ErrPeerDown); the return value
+// is informational.
 //
 //dps:wire-cold per burst, amortized over up to MaxBurst staged ops; the socket write dominates
 func (l *Link) Flush() error {
@@ -284,9 +330,12 @@ func (l *Link) Flush() error {
 	binary.BigEndian.PutUint16(l.buf[13:], uint16(l.n))
 	p := l.pend
 	p.n = int32(l.n)
-	part := uint32(l.part)
+	p.frame = l.buf
+	p.part = uint32(l.part)
+	p.retryable = l.retryOK
+	l.buf = nil
 	l.part, l.n, l.pend = -1, 0, nil
-	return l.pc.publish(l.buf, part, p)
+	return l.pc.publish(p)
 }
 
 // Close flushes and detaches the link. The underlying peer (shared by

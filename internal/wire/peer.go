@@ -1,9 +1,12 @@
 package wire
 
 import (
+	cryptorand "crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +30,26 @@ const (
 	// and therefore read-your-writes — holds within a connection while
 	// distinct senders still spread over the pool.
 	DefaultConns = 2
+	// DefaultHeartbeatInterval is how often an idle link is probed with a
+	// ping. With DefaultHeartbeatMisses, a dead link is detected in
+	// 3×250ms = 750ms — well inside DefaultTimeout, so retransmission has
+	// budget left when the default op deadline governs.
+	DefaultHeartbeatInterval = 250 * time.Millisecond
+	// DefaultHeartbeatMisses is how many silent intervals declare the
+	// link dead.
+	DefaultHeartbeatMisses = 3
+	// DefaultRetryBackoff is the redialer's first sleep after a link
+	// failure; it doubles per failed attempt up to DefaultRetryBackoffMax,
+	// with jitter so a fleet of clients does not redial in lockstep.
+	DefaultRetryBackoff = 10 * time.Millisecond
+	// DefaultRetryBackoffMax caps the redial backoff.
+	DefaultRetryBackoffMax = 500 * time.Millisecond
+	// DefaultBreakerThreshold is how many consecutive link failures open
+	// the circuit breaker.
+	DefaultBreakerThreshold = 8
+	// DefaultBreakerCooldown is how long an open breaker rejects traffic
+	// before admitting a half-open probe.
+	DefaultBreakerCooldown = time.Second
 )
 
 // PeerConfig describes one peer process that owns partitions on this
@@ -39,14 +62,38 @@ type PeerConfig struct {
 	Parts []int
 	// Conns is the connection pool size. Defaults to DefaultConns.
 	Conns int
-	// Timeout is the default completion bound (zero-deadline awaits).
-	// Defaults to DefaultTimeout.
+	// Timeout is the default completion bound (zero-deadline awaits) and
+	// the retry budget: a retryable burst is retransmitted until its
+	// publish time plus Timeout. Defaults to DefaultTimeout.
 	Timeout time.Duration
 	// DialTimeout bounds dials. Defaults to DefaultDialTimeout.
 	DialTimeout time.Duration
 	// Partitions is the total partition count of the cluster, validated
 	// against the peer's hello. Required.
 	Partitions int
+	// HeartbeatInterval is the idle-link probe period; negative disables
+	// liveness probing. Defaults to DefaultHeartbeatInterval.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many silent intervals declare the link dead.
+	// Defaults to DefaultHeartbeatMisses.
+	HeartbeatMisses int
+	// RetryBackoff / RetryBackoffMax shape the redial schedule. Default
+	// to DefaultRetryBackoff / DefaultRetryBackoffMax.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens the
+	// circuit breaker; negative disables it. Defaults to
+	// DefaultBreakerThreshold.
+	BreakerThreshold int
+	// BreakerCooldown is the open breaker's rejection window. Defaults
+	// to DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// Retryable classifies ops for the degrade policy: a burst is
+	// retransmitted after a link failure only if every op it carries is
+	// retryable; otherwise the burst fails fast with ErrPeerDown. Nil
+	// means everything is retryable (safe — the server's dedup window
+	// absorbs retransmits of non-idempotent ops).
+	Retryable func(code uint16, fire bool) bool
 	// Chaos injects link faults (DropFrame, SlowLink, PeerDown) on the
 	// send path. Nil outside chaos tests.
 	//
@@ -54,16 +101,37 @@ type PeerConfig struct {
 	Chaos *chaos.Injector
 }
 
+// Breaker states. The link-level failure model is a four-state machine —
+// connected → suspect → down → half-open — of which the breaker holds
+// the last two explicitly; "suspect" is the heartbeat's missed-interval
+// window and "connected" is everything else.
+const (
+	brkClosed   = 0 // traffic flows; consecutive failures counted
+	brkOpen     = 1 // fail fast until the cooldown expires
+	brkHalfOpen = 2 // one probe admitted; its outcome closes or reopens
+)
+
 // Peer is the client side of one peer process's link: a small pool of
 // TCP connections, each with pipelined in-flight bursts matched to
 // response frames by sequence number. Connections are established
-// lazily and re-established lazily after failures; while a link is down,
-// staged bursts fail fast with ErrClosed instead of queueing.
+// lazily and re-established automatically: when a link dies, retryable
+// in-flight bursts queue for retransmission (the server deduplicates by
+// link identity + sequence number, so a burst whose response was lost is
+// not re-executed) and a redialer re-establishes the connection with
+// exponential backoff, bounded per burst by its retry budget. A peer
+// whose link keeps failing trips a circuit breaker: non-retryable ops
+// then fail fast with ErrPeerDown until a half-open probe succeeds.
 type Peer struct {
 	cfg    PeerConfig
 	idx    int
 	conns  []*pconn
 	closed atomic.Bool
+
+	// Circuit breaker: state (brk*), consecutive failures, and the
+	// nanosecond deadline an open breaker holds until.
+	brkState atomic.Uint32
+	brkFails atomic.Uint32
+	brkUntil atomic.Int64
 
 	framesSent    atomic.Uint64
 	framesRecvd   atomic.Uint64
@@ -74,6 +142,10 @@ type Peer struct {
 	failed        atomic.Uint64
 	reconnects    atomic.Uint64
 	framesDropped atomic.Uint64
+	retries       atomic.Uint64
+	hbSent        atomic.Uint64
+	hbMissed      atomic.Uint64
+	breakerOpens  atomic.Uint64
 }
 
 // NewPeer validates cfg and builds the (unconnected) peer. idx is the
@@ -102,11 +174,51 @@ func NewPeer(idx int, cfg PeerConfig) (*Peer, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = DefaultDialTimeout
 	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if cfg.HeartbeatMisses <= 0 {
+		cfg.HeartbeatMisses = DefaultHeartbeatMisses
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
+	if cfg.RetryBackoffMax < cfg.RetryBackoff {
+		cfg.RetryBackoffMax = DefaultRetryBackoffMax
+		if cfg.RetryBackoffMax < cfg.RetryBackoff {
+			cfg.RetryBackoffMax = cfg.RetryBackoff
+		}
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
 	pr := &Peer{cfg: cfg, idx: idx, conns: make([]*pconn, cfg.Conns)}
 	for i := range pr.conns {
-		pr.conns[i] = &pconn{peer: pr}
+		pr.conns[i] = &pconn{peer: pr, id: linkID(), rng: uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
 	}
 	return pr, nil
+}
+
+// linkID draws a random 64-bit link identity. The server keys its dedup
+// window on it, so collisions across all clients that ever connect must
+// be unlikely — crypto/rand, not a counter.
+//
+//dps:wire-cold once per connection slot at peer construction
+func linkID() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// Fall back to a clock-derived identity; dedup degrades to
+		// best-effort rather than the peer failing to construct.
+		return uint64(time.Now().UnixNano()) | 1
+	}
+	id := binary.BigEndian.Uint64(b[:])
+	if id == 0 {
+		id = 1 // 0 means "no identity" on the wire
+	}
+	return id
 }
 
 // Addr returns the peer's dial address.
@@ -118,8 +230,8 @@ func (pr *Peer) Owns() []int { return pr.cfg.Parts }
 // Timeout returns the default completion bound.
 func (pr *Peer) Timeout() time.Duration { return pr.cfg.Timeout }
 
-// Close severs every connection. In-flight bursts fail with ErrClosed;
-// subsequent stages fail fast the same way.
+// Close severs every connection. In-flight and queued bursts fail with
+// ErrClosed; subsequent stages fail fast the same way.
 func (pr *Peer) Close() error {
 	pr.closed.Store(true)
 	for _, pc := range pr.conns {
@@ -135,43 +247,146 @@ func (pr *Peer) Stats() obs.PeerMetrics {
 		pc.pmu.Lock()
 		pending += len(pc.pending)
 		pc.pmu.Unlock()
+		pc.mu.Lock()
+		pending += len(pc.retryq)
+		pc.mu.Unlock()
 	}
 	return obs.PeerMetrics{
-		Peer:          pr.idx,
-		Addr:          pr.cfg.Addr,
-		Parts:         len(pr.cfg.Parts),
-		FramesSent:    pr.framesSent.Load(),
-		FramesRecvd:   pr.framesRecvd.Load(),
-		BytesSent:     pr.bytesSent.Load(),
-		BytesRecvd:    pr.bytesRecvd.Load(),
-		Ops:           pr.ops.Load(),
-		Timeouts:      pr.timeouts.Load(),
-		Failed:        pr.failed.Load(),
-		Reconnects:    pr.reconnects.Load(),
-		FramesDropped: pr.framesDropped.Load(),
-		Pending:       pending,
+		Peer:             pr.idx,
+		Addr:             pr.cfg.Addr,
+		Parts:            len(pr.cfg.Parts),
+		FramesSent:       pr.framesSent.Load(),
+		FramesRecvd:      pr.framesRecvd.Load(),
+		BytesSent:        pr.bytesSent.Load(),
+		BytesRecvd:       pr.bytesRecvd.Load(),
+		Ops:              pr.ops.Load(),
+		Timeouts:         pr.timeouts.Load(),
+		Failed:           pr.failed.Load(),
+		Reconnects:       pr.reconnects.Load(),
+		FramesDropped:    pr.framesDropped.Load(),
+		Retries:          pr.retries.Load(),
+		HeartbeatsSent:   pr.hbSent.Load(),
+		HeartbeatsMissed: pr.hbMissed.Load(),
+		BreakerOpens:     pr.breakerOpens.Load(),
+		BreakerState:     int(pr.brkState.Load()),
+		Pending:          pending,
+	}
+}
+
+// brkAllow reports whether the breaker admits traffic right now. An open
+// breaker whose cooldown has expired transitions to half-open and admits
+// the caller as the probe.
+func (pr *Peer) brkAllow() bool {
+	if pr.cfg.BreakerThreshold < 0 {
+		return true
+	}
+	switch pr.brkState.Load() {
+	case brkOpen:
+		if time.Now().UnixNano() < pr.brkUntil.Load() {
+			return false
+		}
+		pr.brkState.CompareAndSwap(brkOpen, brkHalfOpen)
+		return true
+	default:
+		return true
+	}
+}
+
+// brkSuccess records a successful write: consecutive failures reset and
+// a half-open probe closes the breaker.
+func (pr *Peer) brkSuccess() {
+	if pr.cfg.BreakerThreshold < 0 {
+		return
+	}
+	if pr.brkFails.Load() != 0 {
+		pr.brkFails.Store(0)
+	}
+	if pr.brkState.Load() != brkClosed {
+		pr.brkState.Store(brkClosed)
+	}
+}
+
+// brkFailure records a link failure: a failed half-open probe reopens
+// immediately; otherwise the consecutive-failure count opens the breaker
+// at the threshold. An already-open breaker has its cooldown extended.
+func (pr *Peer) brkFailure() {
+	if pr.cfg.BreakerThreshold < 0 {
+		return
+	}
+	until := time.Now().Add(pr.cfg.BreakerCooldown).UnixNano()
+	if pr.brkState.Load() == brkHalfOpen {
+		pr.brkUntil.Store(until)
+		pr.brkState.Store(brkOpen)
+		pr.breakerOpens.Add(1)
+		return
+	}
+	if int(pr.brkFails.Add(1)) < pr.cfg.BreakerThreshold {
+		return
+	}
+	pr.brkUntil.Store(until)
+	if pr.brkState.CompareAndSwap(brkClosed, brkOpen) {
+		pr.breakerOpens.Add(1)
 	}
 }
 
 // pconn is one pooled connection: a mutex-serialized writer, a reader
-// goroutine resolving pendings by sequence number, and lazy (re)dialing
-// under the writer lock.
+// goroutine resolving pendings by sequence number, a heartbeat goroutine
+// probing idle links, and a redialer goroutine retransmitting queued
+// bursts after failures.
 type pconn struct {
 	peer *Peer
+	id   uint64 // link identity, sent in the ident frame; dedup key half
 
 	// mu serializes the write side: dialing, sequence assignment,
 	// pending registration and the frame write happen under it, so
-	// sequence numbers hit the socket in order.
-	mu     sync.Mutex
-	c      net.Conn
-	seq    uint32
-	dialed bool // a dial has succeeded at least once (reconnects count from here)
+	// sequence numbers hit the socket in order. The retry queue and the
+	// redialing flag live under it too: new bursts must observe a
+	// non-empty queue and line up behind it, or per-link order breaks.
+	mu        sync.Mutex
+	c         net.Conn
+	seq       uint32 // monotonic per link, never reset on reconnect
+	dialed    bool   // a dial has succeeded at least once (reconnects count from here)
+	retryq    []*Pending
+	redialing bool
+	rng       uint64   // redial jitter state; only the active redialer touches it
+	free      [][]byte // recycled frame buffers for Link.claim
+
+	// lastRecv is the wall-clock nanosecond of the last inbound frame on
+	// the live connection; the heartbeat loop reads it to detect silence.
+	lastRecv atomic.Int64
 
 	// pmu guards pending. Separate from mu so the reader resolving
 	// completions never contends with a sender mid-write.
 	pmu     sync.Mutex
 	pending map[uint32]*Pending
 	gen     uint64 // bumped per established connection; the reader exits when it changes
+}
+
+// takeBuf hands out a recycled frame buffer (or nil — the claim path
+// grows from nil fine).
+func (pc *pconn) takeBuf() []byte {
+	pc.pmu.Lock()
+	var b []byte
+	if n := len(pc.free); n > 0 {
+		b = pc.free[n-1]
+		pc.free = pc.free[:n-1]
+	}
+	pc.pmu.Unlock()
+	return b
+}
+
+// putBuf recycles a frame buffer once its burst resolved (the consumer
+// side owns it at that point). The freelist is small — steady state has
+// one buffer in flight per link.
+func (pc *pconn) putBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	pc.pmu.Lock()
+	if len(pc.free) < 8 {
+		pc.free = append(pc.free, b[:0])
+	}
+	pc.pmu.Unlock()
 }
 
 // ensureConn returns the live connection, dialing if necessary. Caller
@@ -186,7 +401,7 @@ func (pc *pconn) ensureConn() (net.Conn, error) {
 	cfg := &pc.peer.cfg
 	c, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
 	if err != nil {
-		return nil, ring.ErrClosed
+		return nil, ring.ErrPeerDown
 	}
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
@@ -197,6 +412,12 @@ func (pc *pconn) ensureConn() (net.Conn, error) {
 	if err := pc.readHello(c); err != nil {
 		c.Close()
 		return nil, err
+	}
+	// Name this link so the server can deduplicate retransmitted bursts.
+	ident, _ := AppendIdent(nil, pc.id)
+	if _, err := c.Write(ident); err != nil {
+		c.Close()
+		return nil, ring.ErrPeerDown
 	}
 	if pc.dialed {
 		pc.peer.reconnects.Add(1)
@@ -210,7 +431,11 @@ func (pc *pconn) ensureConn() (net.Conn, error) {
 	}
 	pc.pmu.Unlock()
 	pc.c = c
+	pc.lastRecv.Store(time.Now().UnixNano())
 	go pc.readLoop(c, gen)
+	if cfg.HeartbeatInterval > 0 {
+		go pc.heartbeat(c, gen)
+	}
 	return c, nil
 }
 
@@ -224,7 +449,7 @@ func (pc *pconn) readHello(c net.Conn) error {
 	var f Frame
 	n, err := readFrame(c, buf[:0], &f)
 	if err != nil || f.Type != FrameHello {
-		return ring.ErrClosed
+		return ring.ErrPeerDown
 	}
 	_ = n
 	if f.Hello.Version != Version {
@@ -280,7 +505,8 @@ func readFull(c net.Conn, b []byte) error {
 
 // readLoop resolves in-flight bursts as their response frames arrive.
 // One goroutine per established connection; it exits when the connection
-// dies (failing every pending) or is superseded.
+// dies (moving retryable pendings to the retry queue) or is superseded.
+// Every inbound frame — response or pong — refreshes the liveness clock.
 func (pc *pconn) readLoop(c net.Conn, gen uint64) {
 	var buf []byte
 	var f Frame
@@ -288,13 +514,17 @@ func (pc *pconn) readLoop(c net.Conn, gen uint64) {
 		var err error
 		buf, err = readFrame(c, buf, &f)
 		if err != nil {
-			pc.connBroke(c, gen)
+			pc.linkDown(c, gen)
 			return
 		}
+		pc.lastRecv.Store(time.Now().UnixNano())
 		pc.peer.framesRecvd.Add(1)
 		pc.peer.bytesRecvd.Add(uint64(len(buf)))
+		if f.Type == FramePong {
+			continue
+		}
 		if f.Type != FrameResponse {
-			pc.connBroke(c, gen)
+			pc.linkDown(c, gen)
 			return
 		}
 		pc.pmu.Lock()
@@ -304,21 +534,261 @@ func (pc *pconn) readLoop(c net.Conn, gen uint64) {
 		if p == nil {
 			continue // abandoned burst: its awaiters already timed out
 		}
+		pc.peer.brkSuccess()
 		p.resolve(&f)
 	}
 }
 
-// connBroke tears down a dead connection and fails its in-flight bursts
-// with ErrClosed. Safe to call from the reader and the writer; only the
-// call matching the live generation acts.
-func (pc *pconn) connBroke(c net.Conn, gen uint64) {
+// heartbeat probes the connection while it is idle: no inbound frame for
+// an interval sends a ping; no inbound frame for HeartbeatMisses
+// intervals declares the link dead and trips the retry machinery — that
+// is what bounds dead-link detection below the op timeout.
+func (pc *pconn) heartbeat(c net.Conn, gen uint64) {
+	cfg := &pc.peer.cfg
+	interval := cfg.HeartbeatInterval
+	deadAfter := time.Duration(cfg.HeartbeatMisses) * interval
+	var ping []byte
+	//dps:spin-ok each iteration sleeps a full heartbeat interval; exits when the connection is superseded, declared dead, or the peer closes
+	for {
+		time.Sleep(interval)
+		if pc.peer.closed.Load() {
+			return
+		}
+		pc.mu.Lock()
+		if pc.c != c {
+			pc.mu.Unlock()
+			return // superseded or already torn down
+		}
+		idle := time.Duration(time.Now().UnixNano() - pc.lastRecv.Load())
+		if idle >= deadAfter {
+			pc.mu.Unlock()
+			pc.peer.hbMissed.Add(1)
+			pc.peer.brkFailure()
+			pc.linkDown(c, gen)
+			return
+		}
+		if idle >= interval {
+			ping, _ = AppendControl(ping[:0], FramePing, uint32(gen))
+			if _, err := c.Write(ping); err != nil {
+				pc.mu.Unlock()
+				pc.peer.brkFailure()
+				pc.linkDown(c, gen)
+				return
+			}
+			pc.peer.hbSent.Add(1)
+		}
+		pc.mu.Unlock()
+	}
+}
+
+// linkDown tears down a dead connection. In-flight bursts that are
+// retryable and inside their budget move to the retry queue (in sequence
+// order, ahead of anything staged later); the rest expire — they were
+// written at least once, so they fail with ErrTimeout ("may have
+// executed"), never ErrPeerDown. Safe to call from the reader, the
+// heartbeat and the writer; only the call matching the live generation
+// moves pendings.
+func (pc *pconn) linkDown(c net.Conn, gen uint64) {
 	c.Close()
 	pc.mu.Lock()
 	if pc.c == c {
 		pc.c = nil
 	}
+	var moved []*Pending
+	pc.pmu.Lock()
+	if gen == pc.gen {
+		for seq, p := range pc.pending {
+			moved = append(moved, p)
+			delete(pc.pending, seq)
+		}
+	}
+	pc.pmu.Unlock()
+	sort.Slice(moved, func(i, j int) bool { return moved[i].seq < moved[j].seq })
+	now := time.Now()
+	var failed []*Pending
+	for _, p := range moved {
+		if p.retryable && now.Before(p.deadline) {
+			pc.retryq = append(pc.retryq, p)
+		} else {
+			failed = append(failed, p)
+		}
+	}
+	if len(pc.retryq) > 1 {
+		q := pc.retryq
+		sort.Slice(q, func(i, j int) bool { return q[i].seq < q[j].seq })
+	}
+	if len(pc.retryq) > 0 && !pc.redialing && !pc.peer.closed.Load() {
+		pc.redialing = true
+		go pc.redial()
+	}
 	pc.mu.Unlock()
-	pc.failPending(gen, ring.ErrClosed)
+	pc.expire(failed)
+}
+
+// redial owns the retry queue until it drains: sleep with exponential
+// backoff + jitter, expire bursts whose budget ran out, re-establish the
+// connection, and retransmit the queue in sequence order. Exactly one
+// redialer runs per pconn (the redialing flag, under mu).
+func (pc *pconn) redial() {
+	cfg := &pc.peer.cfg
+	backoff := cfg.RetryBackoff
+	//dps:spin-ok every iteration sleeps a full backoff interval and the queue drains by deadline expiry, so the loop is bounded by the op budget
+	for {
+		time.Sleep(backoff + pc.jitter(backoff))
+		var expired []*Pending
+		pc.mu.Lock()
+		if pc.peer.closed.Load() {
+			q := pc.retryq
+			pc.retryq, pc.redialing = nil, false
+			pc.mu.Unlock()
+			for _, p := range q {
+				pc.peer.failed.Add(uint64(p.n))
+				p.fail(ring.ErrClosed)
+			}
+			return
+		}
+		now := time.Now()
+		keep := pc.retryq[:0]
+		for _, p := range pc.retryq {
+			if now.Before(p.deadline) {
+				keep = append(keep, p)
+			} else {
+				expired = append(expired, p)
+			}
+		}
+		pc.retryq = keep
+		if len(pc.retryq) == 0 {
+			pc.redialing = false
+			pc.mu.Unlock()
+			pc.expire(expired)
+			return
+		}
+		if !pc.peer.brkAllow() {
+			pc.mu.Unlock()
+			pc.expire(expired)
+			continue // breaker open: keep expiring, probe after cooldown
+		}
+		c, err := pc.ensureConn()
+		if err != nil {
+			if !errors.Is(err, ring.ErrPeerDown) {
+				// Configuration error (version/shape mismatch): retrying
+				// cannot fix it, fail the whole queue with the cause.
+				q := pc.retryq
+				pc.retryq, pc.redialing = nil, false
+				pc.mu.Unlock()
+				pc.expire(expired)
+				for _, p := range q {
+					pc.peer.failed.Add(uint64(p.n))
+					p.fail(err)
+				}
+				return
+			}
+			pc.peer.brkFailure()
+			pc.mu.Unlock()
+			pc.expire(expired)
+			if backoff *= 2; backoff > cfg.RetryBackoffMax {
+				backoff = cfg.RetryBackoffMax
+			}
+			continue
+		}
+		gen := pc.gen
+		wrote := true
+		for len(pc.retryq) > 0 {
+			p := pc.retryq[0]
+			if p.state.Load() != 0 {
+				pc.retryq = pc.retryq[0:copy(pc.retryq, pc.retryq[1:])]
+				continue // already resolved (shutdown race); drop
+			}
+			if p.consumed.Load() == p.n {
+				// Every awaiter gave up; retransmitting buys nothing.
+				pc.retryq = pc.retryq[0:copy(pc.retryq, pc.retryq[1:])]
+				pc.peer.failed.Add(uint64(p.n))
+				p.fail(ring.ErrTimeout)
+				continue
+			}
+			// Snapshot the frame before registering p: the instant the
+			// write lands, the reader may resolve p and its last consumer
+			// recycles p.frame.
+			frame := p.frame
+			p.attempts++
+			pc.pmu.Lock()
+			p.gen = gen
+			pc.pending[p.seq] = p
+			pc.pmu.Unlock()
+			if _, werr := c.Write(frame); werr != nil {
+				pc.pmu.Lock()
+				delete(pc.pending, p.seq)
+				pc.pmu.Unlock()
+				wrote = false
+				break
+			}
+			pc.retryq = pc.retryq[0:copy(pc.retryq, pc.retryq[1:])]
+			pc.peer.retries.Add(1)
+			pc.peer.framesSent.Add(1)
+			pc.peer.bytesSent.Add(uint64(len(frame)))
+		}
+		if !wrote {
+			pc.peer.brkFailure()
+			pc.mu.Unlock()
+			pc.expire(expired)
+			pc.linkDown(c, gen)
+			if backoff *= 2; backoff > cfg.RetryBackoffMax {
+				backoff = cfg.RetryBackoffMax
+			}
+			continue
+		}
+		pc.peer.brkSuccess()
+		pc.redialing = false
+		pc.mu.Unlock()
+		pc.expire(expired)
+		return
+	}
+}
+
+// expire fails bursts whose retry budget ran out: ErrTimeout if the
+// burst was sent at least once (the peer may have executed it), and
+// ErrPeerDown if it was never delivered.
+func (pc *pconn) expire(ps []*Pending) {
+	for _, p := range ps {
+		if p.attempts > 0 {
+			pc.peer.timeouts.Add(uint64(p.n))
+			p.fail(ring.ErrTimeout)
+		} else {
+			pc.peer.failed.Add(uint64(p.n))
+			p.fail(ring.ErrPeerDown)
+		}
+	}
+}
+
+// jitter draws a uniform delay in [0, d/2] off a per-link xorshift
+// stream, decorrelating redial schedules across links and processes.
+func (pc *pconn) jitter(d time.Duration) time.Duration {
+	x := pc.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	pc.rng = x
+	span := uint64(d/2) + 1
+	return time.Duration(x % span)
+}
+
+// shutdown severs the connection (if any) and fails all pending and
+// queued bursts.
+func (pc *pconn) shutdown(err error) {
+	pc.mu.Lock()
+	c := pc.c
+	pc.c = nil
+	q := pc.retryq
+	pc.retryq = nil
+	pc.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	pc.failPending(0, err)
+	for _, p := range q {
+		pc.peer.failed.Add(uint64(p.n))
+		p.fail(err)
+	}
 }
 
 // failPending resolves every pending burst of generation gen with err.
@@ -340,18 +810,6 @@ func (pc *pconn) failPending(gen uint64, err error) {
 	}
 }
 
-// shutdown severs the connection (if any) and fails all pendings.
-func (pc *pconn) shutdown(err error) {
-	pc.mu.Lock()
-	c := pc.c
-	pc.c = nil
-	pc.mu.Unlock()
-	if c != nil {
-		c.Close()
-	}
-	pc.failPending(0, err)
-}
-
 // forget drops an abandoned burst from the pending table once every one
 // of its tokens has been consumed without a response (the lost-frame
 // path); a response arriving later finds nothing and is discarded.
@@ -363,26 +821,50 @@ func (pc *pconn) forget(seq uint64) {
 
 // publish assigns the burst's sequence number, registers p, backfills
 // the frame header and writes the frame — the wire tier's
-// publish+doorbell, with chaos faults injected at the link. Transport
-// failures (and injected PeerDown) resolve p with ErrClosed before
-// returning; injected frame drops leave p to the deadline machinery.
+// publish+doorbell, with chaos faults injected at the link. While the
+// link is down (retry queue non-empty, redialer active, or breaker
+// open), retryable bursts line up on the retry queue behind the bursts
+// already there — per-link order is what read-your-writes rests on —
+// and non-retryable bursts resolve with ErrPeerDown before returning.
+// Injected frame drops leave p to the deadline machinery.
 //
 //dps:wire-cold per burst; registers the completion record and pays the syscall either way
-func (pc *pconn) publish(frame []byte, part uint32, p *Pending) error {
+func (pc *pconn) publish(p *Pending) error {
 	inj := pc.peer.cfg.Chaos
 	pc.mu.Lock()
-	c, err := pc.ensureConn()
-	if err != nil {
+	if pc.peer.closed.Load() {
 		pc.mu.Unlock()
 		pc.peer.failed.Add(uint64(p.n))
-		p.fail(err)
-		return err
+		p.fail(ring.ErrClosed)
+		return ring.ErrClosed
 	}
 	pc.seq++
 	seq := pc.seq
-	binary.BigEndian.PutUint32(frame[5:], seq)
-	binary.BigEndian.PutUint32(frame[9:], part)
-	p.pc, p.seq, p.gen = pc, seq, pc.gen
+	binary.BigEndian.PutUint32(p.frame[5:], seq)
+	binary.BigEndian.PutUint32(p.frame[9:], p.part)
+	p.pc, p.seq = pc, seq
+	p.deadline = time.Now().Add(pc.peer.cfg.Timeout)
+	if len(pc.retryq) > 0 || pc.redialing || !pc.peer.brkAllow() {
+		err := pc.deferLocked(p)
+		pc.mu.Unlock()
+		return err
+	}
+	c, err := pc.ensureConn()
+	if err != nil {
+		if errors.Is(err, ring.ErrClosed) || !errors.Is(err, ring.ErrPeerDown) {
+			// Shutdown or a configuration error: not retryable.
+			pc.mu.Unlock()
+			pc.peer.failed.Add(uint64(p.n))
+			p.fail(err)
+			return err
+		}
+		pc.peer.brkFailure()
+		err = pc.deferLocked(p)
+		pc.mu.Unlock()
+		return err
+	}
+	gen := pc.gen
+	p.gen = gen
 	pc.pmu.Lock()
 	pc.pending[seq] = p
 	pc.pmu.Unlock()
@@ -391,10 +873,12 @@ func (pc *pconn) publish(frame []byte, part uint32, p *Pending) error {
 		if inj.PeerDown() {
 			pc.mu.Unlock()
 			pc.peer.framesDropped.Add(1)
-			pc.connBroke(c, p.gen)
-			return ring.ErrClosed
+			pc.peer.brkFailure()
+			pc.linkDown(c, gen)
+			return ring.ErrPeerDown
 		}
 		if inj.DropFrame() {
+			p.attempts++
 			pc.mu.Unlock()
 			pc.peer.framesDropped.Add(1)
 			return nil // burst stays pending; its awaiters time out
@@ -402,14 +886,36 @@ func (pc *pconn) publish(frame []byte, part uint32, p *Pending) error {
 		inj.SlowLink()
 	}
 
-	_, werr := c.Write(frame)
+	p.attempts++
+	n, flen := p.n, len(p.frame)
+	_, werr := c.Write(p.frame)
 	pc.mu.Unlock()
 	if werr != nil {
-		pc.connBroke(c, p.gen)
-		return ring.ErrClosed
+		pc.peer.brkFailure()
+		pc.linkDown(c, gen)
+		return ring.ErrPeerDown
 	}
+	pc.peer.brkSuccess()
 	pc.peer.framesSent.Add(1)
-	pc.peer.bytesSent.Add(uint64(len(frame)))
-	pc.peer.ops.Add(uint64(p.n))
+	pc.peer.bytesSent.Add(uint64(flen))
+	pc.peer.ops.Add(uint64(n))
 	return nil
+}
+
+// deferLocked queues p for retransmission if its policy and budget
+// allow, kicking the redialer; otherwise it fails fast. Caller holds
+// pc.mu.
+func (pc *pconn) deferLocked(p *Pending) error {
+	if p.retryable && time.Now().Before(p.deadline) {
+		pc.retryq = append(pc.retryq, p)
+		pc.peer.ops.Add(uint64(p.n)) // accepted for delivery
+		if !pc.redialing {
+			pc.redialing = true
+			go pc.redial()
+		}
+		return nil
+	}
+	pc.peer.failed.Add(uint64(p.n))
+	p.fail(ring.ErrPeerDown)
+	return ring.ErrPeerDown
 }

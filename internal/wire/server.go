@@ -9,12 +9,15 @@ import (
 // Handler applies one decoded request burst. The wire server calls it
 // sequentially per connection (preserving each sender link's order, the
 // property read-your-writes rests on) and concurrently across
-// connections. resp is a scratch slice to append into; the handler
-// returns one RespOp per ReqOp, in order. The returned entries' Data may
-// sub-slice handler-owned buffers — the server encodes the response
-// before the next Apply on that connection.
+// connections. src is the sending link's identity (0 if the client
+// never sent an ident frame) and seq the burst's sequence number —
+// together they let the handler deduplicate retransmitted bursts. resp
+// is a scratch slice to append into; the handler returns one RespOp per
+// ReqOp, in order. The returned entries' Data may sub-slice
+// handler-owned buffers — the server encodes the response before the
+// next Apply on that connection.
 type Handler interface {
-	Apply(part int, req []ReqOp, resp []RespOp) []RespOp
+	Apply(src uint64, seq uint32, part int, req []ReqOp, resp []RespOp) []RespOp
 }
 
 // Server is the accept side of the wire tier: it owns a listener,
@@ -120,16 +123,37 @@ func (s *Server) serveConn(c net.Conn) {
 		wbuf []byte
 		resp []RespOp
 		f    Frame
+		src  uint64
 	)
 	for {
 		rbuf, err = readFrame(c, rbuf, &f)
 		if err != nil {
 			return
 		}
-		if f.Type != FrameRequest || len(f.Req) == 0 {
+		switch f.Type {
+		case FrameIdent:
+			// The client names its link once, right after our hello; the
+			// identity keys the handler's dedup window.
+			src = f.Ident
+			continue
+		case FramePing:
+			// Liveness probe: answer in arrival order, echoing the seq.
+			wbuf, err = AppendControl(wbuf[:0], FramePong, f.Seq)
+			if err != nil {
+				return
+			}
+			if _, err := c.Write(wbuf); err != nil {
+				return
+			}
+			continue
+		case FrameRequest:
+		default:
 			return
 		}
-		resp = s.h.Apply(int(f.Part), f.Req, resp[:0])
+		if len(f.Req) == 0 {
+			return
+		}
+		resp = s.h.Apply(src, f.Seq, int(f.Part), f.Req, resp[:0])
 		if len(resp) != len(f.Req) {
 			return // handler contract violation; don't invent results
 		}

@@ -25,6 +25,9 @@
 //	hello    (type 0): [u32 version] [u32 partitions] [nops × u32 owned]
 //	request  (type 1): nops × [u16 code][u8 flags][u64 key][4×u64 u][u32 dlen][dlen bytes]
 //	response (type 2): nops × [u8 flags][u64 u][u32 dlen][dlen bytes][u16 elen][elen bytes]
+//	ping     (type 3): empty — a liveness probe; seq is the probe number
+//	pong     (type 4): empty — answers a ping, echoing its seq
+//	ident    (type 5): [u64 link id] — names the sending link for dedup
 //
 // Request flags: bit 0 = fire-and-forget. Response flags: bit 0 = data
 // present (distinguishing a nil reference result from an empty one),
@@ -55,11 +58,24 @@ const (
 	FrameRequest = 1
 	// FrameResponse carries the matching burst of results.
 	FrameResponse = 2
+	// FramePing is a client-sent liveness probe on an otherwise idle
+	// link; the serving side answers with a pong echoing the seq.
+	FramePing = 3
+	// FramePong answers a ping. Any inbound frame proves liveness, so
+	// the client treats pongs and responses alike for that purpose.
+	FramePong = 4
+	// FrameIdent is sent once by the client right after the hello: a
+	// random 64-bit link identity that, combined with each burst's
+	// monotonic seq, lets the server deduplicate retransmitted bursts
+	// across reconnects.
+	FrameIdent = 5
 )
 
 // Version is the protocol version carried in hello frames. Mismatched
-// peers refuse the connection rather than misparse each other.
-const Version = 1
+// peers refuse the connection rather than misparse each other. v2 added
+// ping/pong liveness probes and the ident frame retransmission dedup
+// keys on.
+const Version = 2
 
 // Wire limits. A decoder rejects anything beyond them before allocating,
 // so a corrupt or hostile length field cannot balloon memory.
@@ -142,6 +158,7 @@ type Frame struct {
 	Req   []ReqOp
 	Resp  []RespOp
 	Hello Hello
+	Ident uint64
 }
 
 // grow extends b by n bytes, reallocating only when capacity is short —
@@ -318,6 +335,34 @@ func AppendHello(dst []byte, partitions uint32, owned []uint32) ([]byte, error) 
 	return dst, nil
 }
 
+// AppendControl appends one complete ping or pong frame. Control frames
+// carry no payload; seq is the probe number (a pong echoes its ping's).
+//
+//dps:wire-cold rides idle links only; a busy link's data frames prove liveness for free
+func AppendControl(dst []byte, typ byte, seq uint32) ([]byte, error) {
+	if typ != FramePing && typ != FramePong {
+		return dst, ErrCorrupt
+	}
+	off := len(dst)
+	dst = grow(dst, 4+hdrSize)
+	binary.BigEndian.PutUint32(dst[off:], hdrSize)
+	putHeader(dst, off+4, typ, seq, 0, 0)
+	return dst, nil
+}
+
+// AppendIdent appends one complete ident frame carrying the sending
+// link's 64-bit identity.
+//
+//dps:wire-cold once per established connection, right after the hello
+func AppendIdent(dst []byte, id uint64) ([]byte, error) {
+	off := len(dst)
+	dst = grow(dst, 4+hdrSize+8)
+	binary.BigEndian.PutUint32(dst[off:], hdrSize+8)
+	off = putHeader(dst, off+4, FrameIdent, 0, 0, 0)
+	binary.BigEndian.PutUint64(dst[off:], id)
+	return dst, nil
+}
+
 // FrameLen inspects the length prefix of a buffered stream: it returns
 // the total frame size (prefix included) once buf holds at least the
 // prefix, ErrShort while it does not, and ErrCorrupt if the declared
@@ -449,6 +494,15 @@ func DecodeFrame(buf []byte, f *Frame) (int, error) {
 		if len(b) != 0 {
 			return 0, ErrCorrupt
 		}
+	case FramePing, FramePong:
+		if nops != 0 || f.Part != 0 || len(b) != 0 {
+			return 0, ErrCorrupt
+		}
+	case FrameIdent:
+		if nops != 0 || f.Seq != 0 || f.Part != 0 || len(b) != 8 {
+			return 0, ErrCorrupt
+		}
+		f.Ident = binary.BigEndian.Uint64(b)
 	default:
 		return 0, ErrCorrupt
 	}
@@ -465,6 +519,9 @@ func bytesToErr(b []byte) string {
 	}
 	if string(b) == timeoutText {
 		return timeoutText
+	}
+	if string(b) == peerDownText {
+		return peerDownText
 	}
 	return string(b)
 }

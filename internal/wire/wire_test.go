@@ -55,7 +55,7 @@ func goldenResponse() ([]byte, []RespOp) {
 		0x00, 0x00, 0x00, 0x02, // part
 		0x00, 0x02, // nops
 		// entry 0: data, no error
-		0x01,                   // flags: hasData
+		0x01,                    // flags: hasData
 		0, 0, 0, 0, 0, 0, 0, 42, // U
 		0x00, 0x00, 0x00, 0x02, // dlen
 		'x', 'y',
@@ -77,7 +77,7 @@ func goldenHello() []byte {
 		0x00, 0x00, 0x00, 0x00, // seq
 		0x00, 0x00, 0x00, 0x00, // part
 		0x00, 0x02, // nops = len(owned)
-		0x00, 0x00, 0x00, 0x01, // version
+		0x00, 0x00, 0x00, 0x02, // version
 		0x00, 0x00, 0x00, 0x04, // partitions
 		0x00, 0x00, 0x00, 0x02, // owned[0]
 		0x00, 0x00, 0x00, 0x03, // owned[1]
@@ -248,6 +248,10 @@ func FuzzDecodeFrame(f *testing.F) {
 					return
 				}
 				re, rerr = AppendHello(nil, fr.Hello.Partitions, fr.Hello.Owned)
+			case FramePing, FramePong:
+				re, rerr = AppendControl(nil, fr.Type, fr.Seq)
+			case FrameIdent:
+				re, rerr = AppendIdent(nil, fr.Ident)
 			}
 			if rerr != nil {
 				t.Fatalf("decoded frame does not re-encode: %v", rerr)
@@ -347,9 +351,13 @@ func TestLinkStageAllocPin(t *testing.T) {
 
 // --- peer/server round trip ---------------------------------------------
 
-type echoHandler struct{ applied atomic.Uint64 }
+type echoHandler struct {
+	applied atomic.Uint64
+	lastSrc atomic.Uint64
+}
 
-func (h *echoHandler) Apply(part int, req []ReqOp, resp []RespOp) []RespOp {
+func (h *echoHandler) Apply(src uint64, seq uint32, part int, req []ReqOp, resp []RespOp) []RespOp {
+	h.lastSrc.Store(src)
 	for i := range req {
 		h.applied.Add(1)
 		resp = append(resp, RespOp{U: req[i].Key + req[i].U[0], HasData: len(req[i].Data) > 0, Data: req[i].Data})
@@ -402,6 +410,9 @@ func TestPeerRoundTrip(t *testing.T) {
 	st := pr.Stats()
 	if st.FramesSent != 1 || st.Ops != 8 || st.Pending != 0 {
 		t.Fatalf("stats: %+v", st)
+	}
+	if h.lastSrc.Load() == 0 {
+		t.Fatal("server never saw the link's ident")
 	}
 }
 

@@ -5,7 +5,10 @@
 # delegates 2,3 to the first over TCP. The dialing node verifies sync
 # sets, gets, async-overwrite read-your-writes, and — pass two — does it
 # again under injected link chaos (dropped frames, slow links, severed
-# connections). dpsnode exits 2 if any value comes back wrong, any
+# connections). Pass three restarts the serving node's peer listener in
+# the middle of a clean-link run (-bounce-after): retry, redial, and the
+# server-side dedup window must ride the darkness out with ZERO failed
+# operations. dpsnode exits 2 if any value comes back wrong, any
 # read-your-writes ordering is violated, or any delegated completion is
 # neither resolved nor timed out after the final drain (the
 # lost-completion watchdog); the serving node must then drain cleanly
@@ -16,9 +19,47 @@ cd "$(dirname "$0")/.."
 
 OPS="${PEER_SMOKE_OPS:-500}"
 CHAOS_OPS="${PEER_SMOKE_CHAOS_OPS:-300}"
+BOUNCE_OPS="${PEER_SMOKE_BOUNCE_OPS:-800}"
 BIN="$(mktemp -d)"
 ADDR_FILE="$BIN/dpsnode.addr"
 trap 'rm -rf "$BIN"' EXIT
+
+# wait_addr FILE PID — wait for a serving node to publish its address.
+wait_addr() {
+  local file="$1" pid="$2" i
+  for i in $(seq 1 100); do
+    [ -f "$file" ] && return 0
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "peer-smoke: serving node died during startup" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  echo "peer-smoke: serving node never published its address" >&2
+  return 1
+}
+
+# drain_server PID — SIGTERM a serving node and require a clean exit.
+drain_server() {
+  local pid="$1" i status
+  kill -TERM "$pid"
+  for i in $(seq 1 150); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if kill -0 "$pid" 2>/dev/null; then
+    echo "peer-smoke: serving node failed to exit within 15s of SIGTERM" >&2
+    return 1
+  fi
+  set +e
+  wait "$pid"
+  status=$?
+  set -e
+  if [ "$status" -ne 0 ]; then
+    echo "peer-smoke: serving node exited $status (drain not clean)" >&2
+    return "$status"
+  fi
+}
 
 echo "peer-smoke: building"
 go build -o "$BIN/dpsnode" ./cmd/dpsnode
@@ -28,18 +69,7 @@ echo "peer-smoke: starting serving node"
 SERVER_PID=$!
 trap 'kill -9 $SERVER_PID 2>/dev/null || true; rm -rf "$BIN"' EXIT
 
-for i in $(seq 1 100); do
-  [ -f "$ADDR_FILE" ] && break
-  if ! kill -0 $SERVER_PID 2>/dev/null; then
-    echo "peer-smoke: serving node died during startup" >&2
-    exit 1
-  fi
-  sleep 0.1
-done
-if [ ! -f "$ADDR_FILE" ]; then
-  echo "peer-smoke: serving node never published its address" >&2
-  exit 1
-fi
+wait_addr "$ADDR_FILE" $SERVER_PID
 ADDR="$(cat "$ADDR_FILE")"
 echo "peer-smoke: serving node at $ADDR"
 
@@ -51,25 +81,23 @@ echo "peer-smoke: pass 2 — chaos link (drops, delays, severed peers), $CHAOS_O
   -chaos-drop 0.02 -chaos-slow 0.05 -chaos-slow-delay 1ms -chaos-peerdown 0.005
 
 echo "peer-smoke: SIGTERM serving node, expecting clean drain"
-kill -TERM $SERVER_PID
-DRAIN_OK=1
-for i in $(seq 1 150); do
-  if ! kill -0 $SERVER_PID 2>/dev/null; then
-    DRAIN_OK=0
-    break
-  fi
-  sleep 0.1
-done
-if [ "$DRAIN_OK" -ne 0 ]; then
-  echo "peer-smoke: serving node failed to exit within 15s of SIGTERM" >&2
-  exit 1
-fi
-set +e
-wait $SERVER_PID
-STATUS=$?
-set -e
-if [ "$STATUS" -ne 0 ]; then
-  echo "peer-smoke: serving node exited $STATUS (drain not clean)" >&2
-  exit "$STATUS"
-fi
+drain_server $SERVER_PID
+
+# Pass 3: a fresh serving node that bounces its own peer listener shortly
+# after startup. The dialing node runs a clean-link workload (no chaos
+# flags, so ANY op failure is fatal) across the restart: retry + redial
+# must carry every in-flight burst over the darkness, and the dedup
+# window keeps the retransmissions idempotent.
+echo "peer-smoke: pass 3 — mid-run peer restart (listener bounce), $BOUNCE_OPS keys"
+ADDR_FILE2="$BIN/dpsnode2.addr"
+"$BIN/dpsnode" -listen 127.0.0.1:0 -addr-file "$ADDR_FILE2" -serve-for 120s \
+  -bounce-after 300ms -bounce-down 400ms &
+SERVER2_PID=$!
+trap 'kill -9 $SERVER_PID $SERVER2_PID 2>/dev/null || true; rm -rf "$BIN"' EXIT
+wait_addr "$ADDR_FILE2" $SERVER2_PID
+ADDR2="$(cat "$ADDR_FILE2")"
+"$BIN/dpsnode" -peer "$ADDR2=2,3" -ops "$BOUNCE_OPS" -op-timeout 5s
+
+echo "peer-smoke: SIGTERM bounce serving node, expecting clean drain"
+drain_server $SERVER2_PID
 echo "peer-smoke: OK"
