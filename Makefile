@@ -10,18 +10,22 @@ test:
 
 # check is the pre-PR gate (run by CI): vet, lint and build everything,
 # then race-test the delegation transport and the packages built on it —
-# ring (the shared slot/ring primitives), core (the DPS runtime), ffwd
-# (the baseline), and obs — whose correctness depends on concurrent access.
+# ring (the shared slot/ring primitives), core (the DPS runtime), wire
+# (the peer links), ffwd (the baseline), and obs — whose correctness
+# depends on concurrent access.
 check:
 	$(GO) vet ./...
 	$(GO) run ./cmd/dpslint
 	$(GO) build ./...
-	$(GO) test -race ./internal/ring/... ./internal/core/... ./internal/obs/... ./internal/ffwd/...
+	$(GO) test -race ./internal/ring/... ./internal/core/... ./internal/obs/... ./internal/ffwd/... ./internal/wire/...
 
 # lint machine-checks the delegation runtime's concurrency and hot-path
 # invariants: cache-line padding, atomic/plain access mixing, 0-alloc
-# fast paths, bounded spin loops, guarded chaos/tracer hooks, and the
-# marker<->AllocsPerRun pin consistency. See DESIGN.md "Invariants".
+# fast paths, bounded spin loops, guarded chaos/tracer hooks, ownership
+# domains (//dps:owned-by), publication ordering (//dps:publish), error
+# classification (errors.Is over ==), and the marker<->AllocsPerRun pin
+# consistency. See DESIGN.md "Invariants". Use `-json` for machine
+# output (CI's problem matcher consumes it).
 lint:
 	$(GO) run ./cmd/dpslint
 

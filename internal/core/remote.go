@@ -368,11 +368,19 @@ type PeerServer struct {
 	owned      []int
 	partitions int
 
-	// dmu guards the dedup windows, keyed by sender link identity.
-	dmu     sync.Mutex
+	// dmu guards the dedup windows, keyed by sender link identity. The
+	// dedup domain is the set of functions entered under dmu.
+	dmu sync.Mutex
+	//dps:owned-by=dedup
 	windows map[uint64]*seenWindow
-	worder  []uint64 // window insertion order, for link-count eviction
-	dedup   int      // per-link window size; 0 disables
+	// worder is the window insertion order, for link-count eviction.
+	//
+	//dps:owned-by=dedup
+	worder []uint64
+	// dedup is the per-link window size; 0 disables.
+	//
+	//dps:owned-by=dedup
+	dedup int
 }
 
 // Dedup window bounds. Window size trades memory (cached responses live
@@ -444,6 +452,8 @@ func (rt *Runtime) NewPeerServer(ln net.Listener, perPart int) (*PeerServer, err
 
 // SetDedupWindow resizes the per-link dedup window (0 disables dedup).
 // Call before Serve; it does not resize existing windows.
+//
+//dps:domain=dedup
 func (ps *PeerServer) SetDedupWindow(n int) {
 	ps.dmu.Lock()
 	ps.dedup = n
@@ -554,6 +564,8 @@ func (ps *PeerServer) Apply(src uint64, seq uint32, part int, req []wire.ReqOp, 
 // record if the burst was seen (the caller replays it), or a fresh
 // record registered under the pair (the caller executes and completes
 // it). Both nil means dedup is off.
+//
+//dps:domain=dedup
 func (ps *PeerServer) admit(src uint64, seq uint32) (cached, mine *burstRecord) {
 	ps.dmu.Lock()
 	defer ps.dmu.Unlock()

@@ -19,7 +19,7 @@
 // re-exports this one.
 package core
 
-//dps:check atomicmix spinloop
+//dps:check atomicmix spinloop errclass
 
 import (
 	"errors"

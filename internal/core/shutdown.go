@@ -85,6 +85,8 @@ func (rt *Runtime) Shutdown(timeout time.Duration) (ShutdownReport, error) {
 // registered threads) or the deadline passes. It runs on its own goroutine
 // so a delegated operation that never returns wedges the sweep, not
 // Shutdown.
+//
+//dps:domain=sweeper
 func (rt *Runtime) shutdownSweep(deadline time.Time, drained *atomic.Int64, done chan<- struct{}) {
 	defer close(done)
 	// The sweep executes operations without holding a registered thread

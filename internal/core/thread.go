@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"time"
 
 	"dps/internal/chaos"
@@ -32,27 +33,38 @@ type Thread struct {
 	// operations pack into. flushOpen publishes it; every blocking entry
 	// point flushes before waiting so packed operations cannot be held
 	// back by an idle sender.
-	open     *slot
+	//
+	//dps:owned-by=sender
+	open *slot
+	//dps:owned-by=sender
 	openPart *Partition
 
 	// outstanding tracks slots carrying fire-and-forget async messages so
 	// Drain and Unregister can wait for them (one entry per slot, however
 	// many async operations the burst packs).
+	//
+	//dps:owned-by=sender
 	outstanding []*slot
 
 	// abandoned holds entries of synchronous operations whose completion
 	// timed out: the request is still in flight (or its unread result
 	// still occupies the entry), so the slot cannot be reclaimed until the
 	// server releases it and reapAbandoned consumes the entry.
+	//
+	//dps:owned-by=sender
 	abandoned []abandonedRef
 
 	// serveCursor rotates the starting ring of the full-scan pass so a
 	// locality's threads tend to scan different senders first.
+	//
+	//dps:owned-by=sender
 	serveCursor int
 
 	// servePass counts serve passes; every serveFullScanEvery-th pass
 	// ignores the doorbell and scans the whole ring table, so a doorbell
 	// bit lost to a fault delays service instead of wedging it.
+	//
+	//dps:owned-by=sender
 	servePass uint64
 
 	// links[i] is this thread's sender link to peer i (Config.Peers
@@ -63,10 +75,14 @@ type Thread struct {
 	// wopen is the link holding the thread's open wire burst, nil when
 	// none — the cross-process analogue of open/openPart, flushed at the
 	// same flush points.
+	//
+	//dps:owned-by=sender
 	wopen *wire.Link
 
 	// woutstanding tracks wire tokens of fire-and-forget operations
 	// delegated to peers, awaited by the Drain barrier.
+	//
+	//dps:owned-by=sender
 	woutstanding []wireRef
 
 	smr *parsec.Thread
@@ -137,6 +153,8 @@ func (t *Thread) Runtime() *Runtime { return t.rt }
 // thread from the runtime. After Shutdown the waits are skipped (the
 // shutdown sweep already drained or abandoned everything). The Thread must
 // not be used afterwards.
+//
+//dps:domain=sender
 func (t *Thread) Unregister() {
 	if t.unregistered {
 		return
@@ -205,6 +223,8 @@ func (t *Thread) runLocal(p *Partition, key uint64, op Op, args *Args) Result {
 // Consecutive Executes to the same partition pack into one burst slot; the
 // burst is published at the latest when any completion is polled, another
 // partition is targeted, or the burst fills.
+//
+//dps:domain=sender
 func (t *Thread) Execute(key uint64, op Op, args Args) *Completion {
 	t.checkLive()
 	p := t.partitionFor(key)
@@ -242,6 +262,7 @@ func (t *Thread) Execute(key uint64, op Op, args Args) *Completion {
 // whole run — and the burst is published before the await.
 //
 //dps:noalloc
+//dps:domain=sender
 func (t *Thread) ExecuteSync(key uint64, op Op, args Args) Result {
 	t.checkLive()
 	p := t.partitionFor(key)
@@ -276,6 +297,8 @@ func (t *Thread) ExecuteSync(key uint64, op Op, args Args) Result {
 // ring-full back-pressure on new sends. Local keys execute inline as plain
 // function calls and are not subject to the deadline. ErrClosed is
 // returned if the runtime shuts down during the wait.
+//
+//dps:domain=sender
 func (t *Thread) ExecuteSyncTimeout(key uint64, op Op, args Args, timeout time.Duration) (Result, error) {
 	t.checkLive()
 	p := t.partitionFor(key)
@@ -313,6 +336,7 @@ func (t *Thread) ExecuteSyncTimeout(key uint64, op Op, args Args, timeout time.D
 // Drain as the barrier before depending on completion.
 //
 //dps:noalloc
+//dps:domain=sender
 func (t *Thread) ExecuteAsync(key uint64, op Op, args Args) {
 	t.checkLive()
 	p := t.partitionFor(key)
@@ -343,6 +367,7 @@ func (t *Thread) ExecuteAsync(key uint64, op Op, args Args) {
 // partition's shard.
 //
 //dps:noalloc
+//dps:domain=sender
 func (t *Thread) ExecuteLocal(key uint64, op Op, args Args) Result {
 	t.checkLive()
 	p := t.partitionFor(key)
@@ -360,6 +385,8 @@ func (t *Thread) ExecuteLocal(key uint64, op Op, args Args) Result {
 // — e.g. the priority-queue dequeue that follows a broadcast findMin
 // (§3.4) — and blocks until the result is available, serving the caller's
 // locality meanwhile. The key is passed through to op uninterpreted.
+//
+//dps:domain=sender
 func (t *Thread) ExecutePartition(part int, key uint64, op Op, args Args) Result {
 	t.checkLive()
 	p := t.rt.parts[part]
@@ -388,6 +415,8 @@ func (t *Thread) ExecutePartition(part int, key uint64, op Op, args Args) Result
 // them indexed by partition id. ExecuteAll is not linearizable with respect
 // to concurrent single-key operations: each partition executes its share at
 // an independent point in time.
+//
+//dps:domain=sender
 func (t *Thread) ExecuteAll(op Op, args Args, agg func(results []Result) Result) Result {
 	t.checkLive()
 	n := len(t.rt.parts)
@@ -453,6 +482,7 @@ func (t *Thread) ExecuteAll(op Op, args Args, agg func(results []Result) Result)
 // the runtime alone.
 //
 //dps:noalloc via ExecuteSync
+//dps:domain=sender
 func (t *Thread) Flush() {
 	t.checkLive()
 	t.flushOpen()
@@ -469,6 +499,7 @@ func (t *Thread) Flush() {
 // sweep owns the rings from then on.
 //
 //dps:noalloc
+//dps:domain=sender
 func (t *Thread) Drain() {
 	t.checkLive()
 	t.flushOpen()
@@ -628,6 +659,7 @@ func (t *Thread) noteOutstanding(s *slot) {
 // a full scan. No-op without an open burst.
 //
 //dps:noalloc via ExecuteSync
+//dps:publish
 func (t *Thread) flushOpen() {
 	if t.wopen != nil {
 		// The open wire burst flushes at the same points the open ring
@@ -873,6 +905,7 @@ func (t *Thread) rescueDrain(p *Partition, r *dring, s *slot) {
 // policy when its sender reaps the entry.
 //
 //dps:noalloc via ExecuteSync
+//dps:publish
 func (t *Thread) executeMessage(p *Partition, s *slot) int {
 	m := s.Payload()
 	n := int(m.n)
@@ -932,6 +965,8 @@ func (t *Thread) executeMessage(p *Partition, s *slot) int {
 // It implements the liveness interface from §4.4: an application can
 // devote a thread (or a periodic callback) to Serve so delegations
 // complete even when all other locality threads are blocked outside DPS.
+//
+//dps:domain=sender
 func (t *Thread) Serve() int {
 	t.checkLive()
 	t.flushOpen()
@@ -954,6 +989,7 @@ func (t *Thread) Serve() int {
 // Shutdown a still-pending completion resolves (done) with ErrClosed.
 //
 //dps:noalloc via ExecuteSync
+//dps:domain=sender
 func (c *Completion) Ready() (Result, bool) {
 	if c.done {
 		return c.res, true
@@ -994,6 +1030,7 @@ func (c *Completion) Ready() (Result, bool) {
 // Err is ErrClosed.
 //
 //dps:noalloc via ExecuteSync
+//dps:domain=sender
 func (c *Completion) Result() Result {
 	// Deadline-free twin of resultDeadline: the unbounded await is the
 	// hot path (every ExecuteSync), so it skips the per-iteration
@@ -1017,9 +1054,11 @@ func (c *Completion) Result() Result {
 // ResultTimeout is Result with a deadline. The error is nil when the
 // operation completed, ErrTimeout when the deadline expired first, or
 // ErrClosed when the runtime shut down during the wait. On ErrTimeout the
-// completion is abandoned: it is done (Err == ErrTimeout), the operation
+// completion is abandoned: it is done (errors.Is(Err, ErrTimeout)), the operation
 // may still execute later, its result is discarded, and its burst entry is
 // reclaimed by the issuing thread once the server releases the slot.
+//
+//dps:domain=sender
 func (c *Completion) ResultTimeout(timeout time.Duration) (Result, error) {
 	return c.resultDeadline(time.Now().Add(timeout))
 }
@@ -1103,13 +1142,16 @@ func (c *Completion) finishWire(res Result) {
 // closedErr maps a transport-synthesized result (shutdown or a dead
 // peer link) to its error return; op-level errors stay in the Result.
 func closedErr(res Result) error {
-	switch res.Err {
-	case ErrClosed:
+	switch {
+	case errors.Is(res.Err, ErrClosed):
 		return ErrClosed
-	case ErrPeerDown:
+	case errors.Is(res.Err, ErrPeerDown):
 		return ErrPeerDown
+	default:
+		// ErrTimeout (and op-level errors) deliberately stay in the
+		// Result: the transport did not fail, the operation did.
+		return nil
 	}
-	return nil
 }
 
 // abandon gives up on a pending completion after a timeout. The in-flight

@@ -23,7 +23,7 @@
 // what Figures 3 and 6 of the paper measure the cost of.
 package ffwd
 
-//dps:check atomicmix spinloop
+//dps:check atomicmix spinloop errclass
 
 import (
 	"errors"
@@ -102,11 +102,15 @@ type System struct {
 	bells []*ring.Doorbell
 
 	maxClients int
-	mu         sync.Mutex
+	// mu guards the id allocator; Register/Unregister form the registrar
+	// domain.
+	mu sync.Mutex
+	//dps:owned-by=registrar
 	nextClient int
-	freeIDs    []int
-	closed     atomic.Bool
-	wg         sync.WaitGroup
+	//dps:owned-by=registrar
+	freeIDs []int
+	closed  atomic.Bool
+	wg      sync.WaitGroup
 }
 
 // Config parameterizes an ffwd System.
@@ -293,6 +297,8 @@ type Client struct {
 }
 
 // Register adds a client.
+//
+//dps:domain=registrar
 func (sys *System) Register() (*Client, error) {
 	sys.mu.Lock()
 	defer sys.mu.Unlock()
@@ -318,6 +324,8 @@ func (sys *System) Register() (*Client, error) {
 }
 
 // Unregister releases the client's id.
+//
+//dps:domain=registrar
 func (c *Client) Unregister() {
 	c.sys.mu.Lock()
 	c.sys.freeIDs = append(c.sys.freeIDs, c.id)
@@ -338,6 +346,7 @@ func (c *Client) Call(key uint64, op Op, args Args) Result {
 // the paper's linked-list setup).
 //
 //dps:noalloc
+//dps:publish
 func (c *Client) CallServer(s int, key uint64, op Op, args Args) Result {
 	l := &c.sys.lines[s][c.id]
 	q := l.Payload()
@@ -356,7 +365,7 @@ func (c *Client) CallServer(s int, key uint64, op Op, args Args) Result {
 		runtime.Gosched()
 	}
 	res := q.res
-	q.res = Result{}
-	q.args.P = nil
+	q.res = Result{} //dps:publish-ok the await loop above re-acquired sender ownership (toggle observed clear)
+	q.args.P = nil   //dps:publish-ok same re-acquired ownership as the line above
 	return res
 }

@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// sentinelNames are the delegation outcome sentinels whose classification
+// discipline errclass enforces. Their meanings are load-bearing
+// (ErrPeerDown = never delivered, safe to fail over; ErrTimeout = sent at
+// least once, may still execute; ErrClosed = local lifecycle), so a
+// classification site that confuses or drops one silently turns a
+// carefully preserved delivery guarantee into a guess.
+var sentinelNames = map[string]bool{
+	"ErrTimeout":  true,
+	"ErrPeerDown": true,
+	"ErrClosed":   true,
+}
+
+// errclass enforces the sentinel classification discipline in packages
+// opted in with //dps:check errclass:
+//
+//   - comparisons must use errors.Is, never == / != or a tagged switch —
+//     identity comparison breaks the moment any layer wraps the error;
+//
+//   - the sentinels must not be wrapped with fmt.Errorf("...%w", ErrX):
+//     the sentinels are the classification vocabulary, and wrapped
+//     copies make every downstream errors.Is chain subtly broader;
+//
+//   - a classification chain (tagless switch over errors.Is cases, or an
+//     if/else-if chain) that handles some sentinels must not silently
+//     fall through on the rest: cover all three, end with a
+//     default/else, or suppress with a line-scoped
+//
+//     //dps:errclass-ok <why>
+//
+//     which carries the same justified/non-stale hygiene as owner-ok.
+//
+// A lone `if errors.Is(err, ErrX)` with no else is not a chain — that is
+// the idiomatic single-class check and stays silent.
+func errclass(m *Module) []Diagnostic {
+	const rule = "errclass"
+	var diags []Diagnostic
+	for _, pkg := range m.Pkgs {
+		if !pkg.Checks[rule] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ok := newSuppressions(m.Fset, f, "errclass-ok")
+			walkParents(f, func(c cursor) bool {
+				switch n := c.node.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					name := ""
+					if s, isSent := sentinelIdent(pkg.Info, n.X); isSent {
+						name = s
+					} else if s, isSent := sentinelIdent(pkg.Info, n.Y); isSent {
+						name = s
+					}
+					if name == "" {
+						return true
+					}
+					diags = appendUnlessSuppressed(diags, ok, m.Fset.Position(n.OpPos), rule,
+						fmt.Sprintf("sentinel %s compared with %s; use errors.Is so classification survives wrapping", name, n.Op))
+				case *ast.SwitchStmt:
+					if n.Tag != nil {
+						names := caseSentinels(pkg.Info, n.Body)
+						if len(names) > 0 {
+							diags = appendUnlessSuppressed(diags, ok, m.Fset.Position(n.Switch), rule,
+								fmt.Sprintf("switch on error identity with sentinel case %s; rewrite as a tagless switch over errors.Is", strings.Join(names, ", ")))
+						}
+						return true
+					}
+					handled := isCallSentinels(pkg.Info, n.Body)
+					if len(handled) == 0 || hasDefault(n.Body) {
+						return true
+					}
+					if missing := missingSentinels(handled); len(missing) > 0 {
+						diags = appendUnlessSuppressed(diags, ok, m.Fset.Position(n.Switch), rule,
+							fmt.Sprintf("classification switch handles %s but silently falls through on %s; add the missing arms or a default",
+								strings.Join(handled, ", "), strings.Join(missing, ", ")))
+					}
+				case *ast.IfStmt:
+					if elseOf(c) {
+						return true // a link, not the head of the chain
+					}
+					links, handled, hasElse := walkChain(pkg.Info, n)
+					if links < 2 || hasElse || len(handled) == 0 {
+						return true
+					}
+					if missing := missingSentinels(handled); len(missing) > 0 {
+						diags = appendUnlessSuppressed(diags, ok, m.Fset.Position(n.If), rule,
+							fmt.Sprintf("classification chain handles %s but silently falls through on %s; add the missing arms or a final else",
+								strings.Join(handled, ", "), strings.Join(missing, ", ")))
+					}
+				case *ast.CallExpr:
+					if name, wrapped := wrapsSentinel(pkg.Info, n); wrapped {
+						diags = appendUnlessSuppressed(diags, ok, m.Fset.Position(n.Pos()), rule,
+							fmt.Sprintf("fmt.Errorf wraps sentinel %s with %%w; return the sentinel itself so its class stays exact", name))
+					}
+				}
+				return true
+			})
+			diags = append(diags, ok.report(m.Fset, rule)...)
+		}
+	}
+	sortDiags(diags)
+	return diags
+}
+
+func appendUnlessSuppressed(diags []Diagnostic, ok *suppressions, pos token.Position, rule, msg string) []Diagnostic {
+	if ok.covers(pos.Line) {
+		return diags
+	}
+	return append(diags, Diagnostic{Pos: pos, Rule: rule, Msg: msg})
+}
+
+// sentinelIdent reports whether e denotes one of the delegation
+// sentinels: a package-level error variable named ErrTimeout, ErrPeerDown
+// or ErrClosed (bare or package-qualified — re-exports like
+// core.ErrTimeout resolve to vars of the same name).
+func sentinelIdent(info *types.Info, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || !sentinelNames[v.Name()] {
+		return "", false
+	}
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if v.Type().String() != "error" {
+		return "", false
+	}
+	return v.Name(), true
+}
+
+// errorsIsSentinel reports the sentinel name when call is
+// errors.Is(err, ErrX).
+func errorsIsSentinel(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Is" || fn.Pkg() == nil || fn.Pkg().Path() != "errors" {
+		return "", false
+	}
+	if len(call.Args) != 2 {
+		return "", false
+	}
+	return sentinelIdent(info, call.Args[1])
+}
+
+// caseSentinels lists the sentinel names appearing as case expressions of
+// a tagged switch body.
+func caseSentinels(info *types.Info, body *ast.BlockStmt) []string {
+	var names []string
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if n, ok := sentinelIdent(info, e); ok {
+				names = append(names, n)
+			}
+		}
+	}
+	return dedupSorted(names)
+}
+
+// isCallSentinels lists the sentinels a tagless switch classifies via
+// errors.Is in its case conditions.
+func isCallSentinels(info *types.Info, body *ast.BlockStmt) []string {
+	var names []string
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			names = append(names, sentinelsInExpr(info, e)...)
+		}
+	}
+	return dedupSorted(names)
+}
+
+// sentinelsInExpr lists the sentinels mentioned through errors.Is calls
+// anywhere inside e.
+func sentinelsInExpr(info *types.Info, e ast.Expr) []string {
+	var names []string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := errorsIsSentinel(info, call); ok {
+				names = append(names, name)
+			}
+		}
+		return true
+	})
+	return names
+}
+
+// walkChain follows an if/else-if chain from its head, counting links,
+// collecting the sentinels its conditions classify, and reporting
+// whether the chain ends in an unconditional else.
+func walkChain(info *types.Info, head *ast.IfStmt) (links int, handled []string, hasElse bool) {
+	for n := head; ; {
+		links++
+		handled = append(handled, sentinelsInExpr(info, n.Cond)...)
+		switch e := n.Else.(type) {
+		case *ast.IfStmt:
+			n = e
+		case *ast.BlockStmt:
+			return links + 1, dedupSorted(handled), true
+		default:
+			return links, dedupSorted(handled), false
+		}
+	}
+}
+
+// elseOf reports whether the cursor's IfStmt hangs off another IfStmt's
+// Else — i.e. it is a link of a chain whose head reports for it.
+func elseOf(c cursor) bool {
+	p, ok := c.parent(0).(*ast.IfStmt)
+	return ok && p.Else == c.node
+}
+
+// wrapsSentinel reports the sentinel name when call is fmt.Errorf with a
+// %w verb applied to a sentinel argument.
+func wrapsSentinel(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Errorf" || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return "", false
+	}
+	if len(call.Args) < 2 {
+		return "", false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || !strings.Contains(lit.Value, "%w") {
+		return "", false
+	}
+	for _, a := range call.Args[1:] {
+		if name, ok := sentinelIdent(info, a); ok {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func missingSentinels(handled []string) []string {
+	have := make(map[string]bool, len(handled))
+	for _, h := range handled {
+		have[h] = true
+	}
+	var missing []string
+	for n := range sentinelNames {
+		if !have[n] {
+			missing = append(missing, n)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+func dedupSorted(names []string) []string {
+	seen := make(map[string]bool, len(names))
+	var out []string
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -36,16 +36,38 @@
 //	//dps:wire-cold <why>  (func)  wirealloc: acknowledges a function that
 //	                       touches the wire byte layout but sits off the
 //	                       per-op hot path (handshake, per-burst publish).
+//	//dps:owned-by=<d>     (field) owner: the field is single-writer protocol
+//	                       state of domain d (sender, server, redialer, ...);
+//	                       plain access is legal only from functions in d —
+//	                       declared //dps:domain=d or reached from declared
+//	                       roots through the call graph (go statements are
+//	                       domain boundaries). Other access must use
+//	                       sync/atomic or //dps:owner-ok.
+//	//dps:domain=<d>       (func)  owner: declares the function's domain; a
+//	                       declared domain is a propagation barrier and the
+//	                       root the inference spreads from.
+//	//dps:owner-ok <why>   (line)  suppresses one owner diagnostic. Stale or
+//	                       unjustified suppressions are diagnostics.
+//	//dps:publishes        (field) publishorder: the atomic store to this
+//	                       field is what makes a slot/burst visible.
+//	//dps:publish          (func)  publishorder: in this function, no payload
+//	                       write may follow the publishing store on any path.
+//	//dps:publish-ok <why> (line)  suppresses one publishorder diagnostic
+//	                       (e.g. ownership provably returned via an await).
+//	//dps:errclass-ok <why> (line) suppresses one errclass diagnostic.
 //	//dps:check r1 r2 ...  (package) opts the package in to the whole-package
-//	                       rules atomicmix, spinloop and wirealloc.
+//	                       rules atomicmix, spinloop, wirealloc and errclass.
 //
-// padcheck, noalloc and hookguard need no package opt-in: their markers
-// are the opt-in. atomicmix, spinloop and wirealloc inspect unmarked
-// code, so they run only in packages carrying a //dps:check marker — the
-// lock-free baseline structures (internal/list, internal/skiplist, ...)
-// spin and mix accesses per their published algorithms and deliberately
-// stay out, and wirealloc's byte-layout heuristic only means "wire hot
-// path" inside the wire tier.
+// padcheck, noalloc, hookguard, owner and publishorder need no package
+// opt-in: their markers are the opt-in. atomicmix, spinloop, wirealloc
+// and errclass inspect unmarked code, so they run only in packages
+// carrying a //dps:check marker — the lock-free baseline structures
+// (internal/list, internal/skiplist, ...) spin and mix accesses per
+// their published algorithms and deliberately stay out, and wirealloc's
+// byte-layout heuristic only means "wire hot path" inside the wire tier.
+// The markers themselves are validated by the marker rule: unknown
+// names, unknown //dps:check rules, empty owned-by/domain values and
+// duplicated markers are diagnostics, never silent no-ops.
 package lint
 
 import (
@@ -76,6 +98,10 @@ func Run(m *Module) []Diagnostic {
 	diags = append(diags, spinloop(m)...)
 	diags = append(diags, hookguard(m)...)
 	diags = append(diags, wirealloc(m)...)
+	diags = append(diags, owner(m)...)
+	diags = append(diags, publishorder(m)...)
+	diags = append(diags, errclass(m)...)
+	diags = append(diags, markercheck(m)...)
 	sortDiags(diags)
 	return diags
 }

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// knownMarkers is the complete //dps: marker vocabulary. Anything else
+// under the prefix is a typo that would otherwise silently opt code out
+// of the checks it believes it is under.
+var knownMarkers = map[string]bool{
+	"cacheline":    true,
+	"noalloc":      true,
+	"alloc-ok":     true,
+	"bounded-wait": true,
+	"spin-ok":      true,
+	"hook":         true,
+	"wire-cold":    true,
+	"check":        true,
+	"owned-by":     true,
+	"domain":       true,
+	"publish":      true,
+	"publishes":    true,
+	"owner-ok":     true,
+	"publish-ok":   true,
+	"errclass-ok":  true,
+}
+
+// knownChecks are the rule names //dps:check can opt a package in to.
+var knownChecks = map[string]bool{
+	"atomicmix": true,
+	"spinloop":  true,
+	"wirealloc": true,
+	"errclass":  true,
+}
+
+// markercheck validates the markers themselves: an unknown marker name, a
+// //dps:check naming an unknown rule, an //dps:owned-by or //dps:domain
+// with an empty value, and duplicate same-name markers on one declaration
+// are each a diagnostic rather than a silent no-op. The rules the markers
+// key are opt-in; a misspelled marker is the worst kind of lint bug — the
+// author believes the invariant is machine-checked and it is not.
+func markercheck(m *Module) []Diagnostic {
+	const rule = "marker"
+	var diags []Diagnostic
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				seen := make(map[string]bool)
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, markerPrefix) {
+						continue
+					}
+					mk, ok := parseMarker(c)
+					if !ok {
+						diags = append(diags, Diagnostic{
+							Pos:  m.Fset.Position(c.Pos()),
+							Rule: rule,
+							Msg:  "malformed //dps: marker (empty name)",
+						})
+						continue
+					}
+					if !knownMarkers[mk.Name] {
+						diags = append(diags, Diagnostic{
+							Pos:  m.Fset.Position(mk.Pos),
+							Rule: rule,
+							Msg:  fmt.Sprintf("unknown marker //dps:%s (known: %s)", mk.Name, strings.Join(sortedKeys(knownMarkers), ", ")),
+						})
+						continue
+					}
+					if seen[mk.Name] {
+						diags = append(diags, Diagnostic{
+							Pos:  m.Fset.Position(mk.Pos),
+							Rule: rule,
+							Msg:  fmt.Sprintf("duplicate //dps:%s marker on one declaration", mk.Name),
+						})
+					}
+					seen[mk.Name] = true
+					switch mk.Name {
+					case "check":
+						if mk.Args == "" {
+							diags = append(diags, Diagnostic{
+								Pos:  m.Fset.Position(mk.Pos),
+								Rule: rule,
+								Msg:  "//dps:check opts in to no rules (want rule names)",
+							})
+						}
+						for _, r := range strings.FieldsFunc(mk.Args, func(c rune) bool { return c == ',' || c == ' ' || c == '\t' }) {
+							if !knownChecks[r] {
+								diags = append(diags, Diagnostic{
+									Pos:  m.Fset.Position(mk.Pos),
+									Rule: rule,
+									Msg:  fmt.Sprintf("unknown rule %q in //dps:check (known: %s)", r, strings.Join(sortedKeys(knownChecks), ", ")),
+								})
+							}
+						}
+					case "owned-by":
+						if mk.Args == "" {
+							diags = append(diags, Diagnostic{
+								Pos:  m.Fset.Position(mk.Pos),
+								Rule: rule,
+								Msg:  "//dps:owned-by needs a domain (//dps:owned-by=<domain>)",
+							})
+						}
+					case "domain":
+						if mk.Args == "" {
+							diags = append(diags, Diagnostic{
+								Pos:  m.Fset.Position(mk.Pos),
+								Rule: rule,
+								Msg:  "//dps:domain needs a name (//dps:domain=<name>)",
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	sortDiags(diags)
+	return diags
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

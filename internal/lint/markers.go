@@ -108,6 +108,64 @@ func suppressedAt(byLine map[int]Marker, line int) bool {
 	return same || above
 }
 
+// suppressions tracks one file's line-scoped suppression markers for one
+// rule (//dps:owner-ok, //dps:publish-ok, //dps:errclass-ok), so the rule
+// can consume them while checking and afterwards report markers that are
+// missing a justification or suppress nothing at all. The stale check is
+// what makes annotations load-bearing: deleting the annotation a
+// suppression answers to turns the suppression stale and fails the lint.
+type suppressions struct {
+	marker string
+	byLine map[int]Marker
+	used   map[int]bool
+}
+
+func newSuppressions(fset *token.FileSet, f *ast.File, marker string) *suppressions {
+	return &suppressions{
+		marker: marker,
+		byLine: lineMarkers(fset, f, marker),
+		used:   make(map[int]bool),
+	}
+}
+
+// covers consumes the suppression for a diagnostic at line, if one is
+// present on the same line or the line above.
+func (s *suppressions) covers(line int) bool {
+	if _, ok := s.byLine[line]; ok {
+		s.used[line] = true
+		return true
+	}
+	if _, ok := s.byLine[line-1]; ok {
+		s.used[line-1] = true
+		return true
+	}
+	return false
+}
+
+// report emits the file's suppression hygiene diagnostics: every marker
+// needs a justification, and every marker must actually suppress
+// something.
+func (s *suppressions) report(fset *token.FileSet, rule string) []Diagnostic {
+	var diags []Diagnostic
+	for line, mk := range s.byLine {
+		switch {
+		case mk.Args == "":
+			diags = append(diags, Diagnostic{
+				Pos:  fset.Position(mk.Pos),
+				Rule: rule,
+				Msg:  "//dps:" + s.marker + " needs a justification",
+			})
+		case !s.used[line]:
+			diags = append(diags, Diagnostic{
+				Pos:  fset.Position(mk.Pos),
+				Rule: rule,
+				Msg:  "stale //dps:" + s.marker + ": no " + rule + " diagnostic here to suppress",
+			})
+		}
+	}
+	return diags
+}
+
 // docOf returns the effective doc comment groups of a TypeSpec: its own
 // Doc and line Comment, plus the enclosing GenDecl's Doc when the decl
 // holds a single spec (where the parser hangs the comment on the decl).

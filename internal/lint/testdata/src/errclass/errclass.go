@@ -1,0 +1,128 @@
+// Package errclass seeds violations for dpslint's errclass rule: the
+// delegation sentinels are classified with errors.Is (never identity),
+// never wrapped with %w, and classification chains must not silently
+// drop a sentinel.
+package errclass
+
+//dps:check errclass
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The three delegation outcome sentinels, as the runtime declares them.
+var (
+	ErrTimeout  = errors.New("operation timed out")
+	ErrPeerDown = errors.New("peer down")
+	ErrClosed   = errors.New("closed")
+)
+
+// eq compares identity, which breaks under wrapping.
+func eq(err error) bool {
+	return err == ErrTimeout // want errclass "use errors.Is"
+}
+
+// neq is the same bug with the other operator.
+func neq(err error) bool {
+	return ErrClosed != err // want errclass "use errors.Is"
+}
+
+// tagged switches on identity.
+func tagged(err error) int {
+	switch err { // want errclass "switch on error identity"
+	case ErrPeerDown:
+		return 1
+	}
+	return 0
+}
+
+// wrap launders a sentinel through %w, widening every downstream
+// errors.Is chain.
+func wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("delegate: %w", ErrTimeout) // want errclass "wraps sentinel ErrTimeout"
+	}
+	return nil
+}
+
+// wrapOther may wrap arbitrary errors; only the sentinels are banned.
+func wrapOther(err error) error {
+	return fmt.Errorf("delegate: %w", err)
+}
+
+// partialSwitch drops two sentinels on the floor.
+func partialSwitch(err error) int {
+	switch { // want errclass "falls through on ErrClosed, ErrPeerDown"
+	case errors.Is(err, ErrTimeout):
+		return 1
+	}
+	return 0
+}
+
+// fullSwitch names every sentinel, so the fallthrough is demonstrably
+// not a sentinel.
+func fullSwitch(err error) int {
+	switch {
+	case errors.Is(err, ErrTimeout):
+		return 1
+	case errors.Is(err, ErrPeerDown):
+		return 2
+	case errors.Is(err, ErrClosed):
+		return 3
+	}
+	return 0
+}
+
+// defaulted handles the rest explicitly.
+func defaulted(err error) int {
+	switch {
+	case errors.Is(err, ErrPeerDown):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// partialChain is an if/else-if chain that silently drops ErrClosed.
+func partialChain(err error) int {
+	if errors.Is(err, ErrTimeout) { // want errclass "falls through on ErrClosed"
+		return 1
+	} else if errors.Is(err, ErrPeerDown) {
+		return 2
+	}
+	return 0
+}
+
+// elseChain ends in an unconditional else: nothing falls through.
+func elseChain(err error) int {
+	if errors.Is(err, ErrTimeout) {
+		return 1
+	} else if errors.Is(err, ErrPeerDown) {
+		return 2
+	} else {
+		return 3
+	}
+}
+
+// single one-class checks are idiomatic and stay silent.
+func single(err error) bool {
+	if errors.Is(err, ErrPeerDown) {
+		return true
+	}
+	return false
+}
+
+// sendPath knows wrapping cannot occur before the first classification
+// and says so.
+func sendPath(err error) bool {
+	//dps:errclass-ok pre-wire identity check; nothing upstream wraps
+	return err == ErrClosed
+}
+
+// stale suppressions are diagnostics too.
+func clean(err error) bool {
+	// want(+1) errclass "stale //dps:errclass-ok"
+	//dps:errclass-ok nothing to see here
+	return errors.Is(err, ErrTimeout)
+}

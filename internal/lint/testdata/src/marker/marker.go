@@ -1,0 +1,53 @@
+// Package marker seeds malformed //dps: markers: dpslint's marker rule
+// reports unknown marker names, unknown //dps:check rules, empty
+// owned-by/domain values, and duplicated markers instead of silently
+// ignoring them — a misspelled marker must never silently opt code out
+// of a check it believes it is under.
+package marker
+
+// The package opts in to a real rule and a misspelled one.
+//
+// want(+2) marker "unknown rule"
+//
+//dps:check errclass bogusrule
+
+// box carries one well-formed and one valueless ownership marker.
+type box struct {
+	// want(+1) marker "needs a domain"
+	//dps:owned-by=
+	bad int
+
+	//dps:owned-by=keeper
+	good int
+}
+
+// touch accesses its owned field from its declared domain: well-formed
+// markers in this package still behave.
+//
+//dps:domain=keeper
+func touch(b *box) {
+	b.good++
+}
+
+// typo carries a marker name that does not exist; the author thinks the
+// function is checked and it is not.
+//
+// want(+2) marker "unknown marker //dps:noaloc"
+//
+//dps:noaloc
+func typo() {}
+
+// anon declares a domain with no name.
+//
+// want(+2) marker "needs a name"
+//
+//dps:domain=
+func anon() {}
+
+// dup says the same thing twice; one of them is wrong.
+//
+// want(+3) marker "duplicate //dps:bounded-wait"
+//
+//dps:bounded-wait
+//dps:bounded-wait
+func dup() {}

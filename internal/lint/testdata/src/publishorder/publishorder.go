@@ -1,0 +1,117 @@
+// Package publishorder seeds violations for dpslint's publishorder rule:
+// in a //dps:publish function, the atomic store to a //dps:publishes
+// field must be the last write touching payload on every path.
+package publishorder
+
+import "sync/atomic"
+
+// cell is a toy published slot: payload fields made visible by the
+// atomic ready store.
+type cell struct {
+	val  uint64
+	more uint64
+
+	// ready flips 0->1 when the payload may be read.
+	//
+	//dps:publishes
+	ready atomic.Uint32
+}
+
+// good writes everything, then publishes. Calls after the publish are
+// fine; plain writes are not.
+//
+//dps:publish
+func good(c *cell) {
+	c.val = 1
+	c.more = 2
+	c.ready.Store(1)
+	notify()
+}
+
+// bad lets a payload write slip past the publish.
+//
+//dps:publish
+func bad(c *cell) {
+	c.val = 1
+	c.ready.Store(1)
+	c.more = 2 // want publishorder "payload write after the publish store"
+}
+
+// badBranch publishes on only one path; the write after the merge may
+// still race with a consumer.
+//
+//dps:publish
+func badBranch(c *cell, fast bool) {
+	c.val = 1
+	if fast {
+		c.ready.Store(1)
+	}
+	c.more = 2 // want publishorder "payload write may follow the publish store"
+}
+
+// viaHelper publishes through a callee; the call site is the event.
+//
+//dps:publish
+func viaHelper(c *cell) {
+	c.val = 1
+	mark(c)
+	c.more = 2 // want publishorder "payload write after the publish store"
+}
+
+// mark performs the publishing store, so calls to it are publish events.
+func mark(c *cell) { c.ready.Store(1) }
+
+// reclaimed writes after the publish legitimately: the await loop got
+// the cell handed back, and says so.
+//
+//dps:publish
+func reclaimed(c *cell) {
+	c.val = 1
+	c.ready.Store(1)
+	for c.ready.Load() != 0 {
+	}
+	//dps:publish-ok the await loop observed ready clear; the cell is ours again
+	c.val = 0
+}
+
+// loop publishes one cell per iteration: the publish scopes to the
+// iteration, so the next iteration's payload writes are clean.
+//
+//dps:publish
+func loop(cs []cell) {
+	for i := range cs {
+		cs[i].val = 1
+		cs[i].ready.Store(1)
+	}
+}
+
+// badLoop reorders within one iteration, which is never fine.
+//
+//dps:publish
+func badLoop(cs []cell) {
+	for i := range cs {
+		cs[i].ready.Store(1)
+		cs[i].val = 1 // want publishorder "payload write after the publish store"
+	}
+}
+
+// locals stay writable after the publish: they are private to this
+// goroutine.
+//
+//dps:publish
+func locals(c *cell) (n int) {
+	c.val = 1
+	c.ready.Store(1)
+	n = 3
+	n++
+	return n
+}
+
+// idle claims to publish but never does.
+//
+//dps:publish
+func idle(c *cell) { // want publishorder "marked //dps:publish but never publishes"
+	c.val = 1
+}
+
+func notify() {}

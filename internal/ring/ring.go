@@ -34,7 +34,7 @@
 // a line.
 package ring
 
-//dps:check atomicmix spinloop
+//dps:check atomicmix spinloop errclass
 
 import (
 	"runtime"
@@ -84,7 +84,11 @@ type Result struct {
 //
 //dps:cacheline=128
 type Slot[T any] struct {
-	val    T
+	val T
+	// toggle is the ownership word: storing it publishes every preceding
+	// payload write to the other side.
+	//
+	//dps:publishes
 	toggle atomic.Uint32
 }
 
@@ -105,6 +109,7 @@ func (s *Slot[T]) Pending() bool { return s.toggle.Load() == 1 }
 // payload writes.
 //
 //dps:noalloc via ExecuteSync
+//dps:publish
 func (s *Slot[T]) Publish() { s.toggle.Store(1) }
 
 // Release transfers the slot back to the sender side, releasing the
@@ -112,6 +117,7 @@ func (s *Slot[T]) Publish() { s.toggle.Store(1) }
 // coherence traffic; DPS releases per message.
 //
 //dps:noalloc via ExecuteSync
+//dps:publish
 func (s *Slot[T]) Release() { s.toggle.Store(0) }
 
 // Ring is a fixed-depth buffer of slots for one sender/receiver channel.
@@ -131,11 +137,15 @@ type Ring[T any] struct {
 	// sendIdx is the sender's next-slot cursor, padded away from the
 	// receive-side state so the sender's cursor bump never invalidates the
 	// server's line.
+	//
+	//dps:owned-by=sender
 	sendIdx int
 	_       [Stride - 32]byte
 
 	// cursor is the receive-side scan position; read and written only
 	// while claim is held.
+	//
+	//dps:owned-by=server
 	cursor int
 	claim  atomic.Uint32
 
@@ -163,12 +173,14 @@ func (r *Ring[T]) Slot(i int) *Slot[T] { return &r.slots[i] }
 // calls AdvanceSend once it decides to use the slot. Sender-side only.
 //
 //dps:noalloc via ExecuteSync
+//dps:domain=sender
 func (r *Ring[T]) SendSlot() *Slot[T] { return &r.slots[r.sendIdx] }
 
 // AdvanceSend moves the send cursor past the slot SendSlot returned.
 // Sender-side only.
 //
 //dps:noalloc via ExecuteSync
+//dps:domain=sender
 func (r *Ring[T]) AdvanceSend() {
 	r.sendIdx++
 	if r.sendIdx == len(r.slots) {
@@ -216,12 +228,14 @@ func (r *Ring[T]) Unclaim() { r.claim.Store(0) }
 // Head returns the slot at the receive cursor. Claim must be held.
 //
 //dps:noalloc via ExecuteSync
+//dps:domain=server
 func (r *Ring[T]) Head() *Slot[T] { return &r.slots[r.cursor] }
 
 // AdvanceHead moves the receive cursor forward one slot. Claim must be
 // held.
 //
 //dps:noalloc via ExecuteSync
+//dps:domain=server
 func (r *Ring[T]) AdvanceHead() {
 	r.cursor++
 	if r.cursor == len(r.slots) {
@@ -242,6 +256,7 @@ func (r *Ring[T]) AdvanceHead() {
 // batching.
 //
 //dps:noalloc via ExecuteSync
+//dps:domain=server
 func (r *Ring[T]) Drain(max int, serve func(*Slot[T]) int) int {
 	served := 0
 	for served < max {

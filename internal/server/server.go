@@ -1,5 +1,7 @@
 package server
 
+//dps:check errclass
+
 import (
 	"bufio"
 	"errors"

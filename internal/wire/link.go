@@ -75,6 +75,8 @@ type Pending struct {
 	// state is 0 while in flight and 1 once resolved; done is closed at
 	// resolve time for blocking awaiters. Results are published before
 	// state flips, so a Ready poll that observes state==1 may read res.
+	//
+	//dps:publishes
 	state atomic.Uint32
 	done  chan struct{}
 
@@ -85,6 +87,8 @@ type Pending struct {
 }
 
 // resolve publishes the response frame's results and wakes awaiters.
+//
+//dps:publish
 func (p *Pending) resolve(f *Frame) {
 	n := int(p.n)
 	if len(f.Resp) < n {
@@ -108,6 +112,8 @@ func (p *Pending) resolve(f *Frame) {
 }
 
 // fail resolves every operation in the burst with err.
+//
+//dps:publish
 func (p *Pending) fail(err error) {
 	for i := range p.res[:p.n] {
 		p.res[i] = ring.Result{Err: err}
@@ -228,11 +234,16 @@ type Link struct {
 	// over the staged ops; Flush transfers buf's ownership to the
 	// completion record (retransmission may outlive the link's next
 	// claim), which takes a recycled buffer from the connection.
-	buf     []byte
-	part    int
-	n       int
+	//dps:owned-by=sender
+	buf []byte
+	//dps:owned-by=sender
+	part int
+	//dps:owned-by=sender
+	n int
+	//dps:owned-by=sender
 	retryOK bool
-	pend    *Pending
+	//dps:owned-by=sender
+	pend *Pending
 }
 
 // NewLink builds a sender view pinned to connection tid mod pool. All
@@ -248,6 +259,8 @@ func (pr *Peer) NewLink(tid int) *Link {
 }
 
 // Open reports whether the link holds an open (unpublished) burst.
+//
+//dps:domain=sender
 func (l *Link) Open() bool { return l.part >= 0 }
 
 // Stage packs op into the link's open burst, flushing first when the
@@ -258,6 +271,7 @@ func (l *Link) Open() bool { return l.part >= 0 }
 // await is the drain barrier).
 //
 //dps:noalloc
+//dps:domain=sender
 func (l *Link) Stage(op ring.StagedOp) (Tok, error) {
 	if l.peer.closed.Load() {
 		return Tok{}, ring.ErrClosed
@@ -322,6 +336,7 @@ func (l *Link) claim(part int) {
 // is informational.
 //
 //dps:wire-cold per burst, amortized over up to MaxBurst staged ops; the socket write dominates
+//dps:domain=sender
 func (l *Link) Flush() error {
 	if l.part < 0 {
 		return nil
@@ -340,6 +355,8 @@ func (l *Link) Flush() error {
 
 // Close flushes and detaches the link. The underlying peer (shared by
 // all links) is closed by its owner, not here.
+//
+//dps:domain=sender
 func (l *Link) Close() error {
 	return l.Flush()
 }

@@ -248,7 +248,7 @@ func (pr *Peer) Stats() obs.PeerMetrics {
 		pending += len(pc.pending)
 		pc.pmu.Unlock()
 		pc.mu.Lock()
-		pending += len(pc.retryq)
+		pending += len(pc.retryq) //dps:owner-ok mu-guarded racy gauge; any goroutine may sample stats
 		pc.mu.Unlock()
 	}
 	return obs.PeerMetrics{
@@ -342,14 +342,22 @@ type pconn struct {
 	// sequence numbers hit the socket in order. The retry queue and the
 	// redialing flag live under it too: new bursts must observe a
 	// non-empty queue and line up behind it, or per-link order breaks.
-	mu        sync.Mutex
-	c         net.Conn
-	seq       uint32 // monotonic per link, never reset on reconnect
-	dialed    bool   // a dial has succeeded at least once (reconnects count from here)
+	mu     sync.Mutex
+	c      net.Conn
+	seq    uint32 // monotonic per link, never reset on reconnect
+	dialed bool   // a dial has succeeded at least once (reconnects count from here)
+	// retryq is handed between failing writers and the single active
+	// redialer under mu; accesses outside the redial loop carry owner-ok
+	// suppressions naming the lock.
+	//
+	//dps:owned-by=redialer
 	retryq    []*Pending
 	redialing bool
-	rng       uint64   // redial jitter state; only the active redialer touches it
-	free      [][]byte // recycled frame buffers for Link.claim
+	// rng is the redial jitter state; only the active redialer touches it.
+	//
+	//dps:owned-by=redialer
+	rng  uint64
+	free [][]byte // recycled frame buffers for Link.claim
 
 	// lastRecv is the wall-clock nanosecond of the last inbound frame on
 	// the live connection; the heartbeat loop reads it to detect silence.
@@ -608,16 +616,16 @@ func (pc *pconn) linkDown(c net.Conn, gen uint64) {
 	var failed []*Pending
 	for _, p := range moved {
 		if p.retryable && now.Before(p.deadline) {
-			pc.retryq = append(pc.retryq, p)
+			pc.retryq = append(pc.retryq, p) //dps:owner-ok link teardown runs under pc.mu from whichever goroutine saw the failure first
 		} else {
 			failed = append(failed, p)
 		}
 	}
-	if len(pc.retryq) > 1 {
-		q := pc.retryq
+	if len(pc.retryq) > 1 { //dps:owner-ok link teardown runs under pc.mu from whichever goroutine saw the failure first
+		q := pc.retryq //dps:owner-ok same pc.mu critical section as above
 		sort.Slice(q, func(i, j int) bool { return q[i].seq < q[j].seq })
 	}
-	if len(pc.retryq) > 0 && !pc.redialing && !pc.peer.closed.Load() {
+	if len(pc.retryq) > 0 && !pc.redialing && !pc.peer.closed.Load() { //dps:owner-ok same pc.mu critical section as above
 		pc.redialing = true
 		go pc.redial()
 	}
@@ -629,6 +637,8 @@ func (pc *pconn) linkDown(c net.Conn, gen uint64) {
 // backoff + jitter, expire bursts whose budget ran out, re-establish the
 // connection, and retransmit the queue in sequence order. Exactly one
 // redialer runs per pconn (the redialing flag, under mu).
+//
+//dps:domain=redialer
 func (pc *pconn) redial() {
 	cfg := &pc.peer.cfg
 	backoff := cfg.RetryBackoff
@@ -778,8 +788,8 @@ func (pc *pconn) shutdown(err error) {
 	pc.mu.Lock()
 	c := pc.c
 	pc.c = nil
-	q := pc.retryq
-	pc.retryq = nil
+	q := pc.retryq  //dps:owner-ok shutdown steals the queue under pc.mu; the redialer observes it empty and exits
+	pc.retryq = nil //dps:owner-ok same pc.mu critical section as above
 	pc.mu.Unlock()
 	if c != nil {
 		c.Close()
@@ -844,7 +854,7 @@ func (pc *pconn) publish(p *Pending) error {
 	binary.BigEndian.PutUint32(p.frame[9:], p.part)
 	p.pc, p.seq = pc, seq
 	p.deadline = time.Now().Add(pc.peer.cfg.Timeout)
-	if len(pc.retryq) > 0 || pc.redialing || !pc.peer.brkAllow() {
+	if len(pc.retryq) > 0 || pc.redialing || !pc.peer.brkAllow() { //dps:owner-ok publish holds pc.mu; a non-empty queue reroutes the burst behind it
 		err := pc.deferLocked(p)
 		pc.mu.Unlock()
 		return err
@@ -907,8 +917,8 @@ func (pc *pconn) publish(p *Pending) error {
 // pc.mu.
 func (pc *pconn) deferLocked(p *Pending) error {
 	if p.retryable && time.Now().Before(p.deadline) {
-		pc.retryq = append(pc.retryq, p)
-		pc.peer.ops.Add(uint64(p.n)) // accepted for delivery
+		pc.retryq = append(pc.retryq, p) //dps:owner-ok caller holds pc.mu (deferLocked contract)
+		pc.peer.ops.Add(uint64(p.n))     // accepted for delivery
 		if !pc.redialing {
 			pc.redialing = true
 			go pc.redial()

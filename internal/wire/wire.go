@@ -42,7 +42,7 @@
 // that).
 package wire
 
-//dps:check atomicmix spinloop wirealloc
+//dps:check atomicmix spinloop wirealloc errclass
 
 import (
 	"encoding/binary"
