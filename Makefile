@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint chaos chaos-peer bench bench-compare bench-json bench-gate serve-smoke peer-smoke
+.PHONY: build test check lint chaos chaos-peer bench bench-compare bench-json bench-gate serve-smoke peer-smoke pin-smoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,13 @@ chaos-peer:
 serve-smoke:
 	bash scripts/serve_smoke.sh
 
+# pin-smoke boots cmd/mcdserver with -pin-servers (dedicated serving
+# threads locked to locality-owned CPUs), drives it briefly over real
+# sockets, then SIGTERMs and asserts a clean drain — proving pinning,
+# parked serving, and graceful shutdown compose. See scripts/pin_smoke.sh.
+pin-smoke:
+	bash scripts/pin_smoke.sh
+
 # peer-smoke is the wire tier's end-to-end gate: two dpsnode processes
 # with split partition ownership over real TCP, verifying cross-process
 # read-your-writes clean and under chaos link faults, with a
@@ -75,14 +82,16 @@ bench-compare:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig3DelegationRoundTrip|BenchmarkAblationPeerServe' -benchmem -benchtime=0.5s .
 
 # bench-json runs the delegation transport benchmarks (the core latency
-# variants plus the idle-sender doorbell scaling set) and archives the
-# numbers — ns/op, allocs/op, and the async variant's ops/slot burst
-# occupancy — as BENCH_delegation.json via cmd/benchjson. CI runs it with
-# BENCHTIME=1x as a smoke test that the benchmarks and the parser stay
-# alive; real measurement runs use the default benchtime.
+# variants, the idle-sender doorbell scaling set, the parked-waiter
+# wake-latency and idle-CPU-burn measurements, and the payload-arena
+# variants) and archives the numbers — ns/op, allocs/op, and the custom
+# metrics (ops/slot, wake-ns/op, cpu-ms/s) — as BENCH_delegation.json via
+# cmd/benchjson. CI runs it with BENCHTIME=1x as a smoke test that the
+# benchmarks and the parser stay alive; real measurement runs use the
+# default benchtime.
 BENCHTIME ?= 1s
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkDelegation|BenchmarkServePass' -benchmem -benchtime=$(BENCHTIME) ./internal/core/ > bench_delegation.out
+	$(GO) test -run '^$$' -bench 'BenchmarkDelegation|BenchmarkServePass|BenchmarkIdle' -benchmem -benchtime=$(BENCHTIME) ./internal/core/ > bench_delegation.out
 	$(GO) run ./cmd/benchjson -o BENCH_delegation.json bench_delegation.out
 	@rm bench_delegation.out
 	@echo wrote BENCH_delegation.json
@@ -97,6 +106,6 @@ bench-json:
 # the numbers, and commit the diff so the movement is visible in review.
 GATE_PCT ?= 10
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkDelegation' -benchmem -benchtime=$(BENCHTIME) -count=3 ./internal/core/ > bench_gate.out
+	$(GO) test -run '^$$' -bench 'BenchmarkDelegation|BenchmarkIdle' -benchmem -benchtime=$(BENCHTIME) -count=3 ./internal/core/ > bench_gate.out
 	$(GO) run ./cmd/benchjson -against BENCH_delegation.json -threshold $(GATE_PCT) bench_gate.out
 	@rm bench_gate.out

@@ -1,0 +1,57 @@
+// Package affinity pins OS threads to CPUs so the delegation runtime's
+// localities can own real cores, not just goroutines. The paper's serving
+// discipline (and ffwd's before it) assumes a partition's data stays hot in
+// one core's private cache; that only holds if the serving thread stops
+// migrating. The package wraps raw sched_setaffinity/sched_getaffinity
+// syscalls on Linux — no cgo, no external modules — and degrades to a
+// graceful no-op everywhere else: Supported reports false and Pin/Unpin
+// return ErrUnsupported, which callers treat as "run unpinned".
+//
+// Pinning is a property of the calling OS thread, so callers must hold
+// runtime.LockOSThread for the pin to mean anything: without the lock the
+// goroutine migrates to other (unpinned) threads at the scheduler's whim.
+// internal/core's Thread.Pin wraps the lock/pin pair.
+package affinity
+
+import "errors"
+
+// ErrUnsupported reports that thread-affinity control is not available on
+// this platform. Callers degrade by running unpinned.
+var ErrUnsupported = errors.New("affinity: not supported on this platform")
+
+// maskWords sizes the cpu_set_t we pass to the kernel: 16 uint64 words
+// cover 1024 CPUs, glibc's default CPU_SETSIZE.
+const maskWords = 16
+
+// Supported reports whether Pin/Unpin can take effect on this platform.
+func Supported() bool { return supported() }
+
+// NumCPU returns the number of CPUs the current thread may run on — the
+// size of its affinity mask on Linux, falling back to the scheduler's view
+// elsewhere. Topology planning uses it instead of runtime.NumCPU so a
+// container's cpuset is respected.
+func NumCPU() int { return numCPU() }
+
+// Pin restricts the calling OS thread to the single CPU cpu. The caller
+// must have locked the goroutine to the thread (runtime.LockOSThread)
+// first, and should record the mask returned by Mask beforehand if it
+// intends to Unpin later. Returns ErrUnsupported off Linux and the
+// kernel's error (e.g. invalid CPU for the cpuset) on failure, in which
+// case the thread's mask is unchanged.
+func Pin(cpu int) error { return pin(cpu) }
+
+// Unpin restores the calling OS thread's affinity to mask, as previously
+// returned by Mask. Returns ErrUnsupported off Linux.
+func Unpin(mask Mask) error { return setMask(mask) }
+
+// Mask is an opaque snapshot of a thread's CPU-affinity mask, used to
+// restore it on Unpin.
+type Mask struct {
+	words [maskWords]uint64
+	ok    bool
+}
+
+// CurrentMask snapshots the calling OS thread's affinity mask. Returns a
+// zero Mask and ErrUnsupported off Linux; Unpin with a zero Mask is a
+// no-op.
+func CurrentMask() (Mask, error) { return currentMask() }

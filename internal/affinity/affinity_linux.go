@@ -1,0 +1,64 @@
+//go:build linux
+
+package affinity
+
+import (
+	"math/bits"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+func supported() bool { return true }
+
+// rawAffinity invokes sched_getaffinity/sched_setaffinity for the calling
+// thread (pid 0). The raw syscall takes the mask length in bytes and a
+// pointer to the cpu_set_t words.
+func rawAffinity(trap uintptr, mask *[maskWords]uint64) error {
+	_, _, errno := syscall.RawSyscall(trap, 0,
+		uintptr(maskWords*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+func currentMask() (Mask, error) {
+	var m Mask
+	if err := rawAffinity(syscall.SYS_SCHED_GETAFFINITY, &m.words); err != nil {
+		return Mask{}, err
+	}
+	m.ok = true
+	return m, nil
+}
+
+func setMask(m Mask) error {
+	if !m.ok {
+		return nil
+	}
+	return rawAffinity(syscall.SYS_SCHED_SETAFFINITY, &m.words)
+}
+
+func pin(cpu int) error {
+	if cpu < 0 || cpu >= maskWords*64 {
+		return syscall.EINVAL
+	}
+	var words [maskWords]uint64
+	words[cpu/64] = 1 << (cpu % 64)
+	return rawAffinity(syscall.SYS_SCHED_SETAFFINITY, &words)
+}
+
+func numCPU() int {
+	m, err := currentMask()
+	if err != nil {
+		return runtime.NumCPU()
+	}
+	n := 0
+	for _, w := range m.words {
+		n += bits.OnesCount64(w)
+	}
+	if n == 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}

@@ -1,0 +1,20 @@
+//go:build !linux
+
+package affinity
+
+import "runtime"
+
+func supported() bool { return false }
+
+func currentMask() (Mask, error) { return Mask{}, ErrUnsupported }
+
+func setMask(m Mask) error {
+	if !m.ok {
+		return nil
+	}
+	return ErrUnsupported
+}
+
+func pin(int) error { return ErrUnsupported }
+
+func numCPU() int { return runtime.NumCPU() }

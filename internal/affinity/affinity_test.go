@@ -1,0 +1,101 @@
+package affinity
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestPinUnpinRoundTrip pins the test's OS thread to one CPU from its
+// current mask and restores the original mask afterwards. Off Linux it
+// asserts the graceful-degradation contract instead.
+func TestPinUnpinRoundTrip(t *testing.T) {
+	if !Supported() {
+		if _, err := CurrentMask(); err != ErrUnsupported {
+			t.Fatalf("CurrentMask off-platform: err=%v, want ErrUnsupported", err)
+		}
+		if err := Pin(0); err != ErrUnsupported {
+			t.Fatalf("Pin off-platform: err=%v, want ErrUnsupported", err)
+		}
+		if err := Unpin(Mask{}); err != nil {
+			t.Fatalf("Unpin with zero mask: err=%v, want nil no-op", err)
+		}
+		return
+	}
+
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+
+	orig, err := CurrentMask()
+	if err != nil {
+		t.Fatalf("CurrentMask: %v", err)
+	}
+	if !orig.ok {
+		t.Fatal("CurrentMask returned a mask not flagged ok")
+	}
+
+	// Pick the lowest CPU allowed for this thread so the pin is always
+	// legal inside a restricted cpuset.
+	cpu := -1
+	for w, word := range orig.words {
+		for b := 0; b < 64; b++ {
+			if word&(1<<b) != 0 {
+				cpu = w*64 + b
+				break
+			}
+		}
+		if cpu >= 0 {
+			break
+		}
+	}
+	if cpu < 0 {
+		t.Fatal("affinity mask is empty")
+	}
+
+	if err := Pin(cpu); err != nil {
+		t.Fatalf("Pin(%d): %v", cpu, err)
+	}
+	now, err := CurrentMask()
+	if err != nil {
+		t.Fatalf("CurrentMask after Pin: %v", err)
+	}
+	for w, word := range now.words {
+		want := uint64(0)
+		if w == cpu/64 {
+			want = 1 << (cpu % 64)
+		}
+		if word != want {
+			t.Fatalf("mask word %d after Pin(%d) = %#x, want %#x", w, cpu, word, want)
+		}
+	}
+
+	if err := Unpin(orig); err != nil {
+		t.Fatalf("Unpin: %v", err)
+	}
+	restored, err := CurrentMask()
+	if err != nil {
+		t.Fatalf("CurrentMask after Unpin: %v", err)
+	}
+	if restored.words != orig.words {
+		t.Fatalf("mask not restored: got %v, want %v", restored.words, orig.words)
+	}
+}
+
+// TestPinRejectsOutOfRange checks the mask-bounds guard.
+func TestPinRejectsOutOfRange(t *testing.T) {
+	if !Supported() {
+		t.Skip("affinity unsupported on this platform")
+	}
+	if err := Pin(-1); err == nil {
+		t.Fatal("Pin(-1) succeeded, want error")
+	}
+	if err := Pin(maskWords * 64); err == nil {
+		t.Fatalf("Pin(%d) succeeded, want error", maskWords*64)
+	}
+}
+
+// TestNumCPUPositive pins down the planning input's sanity.
+func TestNumCPUPositive(t *testing.T) {
+	if n := NumCPU(); n < 1 {
+		t.Fatalf("NumCPU() = %d, want >= 1", n)
+	}
+}

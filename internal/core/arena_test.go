@@ -1,0 +1,233 @@
+package core
+
+import (
+	"testing"
+)
+
+// Tests for the per-locality payload arenas: round-trip integrity through
+// an arena buffer, recycling (the pool must refill as operations execute),
+// every documented fallback-to-heap condition, and the zero-allocation pin
+// on the arena fast path.
+
+// opPayloadSum folds the operation's byte payload (arena buffer, plain
+// []byte, or nil — PayloadBytes unwraps all three) into a checksum without
+// retaining the bytes, exactly the discipline arena payload consumers must
+// follow.
+func opPayloadSum(p *Partition, key uint64, args *Args) Result {
+	return Result{U: payloadChecksum(PayloadBytes(args.P))}
+}
+
+func payloadChecksum(b []byte) uint64 {
+	var sum uint64 = 17
+	for _, c := range b {
+		sum = sum*131 + uint64(c)
+	}
+	return sum
+}
+
+// TestArenaPayloadRoundTrip pushes several pool-sizes' worth of payloads of
+// assorted lengths (empty through exactly buffer-capacity) through the
+// arena path and checks each checksum. Running 5x the pool size proves the
+// serve path releases buffers back to the pool; zero fallbacks proves no
+// acquire ever found the pool empty or the payload oversized.
+func TestArenaPayloadRoundTrip(t *testing.T) {
+	t.Parallel()
+	rt := twoPartRuntime(t, DefaultRingDepth)
+	stop := startServer(t, rt, 1)
+	defer stop()
+
+	th, err := rt.RegisterAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Unregister()
+
+	sizes := []int{0, 1, 7, 100, 1333, DefaultArenaBufBytes}
+	const rounds = 5 * DefaultArenaBufs
+	for i := 0; i < rounds; i++ {
+		n := sizes[i%len(sizes)]
+		key := 1000 + uint64(i)%7
+		buf := th.AcquirePayload(key, n)
+		if buf == nil {
+			t.Fatalf("op %d: AcquirePayload(%d bytes) returned nil, want a buffer", i, n)
+		}
+		if got := len(buf.Bytes()); got != n {
+			t.Fatalf("op %d: Bytes() length %d, want %d", i, got, n)
+		}
+		for j := range buf.Bytes() {
+			buf.Bytes()[j] = byte(i + j)
+		}
+		want := payloadChecksum(buf.Bytes())
+		res := th.ExecuteSync(key, opPayloadSum, Args{P: buf})
+		if res.Err != nil {
+			t.Fatalf("op %d: %v", i, res.Err)
+		}
+		if res.U != want {
+			t.Fatalf("op %d: checksum %d, want %d", i, res.U, want)
+		}
+	}
+
+	m := rt.Metrics()
+	if m.Totals.ArenaAcquires != rounds {
+		t.Errorf("ArenaAcquires = %d, want %d", m.Totals.ArenaAcquires, rounds)
+	}
+	if m.Totals.ArenaFallbacks != 0 {
+		t.Errorf("ArenaFallbacks = %d, want 0", m.Totals.ArenaFallbacks)
+	}
+}
+
+// TestArenaFallbackPaths exercises every condition under which
+// AcquirePayload must decline and send the caller to the heap path: local
+// destination, no serving worker at the destination, oversized payload,
+// and arenas disabled outright.
+func TestArenaFallbackPaths(t *testing.T) {
+	t.Parallel()
+	rt := twoPartRuntime(t, DefaultRingDepth)
+	th, err := rt.RegisterAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Unregister()
+
+	// Local destination: key 5 lives in the caller's own locality 0, where
+	// inline execution would never pass through the serve-side release.
+	if b := th.AcquirePayload(5, 64); b != nil {
+		t.Error("AcquirePayload for a local key returned a buffer, want nil")
+	}
+
+	// No workers: partition 1 has no registered server yet, so a delegated
+	// payload could sit in an arena buffer indefinitely.
+	if b := th.AcquirePayload(1000, 64); b != nil {
+		t.Error("AcquirePayload with no serving worker returned a buffer, want nil")
+	}
+
+	stop := startServer(t, rt, 1)
+	defer stop()
+
+	// Oversized: larger than a buffer can hold. This is the one counted
+	// fallback (the earlier two are routing decisions, not pool misses).
+	if b := th.AcquirePayload(1000, DefaultArenaBufBytes+1); b != nil {
+		t.Error("oversized AcquirePayload returned a buffer, want nil")
+	}
+	if got := rt.Metrics().Totals.ArenaFallbacks; got != 1 {
+		t.Errorf("ArenaFallbacks = %d, want 1", got)
+	}
+
+	// Disabled: ArenaBufs < 0 builds no pools at all.
+	rtOff, err := New(Config{
+		Partitions:    2,
+		NamespaceSize: 2000,
+		Hash:          IdentityHash,
+		Init:          newCounterInit(),
+		ArenaBufs:     -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopOff := startServer(t, rtOff, 1)
+	defer stopOff()
+	thOff, err := rtOff.RegisterAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer thOff.Unregister()
+	if b := thOff.AcquirePayload(1000, 64); b != nil {
+		t.Error("AcquirePayload with arenas disabled returned a buffer, want nil")
+	}
+}
+
+// TestArenaExhaustionAndRefill drains a deliberately tiny pool by holding
+// acquired buffers, checks the empty pool falls back (counted), then ships
+// every held buffer through an operation and checks the pool refills.
+func TestArenaExhaustionAndRefill(t *testing.T) {
+	t.Parallel()
+	const bufs = 4
+	rt, err := New(Config{
+		Partitions:    2,
+		NamespaceSize: 2000,
+		Hash:          IdentityHash,
+		Init:          newCounterInit(),
+		ArenaBufs:     bufs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := startServer(t, rt, 1)
+	defer stop()
+	th, err := rt.RegisterAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Unregister()
+
+	held := make([]*PayloadBuf, 0, bufs)
+	for i := 0; i < bufs; i++ {
+		b := th.AcquirePayload(1000, 32)
+		if b == nil {
+			t.Fatalf("acquire %d/%d returned nil with a fresh pool", i+1, bufs)
+		}
+		held = append(held, b)
+	}
+	if b := th.AcquirePayload(1000, 32); b != nil {
+		t.Fatal("acquire on an exhausted pool returned a buffer, want nil")
+	}
+	if got := rt.Metrics().Totals.ArenaFallbacks; got != 1 {
+		t.Errorf("ArenaFallbacks = %d, want 1", got)
+	}
+
+	for i, b := range held {
+		for j := range b.Bytes() {
+			b.Bytes()[j] = byte(i)
+		}
+		if res := th.ExecuteSync(1000, opPayloadSum, Args{P: b}); res.Err != nil {
+			t.Fatalf("ship %d: %v", i, res.Err)
+		}
+	}
+	// Every buffer executed, so every buffer is back in the pool.
+	for i := 0; i < bufs; i++ {
+		b := th.AcquirePayload(1000, 32)
+		if b == nil {
+			t.Fatalf("re-acquire %d/%d returned nil after refill", i+1, bufs)
+		}
+		if res := th.ExecuteSync(1000, opPayloadSum, Args{P: b}); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+}
+
+// TestArenaPayloadZeroAlloc pins the arena fast path's contract: acquire,
+// copy, delegate, execute, release performs zero heap allocations — the
+// whole point of carrying payloads by arena-buffer pointer instead of a
+// boxed []byte.
+func TestArenaPayloadZeroAlloc(t *testing.T) {
+	rt := twoPartRuntime(t, DefaultRingDepth)
+	stop := startServer(t, rt, 1)
+	defer stop()
+	th, err := rt.RegisterAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Unregister()
+
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	send := func() {
+		buf := th.AcquirePayload(1001, len(payload))
+		if buf == nil {
+			t.Fatal("AcquirePayload returned nil")
+		}
+		copy(buf.Bytes(), payload)
+		if res := th.ExecuteSync(1001, opPayloadSum, Args{P: buf}); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		send()
+	}
+	allocs := testing.AllocsPerRun(200, send)
+	if allocs != 0 {
+		t.Errorf("arena payload delegation allocated %.1f objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Benchmarks for the parked-waiter and payload-arena paths: what an
+// operation pays to wake a parked server (versus one that is already hot),
+// and what a large delegated payload costs through a locality-owned arena
+// buffer versus a boxed GC-heap reference.
+
+// parkedServerRuntime builds the standard 2-partition identity-hashed
+// runtime with a server goroutine that idles by parking (ServeWait) rather
+// than spinning, plus a registered client thread. The returned stop tears
+// both down.
+func parkedServerRuntime(b *testing.B, parkFor time.Duration) (th *Thread, stop func()) {
+	b.Helper()
+	rt, err := New(Config{
+		Partitions:    2,
+		NamespaceSize: 2000,
+		Hash:          IdentityHash,
+		Init:          newCounterInit(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	srv, err := rt.RegisterAt(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer srv.Unregister()
+		for !stopped.Load() {
+			srv.ServeWait(parkFor)
+		}
+	}()
+	th, err = rt.RegisterAt(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return th, func() {
+		th.Unregister()
+		stopped.Store(true)
+		wg.Wait()
+	}
+}
+
+// BenchmarkIdleWakeLatency measures the synchronous delegation round-trip
+// against a server that idles by parking. The hot variant sends
+// back-to-back, so the server is usually mid-serve or just parked; the
+// parked variant idles between operations long past the server's park
+// timeout, so every operation finds the server deeply parked and pays the
+// full doorbell-wake path. The wake-ns/op metric isolates the round-trip
+// itself (ns/op includes the idle gap); compare with
+// BenchmarkDelegation/sync, whose server spins and never parks.
+func BenchmarkIdleWakeLatency(b *testing.B) {
+	run := func(b *testing.B, gap time.Duration) {
+		th, stop := parkedServerRuntime(b, 100*time.Microsecond)
+		defer stop()
+		// Warm up rings, histograms, and the park/wake machinery.
+		for i := uint64(0); i < 100; i++ {
+			th.ExecuteSync(1000+i%7, opNop, Args{U: [4]uint64{i}})
+		}
+		var inOp time.Duration
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if gap > 0 {
+				time.Sleep(gap)
+			}
+			t0 := time.Now()
+			th.ExecuteSync(1000+uint64(i)%7, opNop, Args{U: [4]uint64{uint64(i)}})
+			inOp += time.Since(t0)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(inOp.Nanoseconds())/float64(b.N), "wake-ns/op")
+	}
+	b.Run("hot", func(b *testing.B) { run(b, 0) })
+	b.Run("parked", func(b *testing.B) { run(b, 300*time.Microsecond) })
+}
+
+// BenchmarkDelegationArenaPayload measures a synchronous delegation
+// carrying a 1 KiB payload. The arena variant copies into a buffer from
+// the destination locality's pool and passes the buffer pointer (zero
+// allocations — the bench-gate pins its B/op at 0); the heap variant
+// passes the []byte itself, paying the interface boxing allocation the
+// arenas exist to avoid.
+func BenchmarkDelegationArenaPayload(b *testing.B) {
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	run := func(b *testing.B, body func(b *testing.B, th *Thread)) {
+		th, stop := parkedServerRuntime(b, 100*time.Microsecond)
+		defer stop()
+		for i := uint64(0); i < 100; i++ {
+			key := 1000 + i%7
+			if buf := th.AcquirePayload(key, len(payload)); buf != nil {
+				copy(buf.Bytes(), payload)
+				th.ExecuteSync(key, opPayloadSum, Args{P: buf})
+			}
+		}
+		b.SetBytes(int64(len(payload)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		body(b, th)
+		b.StopTimer()
+	}
+	b.Run("arena", func(b *testing.B) {
+		run(b, func(b *testing.B, th *Thread) {
+			for i := 0; i < b.N; i++ {
+				key := 1000 + uint64(i)%7
+				buf := th.AcquirePayload(key, len(payload))
+				if buf == nil {
+					b.Fatal("arena pool unexpectedly empty")
+				}
+				copy(buf.Bytes(), payload)
+				th.ExecuteSync(key, opPayloadSum, Args{P: buf})
+			}
+		})
+	})
+	b.Run("heap", func(b *testing.B) {
+		run(b, func(b *testing.B, th *Thread) {
+			for i := 0; i < b.N; i++ {
+				th.ExecuteSync(1000+uint64(i)%7, opPayloadSum, Args{P: payload})
+			}
+		})
+	})
+}

@@ -233,16 +233,30 @@ func (t *Thread) flushWire() {
 	}
 }
 
+// Wire-wait escalation: unlike the in-process waiter, a wire wait cannot
+// park — no peer process can reach this runtime's parker to wake it — so
+// it keeps the pre-parking exponential-sleep schedule, bounded by the
+// deadline.
+const (
+	// wireSleepStep is how many pauses pass between sleep doublings.
+	wireSleepStep = 16
+	// wireMaxSleepShift caps the sleep at 1µs << 7 = 128µs.
+	wireMaxSleepShift = 7
+	// wireStallWindow is how many pauses pass between PeerStalls marks,
+	// roughly 30-60ms of observed silence at the capped sleep.
+	wireStallWindow = 256
+)
+
 // awaitTok blocks until a wire token resolves, serving the caller's own
 // locality meanwhile — the §4.3 overlap holds across tiers: a thread
 // waiting on a peer process still executes work delegated to it. It does
 // not use the in-process waiter: that escalation samples the destination
 // partition's serving-progress clock, which never advances for a
-// partition served in another process, and its remedy (forced rescue)
-// cannot cross the boundary. The wire's remedies are the deadline (zero
-// means the peer's configured timeout — wire waits are never unbounded)
-// and the link's own failure detection; a stall window with no frame
-// counts PeerStalls.
+// partition served in another process, its remedy (forced rescue) cannot
+// cross the boundary, and no peer can wake a parked waiter here. The
+// wire's remedies are the deadline (zero means the peer's configured
+// timeout — wire waits are never unbounded) and the link's own failure
+// detection; a stall window with no frame counts PeerStalls.
 func (t *Thread) awaitTok(tok wire.Tok, deadline time.Time, p *Partition) (Result, error) {
 	if deadline.IsZero() {
 		deadline = time.Now().Add(p.peer.Timeout())
@@ -272,15 +286,15 @@ func (t *Thread) awaitTok(tok wire.Tok, deadline time.Time, p *Partition) (Resul
 			t.rt.rec.Add(t.id, p.id, obs.Abandoned, 1)
 			return Result{Err: ErrTimeout}, ErrTimeout
 		}
-		if idle%waitStallWindow == 0 {
+		if idle%wireStallWindow == 0 {
 			t.rt.rec.Add(t.id, p.id, obs.PeerStalls, 1)
 			if t.rt.tracing {
 				t.rt.tracer.OnStall(t.id, p.id, 0)
 			}
 		}
-		shift := (idle - waitSpinYield) / waitSleepStep
-		if shift > waitMaxSleepShift {
-			shift = waitMaxSleepShift
+		shift := (idle - waitSpinYield) / wireSleepStep
+		if shift > wireMaxSleepShift {
+			shift = wireMaxSleepShift
 		}
 		time.Sleep(time.Microsecond << shift)
 	}

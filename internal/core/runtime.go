@@ -27,10 +27,12 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dps/internal/affinity"
 	"dps/internal/chaos"
 	"dps/internal/obs"
 	"dps/internal/parsec"
 	"dps/internal/ring"
+	"dps/internal/topology"
 	"dps/internal/wire"
 )
 
@@ -43,6 +45,11 @@ const (
 	// DefaultServeBatch is the per-claim drain bound of the serve loop,
 	// mirroring ffwd's 15-response batch (§5.1 of the paper).
 	DefaultServeBatch = ring.DefaultBatch
+	// DefaultArenaBufs is the per-partition payload-arena pool size.
+	DefaultArenaBufs = 64
+	// DefaultArenaBufBytes is the payload-arena buffer capacity. Payloads
+	// larger than this take the GC-heap path.
+	DefaultArenaBufBytes = 2048
 )
 
 // ErrClosed is returned by operations on a closed runtime. It is the same
@@ -178,6 +185,32 @@ type Config struct {
 	// fast with ErrPeerDown. Nil means DegradeRetry for every op.
 	// Optional.
 	Degrade DegradePolicy
+
+	// PinThreads pins each registering goroutine's OS thread to a CPU
+	// owned by its locality (chosen by internal/topology's assignment
+	// plan) for as long as the thread stays registered. The pin applies
+	// to the goroutine that calls Register/RegisterAt — callers that
+	// register on one goroutine and operate from another should use
+	// PinServers and Thread.Pin instead. A no-op where thread affinity
+	// is unsupported (see internal/affinity).
+	PinThreads bool
+
+	// PinServers enables Thread.Pin, the explicit pin for dedicated
+	// serving goroutines: the serving loop calls Pin from the goroutine
+	// that runs it, after registration, so pooled registration patterns
+	// (register on one goroutine, serve on another) still pin the
+	// goroutine that actually serves. A no-op where unsupported.
+	PinServers bool
+
+	// ArenaBufs is the per-partition payload-arena pool size: how many
+	// fixed-size buffers each locality owns for delegated payloads
+	// (Thread.AcquirePayload). 0 means DefaultArenaBufs; negative
+	// disables the arenas.
+	ArenaBufs int
+
+	// ArenaBufBytes is the capacity of each arena buffer, rounded up to
+	// the transport stride. 0 means DefaultArenaBufBytes.
+	ArenaBufBytes int
 }
 
 func (c *Config) setDefaults() error {
@@ -217,6 +250,18 @@ func (c *Config) setDefaults() error {
 	if c.ServeBatch < 1 {
 		return fmt.Errorf("dps: ServeBatch must be >= 1, got %d", c.ServeBatch)
 	}
+	if c.ArenaBufs == 0 {
+		c.ArenaBufs = DefaultArenaBufs
+	}
+	if c.ArenaBufBytes == 0 {
+		c.ArenaBufBytes = DefaultArenaBufBytes
+	}
+	if c.ArenaBufBytes < 0 {
+		return fmt.Errorf("dps: ArenaBufBytes must be positive, got %d", c.ArenaBufBytes)
+	}
+	// Round the buffer capacity up to a whole number of strides so
+	// neighbouring arena buffers never share a cache line.
+	c.ArenaBufBytes = (c.ArenaBufBytes + ring.Stride - 1) &^ (ring.Stride - 1)
 	return nil
 }
 
@@ -243,6 +288,18 @@ type Partition struct {
 	// it is zero, Execute falls back to inline execution (there is nobody
 	// to serve the ring — see Thread.Execute).
 	workers atomic.Int32
+
+	// parked is the bitmap of this locality's threads currently parked
+	// idle: the doorbell Set path picks one and wakes it directly, so an
+	// idle locality costs ~zero CPU yet answers a publish with a single
+	// wake instead of riding out a sleep quantum.
+	parked *ring.ParkSet
+
+	// arena is the locality-owned payload pool: delegated payloads too
+	// large for the inline burst entry are copied into arena buffers
+	// owned by the destination partition instead of crossing localities
+	// via the shared GC heap. Nil when disabled (Config.ArenaBufs < 0).
+	arena *payloadArena
 
 	// peer is non-nil when the partition is owned by a peer process
 	// (Config.Peers): no local shard, no rings, no doorbell — operations
@@ -307,6 +364,20 @@ type Runtime struct {
 	// copy-on-write), mapping wire codes to ops and back for the
 	// cross-process tier.
 	optab atomic.Pointer[opTable]
+
+	// parker holds one park slot per thread id; idle waiters block on
+	// their slot and the doorbell/serve paths wake them directly.
+	parker *ring.Parker
+
+	// pinPlan[loc] is the CPU list locality loc's pinned threads cycle
+	// through (topology.Assign); nil when pinning is disabled. pinNext
+	// is the per-locality rotation cursor, guarded by mu.
+	pinPlan [][]int
+	pinNext []int
+
+	// pinned counts threads currently pinned to a CPU (the
+	// Snapshot.PinnedThreads gauge).
+	pinned atomic.Int32
 }
 
 // New creates a DPS runtime. It is the analogue of the paper's
@@ -337,6 +408,14 @@ func New(cfg Config) (*Runtime, error) {
 		rt.tracer = obs.NopTracer{}
 	}
 	rt.optab.Store(&opTable{})
+	rt.parker = ring.NewParker(cfg.MaxThreads)
+	if (cfg.PinThreads || cfg.PinServers) && affinity.Supported() {
+		// SMT width 1: cloud vCPUs are already hardware threads, and
+		// without sibling information treating every CPU as its own core
+		// is the conservative plan.
+		rt.pinPlan = topology.Assign(cfg.Partitions, affinity.NumCPU(), 1)
+		rt.pinNext = make([]int, cfg.Partitions)
+	}
 	for i := range rt.parts {
 		lo, hi := ns.Range(i)
 		rt.parts[i] = &Partition{id: i, lo: lo, hi: hi, rt: rt}
@@ -353,6 +432,10 @@ func New(cfg Config) (*Runtime, error) {
 		}
 		p.rings = make([]atomic.Pointer[dring], cfg.MaxThreads)
 		p.bell = ring.NewDoorbell(cfg.MaxThreads)
+		p.parked = ring.NewParkSet(cfg.MaxThreads)
+		if cfg.ArenaBufs > 0 {
+			p.arena = newPayloadArena(p, cfg.ArenaBufs, cfg.ArenaBufBytes)
+		}
 	}
 	// Init runs after all partitions exist so initializers may inspect
 	// sibling partitions (e.g. to share configuration). Remote partitions
@@ -514,17 +597,41 @@ func (rt *Runtime) registerLocked(loc int) (*Thread, error) {
 	}
 	rt.parts[loc].workers.Add(1)
 	ok = true
+	if rt.cfg.PinThreads {
+		// Register's contract makes this the goroutine that will use the
+		// Thread, so pinning its OS thread here pins the right one.
+		t.pinSelf(rt.nextCPULocked(loc))
+	}
 	return t, nil
 }
 
 // unregister returns t's resources. Called via Thread.Unregister.
 func (rt *Runtime) unregister(t *Thread) {
+	t.unpinSelf()
 	t.smr.Unregister()
 	rt.mu.Lock()
 	rt.parts[t.locality].workers.Add(-1)
 	rt.freeTID = append(rt.freeTID, t.id)
 	rt.nlive--
 	rt.mu.Unlock()
+}
+
+// nextCPULocked returns the next CPU in locality loc's rotation, or -1
+// when pinning is disabled. Caller holds rt.mu.
+func (rt *Runtime) nextCPULocked(loc int) int {
+	if rt.pinPlan == nil || loc >= len(rt.pinPlan) || len(rt.pinPlan[loc]) == 0 {
+		return -1
+	}
+	cpu := rt.pinPlan[loc][rt.pinNext[loc]%len(rt.pinPlan[loc])]
+	rt.pinNext[loc]++
+	return cpu
+}
+
+// nextCPU is nextCPULocked for callers outside the runtime lock.
+func (rt *Runtime) nextCPU(loc int) int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.nextCPULocked(loc)
 }
 
 // Mix64 is the default key hash: a Stafford/SplitMix64 finalizer, spreading

@@ -59,6 +59,10 @@ func (rt *Runtime) Shutdown(timeout time.Duration) (ShutdownReport, error) {
 		timedOut = true
 	}
 	rt.down.Store(true)
+	// Release every parked waiter: down is now observable, so each one
+	// unwinds through its shutdown check instead of riding out a park
+	// timeout.
+	rt.parker.WakeAll()
 	// Sever the peer links after the down mark: senders blocked on wire
 	// completions resolve with ErrClosed immediately instead of riding
 	// out their timeouts, so a hung peer cannot wedge the drain past the
@@ -138,10 +142,16 @@ func (t *Thread) sweepPartition(p *Partition) int {
 		}
 		// Bound in operations: a full ring of maximally packed bursts is
 		// Depth()*burstSize ops, and the sweep wants all of them per claim.
-		n += r.Drain(r.Depth()*burstSize, func(s *slot) int {
+		d := r.Drain(r.Depth()*burstSize, func(s *slot) int {
 			return t.executeMessage(p, s)
 		})
+		n += d
 		r.Unclaim()
+		// Wake the drained ring's sender: it may be parked awaiting these
+		// very completions, and the runtime is not marked down until the
+		// sweep finishes, so only a direct wake (or a park timeout)
+		// unblocks it.
+		t.wakeSender(p, i, d)
 	}
 	if n > 0 {
 		t.rt.rec.Add(t.id, p.id, obs.Served, uint64(n))

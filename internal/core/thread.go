@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"dps/internal/affinity"
 	"dps/internal/chaos"
 	"dps/internal/obs"
 	"dps/internal/parsec"
@@ -84,6 +85,22 @@ type Thread struct {
 	//
 	//dps:owned-by=sender
 	woutstanding []wireRef
+
+	// parkTimer is the reusable timer backing this thread's park timeouts
+	// (ring.Parker.Park lazily allocates it once, then resets it), so a
+	// steady-state parked waiter allocates nothing.
+	//
+	//dps:owned-by=sender
+	parkTimer *time.Timer
+
+	// pinnedCPU is 1+the CPU this thread's OS thread is pinned to, 0 when
+	// unpinned; prevMask is the affinity mask to restore on unpin. Both are
+	// meaningful only on the pinned OS thread itself.
+	//
+	//dps:pinned-thread
+	pinnedCPU int
+	//dps:pinned-thread
+	prevMask affinity.Mask
 
 	smr *parsec.Thread
 
@@ -197,6 +214,10 @@ func (t *Thread) execInline(p *Partition, key uint64, op Op, args *Args) Result 
 	start := t.rt.rec.Start()
 	res := t.runLocal(p, key, op, args)
 	t.rt.rec.Observe(t.id, obs.HistLocalExec, t.rt.rec.Since(start))
+	// An arena payload can reach the inline path when the destination's
+	// workers dropped to zero between AcquirePayload and the execute call;
+	// without the serve path to release it, the buffer is returned here.
+	releasePayload(args)
 	return res
 }
 
@@ -248,6 +269,7 @@ func (t *Thread) Execute(key uint64, op Op, args Args) *Completion {
 	sent := t.rt.rec.Start()
 	s, idx := t.pack(p, key, op, args, false, time.Time{})
 	if s == nil {
+		releasePayload(&args)
 		return &Completion{t: t, res: Result{Err: ErrClosed}, done: true}
 	}
 	t.rt.rec.Add(t.id, p.id, obs.RemoteSend, 1)
@@ -278,6 +300,10 @@ func (t *Thread) ExecuteSync(key uint64, op Op, args Args) Result {
 	sent := t.rt.rec.Start()
 	s, idx := t.pack(p, key, op, args, false, time.Time{})
 	if s == nil {
+		// The operation was never staged (shutdown raced the send); an
+		// arena payload it carried must go back to its pool here — no
+		// serve path will ever consume it.
+		releasePayload(&args)
 		return Result{Err: ErrClosed}
 	}
 	t.flushOpen()
@@ -314,6 +340,7 @@ func (t *Thread) ExecuteSyncTimeout(key uint64, op Op, args Args, timeout time.D
 	sent := t.rt.rec.Start()
 	s, idx := t.pack(p, key, op, args, false, deadline)
 	if s == nil {
+		releasePayload(&args)
 		if t.rt.down.Load() {
 			return Result{Err: ErrClosed}, ErrClosed
 		}
@@ -354,6 +381,7 @@ func (t *Thread) ExecuteAsync(key uint64, op Op, args Args) {
 	if s == nil {
 		// Shutdown raced the send; the operation is dropped, and the drop
 		// is visible in the Abandoned counter.
+		releasePayload(&args)
 		t.rt.rec.Add(t.id, p.id, obs.Abandoned, 1)
 		return
 	}
@@ -402,6 +430,7 @@ func (t *Thread) ExecutePartition(part int, key uint64, op Op, args Args) Result
 	sent := t.rt.rec.Start()
 	s, idx := t.pack(p, key, op, args, false, time.Time{})
 	if s == nil {
+		releasePayload(&args)
 		return Result{Err: ErrClosed}
 	}
 	t.flushOpen()
@@ -676,6 +705,16 @@ func (t *Thread) flushOpen() {
 	s.Publish()
 	if t.chaos == nil || !t.chaos.DropDoorbell() {
 		p.bell.Set(t.id)
+		// Wake one parked waiter of the destination locality so the burst
+		// is served without waiting out a park timeout. Picking claims the
+		// waiter's parked bit, so concurrent senders wake distinct waiters.
+		// A dropped doorbell (chaos) drops the wake too: recovery is the
+		// woken-by-timeout full scan, exactly the fault being injected.
+		if p.parked != nil {
+			if idx, ok := p.parked.Pick(); ok && t.rt.parker.Wake(idx) {
+				t.rt.rec.Add(t.id, p.id, obs.Wakes, 1)
+			}
+		}
 	}
 	t.rt.rec.ObserveBurst(t.id, n)
 }
@@ -777,6 +816,7 @@ func (t *Thread) serveBell(p *Partition) int {
 			if more {
 				p.bell.Set(idx)
 			}
+			t.wakeSender(p, idx, n)
 		}
 	}
 	t.rt.rec.Add(t.id, p.id, obs.RingScansSkipped, uint64(len(p.rings)-visited))
@@ -802,12 +842,14 @@ func (t *Thread) serveScan(p *Partition) int {
 	t.serveCursor++
 	start := t.serveCursor
 	for i := 0; i < n; i++ {
-		r := p.rings[(start+i)%n].Load()
+		idx := (start + i) % n
+		r := p.rings[idx].Load()
 		if r == nil {
 			continue
 		}
 		srv, _ := t.serveRing(p, r)
 		served += srv
+		t.wakeSender(p, idx, srv)
 	}
 	if served > 0 {
 		t.rt.rec.Add(t.id, p.id, obs.Served, uint64(served))
@@ -836,6 +878,30 @@ func (t *Thread) serveRing(p *Partition, r *dring) (int, bool) {
 		return t.executeMessage(p, s)
 	})
 	return n, r.Head().Pending()
+}
+
+// wakeSender wakes sender thread idx after its ring to p was drained of n
+// operations: the sender may be parked awaiting exactly those completions
+// (or awaiting a free slot of the now-drained ring). Ring index and parker
+// slot index are both the sender's thread id, so no lookup is needed; Wake
+// on an unparked sender is one relaxed load.
+//
+//dps:noalloc via ExecuteSync
+func (t *Thread) wakeSender(p *Partition, idx, n int) {
+	if n > 0 && t.rt.parker.Wake(idx) {
+		t.rt.rec.Add(t.id, p.id, obs.Wakes, 1)
+	}
+}
+
+// forceFullScan makes the thread's next serve pass a full ring-table scan
+// regardless of doorbell state. Park timeouts call it: a park that times
+// out with no wake suggests a lost doorbell bit, and the forced scan
+// rediscovers the orphaned ring within one park timeout instead of the
+// serveFullScanEvery cadence.
+//
+//dps:noalloc via ExecuteSync
+func (t *Thread) forceFullScan() {
+	t.servePass |= serveFullScanEvery - 1
 }
 
 // rescue handles the abandoned-locality case: if every thread of s's
@@ -935,6 +1001,7 @@ func (t *Thread) executeMessage(p *Partition, s *slot) int {
 		d := t.rt.rec.Since(start)
 		pv := e.panicVal
 		e.op = nil
+		releasePayload(&e.args)
 		e.args.P = nil
 		if fire {
 			// Nobody will read a fire-and-forget result: drop its
@@ -971,6 +1038,45 @@ func (t *Thread) Serve() int {
 	t.checkLive()
 	t.flushOpen()
 	return t.serve()
+}
+
+// ServeWait is Serve for dedicated serving loops: it publishes any open
+// burst and serves pending requests, and when a pass finds nothing it
+// parks the calling thread until a sender rings the locality's doorbell
+// (flushOpen wakes a parked waiter directly) or d elapses, then serves
+// whatever arrived. The return value counts operations executed across
+// both passes. Unlike a Serve/sleep loop, an idle ServeWait loop costs no
+// CPU between requests and wakes in microseconds when one lands; d only
+// bounds how long a wake lost to a fault can delay service. Like every
+// Thread method it panics with ErrClosed after Shutdown.
+//
+//dps:bounded-wait
+//dps:domain=sender
+func (t *Thread) ServeWait(d time.Duration) int {
+	t.checkLive()
+	t.flushOpen()
+	n := t.serve()
+	if n > 0 {
+		return n
+	}
+	rt := t.rt
+	myloc := rt.parts[t.locality]
+	rt.parker.Prepare(t.id)
+	if myloc.parked != nil {
+		myloc.parked.Set(t.id)
+	}
+	if rt.down.Load() || myloc.bell.Any() {
+		rt.parker.Cancel(t.id)
+	} else {
+		rt.rec.Add(t.id, t.locality, obs.Parks, 1)
+		if !rt.parker.Park(t.id, &t.parkTimer, d) {
+			t.forceFullScan()
+		}
+	}
+	if myloc.parked != nil {
+		myloc.parked.Clear(t.id)
+	}
+	return n + t.serve()
 }
 
 // Ready polls the completion (§3.1's await_completion): it returns the

@@ -7,37 +7,48 @@ import (
 	"dps/internal/obs"
 )
 
-// Adaptive waiting. The three delegation spin loops — completion await,
-// Drain, and the ring-full send path — used to busy-spin on Gosched
-// forever, which burns a core and wedges silently when the destination
-// locality stops serving (blocked peers, a descheduled server, injected
-// faults). A waiter escalates in three stages instead:
+// Parked waiting. The three delegation wait loops — completion await,
+// Drain, and the ring-full send path — used to escalate from Gosched
+// spinning into blind exponential sleeps, which left an idle waiter
+// burning periodic wakeups (and a core's worth of timer churn under many
+// idle threads) while still adding up to 128µs of wake latency. A waiter
+// now escalates in two stages:
 //
 //  1. pure Gosched for the first waitSpinYield pauses (the common case:
-//     the reply is a few polls away, and sleeping would add latency);
-//  2. exponentially growing sleeps, 1µs doubling to 128µs, so an idle
-//     waiter costs microseconds of latency instead of a core;
-//  3. stall detection: every waitStallWindow pauses the waiter samples the
-//     destination partition's serving-progress clock; two consecutive
-//     samples with no progress while its request is still pending mean
-//     nobody is serving the partition. The waiter records a Stalls event,
-//     fires Tracer.OnStall, and escalates to forced rescue — claiming its
-//     own ring and executing the stuck prefix itself, workers or not.
+//     the reply is a few polls away, and blocking would add latency);
+//  2. parking: the waiter arms its ring.Parker slot, advertises itself in
+//     its locality's parked set, re-checks its wake condition (so a wake
+//     that raced the arming is never lost), and blocks until a server
+//     wakes it directly from the doorbell/serve path or a timeout fires.
+//     Timeouts double from waitParkMin to waitParkMax, so even a lost
+//     wake costs at most ~1ms of latency — and a timed-out park forces
+//     the waiter's next serve pass to be a full ring scan, so a doorbell
+//     bit lost to a fault is rediscovered within one park timeout.
+//
+// Stall detection rides the park stage: every waitStallParks parks the
+// waiter samples the destination partition's serving-progress clock; two
+// consecutive samples with no progress while its request is still pending
+// mean nobody is serving the partition. The waiter records a Stalls
+// event, fires Tracer.OnStall, and escalates to forced rescue — claiming
+// its own ring and executing the stuck prefix itself, workers or not.
 //
 // Any progress (local serves, or partition progress between samples)
 // resets the waiter to stage 1.
 const (
-	// waitSpinYield is how many pauses stay pure Gosched before sleeping.
+	// waitSpinYield is how many pauses stay pure Gosched before parking.
 	waitSpinYield = 64
-	// waitSleepStep is how many pauses pass between sleep doublings.
-	waitSleepStep = 16
-	// waitMaxSleepShift caps the sleep at 1µs << 7 = 128µs.
-	waitMaxSleepShift = 7
-	// waitStallWindow is how many pauses pass between progress samples.
-	// With sleeps capped at 128µs a stall is declared after roughly
-	// 30-60ms of observed zero progress, and re-checked (with renewed
-	// escalation) every window after that.
-	waitStallWindow = 256
+	// waitParkMin is the first park timeout; it doubles each park.
+	waitParkMin = 64 * time.Microsecond
+	// waitParkMax caps the park timeout. A lost wake (dropped doorbell,
+	// chaos fault) therefore costs at most ~1ms before the waiter
+	// rechecks on its own.
+	waitParkMax = 1024 * time.Microsecond
+	// waitStallParks is how many parks pass between progress samples.
+	// With timeouts capped at waitParkMax (and servers waking parked
+	// waiters well before timeout when live), a stall is declared after
+	// roughly 30-60ms of observed zero progress, and re-checked (with
+	// renewed escalation) every window after that.
+	waitStallParks = 16
 )
 
 // waiter tracks one wait episode against a single destination partition.
@@ -46,6 +57,8 @@ type waiter struct {
 	t        *Thread
 	p        *Partition
 	idle     int
+	parks    int
+	timeout  time.Duration
 	progress uint64
 	sampled  bool
 }
@@ -54,7 +67,7 @@ func newWaiter(t *Thread, p *Partition) waiter { return waiter{t: t, p: p} }
 
 // reset returns the waiter to the spin stage; callers invoke it whenever
 // they made progress themselves (e.g. served requests).
-func (w *waiter) reset() { w.idle, w.sampled = 0, false }
+func (w *waiter) reset() { w.idle, w.parks, w.timeout, w.sampled = 0, 0, 0, false }
 
 // pause blocks the waiter briefly, escalating per the schedule above. s is
 // the slot whose completion the caller waits for (nil when the wait covers
@@ -65,19 +78,62 @@ func (w *waiter) reset() { w.idle, w.sampled = 0, false }
 func (w *waiter) pause(s *slot) {
 	w.idle++
 	if w.idle <= waitSpinYield {
-		// The stall check cannot trigger in the spin stage:
-		// waitStallWindow > waitSpinYield.
+		// The stall check cannot trigger in the spin stage: it samples
+		// only on park boundaries.
 		runtime.Gosched()
 		return
 	}
-	if w.idle%waitStallWindow == 0 {
+	w.park(s)
+}
+
+// park blocks the waiter on its Parker slot until a server wakes it or the
+// current timeout fires. The armed→advertise→recheck order is the lost-
+// wakeup guard: a server that publishes work and then calls Wake either
+// sees the armed slot (and wakes us) or ran before we armed — in which
+// case the recheck observes its published state and we never block.
+//
+//dps:bounded-wait
+//dps:noalloc via ExecuteSync
+func (w *waiter) park(s *slot) {
+	t := w.t
+	rt := t.rt
+	myloc := rt.parts[t.locality]
+	if w.timeout == 0 {
+		w.timeout = waitParkMin
+	}
+
+	rt.parker.Prepare(t.id)
+	if myloc.parked != nil {
+		myloc.parked.Set(t.id)
+	}
+	// Recheck after arming: anything that would have woken us and could
+	// have fired before the slot was armed must be caught here.
+	if rt.down.Load() || myloc.bell.Any() || (s != nil && !s.Pending()) {
+		rt.parker.Cancel(t.id)
+		if myloc.parked != nil {
+			myloc.parked.Clear(t.id)
+		}
+		return
+	}
+	rt.rec.Add(t.id, w.p.id, obs.Parks, 1)
+	if !rt.parker.Park(t.id, &t.parkTimer, w.timeout) {
+		// Timed out with no wake: assume a lost signal and make the next
+		// serve pass a full ring scan, so a dropped doorbell bit is
+		// rediscovered within one park timeout instead of the full
+		// serveFullScanEvery cadence.
+		t.forceFullScan()
+	}
+	if myloc.parked != nil {
+		myloc.parked.Clear(t.id)
+	}
+
+	if w.timeout < waitParkMax {
+		w.timeout *= 2
+	}
+	w.parks++
+	if w.parks%waitStallParks == 0 {
 		w.checkStall(s)
 	}
-	shift := (w.idle - waitSpinYield) / waitSleepStep
-	if shift > waitMaxSleepShift {
-		shift = waitMaxSleepShift
-	}
-	time.Sleep(time.Microsecond << shift)
 }
 
 // checkStall samples the partition's progress clock and escalates when two

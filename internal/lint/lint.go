@@ -48,6 +48,15 @@
 //	                       root the inference spreads from.
 //	//dps:owner-ok <why>   (line)  suppresses one owner diagnostic. Stale or
 //	                       unjustified suppressions are diagnostics.
+//	//dps:pinned-thread    (field) pinned: the field is per-OS-thread affinity
+//	                       state (a pinned CPU, a saved mask), meaningful only
+//	                       on the goroutine locked to that thread; plain
+//	                       access is legal only from the pinned domain.
+//	//dps:pinned           (func)  pinned: declares the function a root of the
+//	                       pinned domain; reachability extends it like
+//	                       //dps:domain does for owner.
+//	//dps:pinned-ok <why>  (line)  suppresses one pinned diagnostic, same
+//	                       hygiene as //dps:owner-ok.
 //	//dps:publishes        (field) publishorder: the atomic store to this
 //	                       field is what makes a slot/burst visible.
 //	//dps:publish          (func)  publishorder: in this function, no payload
@@ -58,8 +67,8 @@
 //	//dps:check r1 r2 ...  (package) opts the package in to the whole-package
 //	                       rules atomicmix, spinloop, wirealloc and errclass.
 //
-// padcheck, noalloc, hookguard, owner and publishorder need no package
-// opt-in: their markers are the opt-in. atomicmix, spinloop, wirealloc
+// padcheck, noalloc, hookguard, owner, pinned and publishorder need no
+// package opt-in: their markers are the opt-in. atomicmix, spinloop, wirealloc
 // and errclass inspect unmarked code, so they run only in packages
 // carrying a //dps:check marker — the lock-free baseline structures
 // (internal/list, internal/skiplist, ...) spin and mix accesses per
@@ -99,6 +108,7 @@ func Run(m *Module) []Diagnostic {
 	diags = append(diags, hookguard(m)...)
 	diags = append(diags, wirealloc(m)...)
 	diags = append(diags, owner(m)...)
+	diags = append(diags, pinned(m)...)
 	diags = append(diags, publishorder(m)...)
 	diags = append(diags, errclass(m)...)
 	diags = append(diags, markercheck(m)...)

@@ -97,7 +97,7 @@ func TestGolden(t *testing.T) {
 			}
 		})
 	}
-	for _, rule := range []string{"padcheck", "atomicmix", "noalloc", "spinloop", "hookguard", "wirealloc", "owner", "publishorder", "errclass", "marker"} {
+	for _, rule := range []string{"padcheck", "atomicmix", "noalloc", "spinloop", "hookguard", "wirealloc", "owner", "pinned", "publishorder", "errclass", "marker"} {
 		if !seen[rule] {
 			t.Errorf("no golden package for rule %s under testdata/src", rule)
 		}

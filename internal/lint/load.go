@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -131,9 +132,13 @@ type parsedPkg struct {
 	deps  []string
 }
 
-// parsePkg parses the non-test .go files of one directory. Parsing may
-// run concurrently across packages: the shared FileSet is internally
-// locked.
+// parsePkg parses the non-test .go files of one directory. Files excluded
+// from the host platform's build by constraints (//go:build lines or
+// GOOS/GOARCH filename suffixes) are skipped, so platform-variant pairs —
+// e.g. a Linux implementation beside its stub — don't collide in the
+// typechecker; lint analyzes the build `go build` would produce here.
+// Parsing may run concurrently across packages: the shared FileSet is
+// internally locked.
 func (l *loader) parsePkg(dir, path string) (*parsedPkg, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -143,6 +148,9 @@ func (l *loader) parsePkg(dir, path string) (*parsedPkg, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)

@@ -22,9 +22,12 @@ var knownMarkers = map[string]bool{
 	"domain":       true,
 	"publish":      true,
 	"publishes":    true,
-	"owner-ok":     true,
-	"publish-ok":   true,
-	"errclass-ok":  true,
+	"owner-ok":      true,
+	"publish-ok":    true,
+	"errclass-ok":   true,
+	"pinned":        true,
+	"pinned-thread": true,
+	"pinned-ok":     true,
 }
 
 // knownChecks are the rule names //dps:check can opt a package in to.

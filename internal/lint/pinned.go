@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// pinnedDomain is the single domain name of the pinned-thread analysis.
+const pinnedDomain = "pinned"
+
+// pinned enforces //dps:pinned-thread: a field annotated
+//
+//	//dps:pinned-thread
+//
+// is per-OS-thread affinity state — a Thread's pinned CPU, the affinity
+// mask to restore on unpin — meaningful only on the goroutine locked to
+// that OS thread, and may be plainly read or written only inside
+// functions belonging to the pinned domain. The domain's declared roots
+// are functions marked //dps:pinned on their doc comment; reachability
+// through same-goroutine call edges extends the domain exactly as the
+// owner rule's //dps:domain inference does (go statements are domain
+// boundaries; declared roots are propagation barriers). Access from
+// outside the domain must go through sync/atomic or carry a line-scoped
+//
+//	//dps:pinned-ok <why>
+//
+// suppression, with the same hygiene as //dps:owner-ok: a suppression
+// must be justified and must suppress something.
+func pinned(m *Module) []Diagnostic {
+	const rule = "pinned"
+	var diags []Diagnostic
+
+	marked := structFieldMarkers(m, "pinned-thread")
+	if len(marked) == 0 {
+		return nil
+	}
+	di := buildDomainsBy(m, func(fd *ast.FuncDecl) (string, bool) {
+		if _, ok := findMarker("pinned", fd.Doc); ok {
+			return pinnedDomain, true
+		}
+		return "", false
+	})
+
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ok := newSuppressions(m.Fset, f, "pinned-ok")
+			for _, d := range f.Decls {
+				fd, isFn := d.(*ast.FuncDecl)
+				if !isFn || fd.Body == nil {
+					continue
+				}
+				fn := funcDeclObj(pkg, fd)
+				lits := goLaunchedLits(fd.Body)
+				walkParents(fd.Body, func(c cursor) bool {
+					sel, isSel := c.node.(*ast.SelectorExpr)
+					if !isSel {
+						return true
+					}
+					s, found := pkg.Info.Selections[sel]
+					if !found || s.Kind() != types.FieldVal {
+						return true
+					}
+					field, isVar := s.Obj().(*types.Var)
+					if !isVar {
+						return true
+					}
+					if _, isMarked := marked[field.Origin()]; !isMarked {
+						return true
+					}
+					if atomicArg(pkg.Info, c) {
+						return true
+					}
+					var have []string
+					if !inGoroutineLit(c, lits) {
+						have = di.domainsOf(fn)
+					}
+					if len(have) == 1 && have[0] == pinnedDomain {
+						return true
+					}
+					if ok.covers(m.Fset.Position(sel.Sel.Pos()).Line) {
+						return true
+					}
+					diags = append(diags, Diagnostic{
+						Pos:  m.Fset.Position(sel.Sel.Pos()),
+						Rule: rule,
+						Msg: fmt.Sprintf("field %s is pinned-thread state but %s is outside the pinned domain (mark a calling root //dps:pinned, use sync/atomic, or suppress with //dps:pinned-ok)",
+							field.Name(), funcLabel(fd, c, lits)),
+					})
+					return true
+				})
+			}
+			diags = append(diags, ok.report(m.Fset, rule)...)
+		}
+	}
+	sortDiags(diags)
+	return diags
+}

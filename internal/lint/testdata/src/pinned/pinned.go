@@ -1,0 +1,84 @@
+// Package pinned seeds violations for dpslint's pinned rule: a field
+// marked //dps:pinned-thread is per-OS-thread affinity state and may be
+// plainly accessed only from the pinned domain — functions marked
+// //dps:pinned or reached from one through the call graph; other access
+// must use sync/atomic or carry a //dps:pinned-ok justification.
+package pinned
+
+import "sync/atomic"
+
+// worker carries one serving goroutine's OS-thread affinity state.
+type worker struct {
+	// cpu is 1+the CPU the worker's OS thread is pinned to, meaningful
+	// only on that thread.
+	//
+	//dps:pinned-thread
+	cpu int
+
+	// gen counts repin episodes; sampled cross-thread via sync/atomic.
+	//
+	//dps:pinned-thread
+	gen uint64
+
+	n atomic.Int64
+}
+
+// pin runs on the OS thread being pinned: a declared domain root.
+//
+//dps:pinned
+func (w *worker) pin() {
+	w.cpu = 3 // clean: declared pinned
+	atomic.AddUint64(&w.gen, 1)
+	w.n.Add(1)
+	w.bump()
+}
+
+// bump has no marker: it inherits the pinned domain by reachability
+// from pin.
+func (w *worker) bump() {
+	w.cpu++ // clean: reached from pin
+}
+
+// report is called from nowhere pinned, so the domain never reaches it.
+func (w *worker) report() int {
+	return w.cpu // want pinned "field cpu is pinned-thread state but worker.report is outside the pinned domain"
+}
+
+// sample reads gen cross-thread but through sync/atomic, which is legal
+// from anywhere.
+func (w *worker) sample() uint64 {
+	return atomic.LoadUint64(&w.gen)
+}
+
+// spawn hands the worker to a fresh goroutine: the goroutine runs on its
+// own OS thread and inherits nothing from its pinned spawner.
+//
+//dps:pinned
+func spawn(w *worker) {
+	go func() {
+		w.cpu = 0 // want pinned "a goroutine launched by spawn is outside the pinned domain"
+	}()
+}
+
+// audit reads cpu off-thread on purpose, with the justification the rule
+// demands.
+func audit(w *worker) int {
+	//dps:pinned-ok post-mortem audit; the worker's OS thread has exited
+	return w.cpu
+}
+
+// tidy is clean, so its suppression suppresses nothing — which is itself
+// a diagnostic.
+//
+//dps:pinned
+func tidy(w *worker) {
+	// want(+1) pinned "stale //dps:pinned-ok"
+	//dps:pinned-ok nothing here actually violates the rule
+	w.cpu++
+}
+
+// terse suppresses a real violation but gives no reason.
+func terse(w *worker) {
+	//dps:pinned-ok
+	w.cpu = 1 // want(-1) pinned "needs a justification"
+}

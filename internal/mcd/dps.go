@@ -42,6 +42,9 @@ type DPSConfig struct {
 	// same Partitions count (the hello handshake verifies it) and the
 	// default key hash.
 	Peers []core.Peer
+	// PinServers lets serving handles pin their OS threads to
+	// locality-owned CPUs (DPSHandle.Pin; see core.Config.PinServers).
+	PinServers bool
 	// Chaos installs a fault injector on the runtime's delegation paths
 	// (tests only).
 	Chaos *chaos.Injector
@@ -67,6 +70,7 @@ func NewDPS(cfg DPSConfig) (*DPS, error) {
 		Partitions: cfg.Partitions,
 		MaxThreads: cfg.MaxThreads,
 		Peers:      cfg.Peers,
+		PinServers: cfg.PinServers,
 		Chaos:      cfg.Chaos,
 		Init: func(p *core.Partition) any {
 			c, err := cfg.NewShard()
@@ -135,6 +139,17 @@ func (h *DPSHandle) Unregister() { h.t.Unregister() }
 // Serve processes requests pending on the handle's locality.
 func (h *DPSHandle) Serve() int { return h.t.Serve() }
 
+// ServeWait serves pending requests, parking the calling goroutine for up
+// to d when a pass finds nothing (see core.Thread.ServeWait): the serving
+// loop of an idle store burns no CPU between requests.
+func (h *DPSHandle) ServeWait(d time.Duration) int { return h.t.ServeWait(d) }
+
+// Pin pins the calling goroutine's OS thread to a CPU owned by the
+// handle's locality (no-op unless DPSConfig.PinServers is set and the
+// platform supports affinity control). Call it from the goroutine that
+// serves with this handle.
+func (h *DPSHandle) Pin() bool { return h.t.Pin() }
+
 // Drain waits for the handle's asynchronous sets to complete.
 func (h *DPSHandle) Drain() { h.t.Drain() }
 
@@ -144,10 +159,14 @@ func opGet(p *core.Partition, key uint64, _ *core.Args) core.Result {
 }
 
 func opSet(p *core.Partition, key uint64, args *core.Args) core.Result {
-	// Tolerate a nil payload: a zero-length value arrives from the wire
+	// PayloadBytes accepts all three payload encodings: an arena buffer
+	// (in-process delegation through AcquirePayload), a plain []byte (the
+	// heap fallback), and nil — a zero-length value arrives from the wire
 	// tier with args.P unset (the frame cannot distinguish nil from
-	// empty, and the cache stores both as empty).
-	val, _ := args.P.([]byte)
+	// empty, and the cache stores both as empty). Stock/ParSec Set copies
+	// the value into its own slab, so an arena buffer is not retained
+	// past the op's return — the arena contract.
+	val := core.PayloadBytes(args.P)
 	if err := p.Data().(Cache).Set(key, val); err != nil {
 		return core.Result{Err: err}
 	}
@@ -208,14 +227,28 @@ func valOK(res core.Result) ([]byte, bool) {
 	return res.P.([]byte), true
 }
 
+// payload stages val for delegation to key's owner: copied into an arena
+// buffer of the destination locality when one is available (the buffer
+// pointer rides Args.P without allocating, and the serving side returns
+// it to the pool after opSet copies into the shard), otherwise the value
+// itself — the heap path, where boxing the slice header allocates. Local,
+// peer-owned, and oversized destinations always take the value path.
+func (h *DPSHandle) payload(key uint64, val []byte) any {
+	if b := h.t.AcquirePayload(key, len(val)); b != nil {
+		copy(b.Bytes(), val)
+		return b
+	}
+	return val
+}
+
 // Set stores key->val and waits for the result (synchronous delegation).
 func (h *DPSHandle) Set(key uint64, val []byte) error {
-	return h.t.ExecuteSync(key, opSet, core.Args{P: val}).Err
+	return h.t.ExecuteSync(key, opSet, core.Args{P: h.payload(key, val)}).Err
 }
 
 // SetTimeout is Set bounded by timeout (core.ErrTimeout / core.ErrClosed).
 func (h *DPSHandle) SetTimeout(key uint64, val []byte, timeout time.Duration) error {
-	res, err := h.t.ExecuteSyncTimeout(key, opSet, core.Args{P: val}, timeout)
+	res, err := h.t.ExecuteSyncTimeout(key, opSet, core.Args{P: h.payload(key, val)}, timeout)
 	if err != nil {
 		return err
 	}
@@ -229,7 +262,7 @@ func (h *DPSHandle) SetTimeout(key uint64, val []byte, timeout time.Duration) er
 // the caller must observe them. Flush publishes buffered sets, Drain awaits
 // them.
 func (h *DPSHandle) SetAsync(key uint64, val []byte) {
-	h.t.ExecuteAsync(key, opSet, core.Args{P: val})
+	h.t.ExecuteAsync(key, opSet, core.Args{P: h.payload(key, val)})
 }
 
 // Flush publishes this handle's buffered asynchronous sets without waiting

@@ -3,7 +3,6 @@ package mcd
 import (
 	"fmt"
 	"net"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -95,6 +94,10 @@ type Config struct {
 	// Default: one per partition. Negative: none — then delegations are
 	// only served by sessions that are themselves waiting.
 	Servers int
+	// PinServers pins each dedicated serving goroutine's OS thread to a
+	// CPU owned by its locality (dps variants, Linux only; a no-op
+	// elsewhere), keeping a partition's shard hot in one core's cache.
+	PinServers bool
 	// OpTimeout bounds each synchronous delegated operation (dps variants
 	// only): Set/Get/Delete return ErrTimeout when the owning locality
 	// does not execute the operation in time — the back-pressure signal a
@@ -288,6 +291,7 @@ func openDPS(localGets bool, cfg Config) (Store, error) {
 		LocalGets:  localGets,
 		MaxThreads: cfg.MaxThreads,
 		Peers:      cfg.Peers,
+		PinServers: cfg.PinServers,
 		Chaos:      cfg.Chaos,
 	}
 	localParts := parts
@@ -432,28 +436,30 @@ func (s *dpsStore) BouncePeer(down time.Duration) error {
 	return nil
 }
 
+// serveLoopPark bounds how long a serving thread stays parked with no
+// wake: senders wake it directly through the doorbell path, so this is
+// only the staleness bound on lost wakes — and the worst-case latency of
+// Close observing the stop signal.
+const serveLoopPark = 50 * time.Millisecond
+
 // serveLoop is one dedicated serving thread: doorbell-driven serve passes
-// with a Gosched→sleep idle escalation so an idle store costs microseconds
-// of wakeups, not a spinning core.
+// that park between requests (core.Thread.ServeWait), so an idle store
+// burns no CPU at all — senders wake a parked server directly when they
+// publish a burst. With Config.PinServers the loop first pins its OS
+// thread to a CPU owned by its locality; pinning here (not at
+// registration) matters because the handle was registered on the opening
+// goroutine, and affinity belongs to the goroutine that serves.
 func (s *dpsStore) serveLoop(h *DPSHandle) {
 	defer s.wg.Done()
 	defer h.Unregister()
-	idle := 0
+	h.Pin()
 	for {
 		select {
 		case <-s.stop:
 			return
 		default:
 		}
-		if h.Serve() > 0 {
-			idle = 0
-			continue
-		}
-		if idle++; idle <= 32 {
-			runtime.Gosched()
-		} else {
-			time.Sleep(50 * time.Microsecond)
-		}
+		h.ServeWait(serveLoopPark)
 	}
 }
 

@@ -82,6 +82,22 @@ const (
 	// answered from its dedup window instead of re-executing — each one
 	// is a duplicate side effect the window prevented.
 	DedupReplays
+	// Parks counts waiter park episodes: an idle thread armed its park
+	// slot and blocked instead of sleeping a blind quantum, attributed to
+	// the thread's own locality. Parks minus Wakes approximates how often
+	// waiters ran to their park timeout (the rescue/fallback cadence).
+	Parks
+	// Wakes counts direct park wakeups delivered — a doorbell Set picking
+	// a parked locality thread, or a server waking a sender whose ring it
+	// drained — attributed to the partition whose event caused the wake.
+	Wakes
+	// ArenaAcquires counts delegated payloads placed in the destination
+	// locality's arena pool instead of the shared GC heap.
+	ArenaAcquires
+	// ArenaFallbacks counts payloads that wanted an arena buffer but fell
+	// back to the heap (pool empty). A high ratio to ArenaAcquires means
+	// Config.ArenaBufs is undersized for the in-flight window.
+	ArenaFallbacks
 	// NumCounters is the number of counters per block.
 	NumCounters
 )
@@ -356,6 +372,10 @@ func (r *Recorder) Snapshot() Snapshot {
 			pm.RemoteBytes += b.c[RemoteBytes].Load()
 			pm.PeerStalls += b.c[PeerStalls].Load()
 			pm.DedupReplays += b.c[DedupReplays].Load()
+			pm.Parks += b.c[Parks].Load()
+			pm.Wakes += b.c[Wakes].Load()
+			pm.ArenaAcquires += b.c[ArenaAcquires].Load()
+			pm.ArenaFallbacks += b.c[ArenaFallbacks].Load()
 		}
 	}
 	for _, pm := range s.PerPartition {
@@ -374,6 +394,10 @@ func (r *Recorder) Snapshot() Snapshot {
 		s.Totals.RemoteBytes += pm.RemoteBytes
 		s.Totals.PeerStalls += pm.PeerStalls
 		s.Totals.DedupReplays += pm.DedupReplays
+		s.Totals.Parks += pm.Parks
+		s.Totals.Wakes += pm.Wakes
+		s.Totals.ArenaAcquires += pm.ArenaAcquires
+		s.Totals.ArenaFallbacks += pm.ArenaFallbacks
 	}
 	s.Latency.LocalExec = r.summary(HistLocalExec)
 	s.Latency.SyncDelegation = r.summary(HistSyncDelegation)

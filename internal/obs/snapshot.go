@@ -55,6 +55,18 @@ type Totals struct {
 	// DedupReplays counts retransmitted bursts answered from the peer
 	// server's dedup window instead of re-executed.
 	DedupReplays uint64
+	// Parks counts waiter park episodes (idle threads blocking on their
+	// park slot instead of sleep-polling).
+	Parks uint64
+	// Wakes counts direct park wakeups delivered (doorbell arrivals and
+	// ring drains reaching a parked waiter).
+	Wakes uint64
+	// ArenaAcquires counts delegated payloads carried in locality-owned
+	// arena buffers instead of the shared GC heap.
+	ArenaAcquires uint64
+	// ArenaFallbacks counts payloads that fell back to the heap because
+	// the destination's arena pool was empty.
+	ArenaFallbacks uint64
 }
 
 func (t Totals) sub(prev Totals) Totals {
@@ -75,6 +87,10 @@ func (t Totals) sub(prev Totals) Totals {
 		RemoteBytes:      t.RemoteBytes - prev.RemoteBytes,
 		PeerStalls:       t.PeerStalls - prev.PeerStalls,
 		DedupReplays:     t.DedupReplays - prev.DedupReplays,
+		Parks:            t.Parks - prev.Parks,
+		Wakes:            t.Wakes - prev.Wakes,
+		ArenaAcquires:    t.ArenaAcquires - prev.ArenaAcquires,
+		ArenaFallbacks:   t.ArenaFallbacks - prev.ArenaFallbacks,
 	}
 }
 
@@ -239,6 +255,10 @@ type Snapshot struct {
 	// link-level counters, filled by Runtime.Metrics from the transport);
 	// nil when the runtime owns every partition locally.
 	Peers []PeerMetrics
+	// PinnedThreads is the number of registered threads currently pinned
+	// to a CPU (a gauge filled by Runtime.Metrics; Delta keeps the
+	// current value). Zero when pinning is disabled or unsupported.
+	PinnedThreads int
 }
 
 // Delta returns the activity recorded between prev and s (prev must be an
@@ -247,8 +267,9 @@ type Snapshot struct {
 // s's current values.
 func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	d := Snapshot{
-		Totals:       s.Totals.sub(prev.Totals),
-		PerPartition: make([]PartitionMetrics, len(s.PerPartition)),
+		Totals:        s.Totals.sub(prev.Totals),
+		PerPartition:  make([]PartitionMetrics, len(s.PerPartition)),
+		PinnedThreads: s.PinnedThreads,
 	}
 	copy(d.PerPartition, s.PerPartition)
 	for i := range d.PerPartition {
@@ -308,7 +329,11 @@ func (s Snapshot) String() string {
 	t := s.Totals
 	fmt.Fprintf(&b, "totals: local=%d remote=%d async=%d served=%d ringfull=%d rescued=%d stalls=%d panics=%d abandoned=%d\n",
 		t.LocalExecs, t.RemoteSends, t.AsyncSends, t.Served, t.RingFullWaits, t.Rescued, t.Stalls, t.Panics, t.Abandoned)
-	fmt.Fprintf(&b, "serving: wakes=%d scans-skipped=%d\n", t.DoorbellWakes, t.RingScansSkipped)
+	fmt.Fprintf(&b, "serving: wakes=%d scans-skipped=%d parks=%d park-wakes=%d pinned=%d\n",
+		t.DoorbellWakes, t.RingScansSkipped, t.Parks, t.Wakes, s.PinnedThreads)
+	if t.ArenaAcquires+t.ArenaFallbacks > 0 {
+		fmt.Fprintf(&b, "arena: acquires=%d fallbacks=%d\n", t.ArenaAcquires, t.ArenaFallbacks)
+	}
 	fmt.Fprintf(&b, "bursts: %s\n", s.Bursts)
 	if t.RemoteOps+t.RemoteBytes+t.PeerStalls+t.DedupReplays > 0 || len(s.Peers) > 0 {
 		fmt.Fprintf(&b, "wire: remote-ops=%d remote-bytes=%d peer-stalls=%d dedup-replays=%d\n",

@@ -1,0 +1,145 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParkerWakeBeforeBlockIsNotLost(t *testing.T) {
+	p := NewParker(1)
+	var timer *time.Timer
+	// Wake lands in the Prepare..Park window: Park must return woken
+	// immediately, not after the timeout.
+	p.Prepare(0)
+	if !p.Wake(0) {
+		t.Fatal("Wake saw no armed waiter after Prepare")
+	}
+	start := time.Now()
+	if !p.Park(0, &timer, time.Second) {
+		t.Fatal("Park timed out despite a pending wake token")
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("Park took %v to consume a pending token", d)
+	}
+}
+
+func TestParkerStaleTokenDrained(t *testing.T) {
+	p := NewParker(1)
+	var timer *time.Timer
+	// A wake with no armed waiter must not leave a token that short-cuts
+	// the next park episode... unless it raced the arm, which Prepare's
+	// drain resolves.
+	if p.Wake(0) {
+		t.Fatal("Wake claimed delivery with no armed waiter")
+	}
+	p.Prepare(0)
+	if p.Park(0, &timer, 10*time.Millisecond) {
+		t.Fatal("Park woke from a token that predates Prepare")
+	}
+}
+
+func TestParkerTimeout(t *testing.T) {
+	p := NewParker(2)
+	var timer *time.Timer
+	p.Prepare(1)
+	start := time.Now()
+	if p.Park(1, &timer, 5*time.Millisecond) {
+		t.Fatal("Park reported woken without a Wake")
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("Park returned after %v, before the timeout", d)
+	}
+	// The timer is reused across parks.
+	p.Prepare(1)
+	if p.Park(1, &timer, time.Millisecond) {
+		t.Fatal("second Park reported woken without a Wake")
+	}
+}
+
+func TestParkerCancel(t *testing.T) {
+	p := NewParker(1)
+	p.Prepare(0)
+	p.Cancel(0)
+	if p.Wake(0) {
+		t.Fatal("Wake claimed delivery after Cancel")
+	}
+}
+
+func TestParkerConcurrentWakeNeverLoses(t *testing.T) {
+	p := NewParker(1)
+	const rounds = 500
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var timer *time.Timer
+		for i := 0; i < rounds; i++ {
+			p.Prepare(0)
+			// The waker's signal: it bumps state before Wake, we re-check
+			// between Prepare and Park. 10s timeout = test failure, not
+			// the protocol's liveness story.
+			if !p.Park(0, &timer, 10*time.Second) {
+				t.Errorf("round %d: park timed out — lost wakeup", i)
+				return
+			}
+		}
+	}()
+	for i := 0; i < rounds; i++ {
+		for !p.Wake(0) {
+			// Not armed yet (or previous token still being consumed):
+			// yield until the waiter arms.
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+}
+
+func TestParkSetPick(t *testing.T) {
+	s := NewParkSet(130) // three words
+	if _, ok := s.Pick(); ok {
+		t.Fatal("Pick found a waiter in an empty set")
+	}
+	s.Set(3)
+	s.Set(70)
+	s.Set(129)
+	got := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		idx, ok := s.Pick()
+		if !ok {
+			t.Fatalf("Pick ran dry after %d of 3", i)
+		}
+		if got[idx] {
+			t.Fatalf("Pick returned %d twice", idx)
+		}
+		got[idx] = true
+	}
+	if !got[3] || !got[70] || !got[129] {
+		t.Fatalf("Pick returned %v, want {3,70,129}", got)
+	}
+	if _, ok := s.Pick(); ok {
+		t.Fatal("Pick found a fourth waiter")
+	}
+	// Clear removes without picking.
+	s.Set(5)
+	s.Clear(5)
+	if _, ok := s.Pick(); ok {
+		t.Fatal("Pick found a cleared waiter")
+	}
+}
+
+func TestDoorbellAny(t *testing.T) {
+	d := NewDoorbell(130)
+	if d.Any() {
+		t.Fatal("Any() true on a fresh doorbell")
+	}
+	d.Set(129)
+	if !d.Any() {
+		t.Fatal("Any() false with bit 129 set")
+	}
+	d.Collect(2)
+	if d.Any() {
+		t.Fatal("Any() true after Collect cleared the only bit")
+	}
+}

@@ -1,0 +1,83 @@
+package topology
+
+// Assign plans CPU ownership for core pinning: it returns, for each of
+// localities serving localities, the list of CPU ids that locality's
+// pinned threads should cycle through. ncpu is the number of schedulable
+// CPUs (affinity.NumCPU on the host) and threadsPerCore the SMT width
+// (1 when unknown — the common case for cloud vCPUs, where each vCPU is
+// already a hardware thread).
+//
+// The plan follows the paper's thread-allocation policy (§5) translated to
+// Linux CPU numbering, where CPUs [0, physCores) are the first hyperthread
+// of each core and CPU c+physCores is c's SMT sibling:
+//
+//   - physical cores first: when there are at least as many cores as
+//     localities, the cores are split into contiguous, equal-as-possible
+//     chunks, one chunk per locality, so a locality's serving threads
+//     share an L2/LLC neighbourhood instead of interleaving with other
+//     localities' lines;
+//   - hyperthread siblings ride with their core: a locality that owns core
+//     c also owns c's siblings, appended after the physical CPUs so they
+//     are used only once every first hyperthread is taken;
+//   - degraded shapes round-robin: with more localities than cores (or a
+//     single vCPU), localities share CPUs in rotation rather than failing
+//     — pinning on a starved box costs placement quality, never
+//     correctness.
+//
+// Every returned list is non-empty; Assign(0, ...) returns nil.
+func Assign(localities, ncpu, threadsPerCore int) [][]int {
+	if localities <= 0 {
+		return nil
+	}
+	if ncpu < 1 {
+		ncpu = 1
+	}
+	if threadsPerCore < 1 {
+		threadsPerCore = 1
+	}
+	physCores := ncpu / threadsPerCore
+	if physCores < 1 {
+		physCores = 1
+	}
+
+	plan := make([][]int, localities)
+	if localities >= physCores {
+		// Starved: round-robin localities over physical CPUs first, then
+		// siblings — each locality gets exactly one CPU.
+		order := make([]int, 0, ncpu)
+		for t := 0; t < threadsPerCore && len(order) < ncpu; t++ {
+			for c := 0; c < physCores && len(order) < ncpu; c++ {
+				order = append(order, t*physCores+c)
+			}
+		}
+		for i := range plan {
+			plan[i] = []int{order[i%len(order)]}
+		}
+		return plan
+	}
+
+	// Chunk physical cores contiguously; the first rem localities get one
+	// extra core.
+	base, rem := physCores/localities, physCores%localities
+	start := 0
+	for i := range plan {
+		size := base
+		if i < rem {
+			size++
+		}
+		cpus := make([]int, 0, size*threadsPerCore)
+		for c := start; c < start+size; c++ {
+			cpus = append(cpus, c)
+		}
+		for t := 1; t < threadsPerCore; t++ {
+			for c := start; c < start+size; c++ {
+				if sib := t*physCores + c; sib < ncpu {
+					cpus = append(cpus, sib)
+				}
+			}
+		}
+		plan[i] = cpus
+		start += size
+	}
+	return plan
+}

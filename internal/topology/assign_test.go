@@ -1,0 +1,104 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAssignChunksPhysicalCores(t *testing.T) {
+	// 2 localities on 8 single-thread CPUs: contiguous halves.
+	got := Assign(2, 8, 1)
+	want := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Assign(2, 8, 1) = %v, want %v", got, want)
+	}
+}
+
+func TestAssignUnevenChunks(t *testing.T) {
+	// 3 localities on 8 cores: 3/3/2, contiguous, no overlap, no gaps.
+	got := Assign(3, 8, 1)
+	want := [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Assign(3, 8, 1) = %v, want %v", got, want)
+	}
+}
+
+func TestAssignSingleVCPU(t *testing.T) {
+	// The degenerate CI-container shape: everyone shares CPU 0, and the
+	// plan never comes back empty.
+	got := Assign(4, 1, 1)
+	want := [][]int{{0}, {0}, {0}, {0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Assign(4, 1, 1) = %v, want %v", got, want)
+	}
+}
+
+func TestAssignMoreLocalitiesThanCores(t *testing.T) {
+	// 6 localities on 4 CPUs: round-robin, each list exactly one CPU.
+	got := Assign(6, 4, 1)
+	want := [][]int{{0}, {1}, {2}, {3}, {0}, {1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Assign(6, 4, 1) = %v, want %v", got, want)
+	}
+}
+
+func TestAssignHyperthreadPairs(t *testing.T) {
+	// 2 localities, 8 hardware threads as 4 cores x 2 SMT: each locality
+	// owns two cores and their siblings, physical CPUs listed first so
+	// siblings are only used once every first hyperthread is taken.
+	got := Assign(2, 8, 2)
+	want := [][]int{{0, 1, 4, 5}, {2, 3, 6, 7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Assign(2, 8, 2) = %v, want %v", got, want)
+	}
+}
+
+func TestAssignHyperthreadStarved(t *testing.T) {
+	// More localities than physical cores with SMT: round-robin covers
+	// first hyperthreads before siblings.
+	got := Assign(3, 4, 2)
+	want := [][]int{{0}, {1}, {2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Assign(3, 4, 2) = %v, want %v", got, want)
+	}
+}
+
+func TestAssignDegenerateInputs(t *testing.T) {
+	if got := Assign(0, 8, 1); got != nil {
+		t.Fatalf("Assign(0, 8, 1) = %v, want nil", got)
+	}
+	// Nonsense ncpu/threadsPerCore are clamped, never panic or return
+	// empty lists.
+	for _, plan := range [][][]int{Assign(2, 0, 0), Assign(2, -3, -1), Assign(1, 2, 5)} {
+		for i, cpus := range plan {
+			if len(cpus) == 0 {
+				t.Fatalf("locality %d got an empty CPU list in %v", i, plan)
+			}
+			for _, c := range cpus {
+				if c < 0 {
+					t.Fatalf("negative CPU id in %v", plan)
+				}
+			}
+		}
+	}
+}
+
+func TestAssignCoversAllCPUsWhenDivisible(t *testing.T) {
+	// Paper-machine shape: 4 localities on 80 hardware threads (40 cores
+	// x 2 SMT) — every CPU owned exactly once.
+	plan := Assign(4, 80, 2)
+	seen := make(map[int]int)
+	for _, cpus := range plan {
+		if len(cpus) != 20 {
+			t.Fatalf("locality owns %d CPUs, want 20: %v", len(cpus), cpus)
+		}
+		for _, c := range cpus {
+			seen[c]++
+		}
+	}
+	for c := 0; c < 80; c++ {
+		if seen[c] != 1 {
+			t.Fatalf("CPU %d owned %d times, want exactly once", c, seen[c])
+		}
+	}
+}
